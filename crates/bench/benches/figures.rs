@@ -1,0 +1,82 @@
+//! Criterion benches: one group per paper figure.
+//!
+//! Criterion measures host wall-clock, so what these benches time is the
+//! cost of *regenerating* each figure's data points (simulation included);
+//! the figures' own numbers — simulated latency/throughput — come from the
+//! `fig*` binaries. Keeping both views matters: the binaries answer "does
+//! the reproduction match the paper", these benches answer "how fast is
+//! the harness" and catch performance regressions in the simulator and
+//! protocol stacks themselves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rmc_bench::{measure_latency, measure_throughput, ClusterKind, Mix};
+use rmc::Transport;
+use simnet::Stack;
+
+fn fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_latency_cluster_a");
+    g.sample_size(10);
+    for (name, transport) in [
+        ("ucr", Transport::Ucr),
+        ("sdp", Transport::Sockets(Stack::Sdp)),
+        ("toe", Transport::Sockets(Stack::TenGigEToe)),
+    ] {
+        for size in [64usize, 4096] {
+            g.bench_with_input(
+                BenchmarkId::new(name, size),
+                &size,
+                |b, &size| {
+                    b.iter(|| measure_latency(ClusterKind::A, transport, Mix::GetOnly, size, 50, 3))
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_latency_cluster_b");
+    g.sample_size(10);
+    for (name, transport) in [
+        ("ucr", Transport::Ucr),
+        ("ipoib", Transport::Sockets(Stack::Ipoib)),
+    ] {
+        for size in [64usize, 4096] {
+            g.bench_with_input(BenchmarkId::new(name, size), &size, |b, &size| {
+                b.iter(|| measure_latency(ClusterKind::B, transport, Mix::GetOnly, size, 50, 4))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_mixed_workloads");
+    g.sample_size(10);
+    for (name, mix) in [
+        ("non_interleaved", Mix::NonInterleaved),
+        ("interleaved", Mix::Interleaved),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| measure_latency(ClusterKind::A, Transport::Ucr, mix, 1024, 50, 5))
+        });
+    }
+    g.finish();
+}
+
+fn fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_throughput");
+    g.sample_size(10);
+    for (name, transport) in [
+        ("ucr", Transport::Ucr),
+        ("sdp", Transport::Sockets(Stack::Sdp)),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| measure_throughput(ClusterKind::B, transport, 8, 4, 300, 6))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(figures, fig3, fig4, fig5, fig6);
+criterion_main!(figures);

@@ -1,0 +1,118 @@
+//! Criterion benches for the storage engine itself — real wall-clock
+//! data-structure performance, independent of the network simulation.
+//! Includes the slab growth-factor ablation called out in DESIGN.md §6
+//! and a multi-threaded sharded-store bench driven by real threads.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mcstore::{SetOutcome, ShardedStore, SlabConfig, Store, StoreConfig};
+
+fn bench_set_get(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store_ops");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("set_1k", |b| {
+        let mut s = Store::with_defaults();
+        let value = vec![7u8; 1024];
+        let mut i = 0u64;
+        b.iter(|| {
+            let key = format!("key-{}", i % 100_000);
+            i += 1;
+            assert_eq!(s.set(key.as_bytes(), &value, 0, 0, 1), SetOutcome::Stored);
+        });
+    });
+    g.bench_function("get_hit_1k", |b| {
+        let mut s = Store::with_defaults();
+        let value = vec![7u8; 1024];
+        for i in 0..10_000u64 {
+            s.set(format!("key-{i}").as_bytes(), &value, 0, 0, 1);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            let key = format!("key-{}", i % 10_000);
+            i += 1;
+            assert!(s.get(key.as_bytes(), 1).is_some());
+        });
+    });
+    g.bench_function("get_miss", |b| {
+        let mut s = Store::with_defaults();
+        let mut i = 0u64;
+        b.iter(|| {
+            let key = format!("absent-{i}");
+            i += 1;
+            assert!(s.get(key.as_bytes(), 1).is_none());
+        });
+    });
+    g.finish();
+}
+
+/// DESIGN.md §6 ablation: memcached's 1.25 growth factor vs alternatives.
+/// A smaller factor wastes less memory per item (more classes, tighter
+/// fit) but touches more distinct classes; a larger factor does the
+/// opposite. Throughput of a mixed-size fill measures the net effect.
+fn bench_growth_factor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("slab_growth_factor");
+    g.sample_size(10);
+    for factor in [1.1f64, 1.25, 1.5, 2.0] {
+        g.bench_with_input(BenchmarkId::from_parameter(factor), &factor, |b, &factor| {
+            b.iter(|| {
+                let mut s = Store::new(StoreConfig {
+                    slab: SlabConfig {
+                        mem_limit: 32 << 20,
+                        growth_factor: factor,
+                        ..SlabConfig::default()
+                    },
+                    ..StoreConfig::default()
+                });
+                // Mixed sizes spanning many classes.
+                for i in 0..20_000u64 {
+                    let size = 64 + (i * 37) % 4000;
+                    let key = format!("k{i}");
+                    s.set(key.as_bytes(), &vec![1u8; size as usize], 0, 0, 1);
+                }
+                s.curr_items()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_sharded_parallel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sharded_store_parallel");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    let s = ShardedStore::new(StoreConfig::default(), 16);
+                    let per_thread = (iters as usize).max(1000);
+                    let start = Instant::now();
+                    crossbeam::scope(|scope| {
+                        for t in 0..threads {
+                            let s = &s;
+                            scope.spawn(move |_| {
+                                let value = vec![5u8; 256];
+                                for i in 0..per_thread {
+                                    let key = format!("t{t}-{}", i % 5_000);
+                                    if i % 10 == 0 {
+                                        s.set(key.as_bytes(), &value, 0, 0, 1);
+                                    } else {
+                                        let _ = s.get(key.as_bytes(), 1);
+                                    }
+                                }
+                            });
+                        }
+                    })
+                    .unwrap();
+                    start.elapsed()
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(store, bench_set_get, bench_growth_factor, bench_sharded_parallel);
+criterion_main!(store);

@@ -1,0 +1,56 @@
+//! Ablation: the eager/rendezvous switch point.
+//!
+//! The paper fixes the eager path at one 8 KB network buffer (§V, "Note on
+//! Small Set/Get operations"). This study sweeps the threshold and
+//! measures get latency for mid-size values: below the threshold a value
+//! travels inline with two staging copies; above it, UCR sends the header
+//! only and the target pulls the data with a zero-copy RDMA read — paying
+//! an extra control round trip. The crossover justifies the 8 KB choice.
+
+use rmc::{McClient, McClientConfig, McServer, McServerConfig, Transport, World};
+use simnet::NodeId;
+
+fn measure(threshold: usize, size: usize) -> f64 {
+    let world = World::cluster_b(11, 4);
+    let server = McServer::start(&world, NodeId(0), McServerConfig::default());
+    let client = McClient::new(
+        &world,
+        NodeId(1),
+        McClientConfig::single(Transport::Ucr, NodeId(0)),
+    );
+    server.ucr_runtime().unwrap().set_eager_threshold(threshold);
+    let sim = world.sim().clone();
+    let sim2 = sim.clone();
+    sim.block_on(async move {
+        client.ucr_runtime().unwrap().set_eager_threshold(threshold);
+        let value = vec![3u8; size];
+        client.set(b"k", &value, 0, 0).await.unwrap();
+        client.get(b"k").await.unwrap().unwrap();
+        let iters = 100;
+        let t0 = sim2.now();
+        for _ in 0..iters {
+            client.get(b"k").await.unwrap().unwrap();
+        }
+        (sim2.now() - t0).as_micros_f64() / iters as f64
+    })
+}
+
+fn main() {
+    let thresholds = [512usize, 1024, 2048, 4096, 8192];
+    let sizes = [256usize, 1024, 2048, 4096, 7000];
+    println!("Ablation: UCR eager/rendezvous threshold vs get latency (us), Cluster B");
+    print!("{:>10}", "value");
+    for t in thresholds {
+        print!("{:>10}", format!("thr={t}"));
+    }
+    println!();
+    for size in sizes {
+        print!("{size:>10}");
+        for t in thresholds {
+            print!("{:>10.1}", measure(t, size));
+        }
+        println!();
+    }
+    println!("\n(Values under the threshold ride the eager path; larger ones pay an");
+    println!("extra rendezvous round trip but skip both staging copies.)");
+}

@@ -1,0 +1,58 @@
+//! Ablation: worker-thread count.
+//!
+//! The paper makes the number of worker threads a runtime parameter
+//! (§V-A) but evaluates a fixed setting. This study sweeps workers against
+//! aggregate get throughput with 16 UCR clients: once the HCA message rate
+//! is the ceiling (Figure 6's regime), adding workers stops helping; with
+//! one worker the CPU serializes first.
+
+use rmc::{McClient, McClientConfig, McServer, McServerConfig, Transport};
+use rmc_bench::ClusterKind;
+use simnet::NodeId;
+
+fn measure(cluster: ClusterKind, workers: usize, clients: u32) -> f64 {
+    let world = cluster.world(13, clients + 1);
+    let _server = McServer::start(
+        &world,
+        NodeId(0),
+        McServerConfig {
+            workers,
+            ..McServerConfig::default()
+        },
+    );
+    let sim = world.sim().clone();
+    let ops = 1_000u32;
+    let mut joins = Vec::new();
+    for c in 0..clients {
+        let client = McClient::new(
+            &world,
+            NodeId(1 + c),
+            McClientConfig::single(Transport::Ucr, NodeId(0)),
+        );
+        joins.push(sim.spawn(async move {
+            let key = format!("c{c}");
+            client.set(key.as_bytes(), &[9u8; 64], 0, 0).await.unwrap();
+            for _ in 0..ops {
+                client.get(key.as_bytes()).await.unwrap().unwrap();
+            }
+        }));
+    }
+    let sim2 = sim.clone();
+    sim.block_on(async move {
+        let t0 = sim2.now();
+        for j in joins {
+            j.await;
+        }
+        (clients as u64 * ops as u64) as f64 / (sim2.now() - t0).as_secs_f64()
+    })
+}
+
+fn main() {
+    println!("Ablation: worker threads vs aggregate get TPS, 16 clients, 64-byte values");
+    println!("{:>10}{:>16}{:>16}", "workers", "Cluster A", "Cluster B");
+    for workers in [1usize, 2, 4, 8] {
+        let a = measure(ClusterKind::A, workers, 16);
+        let b = measure(ClusterKind::B, workers, 16);
+        println!("{workers:>10}{:>15.1}K{:>15.1}K", a / 1e3, b / 1e3);
+    }
+}

@@ -1,0 +1,31 @@
+//! Figure 4: latency of Set and Get operations on **Cluster B** (QDR),
+//! small (a, c) and large (b, d) messages, across UCR / SDP / IPoIB.
+//! (No 10GigE cards on this cluster, §VI-B; the SDP column shows the
+//! jitter artifact the paper reports on QDR adapters.)
+
+use rmc_bench::{
+    latency_sweep, render_latency_table, ClusterKind, Mix, DEFAULT_ITERS, LARGE_SIZES, SMALL_SIZES,
+};
+
+fn main() {
+    let cluster = ClusterKind::B;
+    let panels = [
+        ("Figure 4(a): Latency of Set - Small Message, Cluster B (us)", Mix::SetOnly, SMALL_SIZES),
+        ("Figure 4(b): Latency of Set - Large Message, Cluster B (us)", Mix::SetOnly, LARGE_SIZES),
+        ("Figure 4(c): Latency of Get - Small Message, Cluster B (us)", Mix::GetOnly, SMALL_SIZES),
+        ("Figure 4(d): Latency of Get - Large Message, Cluster B (us)", Mix::GetOnly, LARGE_SIZES),
+    ];
+    for (title, mix, sizes) in panels {
+        let columns: Vec<_> = cluster
+            .transports()
+            .into_iter()
+            .map(|t| {
+                (
+                    t.label().to_string(),
+                    latency_sweep(cluster, t, mix, sizes, DEFAULT_ITERS, 4),
+                )
+            })
+            .collect();
+        println!("{}", render_latency_table(title, sizes, &columns));
+    }
+}

@@ -1,0 +1,573 @@
+//! # rmc-bench — the evaluation harness (paper §VI)
+//!
+//! Regenerates every figure of the paper's evaluation:
+//!
+//! | Target | Paper figure | What it sweeps |
+//! |---|---|---|
+//! | `fig3_latency_a` | Fig. 3(a–d) | set/get latency vs size, Cluster A, 5 transports |
+//! | `fig4_latency_b` | Fig. 4(a–d) | set/get latency vs size, Cluster B, 3 transports |
+//! | `fig5_mixed`     | Fig. 5(a–d) | non-interleaved (10% set/90% get) and interleaved (50/50) small-message latency, both clusters |
+//! | `fig6_throughput`| Fig. 6(a–d) | aggregate get TPS, 8/16 clients, 4 B and 4 KB, both clusters |
+//! | `ablation_*`     | — | design-choice studies beyond the paper |
+//!
+//! The benchmarks follow the paper's methodology (§VI): they drive the
+//! standard client API (as the authors' suite drives libmemcached, not raw
+//! sockets), set `TCP_NODELAY`, use one warm-up pass, and report averages
+//! over repeated operations. Latency and throughput are **simulated time**
+//! — the quantity the paper measures — not host wall-clock.
+
+use rmc::{McClient, McClientConfig, McError, McServer, McServerConfig, Transport, World};
+use simnet::{NodeId, SimDuration, Stack};
+
+/// Which testbed to instantiate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ClusterKind {
+    /// Clovertown + ConnectX DDR + 10GigE-TOE + 1GigE.
+    A,
+    /// Westmere + ConnectX QDR.
+    B,
+}
+
+impl ClusterKind {
+    /// Builds the world with `nodes` nodes.
+    pub fn world(self, seed: u64, nodes: u32) -> World {
+        match self {
+            ClusterKind::A => World::cluster_a(seed, nodes),
+            ClusterKind::B => World::cluster_b(seed, nodes),
+        }
+    }
+
+    /// The transports the paper evaluates on this cluster, in plot order.
+    pub fn transports(self) -> Vec<Transport> {
+        match self {
+            ClusterKind::A => vec![
+                Transport::Ucr,
+                Transport::Sockets(Stack::Sdp),
+                Transport::Sockets(Stack::Ipoib),
+                Transport::Sockets(Stack::TenGigEToe),
+                Transport::Sockets(Stack::OneGigE),
+            ],
+            ClusterKind::B => vec![
+                Transport::Ucr,
+                Transport::Sockets(Stack::Sdp),
+                Transport::Sockets(Stack::Ipoib),
+            ],
+        }
+    }
+
+    /// Display name matching the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            ClusterKind::A => "Cluster A (DDR)",
+            ClusterKind::B => "Cluster B (QDR)",
+        }
+    }
+}
+
+/// Instruction mixes of §VI-B and §VI-C.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mix {
+    /// 100% set.
+    SetOnly,
+    /// 100% get.
+    GetOnly,
+    /// 10% set / 90% get as 1 set followed by 9 gets (non-interleaved).
+    NonInterleaved,
+    /// 50% set / 50% get alternating (interleaved).
+    Interleaved,
+}
+
+impl Mix {
+    /// Plot title fragment.
+    pub fn label(self) -> &'static str {
+        match self {
+            Mix::SetOnly => "Set",
+            Mix::GetOnly => "Get",
+            Mix::NonInterleaved => "Non-Interleaved (Set 10% Get 90%)",
+            Mix::Interleaved => "Interleaved (Set 50% Get 50%)",
+        }
+    }
+}
+
+/// The paper's small-message sweep (Figs. 3/4 a,c and Fig. 5).
+pub const SMALL_SIZES: &[usize] = &[1, 4, 16, 64, 256, 1024, 2048, 4096];
+
+/// The paper's large-message sweep (Figs. 3/4 b,d).
+pub const LARGE_SIZES: &[usize] = &[8 << 10, 32 << 10, 128 << 10, 512 << 10];
+
+/// A measured latency point.
+#[derive(Clone, Copy, Debug)]
+pub struct LatencyPoint {
+    /// Value size in bytes.
+    pub size: usize,
+    /// Mean operation latency in microseconds (simulated).
+    pub mean_us: f64,
+}
+
+/// A measured throughput point.
+#[derive(Clone, Copy, Debug)]
+pub struct ThroughputPoint {
+    /// Number of concurrent clients.
+    pub clients: u32,
+    /// Aggregate transactions per second (simulated).
+    pub tps: f64,
+}
+
+/// Single-client average latency for `mix` at one value size
+/// (§VI-B/§VI-C methodology: repeat the operation `iters` times after one
+/// warm-up pass, report the mean).
+pub fn measure_latency(
+    cluster: ClusterKind,
+    transport: Transport,
+    mix: Mix,
+    size: usize,
+    iters: u32,
+    seed: u64,
+) -> f64 {
+    let world = cluster.world(seed, 4);
+    let _server = McServer::start(&world, NodeId(0), McServerConfig::default());
+    let client = McClient::new(
+        &world,
+        NodeId(1),
+        McClientConfig::single(transport, NodeId(0)),
+    );
+    let sim = world.sim().clone();
+    let sim2 = sim.clone();
+    sim.block_on(async move {
+        let value = vec![0x5au8; size];
+        let key = b"bench-key";
+        // Warm up: establish the connection and populate the item.
+        client.set(key, &value, 0, 0).await.expect("warm-up set");
+        client.get(key).await.expect("warm-up get");
+
+        let t0 = sim2.now();
+        let mut ops = 0u32;
+        while ops < iters {
+            match mix {
+                Mix::SetOnly => {
+                    client.set(key, &value, 0, 0).await.expect("set");
+                    ops += 1;
+                }
+                Mix::GetOnly => {
+                    let v = client.get(key).await.expect("get").expect("hit");
+                    debug_assert_eq!(v.data.len(), size);
+                    ops += 1;
+                }
+                Mix::NonInterleaved => {
+                    // 1 set followed by 9 gets (§VI-C).
+                    client.set(key, &value, 0, 0).await.expect("set");
+                    ops += 1;
+                    for _ in 0..9 {
+                        if ops >= iters {
+                            break;
+                        }
+                        client.get(key).await.expect("get");
+                        ops += 1;
+                    }
+                }
+                Mix::Interleaved => {
+                    client.set(key, &value, 0, 0).await.expect("set");
+                    client.get(key).await.expect("get");
+                    ops += 2;
+                }
+            }
+        }
+        let elapsed = sim2.now() - t0;
+        elapsed.as_micros_f64() / ops as f64
+    })
+}
+
+/// Latency sweep over a size list.
+pub fn latency_sweep(
+    cluster: ClusterKind,
+    transport: Transport,
+    mix: Mix,
+    sizes: &[usize],
+    iters: u32,
+    seed: u64,
+) -> Vec<LatencyPoint> {
+    sizes
+        .iter()
+        .map(|&size| LatencyPoint {
+            size,
+            mean_us: measure_latency(cluster, transport, mix, size, iters, seed),
+        })
+        .collect()
+}
+
+/// Aggregate get throughput with `clients` concurrent clients on distinct
+/// nodes, all started simultaneously (§VI-D methodology). Returns
+/// transactions per second across all clients.
+pub fn measure_throughput(
+    cluster: ClusterKind,
+    transport: Transport,
+    clients: u32,
+    value_size: usize,
+    ops_per_client: u32,
+    seed: u64,
+) -> f64 {
+    let world = cluster.world(seed, clients + 1);
+    let _server = McServer::start(&world, NodeId(0), McServerConfig::default());
+    let sim = world.sim().clone();
+
+    // Populate one key per client, then run the closed loops together.
+    let mut handles = Vec::new();
+    let mut ready = Vec::new();
+    for c in 0..clients {
+        let client = McClient::new(
+            &world,
+            NodeId(1 + c),
+            McClientConfig::single(transport, NodeId(0)),
+        );
+        let (ready_tx, ready_rx) = simnet::sync::oneshot::<()>();
+        ready.push(ready_rx);
+        let (go_tx, go_rx) = simnet::sync::oneshot::<()>();
+        handles.push((
+            go_tx,
+            sim.spawn(async move {
+                let key = format!("client-{c}");
+                let value = vec![1u8; value_size];
+                client.set(key.as_bytes(), &value, 0, 0).await.expect("populate");
+                let _ = ready_tx.send(());
+                let _ = go_rx.await;
+                for _ in 0..ops_per_client {
+                    client.get(key.as_bytes()).await.expect("get").expect("hit");
+                }
+            }),
+        ));
+    }
+    sim.clone().block_on(async move {
+        for r in ready {
+            let _ = r.await;
+        }
+        let t0 = sim.now();
+        let mut joins = Vec::new();
+        for (go, h) in handles {
+            let _ = go.send(());
+            joins.push(h);
+        }
+        for j in joins {
+            j.await;
+        }
+        let elapsed = (sim.now() - t0).as_secs_f64();
+        (clients as u64 * ops_per_client as u64) as f64 / elapsed
+    })
+}
+
+/// Convenience: run a full Fig.6-style sweep.
+pub fn throughput_sweep(
+    cluster: ClusterKind,
+    transport: Transport,
+    client_counts: &[u32],
+    value_size: usize,
+    ops_per_client: u32,
+    seed: u64,
+) -> Vec<ThroughputPoint> {
+    client_counts
+        .iter()
+        .map(|&clients| ThroughputPoint {
+            clients,
+            tps: measure_throughput(cluster, transport, clients, value_size, ops_per_client, seed),
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// memslap-style workload generator (the paper's benchmarks are "inspired
+// by the popular memslap benchmark", §VI)
+// ---------------------------------------------------------------------
+
+/// Parameters of a memslap-like workload.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Number of distinct keys.
+    pub key_space: usize,
+    /// Value size in bytes.
+    pub value_size: usize,
+    /// Fraction of sets in `[0, 1]` (rest are gets).
+    pub set_fraction: f64,
+    /// Zipf skew of key popularity (0 = uniform).
+    pub zipf_skew: f64,
+}
+
+impl Default for Workload {
+    fn default() -> Self {
+        Workload {
+            key_space: 10_000,
+            value_size: 1024,
+            set_fraction: 0.1,
+            zipf_skew: 0.99,
+        }
+    }
+}
+
+/// Result of a workload run.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadResult {
+    /// Operations completed.
+    pub ops: u64,
+    /// Mean latency, microseconds.
+    pub mean_us: f64,
+    /// Hit rate of gets in `[0, 1]`.
+    pub hit_rate: f64,
+}
+
+/// Runs a memslap-like mixed workload from one client and reports
+/// latency + hit rate.
+pub fn run_workload(
+    cluster: ClusterKind,
+    transport: Transport,
+    wl: &Workload,
+    ops: u32,
+    seed: u64,
+) -> WorkloadResult {
+    let world = cluster.world(seed, 4);
+    let _server = McServer::start(&world, NodeId(0), McServerConfig::default());
+    let client = McClient::new(
+        &world,
+        NodeId(1),
+        McClientConfig::single(transport, NodeId(0)),
+    );
+    let sim = world.sim().clone();
+    let sim2 = sim.clone();
+    let wl = wl.clone();
+    sim.block_on(async move {
+        let value = vec![7u8; wl.value_size];
+        let mut hits = 0u64;
+        let mut gets = 0u64;
+        let t0 = sim2.now();
+        for _ in 0..ops {
+            let (do_set, key_idx) = sim2.with_rng(|r| {
+                (r.gen_bool(wl.set_fraction), r.gen_zipf(wl.key_space, wl.zipf_skew))
+            });
+            let key = format!("wl-{key_idx}");
+            if do_set {
+                match client.set(key.as_bytes(), &value, 0, 0).await {
+                    Ok(()) | Err(McError::OutOfMemory) => {}
+                    Err(e) => panic!("set failed: {e}"),
+                }
+            } else {
+                gets += 1;
+                if client.get(key.as_bytes()).await.expect("get").is_some() {
+                    hits += 1;
+                }
+            }
+        }
+        let elapsed = sim2.now() - t0;
+        WorkloadResult {
+            ops: ops as u64,
+            mean_us: elapsed.as_micros_f64() / ops as f64,
+            hit_rate: if gets == 0 { 0.0 } else { hits as f64 / gets as f64 },
+        }
+    })
+}
+
+// ---------------------------------------------------------------------
+// Table rendering
+// ---------------------------------------------------------------------
+
+/// Renders a latency table: rows = sizes, columns = transports.
+pub fn render_latency_table(
+    title: &str,
+    sizes: &[usize],
+    columns: &[(String, Vec<LatencyPoint>)],
+) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&format!("{:>10}", "size"));
+    for (name, _) in columns {
+        out.push_str(&format!("{name:>12}"));
+    }
+    out.push('\n');
+    for (i, &size) in sizes.iter().enumerate() {
+        out.push_str(&format!("{:>10}", fmt_size(size)));
+        for (_, points) in columns {
+            out.push_str(&format!("{:>12.1}", points[i].mean_us));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a throughput table: rows = client counts, columns = transports,
+/// values in thousands of TPS (the paper's unit).
+pub fn render_tps_table(
+    title: &str,
+    client_counts: &[u32],
+    columns: &[(String, Vec<ThroughputPoint>)],
+) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&format!("{:>10}", "clients"));
+    for (name, _) in columns {
+        out.push_str(&format!("{name:>12}"));
+    }
+    out.push('\n');
+    for (i, &n) in client_counts.iter().enumerate() {
+        out.push_str(&format!("{n:>10}"));
+        for (_, points) in columns {
+            out.push_str(&format!("{:>11.1}K", points[i].tps / 1_000.0));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a byte size the way the paper's axes do (1K, 32K, ...).
+pub fn fmt_size(size: usize) -> String {
+    if size >= 1024 && size.is_multiple_of(1024) {
+        format!("{}K", size / 1024)
+    } else {
+        format!("{size}")
+    }
+}
+
+/// Default iteration count for latency points (tuned so a full figure
+/// regenerates in seconds of wall time while averaging enough samples).
+pub const DEFAULT_ITERS: u32 = 200;
+
+/// Default per-client ops for throughput points.
+pub const DEFAULT_TPUT_OPS: u32 = 1_500;
+
+/// Default op timeout used by bench clients.
+pub const BENCH_TIMEOUT: SimDuration = SimDuration::from_millis(500);
+
+// ---------------------------------------------------------------------
+// Latency distributions (percentiles)
+// ---------------------------------------------------------------------
+
+/// Percentile summary of a latency sample.
+#[derive(Clone, Copy, Debug)]
+pub struct LatencyDistribution {
+    /// Minimum, microseconds.
+    pub min_us: f64,
+    /// Median.
+    pub p50_us: f64,
+    /// 95th percentile.
+    pub p95_us: f64,
+    /// 99th percentile.
+    pub p99_us: f64,
+    /// Maximum.
+    pub max_us: f64,
+    /// Mean.
+    pub mean_us: f64,
+}
+
+impl LatencyDistribution {
+    /// Summarizes a sample of per-operation latencies (µs).
+    pub fn from_samples(mut samples: Vec<f64>) -> LatencyDistribution {
+        assert!(!samples.is_empty(), "empty latency sample");
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let pick = |q: f64| samples[((samples.len() - 1) as f64 * q).round() as usize];
+        LatencyDistribution {
+            min_us: samples[0],
+            p50_us: pick(0.50),
+            p95_us: pick(0.95),
+            p99_us: pick(0.99),
+            max_us: *samples.last().expect("nonempty"),
+            mean_us: samples.iter().sum::<f64>() / samples.len() as f64,
+        }
+    }
+}
+
+/// Per-operation get latencies for one transport (the distribution behind
+/// the mean that `measure_latency` reports — how the SDP-on-QDR jitter of
+/// §VI-B becomes visible).
+pub fn measure_latency_distribution(
+    cluster: ClusterKind,
+    transport: Transport,
+    size: usize,
+    iters: u32,
+    seed: u64,
+) -> LatencyDistribution {
+    let world = cluster.world(seed, 4);
+    let _server = McServer::start(&world, NodeId(0), McServerConfig::default());
+    let client = McClient::new(
+        &world,
+        NodeId(1),
+        McClientConfig::single(transport, NodeId(0)),
+    );
+    let sim = world.sim().clone();
+    let sim2 = sim.clone();
+    sim.block_on(async move {
+        let value = vec![0x5au8; size];
+        client.set(b"bench-key", &value, 0, 0).await.expect("set");
+        client.get(b"bench-key").await.expect("warm");
+        let mut samples = Vec::with_capacity(iters as usize);
+        for _ in 0..iters {
+            let t0 = sim2.now();
+            client.get(b"bench-key").await.expect("get").expect("hit");
+            samples.push((sim2.now() - t0).as_micros_f64());
+        }
+        LatencyDistribution::from_samples(samples)
+    })
+}
+
+// ---------------------------------------------------------------------
+// Bottleneck analysis (what saturates in Figure 6)
+// ---------------------------------------------------------------------
+
+/// Throughput plus the server-side resource utilizations that explain it.
+#[derive(Clone, Copy, Debug)]
+pub struct BottleneckReport {
+    /// Aggregate transactions per second.
+    pub tps: f64,
+    /// Server HCA work-request pipeline utilization in `[0, 1]`.
+    pub hca_utilization: f64,
+    /// Server kernel protocol-processing utilization in `[0, 1]`.
+    pub kernel_utilization: f64,
+}
+
+/// Like [`measure_throughput`], but also reports which server resource the
+/// run saturated — the §VI-D mechanism (UCR pegs the HCA and bypasses the
+/// kernel; every sockets transport pegs the kernel and barely touches the
+/// HCA).
+pub fn measure_bottlenecks(
+    cluster: ClusterKind,
+    transport: Transport,
+    clients: u32,
+    value_size: usize,
+    ops_per_client: u32,
+    seed: u64,
+) -> BottleneckReport {
+    let world = cluster.world(seed, clients + 1);
+    let _server = McServer::start(&world, NodeId(0), McServerConfig::default());
+    let sim = world.sim().clone();
+    let mut joins = Vec::new();
+    for c in 0..clients {
+        let client = McClient::new(
+            &world,
+            NodeId(1 + c),
+            McClientConfig::single(transport, NodeId(0)),
+        );
+        joins.push(sim.spawn(async move {
+            let key = format!("client-{c}");
+            let value = vec![1u8; value_size];
+            client.set(key.as_bytes(), &value, 0, 0).await.expect("populate");
+            for _ in 0..ops_per_client {
+                client.get(key.as_bytes()).await.expect("get").expect("hit");
+            }
+        }));
+    }
+    let sim2 = sim.clone();
+    let server_node = world.cluster.node(NodeId(0)).clone();
+    // Reset accounting after connection setup noise.
+    sim.clone().block_on(async move {
+        let t0 = sim2.now();
+        server_node.hca.reset(t0);
+        server_node.kernel.reset(t0);
+        for j in joins {
+            j.await;
+        }
+        let elapsed = sim2.now() - t0;
+        let window = elapsed.as_nanos().max(1);
+        BottleneckReport {
+            tps: (clients as u64 * ops_per_client as u64) as f64 / elapsed.as_secs_f64(),
+            hca_utilization: server_node.hca.busy_total().as_nanos() as f64 / window as f64,
+            kernel_utilization: server_node.kernel.busy_total().as_nanos() as f64
+                / window as f64,
+        }
+    })
+}

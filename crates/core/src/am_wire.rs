@@ -1,0 +1,361 @@
+//! Active-message application headers for Memcached-over-UCR (paper §V).
+//!
+//! Where the sockets baseline re-frames every request through the ASCII
+//! byte stream, the UCR design sends a typed header (this module) as the
+//! active-message header and the value as the active-message data. The
+//! client's counter id travels in the request header (AM 1); the server
+//! names that counter as the *target counter* of its response (AM 2), so
+//! the client's blocking wait is exactly the paper's Figure in §V-B/§V-C.
+
+/// Active-message id for client→server requests.
+pub const MSG_MC_REQ: u16 = 0x10;
+/// Active-message id for server→client responses.
+pub const MSG_MC_RESP: u16 = 0x11;
+
+/// Memcached operation codes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum McOp {
+    /// Fetch one key.
+    Get = 1,
+    /// Fetch many keys in one request.
+    Mget = 2,
+    /// Unconditional store.
+    Set = 3,
+    /// Store if absent.
+    Add = 4,
+    /// Store if present.
+    Replace = 5,
+    /// Append to existing value.
+    Append = 6,
+    /// Prepend to existing value.
+    Prepend = 7,
+    /// Compare-and-store.
+    Cas = 8,
+    /// Remove a key.
+    Delete = 9,
+    /// Increment a decimal value.
+    Incr = 10,
+    /// Decrement a decimal value.
+    Decr = 11,
+    /// Refresh expiration.
+    Touch = 12,
+    /// Invalidate everything.
+    FlushAll = 13,
+    /// Server version string.
+    Version = 14,
+    /// Statistics snapshot.
+    Stats = 15,
+}
+
+impl McOp {
+    fn from_u8(v: u8) -> Option<McOp> {
+        Some(match v {
+            1 => McOp::Get,
+            2 => McOp::Mget,
+            3 => McOp::Set,
+            4 => McOp::Add,
+            5 => McOp::Replace,
+            6 => McOp::Append,
+            7 => McOp::Prepend,
+            8 => McOp::Cas,
+            9 => McOp::Delete,
+            10 => McOp::Incr,
+            11 => McOp::Decr,
+            12 => McOp::Touch,
+            13 => McOp::FlushAll,
+            14 => McOp::Version,
+            15 => McOp::Stats,
+            _ => return None,
+        })
+    }
+}
+
+/// Response status codes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum RespStatus {
+    /// get hit / operation succeeded with data.
+    Hit = 1,
+    /// get miss.
+    Miss = 2,
+    /// Stored.
+    Stored = 3,
+    /// Not stored (add/replace/append/prepend precondition failed).
+    NotStored = 4,
+    /// CAS mismatch.
+    Exists = 5,
+    /// Key not found (delete/incr/cas).
+    NotFound = 6,
+    /// Numeric result attached (incr/decr).
+    Number = 7,
+    /// Item exceeded the largest slab chunk.
+    TooLarge = 8,
+    /// Allocation failed.
+    OutOfMemory = 9,
+    /// Value is not numeric.
+    NotNumeric = 10,
+    /// Generic OK (flush_all, touch).
+    Ok = 11,
+}
+
+impl RespStatus {
+    fn from_u8(v: u8) -> Option<RespStatus> {
+        Some(match v {
+            1 => RespStatus::Hit,
+            2 => RespStatus::Miss,
+            3 => RespStatus::Stored,
+            4 => RespStatus::NotStored,
+            5 => RespStatus::Exists,
+            6 => RespStatus::NotFound,
+            7 => RespStatus::Number,
+            8 => RespStatus::TooLarge,
+            9 => RespStatus::OutOfMemory,
+            10 => RespStatus::NotNumeric,
+            11 => RespStatus::Ok,
+            _ => return None,
+        })
+    }
+}
+
+/// A request header (AM 1). Keys ride in the header; the value (for
+/// storage ops) is the active-message data, so a large `set` goes through
+/// UCR's RDMA-read rendezvous without touching the header path.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ReqHeader {
+    /// Operation.
+    pub op: McOp,
+    /// Client-chosen request id, echoed in the response.
+    pub req_id: u64,
+    /// Client counter the server must target in its response.
+    pub ctr_id: u64,
+    /// Opaque item flags (storage ops).
+    pub flags: u32,
+    /// Expiration (storage ops, touch).
+    pub exptime: u32,
+    /// CAS token (cas op).
+    pub cas: u64,
+    /// Delta (incr/decr).
+    pub delta: u64,
+    /// Keys (one for most ops; many for mget).
+    pub keys: Vec<Vec<u8>>,
+}
+
+impl ReqHeader {
+    /// A header with the common fields zeroed.
+    pub fn new(op: McOp, req_id: u64, ctr_id: u64, key: Vec<u8>) -> ReqHeader {
+        ReqHeader {
+            op,
+            req_id,
+            ctr_id,
+            flags: 0,
+            exptime: 0,
+            cas: 0,
+            delta: 0,
+            keys: vec![key],
+        }
+    }
+
+    /// Serializes to the AM header layout.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(44 + self.keys.iter().map(|k| 2 + k.len()).sum::<usize>());
+        out.push(self.op as u8);
+        out.push(0);
+        out.extend_from_slice(&(self.keys.len() as u16).to_le_bytes());
+        out.extend_from_slice(&self.req_id.to_le_bytes());
+        out.extend_from_slice(&self.ctr_id.to_le_bytes());
+        out.extend_from_slice(&self.flags.to_le_bytes());
+        out.extend_from_slice(&self.exptime.to_le_bytes());
+        out.extend_from_slice(&self.cas.to_le_bytes());
+        out.extend_from_slice(&self.delta.to_le_bytes());
+        for k in &self.keys {
+            out.extend_from_slice(&(k.len() as u16).to_le_bytes());
+            out.extend_from_slice(k);
+        }
+        out
+    }
+
+    /// Deserializes; `None` on malformed input.
+    pub fn decode(b: &[u8]) -> Option<ReqHeader> {
+        if b.len() < 44 {
+            return None;
+        }
+        let op = McOp::from_u8(b[0])?;
+        let nkeys = u16::from_le_bytes(b[2..4].try_into().ok()?) as usize;
+        let req_id = u64::from_le_bytes(b[4..12].try_into().ok()?);
+        let ctr_id = u64::from_le_bytes(b[12..20].try_into().ok()?);
+        let flags = u32::from_le_bytes(b[20..24].try_into().ok()?);
+        let exptime = u32::from_le_bytes(b[24..28].try_into().ok()?);
+        let cas = u64::from_le_bytes(b[28..36].try_into().ok()?);
+        let delta = u64::from_le_bytes(b[36..44].try_into().ok()?);
+        let mut keys = Vec::with_capacity(nkeys);
+        let mut pos = 44usize;
+        for _ in 0..nkeys {
+            if b.len() < pos + 2 {
+                return None;
+            }
+            let klen = u16::from_le_bytes(b[pos..pos + 2].try_into().ok()?) as usize;
+            pos += 2;
+            if b.len() < pos + klen {
+                return None;
+            }
+            keys.push(b[pos..pos + klen].to_vec());
+            pos += klen;
+        }
+        Some(ReqHeader {
+            op,
+            req_id,
+            ctr_id,
+            flags,
+            exptime,
+            cas,
+            delta,
+            keys,
+        })
+    }
+}
+
+/// A response header (AM 2). The value rides as active-message data; the
+/// client learns its size from the AM framing before allocating — the
+/// paper's get flow (§V-C).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RespHeader {
+    /// Echo of the request id.
+    pub req_id: u64,
+    /// Outcome.
+    pub status: RespStatus,
+    /// Item flags (get).
+    pub flags: u32,
+    /// CAS token (gets-style fetch).
+    pub cas: u64,
+    /// Numeric result (incr/decr).
+    pub number: u64,
+    /// Number of entries in a multi-get payload.
+    pub nvalues: u16,
+}
+
+impl RespHeader {
+    /// Serializes to the AM header layout.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        out.push(self.status as u8);
+        out.push(0);
+        out.extend_from_slice(&self.nvalues.to_le_bytes());
+        out.extend_from_slice(&self.req_id.to_le_bytes());
+        out.extend_from_slice(&self.flags.to_le_bytes());
+        out.extend_from_slice(&self.cas.to_le_bytes());
+        out.extend_from_slice(&self.number.to_le_bytes());
+        out
+    }
+
+    /// Deserializes; `None` on malformed input.
+    pub fn decode(b: &[u8]) -> Option<RespHeader> {
+        if b.len() < 32 {
+            return None;
+        }
+        Some(RespHeader {
+            status: RespStatus::from_u8(b[0])?,
+            nvalues: u16::from_le_bytes(b[2..4].try_into().ok()?),
+            req_id: u64::from_le_bytes(b[4..12].try_into().ok()?),
+            flags: u32::from_le_bytes(b[12..16].try_into().ok()?),
+            cas: u64::from_le_bytes(b[16..24].try_into().ok()?),
+            number: u64::from_le_bytes(b[24..32].try_into().ok()?),
+        })
+    }
+}
+
+/// One entry in a multi-get payload: `[klen u16][key][flags u32][cas u64]
+/// [vlen u32][value]`.
+pub fn encode_mget_entry(out: &mut Vec<u8>, key: &[u8], flags: u32, cas: u64, value: &[u8]) {
+    out.extend_from_slice(&(key.len() as u16).to_le_bytes());
+    out.extend_from_slice(key);
+    out.extend_from_slice(&flags.to_le_bytes());
+    out.extend_from_slice(&cas.to_le_bytes());
+    out.extend_from_slice(&(value.len() as u32).to_le_bytes());
+    out.extend_from_slice(value);
+}
+
+/// One decoded multi-get entry: `(key, flags, cas, value)`.
+pub type MgetEntry = (Vec<u8>, u32, u64, Vec<u8>);
+
+/// Decodes a multi-get payload into `(key, flags, cas, value)` tuples.
+pub fn decode_mget_entries(mut b: &[u8], n: usize) -> Option<Vec<MgetEntry>> {
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        if b.len() < 2 {
+            return None;
+        }
+        let klen = u16::from_le_bytes(b[..2].try_into().ok()?) as usize;
+        b = &b[2..];
+        if b.len() < klen + 16 {
+            return None;
+        }
+        let key = b[..klen].to_vec();
+        b = &b[klen..];
+        let flags = u32::from_le_bytes(b[..4].try_into().ok()?);
+        let cas = u64::from_le_bytes(b[4..12].try_into().ok()?);
+        let vlen = u32::from_le_bytes(b[12..16].try_into().ok()?) as usize;
+        b = &b[16..];
+        if b.len() < vlen {
+            return None;
+        }
+        out.push((key, flags, cas, b[..vlen].to_vec()));
+        b = &b[vlen..];
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn req_header_round_trip() {
+        let h = ReqHeader {
+            op: McOp::Cas,
+            req_id: 99,
+            ctr_id: 7,
+            flags: 0xdead,
+            exptime: 3600,
+            cas: u64::MAX,
+            delta: 5,
+            keys: vec![b"alpha".to_vec(), b"beta".to_vec()],
+        };
+        assert_eq!(ReqHeader::decode(&h.encode()), Some(h));
+    }
+
+    #[test]
+    fn resp_header_round_trip() {
+        let h = RespHeader {
+            req_id: 1,
+            status: RespStatus::Number,
+            flags: 2,
+            cas: 3,
+            number: 4,
+            nvalues: 5,
+        };
+        assert_eq!(RespHeader::decode(&h.encode()), Some(h));
+    }
+
+    #[test]
+    fn malformed_headers_rejected() {
+        assert_eq!(ReqHeader::decode(&[0u8; 10]), None);
+        let mut bad = ReqHeader::new(McOp::Get, 1, 2, b"k".to_vec()).encode();
+        bad[0] = 200;
+        assert_eq!(ReqHeader::decode(&bad), None);
+        // Truncated key list.
+        let good = ReqHeader::new(McOp::Get, 1, 2, b"long-key-name".to_vec()).encode();
+        assert_eq!(ReqHeader::decode(&good[..good.len() - 3]), None);
+    }
+
+    #[test]
+    fn mget_entries_round_trip() {
+        let mut buf = Vec::new();
+        encode_mget_entry(&mut buf, b"k1", 1, 10, b"v1");
+        encode_mget_entry(&mut buf, b"k2", 2, 20, &vec![9u8; 5000]);
+        let got = decode_mget_entries(&buf, 2).unwrap();
+        assert_eq!(got[0], (b"k1".to_vec(), 1, 10, b"v1".to_vec()));
+        assert_eq!(got[1].3.len(), 5000);
+        assert_eq!(decode_mget_entries(&buf[..10], 2), None);
+    }
+}

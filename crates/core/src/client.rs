@@ -1,0 +1,1226 @@
+//! The Memcached client library (libmemcached 0.45's role in the paper).
+//!
+//! A client owns a pool of servers and routes each key with a hash — the
+//! scalable, no-central-directory architecture of §II-C. The same API runs
+//! over two transport families:
+//!
+//! * **UCR**: requests are active messages carrying a typed header and the
+//!   client's counter id; the client blocks (with timeout) on the counter
+//!   the server's response targets — the paper's §V flows;
+//! * **Sockets**: requests are ASCII protocol frames over any byte-stream
+//!   stack, exactly like the unmodified libmemcached baseline, with
+//!   `TCP_NODELAY` set as the paper's benchmarks do.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::pin::Pin;
+use std::rc::Rc;
+
+use mcproto::{
+    arith_extras, encode_command, parse_response, store_extras, udp_fragment, BinFrame, BinOpcode,
+    BinStatus, Command, GetValue, Response, StoreVerb, UdpFrame, UDP_CHUNK_BYTES,
+};
+use mcstore::Value;
+use simnet::sync::timeout;
+use simnet::{NodeId, Sim, SimDuration, Stack};
+use socksim::{DgramSocket, SockError, Socket, SocketAddr};
+use ucr::{AmData, Endpoint, FnHandler, SendOptions, UcrRuntime};
+
+use crate::am_wire::{
+    decode_mget_entries, McOp, ReqHeader, RespHeader, RespStatus, MSG_MC_REQ, MSG_MC_RESP,
+};
+use crate::world::World;
+
+/// Which transport family the client uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Transport {
+    /// RDMA-capable active messages over native InfiniBand (the paper's
+    /// design).
+    Ucr,
+    /// The same UCR design over RoCE — verbs on converged Ethernet
+    /// adapters (the paper's SVII future work). Requires the cluster to
+    /// have RDMA-capable Ethernet NICs.
+    UcrRoce,
+    /// Byte-stream sockets over the given stack (the baseline).
+    Sockets(Stack),
+    /// Memcached's UDP protocol over the given stack — the SIII Facebook
+    /// baseline: connectionless requests with the 8-byte frame header,
+    /// no delivery guarantee (loss surfaces as a timeout).
+    Udp(Stack),
+}
+
+impl Transport {
+    /// Display label matching the paper's legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            Transport::Ucr => Stack::Ucr.label(),
+            Transport::UcrRoce => "UCR-RoCE",
+            Transport::Sockets(s) => s.label(),
+            Transport::Udp(Stack::TenGigEToe) => "UDP/10GigE",
+            Transport::Udp(Stack::OneGigE) => "UDP/1GigE",
+            Transport::Udp(Stack::Ipoib) => "UDP/IPoIB",
+            Transport::Udp(_) => "UDP",
+        }
+    }
+
+    /// The `Stack` this transport corresponds to.
+    pub fn stack(self) -> Stack {
+        match self {
+            Transport::Ucr | Transport::UcrRoce => Stack::Ucr,
+            Transport::Sockets(s) | Transport::Udp(s) => s,
+        }
+    }
+}
+
+/// Key→server distribution strategy (libmemcached behaviors).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Distribution {
+    /// `hash(key) % servers` (libmemcached default).
+    Modula,
+    /// Consistent hashing on a virtual-node ring (ketama).
+    Ketama,
+}
+
+/// Key hash function (libmemcached's `MEMCACHED_BEHAVIOR_HASH`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum KeyHash {
+    /// Jenkins one-at-a-time (libmemcached's default).
+    #[default]
+    OneAtATime,
+    /// 32-bit FNV-1a.
+    Fnv1a32,
+    /// CRC-32 (as libmemcached computes it: CRC >> 16 & 0x7fff would be
+    /// the textbook variant; the full 32-bit value distributes better and
+    /// is what modern clients use).
+    Crc32,
+}
+
+impl KeyHash {
+    /// Hashes a key with the selected function.
+    pub fn hash(self, key: &[u8]) -> u32 {
+        match self {
+            KeyHash::OneAtATime => one_at_a_time(key),
+            KeyHash::Fnv1a32 => fnv1a_32(key),
+            KeyHash::Crc32 => crc32(key),
+        }
+    }
+}
+
+/// 32-bit FNV-1a.
+pub fn fnv1a_32(key: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in key {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, bitwise — key hashing is not hot enough
+/// to justify a table).
+pub fn crc32(key: &[u8]) -> u32 {
+    let mut crc: u32 = 0xffff_ffff;
+    for &b in key {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Client configuration.
+#[derive(Clone)]
+pub struct McClientConfig {
+    /// Transport family.
+    pub transport: Transport,
+    /// Server pool (nodes running `McServer`).
+    pub servers: Vec<NodeId>,
+    /// Service port.
+    pub port: u16,
+    /// Per-operation timeout (the UCR wait-with-timeout of §IV-A).
+    pub op_timeout: SimDuration,
+    /// Key distribution strategy.
+    pub distribution: Distribution,
+    /// Speak the binary protocol on sockets transports (libmemcached's
+    /// `MEMCACHED_BEHAVIOR_BINARY_PROTOCOL`). Ignored for UCR transports,
+    /// which have their own typed framing.
+    pub binary_protocol: bool,
+    /// Key hash function (libmemcached's `MEMCACHED_BEHAVIOR_HASH`).
+    pub key_hash: KeyHash,
+}
+
+impl McClientConfig {
+    /// A single-server config with defaults matching the paper's
+    /// benchmarks.
+    pub fn single(transport: Transport, server: NodeId) -> McClientConfig {
+        McClientConfig {
+            transport,
+            servers: vec![server],
+            port: 11211,
+            op_timeout: SimDuration::from_millis(250),
+            distribution: Distribution::Modula,
+            binary_protocol: false,
+            key_hash: KeyHash::default(),
+        }
+    }
+}
+
+/// Errors surfaced by client operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum McError {
+    /// The operation timed out (server dead or overloaded).
+    Timeout,
+    /// Connection failed or dropped.
+    Disconnected,
+    /// Precondition failed (add/replace/append/prepend).
+    NotStored,
+    /// CAS mismatch.
+    Exists,
+    /// Key not found (delete/incr/cas/touch).
+    NotFound,
+    /// Item too large for the cache.
+    TooLarge,
+    /// Server out of memory.
+    OutOfMemory,
+    /// incr/decr on a non-numeric value.
+    NotNumeric,
+    /// The server replied something unexpected.
+    Protocol,
+    /// Config has no servers.
+    NoServers,
+}
+
+impl std::fmt::Display for McError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            McError::Timeout => "timed out",
+            McError::Disconnected => "disconnected",
+            McError::NotStored => "not stored",
+            McError::Exists => "cas mismatch",
+            McError::NotFound => "not found",
+            McError::TooLarge => "object too large",
+            McError::OutOfMemory => "server out of memory",
+            McError::NotNumeric => "non-numeric value",
+            McError::Protocol => "protocol error",
+            McError::NoServers => "no servers configured",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for McError {}
+
+/// The libmemcached "one-at-a-time" (Jenkins) hash — the default key hash.
+pub fn one_at_a_time(key: &[u8]) -> u32 {
+    let mut h: u32 = 0;
+    for &b in key {
+        h = h.wrapping_add(b as u32);
+        h = h.wrapping_add(h << 10);
+        h ^= h >> 6;
+    }
+    h = h.wrapping_add(h << 3);
+    h ^= h >> 11;
+    h = h.wrapping_add(h << 15);
+    h
+}
+
+/// Responses parked by the UCR handler until their request wakes up.
+type PendingResponses = Rc<RefCell<HashMap<u64, (RespHeader, Vec<u8>)>>>;
+
+enum Conn {
+    Ucr(Endpoint),
+    Sock(Rc<Socket>),
+    Udp {
+        sock: Rc<DgramSocket>,
+        server: SocketAddr,
+    },
+}
+
+struct CliInner {
+    sim: Sim,
+    node: NodeId,
+    cfg: McClientConfig,
+    socks: socksim::SockFabric,
+    ucr: Option<UcrRuntime>,
+    conns: RefCell<HashMap<usize, Rc<Conn>>>,
+    pending: PendingResponses,
+    next_req: Cell<u64>,
+    ring: Vec<(u32, usize)>,
+    /// Operations issued (diagnostics).
+    ops: Cell<u64>,
+}
+
+/// A Memcached client bound to one node of the simulated cluster.
+#[derive(Clone)]
+pub struct McClient {
+    inner: Rc<CliInner>,
+}
+
+impl McClient {
+    /// Creates a client on `node`. For UCR transports this brings up a UCR
+    /// runtime on the node and registers the response handler.
+    pub fn new(world: &World, node: NodeId, cfg: McClientConfig) -> McClient {
+        assert!(!cfg.servers.is_empty(), "client needs at least one server");
+        let pending: PendingResponses = Rc::new(RefCell::new(HashMap::new()));
+        let ucr = match cfg.transport {
+            Transport::Ucr | Transport::UcrRoce => {
+                let fabric = match cfg.transport {
+                    Transport::Ucr => &world.ib,
+                    Transport::UcrRoce => world
+                        .roce
+                        .as_ref()
+                        .expect("cluster has no RoCE-capable Ethernet adapters"),
+                    Transport::Sockets(_) | Transport::Udp(_) => unreachable!(),
+                };
+                let rt = UcrRuntime::new(fabric, node);
+                let pending2 = pending.clone();
+                rt.register_handler(
+                    MSG_MC_RESP,
+                    FnHandler(move |_ep: &Endpoint, hdr: &[u8], data: AmData| {
+                        if let Some(resp) = RespHeader::decode(hdr) {
+                            let payload = data.into_vec().unwrap_or_default();
+                            pending2.borrow_mut().insert(resp.req_id, (resp, payload));
+                        }
+                    }),
+                );
+                Some(rt)
+            }
+            Transport::Sockets(_) | Transport::Udp(_) => None,
+        };
+        // Ketama ring: 100 virtual points per server.
+        let mut ring = Vec::new();
+        if cfg.distribution == Distribution::Ketama {
+            for (idx, server) in cfg.servers.iter().enumerate() {
+                for vn in 0..100u32 {
+                    let point = one_at_a_time(format!("{}-{}", server.0, vn).as_bytes());
+                    ring.push((point, idx));
+                }
+            }
+            ring.sort_unstable();
+        }
+        McClient {
+            inner: Rc::new(CliInner {
+                sim: world.sim().clone(),
+                node,
+                cfg,
+                socks: world.socks.clone(),
+                ucr,
+                conns: RefCell::new(HashMap::new()),
+                pending,
+                next_req: Cell::new(1),
+                ring,
+                ops: Cell::new(0),
+            }),
+        }
+    }
+
+    /// The node this client runs on.
+    pub fn node(&self) -> NodeId {
+        self.inner.node
+    }
+
+    /// Which server index a key routes to (exposed for tests).
+    pub fn route(&self, key: &[u8]) -> usize {
+        self.inner.route(key)
+    }
+
+    /// Total operations issued.
+    pub fn ops_issued(&self) -> u64 {
+        self.inner.ops.get()
+    }
+
+    /// The client's UCR runtime, when using the UCR transport (ablation
+    /// hooks and statistics).
+    pub fn ucr_runtime(&self) -> Option<UcrRuntime> {
+        self.inner.ucr.clone()
+    }
+
+    /// Drops cached connections (e.g. after a server was declared dead via
+    /// a timeout) so the next operation reconnects from scratch.
+    pub fn reset_connections(&self) {
+        for (_, conn) in self.inner.conns.borrow_mut().drain() {
+            match &*conn {
+                Conn::Ucr(ep) => ep.close(),
+                Conn::Sock(sock) => sock.close(),
+                Conn::Udp { .. } => {} // the socket unbinds on drop
+            }
+        }
+    }
+
+    /// Stores `value` under `key` unconditionally.
+    pub async fn set(
+        &self,
+        key: &[u8],
+        value: &[u8],
+        flags: u32,
+        exptime: u32,
+    ) -> Result<(), McError> {
+        self.store_op(McOp::Set, key, value, flags, exptime, 0).await
+    }
+
+    /// Stores only if the key is absent.
+    pub async fn add(
+        &self,
+        key: &[u8],
+        value: &[u8],
+        flags: u32,
+        exptime: u32,
+    ) -> Result<(), McError> {
+        self.store_op(McOp::Add, key, value, flags, exptime, 0).await
+    }
+
+    /// Stores only if the key exists.
+    pub async fn replace(
+        &self,
+        key: &[u8],
+        value: &[u8],
+        flags: u32,
+        exptime: u32,
+    ) -> Result<(), McError> {
+        self.store_op(McOp::Replace, key, value, flags, exptime, 0)
+            .await
+    }
+
+    /// Appends to an existing value.
+    pub async fn append(&self, key: &[u8], value: &[u8]) -> Result<(), McError> {
+        self.store_op(McOp::Append, key, value, 0, 0, 0).await
+    }
+
+    /// Prepends to an existing value.
+    pub async fn prepend(&self, key: &[u8], value: &[u8]) -> Result<(), McError> {
+        self.store_op(McOp::Prepend, key, value, 0, 0, 0).await
+    }
+
+    /// Compare-and-store with a token from [`get`](McClient::get).
+    pub async fn cas(
+        &self,
+        key: &[u8],
+        value: &[u8],
+        flags: u32,
+        exptime: u32,
+        cas: u64,
+    ) -> Result<(), McError> {
+        self.store_op(McOp::Cas, key, value, flags, exptime, cas).await
+    }
+
+    /// Fetches a value (CAS token always populated).
+    pub async fn get(&self, key: &[u8]) -> Result<Option<Value>, McError> {
+        let inner = &self.inner;
+        inner.ops.set(inner.ops.get() + 1);
+        let sidx = inner.route(key);
+        let conn = inner.conn(sidx).await?;
+        match &*conn {
+            Conn::Ucr(ep) => {
+                let (resp, data) = inner
+                    .ucr_round_trip(ep, |req_id, ctr| {
+                        ReqHeader::new(McOp::Get, req_id, ctr, key.to_vec())
+                    }, Vec::new())
+                    .await?;
+                match resp.status {
+                    RespStatus::Hit => Ok(Some(Value {
+                        data,
+                        flags: resp.flags,
+                        cas: resp.cas,
+                    })),
+                    RespStatus::Miss => Ok(None),
+                    _ => Err(McError::Protocol),
+                }
+            }
+            c @ (Conn::Sock(_) | Conn::Udp { .. }) => {
+                let cmd = Command::Gets {
+                    keys: vec![key.to_vec()],
+                };
+                let resp = inner.sock_round_trip(c, &cmd).await?;
+                match resp {
+                    Response::Values(mut vs) => Ok(vs.pop().map(|v| Value {
+                        data: v.data,
+                        flags: v.flags,
+                        cas: v.cas.unwrap_or(0),
+                    })),
+                    _ => Err(McError::Protocol),
+                }
+            }
+        }
+    }
+
+    /// Multi-key fetch. Keys may span servers; requests are grouped per
+    /// server. Returns `(key, value)` pairs for hits.
+    pub async fn mget(&self, keys: &[&[u8]]) -> Result<Vec<(Vec<u8>, Value)>, McError> {
+        let inner = &self.inner;
+        inner.ops.set(inner.ops.get() + 1);
+        let mut by_server: HashMap<usize, Vec<Vec<u8>>> = HashMap::new();
+        for k in keys {
+            by_server.entry(inner.route(k)).or_default().push(k.to_vec());
+        }
+        let mut out = Vec::new();
+        let mut groups: Vec<_> = by_server.into_iter().collect();
+        groups.sort_by_key(|(s, _)| *s);
+        for (sidx, group) in groups {
+            let conn = inner.conn(sidx).await?;
+            match &*conn {
+                Conn::Ucr(ep) => {
+                    let (resp, data) = inner
+                        .ucr_round_trip(ep, |req_id, ctr| ReqHeader {
+                            op: McOp::Mget,
+                            req_id,
+                            ctr_id: ctr,
+                            flags: 0,
+                            exptime: 0,
+                            cas: 0,
+                            delta: 0,
+                            keys: group.clone(),
+                        }, Vec::new())
+                        .await?;
+                    let entries = decode_mget_entries(&data, resp.nvalues as usize)
+                        .ok_or(McError::Protocol)?;
+                    for (key, flags, cas, value) in entries {
+                        out.push((key, Value { data: value, flags, cas }));
+                    }
+                }
+                c @ (Conn::Sock(_) | Conn::Udp { .. }) => {
+                    let cmd = Command::Gets { keys: group };
+                    match inner.sock_round_trip(c, &cmd).await? {
+                        Response::Values(vs) => {
+                            for v in vs {
+                                out.push((
+                                    v.key,
+                                    Value {
+                                        data: v.data,
+                                        flags: v.flags,
+                                        cas: v.cas.unwrap_or(0),
+                                    },
+                                ));
+                            }
+                        }
+                        _ => return Err(McError::Protocol),
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Removes a key; `Ok(true)` if it existed.
+    pub async fn delete(&self, key: &[u8]) -> Result<bool, McError> {
+        let inner = &self.inner;
+        inner.ops.set(inner.ops.get() + 1);
+        let conn = inner.conn(inner.route(key)).await?;
+        match &*conn {
+            Conn::Ucr(ep) => {
+                let (resp, _) = inner
+                    .ucr_round_trip(ep, |req_id, ctr| {
+                        ReqHeader::new(McOp::Delete, req_id, ctr, key.to_vec())
+                    }, Vec::new())
+                    .await?;
+                match resp.status {
+                    RespStatus::Ok => Ok(true),
+                    RespStatus::NotFound => Ok(false),
+                    _ => Err(McError::Protocol),
+                }
+            }
+            c @ (Conn::Sock(_) | Conn::Udp { .. }) => {
+                let cmd = Command::Delete {
+                    key: key.to_vec(),
+                    noreply: false,
+                };
+                match inner.sock_round_trip(c, &cmd).await? {
+                    Response::Deleted => Ok(true),
+                    Response::NotFound => Ok(false),
+                    _ => Err(McError::Protocol),
+                }
+            }
+        }
+    }
+
+    /// Increments a decimal value; returns the new value.
+    pub async fn incr(&self, key: &[u8], delta: u64) -> Result<u64, McError> {
+        self.arith(McOp::Incr, key, delta).await
+    }
+
+    /// Decrements a decimal value (clamped at zero); returns the new value.
+    pub async fn decr(&self, key: &[u8], delta: u64) -> Result<u64, McError> {
+        self.arith(McOp::Decr, key, delta).await
+    }
+
+    /// Refreshes a key's expiration.
+    pub async fn touch(&self, key: &[u8], exptime: u32) -> Result<bool, McError> {
+        let inner = &self.inner;
+        inner.ops.set(inner.ops.get() + 1);
+        let conn = inner.conn(inner.route(key)).await?;
+        match &*conn {
+            Conn::Ucr(ep) => {
+                let (resp, _) = inner
+                    .ucr_round_trip(ep, |req_id, ctr| {
+                        let mut h = ReqHeader::new(McOp::Touch, req_id, ctr, key.to_vec());
+                        h.exptime = exptime;
+                        h
+                    }, Vec::new())
+                    .await?;
+                match resp.status {
+                    RespStatus::Ok => Ok(true),
+                    RespStatus::NotFound => Ok(false),
+                    _ => Err(McError::Protocol),
+                }
+            }
+            c @ (Conn::Sock(_) | Conn::Udp { .. }) => {
+                let cmd = Command::Touch {
+                    key: key.to_vec(),
+                    exptime,
+                    noreply: false,
+                };
+                match inner.sock_round_trip(c, &cmd).await? {
+                    Response::Touched => Ok(true),
+                    Response::NotFound => Ok(false),
+                    _ => Err(McError::Protocol),
+                }
+            }
+        }
+    }
+
+    /// Flushes every server in the pool.
+    pub async fn flush_all(&self) -> Result<(), McError> {
+        let inner = &self.inner;
+        for sidx in 0..inner.cfg.servers.len() {
+            let conn = inner.conn(sidx).await?;
+            match &*conn {
+                Conn::Ucr(ep) => {
+                    let (resp, _) = inner
+                        .ucr_round_trip(ep, |req_id, ctr| {
+                            ReqHeader::new(McOp::FlushAll, req_id, ctr, Vec::new())
+                        }, Vec::new())
+                        .await?;
+                    if resp.status != RespStatus::Ok {
+                        return Err(McError::Protocol);
+                    }
+                }
+                c @ (Conn::Sock(_) | Conn::Udp { .. }) => {
+                    let cmd = Command::FlushAll {
+                        delay: 0,
+                        noreply: false,
+                    };
+                    match inner.sock_round_trip(c, &cmd).await? {
+                        Response::Ok => {}
+                        _ => return Err(McError::Protocol),
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Server version string (first server).
+    pub async fn version(&self) -> Result<String, McError> {
+        let inner = &self.inner;
+        let conn = inner.conn(0).await?;
+        match &*conn {
+            Conn::Ucr(ep) => {
+                let (_, data) = inner
+                    .ucr_round_trip(ep, |req_id, ctr| {
+                        ReqHeader::new(McOp::Version, req_id, ctr, Vec::new())
+                    }, Vec::new())
+                    .await?;
+                Ok(String::from_utf8_lossy(&data).into_owned())
+            }
+            c @ (Conn::Sock(_) | Conn::Udp { .. }) => match inner.sock_round_trip(c, &Command::Version).await? {
+                Response::Version(v) => Ok(v),
+                _ => Err(McError::Protocol),
+            },
+        }
+    }
+
+    /// Statistics from the first server, as `(name, value)` pairs.
+    pub async fn stats(&self) -> Result<Vec<(String, String)>, McError> {
+        self.stats_report("").await
+    }
+
+    /// A statistics sub-report from the first server (`"slabs"`,
+    /// `"items"`; empty = general stats).
+    pub async fn stats_report(&self, which: &str) -> Result<Vec<(String, String)>, McError> {
+        let inner = &self.inner;
+        let arg: Vec<u8> = which.as_bytes().to_vec();
+        let conn = inner.conn(0).await?;
+        match &*conn {
+            Conn::Ucr(ep) => {
+                let (_, data) = inner
+                    .ucr_round_trip(ep, |req_id, ctr| {
+                        ReqHeader::new(McOp::Stats, req_id, ctr, arg.clone())
+                    }, Vec::new())
+                    .await?;
+                let text = String::from_utf8_lossy(&data);
+                Ok(text
+                    .lines()
+                    .filter_map(|l| {
+                        let mut it = l.splitn(2, ' ');
+                        Some((it.next()?.to_string(), it.next().unwrap_or("").to_string()))
+                    })
+                    .collect())
+            }
+            c @ (Conn::Sock(_) | Conn::Udp { .. }) => {
+                let cmd = Command::Stats {
+                    arg: (!arg.is_empty()).then_some(arg),
+                };
+                match inner.sock_round_trip(c, &cmd).await? {
+                    Response::Stats(st) => Ok(st),
+                    // A bare END (empty report) parses as an empty value
+                    // list; the two are indistinguishable on the wire.
+                    Response::Values(v) if v.is_empty() => Ok(Vec::new()),
+                    _ => Err(McError::Protocol),
+                }
+            }
+        }
+    }
+
+    async fn store_op(
+        &self,
+        op: McOp,
+        key: &[u8],
+        value: &[u8],
+        flags: u32,
+        exptime: u32,
+        cas: u64,
+    ) -> Result<(), McError> {
+        let inner = &self.inner;
+        inner.ops.set(inner.ops.get() + 1);
+        let conn = inner.conn(inner.route(key)).await?;
+        match &*conn {
+            Conn::Ucr(ep) => {
+                let (resp, _) = inner
+                    .ucr_round_trip(ep, |req_id, ctr| {
+                        let mut h = ReqHeader::new(op, req_id, ctr, key.to_vec());
+                        h.flags = flags;
+                        h.exptime = exptime;
+                        h.cas = cas;
+                        h
+                    }, value.to_vec())
+                    .await?;
+                status_to_result(resp.status)
+            }
+            c @ (Conn::Sock(_) | Conn::Udp { .. }) => {
+                let cmd = match op {
+                    McOp::Cas => Command::Cas {
+                        key: key.to_vec(),
+                        flags,
+                        exptime,
+                        cas,
+                        data: value.to_vec(),
+                        noreply: false,
+                    },
+                    _ => Command::Store {
+                        verb: match op {
+                            McOp::Set => StoreVerb::Set,
+                            McOp::Add => StoreVerb::Add,
+                            McOp::Replace => StoreVerb::Replace,
+                            McOp::Append => StoreVerb::Append,
+                            McOp::Prepend => StoreVerb::Prepend,
+                            _ => unreachable!("not a storage verb"),
+                        },
+                        key: key.to_vec(),
+                        flags,
+                        exptime,
+                        data: value.to_vec(),
+                        noreply: false,
+                    },
+                };
+                match inner.sock_round_trip(c, &cmd).await? {
+                    Response::Stored => Ok(()),
+                    Response::NotStored => Err(McError::NotStored),
+                    Response::Exists => Err(McError::Exists),
+                    Response::NotFound => Err(McError::NotFound),
+                    Response::ServerError(m) if m.contains("too large") => Err(McError::TooLarge),
+                    Response::ServerError(_) => Err(McError::OutOfMemory),
+                    _ => Err(McError::Protocol),
+                }
+            }
+        }
+    }
+
+    async fn arith(&self, op: McOp, key: &[u8], delta: u64) -> Result<u64, McError> {
+        let inner = &self.inner;
+        inner.ops.set(inner.ops.get() + 1);
+        let conn = inner.conn(inner.route(key)).await?;
+        match &*conn {
+            Conn::Ucr(ep) => {
+                let (resp, _) = inner
+                    .ucr_round_trip(ep, |req_id, ctr| {
+                        let mut h = ReqHeader::new(op, req_id, ctr, key.to_vec());
+                        h.delta = delta;
+                        h
+                    }, Vec::new())
+                    .await?;
+                match resp.status {
+                    RespStatus::Number => Ok(resp.number),
+                    RespStatus::NotFound => Err(McError::NotFound),
+                    RespStatus::NotNumeric => Err(McError::NotNumeric),
+                    _ => Err(McError::Protocol),
+                }
+            }
+            c @ (Conn::Sock(_) | Conn::Udp { .. }) => {
+                let cmd = if op == McOp::Incr {
+                    Command::Incr {
+                        key: key.to_vec(),
+                        delta,
+                        noreply: false,
+                    }
+                } else {
+                    Command::Decr {
+                        key: key.to_vec(),
+                        delta,
+                        noreply: false,
+                    }
+                };
+                match inner.sock_round_trip(c, &cmd).await? {
+                    Response::Number(n) => Ok(n),
+                    Response::NotFound => Err(McError::NotFound),
+                    Response::ClientError(_) => Err(McError::NotNumeric),
+                    _ => Err(McError::Protocol),
+                }
+            }
+        }
+    }
+}
+
+fn status_to_result(s: RespStatus) -> Result<(), McError> {
+    match s {
+        RespStatus::Stored | RespStatus::Ok => Ok(()),
+        RespStatus::NotStored => Err(McError::NotStored),
+        RespStatus::Exists => Err(McError::Exists),
+        RespStatus::NotFound => Err(McError::NotFound),
+        RespStatus::TooLarge => Err(McError::TooLarge),
+        RespStatus::OutOfMemory => Err(McError::OutOfMemory),
+        _ => Err(McError::Protocol),
+    }
+}
+
+impl CliInner {
+    fn route(&self, key: &[u8]) -> usize {
+        let n = self.cfg.servers.len();
+        if n == 1 {
+            return 0;
+        }
+        let h = self.cfg.key_hash.hash(key);
+        match self.cfg.distribution {
+            Distribution::Modula => (h as usize) % n,
+            Distribution::Ketama => {
+                let pos = self.ring.partition_point(|(p, _)| *p < h);
+                let (_, idx) = self.ring[pos % self.ring.len()];
+                idx
+            }
+        }
+    }
+
+    async fn conn(&self, sidx: usize) -> Result<Rc<Conn>, McError> {
+        if let Some(c) = self.conns.borrow().get(&sidx) {
+            return Ok(c.clone());
+        }
+        let server = *self.cfg.servers.get(sidx).ok_or(McError::NoServers)?;
+        let conn = match self.cfg.transport {
+            Transport::Ucr | Transport::UcrRoce => {
+                let rt = self.ucr.as_ref().expect("UCR transport has a runtime");
+                let ep = rt
+                    .connect(server, self.cfg.port, self.cfg.op_timeout)
+                    .await
+                    .map_err(|e| match e {
+                        ucr::UcrError::Timeout => McError::Timeout,
+                        _ => McError::Disconnected,
+                    })?;
+                Conn::Ucr(ep)
+            }
+            Transport::Sockets(stack) => {
+                let sock = self
+                    .socks
+                    .connect(
+                        stack,
+                        self.node,
+                        SocketAddr {
+                            node: server,
+                            port: self.cfg.port,
+                        },
+                        self.cfg.op_timeout,
+                    )
+                    .await
+                    .map_err(|e| match e {
+                        SockError::ConnectionTimeout => McError::Timeout,
+                        _ => McError::Disconnected,
+                    })?;
+                // The behavior the paper sets explicitly (§VI).
+                sock.set_nodelay(true);
+                Conn::Sock(Rc::new(sock))
+            }
+            Transport::Udp(stack) => {
+                // Bind an ephemeral local datagram socket.
+                let mut port = 50_000u16;
+                let sock = loop {
+                    match self.socks.udp_bind(stack, self.node, port) {
+                        Ok(s) => break s,
+                        Err(_) if port < 60_000 => port += 1,
+                        Err(_) => return Err(McError::Disconnected),
+                    }
+                };
+                Conn::Udp {
+                    sock: Rc::new(sock),
+                    server: SocketAddr {
+                        node: server,
+                        port: self.cfg.port,
+                    },
+                }
+            }
+        };
+        let conn = Rc::new(conn);
+        self.conns.borrow_mut().insert(sidx, conn.clone());
+        Ok(conn)
+    }
+
+    /// Sends AM 1 and blocks on the counter until AM 2 lands (§V-B).
+    async fn ucr_round_trip(
+        &self,
+        ep: &Endpoint,
+        build: impl FnOnce(u64, u64) -> ReqHeader,
+        data: Vec<u8>,
+    ) -> Result<(RespHeader, Vec<u8>), McError> {
+        let rt = self.ucr.as_ref().expect("UCR transport");
+        let req_id = self.next_req.get();
+        self.next_req.set(req_id + 1);
+        let ctr = rt.counter();
+        let req = build(req_id, ctr.id());
+        ep.send_message(MSG_MC_REQ, &req.encode(), &data, SendOptions::default())
+            .await
+            .map_err(|_| McError::Disconnected)?;
+        ctr.wait_for(1, self.cfg.op_timeout).await.map_err(|_| {
+            // Server presumed dead: the corrective action of §IV-A.
+            McError::Timeout
+        })?;
+        self.pending
+            .borrow_mut()
+            .remove(&req_id)
+            .ok_or(McError::Protocol)
+    }
+
+    /// One request/response over a non-UCR connection: ASCII or binary
+    /// over a stream socket, or the framed UDP protocol.
+    async fn sock_round_trip(&self, conn: &Conn, cmd: &Command) -> Result<Response, McError> {
+        let sock = match conn {
+            Conn::Sock(sock) => sock,
+            Conn::Udp { sock, server } => {
+                return self.udp_round_trip(sock, *server, cmd).await;
+            }
+            Conn::Ucr(_) => unreachable!("UCR ops use ucr_round_trip"),
+        };
+        if self.cfg.binary_protocol {
+            return self.sock_round_trip_bin(sock, cmd).await;
+        }
+        let wire = encode_command(cmd);
+        sock.write_all(&wire).await.map_err(|_| McError::Disconnected)?;
+        let sock = sock.clone();
+        let fut: Pin<Box<dyn std::future::Future<Output = Result<Response, McError>>>> =
+            Box::pin(async move {
+                let mut buf = Vec::new();
+                loop {
+                    match parse_response(&buf) {
+                        Ok(Some((resp, _used))) => return Ok(resp),
+                        Ok(None) => match sock.read(64 * 1024).await {
+                            Ok(bytes) => buf.extend_from_slice(&bytes),
+                            Err(_) => return Err(McError::Disconnected),
+                        },
+                        Err(_) => return Err(McError::Protocol),
+                    }
+                }
+            });
+        match timeout(&self.sim, self.cfg.op_timeout, fut).await {
+            Ok(r) => r,
+            Err(_) => Err(McError::Timeout),
+        }
+    }
+}
+
+impl CliInner {
+    /// Binary-protocol round trip: translates the command to frames
+    /// (multiget becomes a GetKQ pipeline closed by Noop — the protocol's
+    /// signature optimization), sends, and folds the response frames back
+    /// into the common `Response` shape.
+    async fn sock_round_trip_bin(
+        &self,
+        sock: &Rc<Socket>,
+        cmd: &Command,
+    ) -> Result<Response, McError> {
+        let frames = command_to_frames(cmd);
+        let terminal_opaque = frames.last().expect("nonempty").opaque;
+        let mut wire = Vec::new();
+        for f in &frames {
+            wire.extend_from_slice(&f.encode());
+        }
+        sock.write_all(&wire).await.map_err(|_| McError::Disconnected)?;
+
+        let sock = sock.clone();
+        let is_stat = matches!(cmd, Command::Stats { .. });
+        let fut: Pin<Box<dyn std::future::Future<Output = Result<Vec<BinFrame>, McError>>>> =
+            Box::pin(async move {
+                let mut buf = Vec::new();
+                let mut got = Vec::new();
+                loop {
+                    match BinFrame::parse(&buf) {
+                        Ok(Some((frame, used))) => {
+                            buf.drain(..used);
+                            let done = if is_stat {
+                                frame.key.is_empty() && frame.value.is_empty()
+                            } else {
+                                frame.opaque == terminal_opaque
+                            };
+                            got.push(frame);
+                            if done {
+                                return Ok(got);
+                            }
+                        }
+                        Ok(None) => match sock.read(64 * 1024).await {
+                            Ok(bytes) => buf.extend_from_slice(&bytes),
+                            Err(_) => return Err(McError::Disconnected),
+                        },
+                        Err(_) => return Err(McError::Protocol),
+                    }
+                }
+            });
+        let frames = match timeout(&self.sim, self.cfg.op_timeout, fut).await {
+            Ok(r) => r?,
+            Err(_) => return Err(McError::Timeout),
+        };
+        frames_to_response(cmd, frames)
+    }
+
+    /// The memcached UDP protocol (SIII): one framed request datagram,
+    /// response datagrams reassembled by request id. Loss (including
+    /// receiver-buffer overflow at a hot server) surfaces as a timeout —
+    /// exactly the operational hazard Facebook's UDP deployment managed.
+    async fn udp_round_trip(
+        &self,
+        sock: &Rc<DgramSocket>,
+        server: SocketAddr,
+        cmd: &Command,
+    ) -> Result<Response, McError> {
+        let wire = encode_command(cmd);
+        if wire.len() > UDP_CHUNK_BYTES {
+            return Err(McError::TooLarge); // requests must fit one datagram
+        }
+        let req_id = (self.next_req.get() & 0xffff) as u16;
+        self.next_req.set(self.next_req.get() + 1);
+        let datagrams = udp_fragment(req_id, &wire);
+        for d in &datagrams {
+            sock.send_to(server, d).await.map_err(|_| McError::Disconnected)?;
+        }
+        let sock = sock.clone();
+        let fut: Pin<Box<dyn std::future::Future<Output = Result<Response, McError>>>> =
+            Box::pin(async move {
+                let mut frames: Vec<(UdpFrame, Vec<u8>)> = Vec::new();
+                loop {
+                    let (_, datagram) =
+                        sock.recv_from().await.map_err(|_| McError::Disconnected)?;
+                    let Ok((frame, payload)) = UdpFrame::decode(&datagram) else {
+                        continue;
+                    };
+                    if frame.request_id != req_id {
+                        continue; // stale response from a timed-out request
+                    }
+                    frames.push((frame, payload.to_vec()));
+                    if let Some(whole) = mcproto::udp_reassemble(req_id, &frames) {
+                        return match parse_response(&whole) {
+                            Ok(Some((resp, _))) => Ok(resp),
+                            _ => Err(McError::Protocol),
+                        };
+                    }
+                }
+            });
+        match timeout(&self.sim, self.cfg.op_timeout, fut).await {
+            Ok(r) => r,
+            Err(_) => Err(McError::Timeout),
+        }
+    }
+}
+
+/// Encodes one logical command as binary frames. Multi-key fetches become
+/// quiet GetKQ frames closed by a Noop; everything else is one frame.
+fn command_to_frames(cmd: &Command) -> Vec<BinFrame> {
+    let mut opaque = 1u32;
+    let mut next = || {
+        opaque += 1;
+        opaque
+    };
+    match cmd {
+        Command::Store {
+            verb,
+            key,
+            flags,
+            exptime,
+            data,
+            noreply: _,
+        } => {
+            let opcode = match verb {
+                StoreVerb::Set => BinOpcode::Set,
+                StoreVerb::Add => BinOpcode::Add,
+                StoreVerb::Replace => BinOpcode::Replace,
+                StoreVerb::Append => BinOpcode::Append,
+                StoreVerb::Prepend => BinOpcode::Prepend,
+            };
+            let mut f = BinFrame::request(opcode, next());
+            if !matches!(verb, StoreVerb::Append | StoreVerb::Prepend) {
+                f.extras = store_extras(*flags, *exptime);
+            }
+            f.key = key.clone();
+            f.value = data.clone();
+            vec![f]
+        }
+        Command::Cas {
+            key,
+            flags,
+            exptime,
+            cas,
+            data,
+            noreply: _,
+        } => {
+            let mut f = BinFrame::request(BinOpcode::Set, next());
+            f.extras = store_extras(*flags, *exptime);
+            f.key = key.clone();
+            f.value = data.clone();
+            f.cas = *cas;
+            vec![f]
+        }
+        Command::Get { keys } | Command::Gets { keys } => {
+            if keys.len() == 1 {
+                let mut f = BinFrame::request(BinOpcode::GetK, next());
+                f.key = keys[0].clone();
+                vec![f]
+            } else {
+                let mut out: Vec<BinFrame> = keys
+                    .iter()
+                    .map(|k| {
+                        let mut f = BinFrame::request(BinOpcode::GetKQ, next());
+                        f.key = k.clone();
+                        f
+                    })
+                    .collect();
+                out.push(BinFrame::request(BinOpcode::Noop, next()));
+                out
+            }
+        }
+        Command::Delete { key, noreply: _ } => {
+            let mut f = BinFrame::request(BinOpcode::Delete, next());
+            f.key = key.clone();
+            vec![f]
+        }
+        Command::Incr { key, delta, noreply: _ } => {
+            let mut f = BinFrame::request(BinOpcode::Increment, next());
+            f.key = key.clone();
+            f.extras = arith_extras(*delta, 0, u32::MAX);
+            vec![f]
+        }
+        Command::Decr { key, delta, noreply: _ } => {
+            let mut f = BinFrame::request(BinOpcode::Decrement, next());
+            f.key = key.clone();
+            f.extras = arith_extras(*delta, 0, u32::MAX);
+            vec![f]
+        }
+        Command::Touch { key, exptime, noreply: _ } => {
+            let mut f = BinFrame::request(BinOpcode::Touch, next());
+            f.key = key.clone();
+            f.extras = exptime.to_be_bytes().to_vec();
+            vec![f]
+        }
+        Command::FlushAll { delay, noreply: _ } => {
+            let mut f = BinFrame::request(BinOpcode::Flush, next());
+            if *delay > 0 {
+                f.extras = delay.to_be_bytes().to_vec();
+            }
+            vec![f]
+        }
+        Command::Stats { .. } => vec![BinFrame::request(BinOpcode::Stat, next())],
+        Command::Version => vec![BinFrame::request(BinOpcode::Version, next())],
+        Command::Quit => vec![BinFrame::request(BinOpcode::Quit, next())],
+    }
+}
+
+/// Folds binary response frames back into the shared `Response` shape.
+fn frames_to_response(cmd: &Command, frames: Vec<BinFrame>) -> Result<Response, McError> {
+    match cmd {
+        Command::Get { .. } | Command::Gets { .. } => {
+            let mut values = Vec::new();
+            for f in frames {
+                match f.opcode {
+                    BinOpcode::GetK | BinOpcode::GetKQ => {
+                        if f.status() == Some(BinStatus::Ok) {
+                            let flags = f
+                                .extras
+                                .as_slice()
+                                .try_into()
+                                .map(u32::from_be_bytes)
+                                .unwrap_or(0);
+                            values.push(GetValue {
+                                key: f.key,
+                                flags,
+                                data: f.value,
+                                cas: Some(f.cas),
+                            });
+                        }
+                    }
+                    BinOpcode::Noop => {}
+                    _ => return Err(McError::Protocol),
+                }
+            }
+            Ok(Response::Values(values))
+        }
+        Command::Stats { .. } => {
+            let mut stats = Vec::new();
+            for f in frames {
+                if f.key.is_empty() {
+                    break;
+                }
+                stats.push((
+                    String::from_utf8_lossy(&f.key).into_owned(),
+                    String::from_utf8_lossy(&f.value).into_owned(),
+                ));
+            }
+            Ok(Response::Stats(stats))
+        }
+        _ => {
+            let f = frames.last().ok_or(McError::Protocol)?;
+            let status = f.status().ok_or(McError::Protocol)?;
+            Ok(match (status, cmd) {
+                (BinStatus::Ok, Command::Incr { .. } | Command::Decr { .. }) => {
+                    let n = f
+                        .value
+                        .as_slice()
+                        .try_into()
+                        .map(u64::from_be_bytes)
+                        .map_err(|_| McError::Protocol)?;
+                    Response::Number(n)
+                }
+                (BinStatus::Ok, Command::Delete { .. }) => Response::Deleted,
+                (BinStatus::Ok, Command::Touch { .. }) => Response::Touched,
+                (BinStatus::Ok, Command::Version) => {
+                    Response::Version(String::from_utf8_lossy(&f.value).into_owned())
+                }
+                (BinStatus::Ok, Command::FlushAll { .. }) => Response::Ok,
+                (BinStatus::Ok, _) => Response::Stored,
+                (BinStatus::KeyNotFound, _) => Response::NotFound,
+                (BinStatus::KeyExists, _) => Response::Exists,
+                (BinStatus::NotStored, _) => Response::NotStored,
+                (BinStatus::TooLarge, _) => Response::ServerError("object too large".into()),
+                (BinStatus::OutOfMemory, _) => Response::ServerError("out of memory".into()),
+                (BinStatus::NonNumeric, _) => {
+                    Response::ClientError("cannot increment or decrement non-numeric value".into())
+                }
+                (BinStatus::InvalidArgs | BinStatus::UnknownCommand, _) => Response::Error,
+            })
+        }
+    }
+}
+
+impl Drop for CliInner {
+    fn drop(&mut self) {
+        for (_, conn) in self.conns.borrow_mut().drain() {
+            match &*conn {
+                Conn::Ucr(ep) => ep.close(),
+                Conn::Sock(sock) => sock.close(),
+                Conn::Udp { .. } => {} // the socket unbinds on drop
+            }
+        }
+    }
+}

@@ -1,0 +1,1010 @@
+//! The Memcached server (paper §V).
+//!
+//! One server process per node, preserving the upstream architecture the
+//! paper extends: an event-driven dispatcher accepts connections and hands
+//! each one to a **worker thread in round-robin order**; that worker then
+//! serves every request of the connection. Both client families are served
+//! concurrently by the same process:
+//!
+//! * **Sockets clients** speak the ASCII protocol over any of the
+//!   byte-stream transports (the unmodified baseline);
+//! * **UCR clients** speak typed active messages: the request's header
+//!   handler runs in the UCR progress engine and enqueues work to the
+//!   connection's worker; the worker executes against the store and
+//!   responds with AM 2 targeting the counter named in AM 1 (§V-B, §V-C).
+//!
+//! Workers are simulated threads: each occupies itself for the service
+//! time of a request, which is what caps server throughput in Figure 6.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::{Rc, Weak};
+
+use mcproto::{
+    encode_response, parse_command, udp_fragment, BinFrame, BinOpcode, BinStatus, Command,
+    GetValue, Response, StoreVerb, UdpFrame, MAGIC_REQUEST,
+};
+use socksim::DgramSocket;
+use mcstore::{NumericError, SetOutcome, Store, StoreConfig};
+use simnet::sync::{self, Receiver, Sender};
+use simnet::{NodeId, Sim, SimDuration, Stack};
+use socksim::Socket;
+use ucr::{AmData, AmHandler, Endpoint, SendOptions, UcrRuntime};
+
+use crate::am_wire::{
+    encode_mget_entry, McOp, ReqHeader, RespHeader, RespStatus, MSG_MC_REQ, MSG_MC_RESP,
+};
+use crate::world::World;
+
+/// Simulated epoch: the store's unix clock starts here (spring 2011).
+pub const BASE_UNIX_TIME: u32 = 1_300_000_000;
+
+/// Version string the server reports.
+pub const SERVER_VERSION: &str = "1.4.5-rmc";
+
+/// Server configuration.
+#[derive(Clone)]
+pub struct McServerConfig {
+    /// Service port for all transports (memcached's 11211).
+    pub port: u16,
+    /// Worker threads (memcached `-t`, paper uses a runtime parameter).
+    pub workers: usize,
+    /// Storage engine settings.
+    pub store: StoreConfig,
+    /// Accept UCR (RDMA) clients over native InfiniBand.
+    pub enable_ucr: bool,
+    /// Accept UCR clients over RoCE too, when the cluster's Ethernet
+    /// adapters support it (paper SVII future work).
+    pub enable_roce: bool,
+    /// Byte-stream transports to listen on.
+    pub socket_stacks: Vec<Stack>,
+    /// Also serve the memcached UDP protocol on the same stacks (the
+    /// SIII Facebook baseline: connection-less gets).
+    pub enable_udp: bool,
+}
+
+impl Default for McServerConfig {
+    fn default() -> Self {
+        McServerConfig {
+            port: 11211,
+            workers: 4,
+            store: StoreConfig::default(),
+            enable_ucr: true,
+            enable_roce: true,
+            socket_stacks: vec![
+                Stack::Sdp,
+                Stack::Ipoib,
+                Stack::TenGigEToe,
+                Stack::OneGigE,
+            ],
+            enable_udp: true,
+        }
+    }
+}
+
+/// Server-level counters.
+#[derive(Default)]
+pub struct SrvStats {
+    /// Connections accepted (all transports).
+    pub connections: Cell<u64>,
+    /// Requests served over UCR.
+    pub ucr_requests: Cell<u64>,
+    /// Requests served over sockets.
+    pub sock_requests: Cell<u64>,
+}
+
+enum WorkItem {
+    Ucr {
+        ep: Endpoint,
+        req: ReqHeader,
+        data: Vec<u8>,
+    },
+    Sock {
+        sock: Rc<Socket>,
+        cmd: Command,
+    },
+    SockBin {
+        sock: Rc<Socket>,
+        frame: BinFrame,
+    },
+    SockUdp {
+        sock: Rc<DgramSocket>,
+        src: socksim::SocketAddr,
+        request_id: u16,
+        cmd: Command,
+    },
+}
+
+struct SrvInner {
+    node: NodeId,
+    sim: Sim,
+    store: RefCell<Store>,
+    workers: Vec<Sender<WorkItem>>,
+    next_worker: Cell<usize>,
+    ep_workers: RefCell<HashMap<u64, usize>>,
+    worker_fixed: SimDuration,
+    hash_lookup: SimDuration,
+    running: Cell<bool>,
+    stats: SrvStats,
+    ucr: RefCell<Option<UcrRuntime>>,
+    roce: RefCell<Option<UcrRuntime>>,
+}
+
+/// A running Memcached server.
+#[derive(Clone)]
+pub struct McServer {
+    inner: Rc<SrvInner>,
+}
+
+struct ReqDispatch {
+    srv: Weak<SrvInner>,
+}
+
+impl AmHandler for ReqDispatch {
+    fn on_complete(&self, ep: &Endpoint, hdr: &[u8], data: AmData) {
+        let Some(srv) = self.srv.upgrade() else { return };
+        if !srv.running.get() {
+            return;
+        }
+        let Some(req) = ReqHeader::decode(hdr) else { return };
+        let data = data.into_vec().unwrap_or_default();
+        // Every request of a connection is served by the worker the
+        // connection was assigned to (paper §V-A).
+        let widx = srv.worker_for_ep(ep.id());
+        srv.stats.ucr_requests.set(srv.stats.ucr_requests.get() + 1);
+        let _ = srv.workers[widx].send(WorkItem::Ucr {
+            ep: ep.clone(),
+            req,
+            data,
+        });
+    }
+}
+
+impl McServer {
+    /// Starts a server on `node` of `world`.
+    pub fn start(world: &World, node: NodeId, config: McServerConfig) -> McServer {
+        let sim = world.sim().clone();
+        let profile = world.profile();
+        let mut worker_txs = Vec::new();
+        let mut worker_rxs = Vec::new();
+        for _ in 0..config.workers.max(1) {
+            let (tx, rx) = sync::channel();
+            worker_txs.push(tx);
+            worker_rxs.push(rx);
+        }
+        let inner = Rc::new(SrvInner {
+            node,
+            sim: sim.clone(),
+            store: RefCell::new(Store::new(config.store)),
+            workers: worker_txs,
+            next_worker: Cell::new(0),
+            ep_workers: RefCell::new(HashMap::new()),
+            worker_fixed: profile.host.worker_fixed,
+            hash_lookup: profile.host.hash_lookup,
+            running: Cell::new(true),
+            stats: SrvStats::default(),
+            ucr: RefCell::new(None),
+            roce: RefCell::new(None),
+        });
+
+        for rx in worker_rxs {
+            let weak = Rc::downgrade(&inner);
+            sim.spawn(worker_loop(weak, rx));
+        }
+
+        if config.enable_ucr {
+            let rt = start_ucr_listener(&sim, &inner, &world.ib, node, config.port);
+            *inner.ucr.borrow_mut() = Some(rt);
+        }
+        if config.enable_roce {
+            if let Some(roce) = &world.roce {
+                let rt = start_ucr_listener(&sim, &inner, roce, node, config.port);
+                *inner.roce.borrow_mut() = Some(rt);
+            }
+        }
+
+        if config.enable_udp {
+            for stack in &config.socket_stacks {
+                if !world.profile().supports(*stack) || !stack.is_sockets() {
+                    continue;
+                }
+                let Ok(udp) = world.socks.udp_bind(*stack, node, config.port) else {
+                    continue;
+                };
+                let weak = Rc::downgrade(&inner);
+                sim.spawn(udp_receiver(weak, Rc::new(udp)));
+            }
+        }
+
+        for stack in &config.socket_stacks {
+            if !world.profile().supports(*stack) || !stack.is_sockets() {
+                continue;
+            }
+            let Ok(listener) = world.socks.listen(*stack, node, config.port) else {
+                continue;
+            };
+            let weak = Rc::downgrade(&inner);
+            let sim2 = sim.clone();
+            sim.spawn(async move {
+                while let Ok(sock) = listener.accept().await {
+                    let Some(srv) = weak.upgrade() else { break };
+                    if !srv.running.get() {
+                        break;
+                    }
+                    sock.set_nodelay(true);
+                    srv.stats.connections.set(srv.stats.connections.get() + 1);
+                    let widx = srv.next_worker();
+                    let weak2 = Rc::downgrade(&srv);
+                    drop(srv);
+                    sim2.spawn(conn_reader(weak2, Rc::new(sock), widx));
+                }
+            });
+        }
+
+        McServer { inner }
+    }
+
+    /// The node this server runs on.
+    pub fn node(&self) -> NodeId {
+        self.inner.node
+    }
+
+    /// Server counters.
+    pub fn stats(&self) -> &SrvStats {
+        &self.inner.stats
+    }
+
+    /// Storage-engine statistics.
+    pub fn store_stats(&self) -> mcstore::StoreStats {
+        self.inner.store.borrow().stats()
+    }
+
+    /// Live item count.
+    pub fn curr_items(&self) -> u64 {
+        self.inner.store.borrow().curr_items()
+    }
+
+    /// The server's UCR runtime, when UCR is enabled (ablation hooks:
+    /// eager-threshold sweeps, runtime statistics).
+    pub fn ucr_runtime(&self) -> Option<UcrRuntime> {
+        self.inner.ucr.borrow().clone()
+    }
+
+    /// The server's RoCE-side UCR runtime, when running.
+    pub fn roce_runtime(&self) -> Option<UcrRuntime> {
+        self.inner.roce.borrow().clone()
+    }
+
+    /// Stops accepting and serving. UCR endpoints fail over to their error
+    /// path; socket clients see EOF on their next read.
+    pub fn shutdown(&self) {
+        self.inner.running.set(false);
+        if let Some(rt) = self.inner.ucr.borrow_mut().take() {
+            rt.shutdown();
+        }
+        if let Some(rt) = self.inner.roce.borrow_mut().take() {
+            rt.shutdown();
+        }
+    }
+}
+
+/// Brings up one UCR runtime on `fabric`, registers the request handler,
+/// and runs the accept loop (round-robin worker binding, SV-A).
+fn start_ucr_listener(
+    sim: &Sim,
+    inner: &Rc<SrvInner>,
+    fabric: &verbs::IbFabric,
+    node: NodeId,
+    port: u16,
+) -> UcrRuntime {
+    let rt = UcrRuntime::new(fabric, node);
+    rt.register_handler(
+        MSG_MC_REQ,
+        ReqDispatch {
+            srv: Rc::downgrade(inner),
+        },
+    );
+    let listener = rt.listen(port).expect("UCR port free");
+    let weak = Rc::downgrade(inner);
+    sim.spawn(async move {
+        while let Ok(ep) = listener.accept().await {
+            let Some(srv) = weak.upgrade() else { break };
+            if !srv.running.get() {
+                break;
+            }
+            srv.stats.connections.set(srv.stats.connections.get() + 1);
+            srv.assign_ep(ep.id());
+        }
+    });
+    rt
+}
+
+impl SrvInner {
+    fn next_worker(&self) -> usize {
+        let w = self.next_worker.get();
+        self.next_worker.set((w + 1) % self.workers.len());
+        w
+    }
+
+    fn assign_ep(&self, ep_id: u64) {
+        let w = self.next_worker();
+        self.ep_workers.borrow_mut().insert(ep_id, w);
+    }
+
+    fn worker_for_ep(&self, ep_id: u64) -> usize {
+        if let Some(w) = self.ep_workers.borrow().get(&ep_id) {
+            return *w;
+        }
+        // Endpoint arrived before (or without) the accept bookkeeping:
+        // assign now.
+        let w = self.next_worker();
+        self.ep_workers.borrow_mut().insert(ep_id, w);
+        w
+    }
+
+    fn now_secs(&self) -> u32 {
+        BASE_UNIX_TIME + self.sim.now().as_secs_f64() as u32
+    }
+
+    /// Worker-thread service charge for one request.
+    fn service_cost(&self, keys: usize) -> SimDuration {
+        self.worker_fixed + self.hash_lookup * keys.max(1) as u64
+    }
+}
+
+async fn worker_loop(srv: Weak<SrvInner>, rx: Receiver<WorkItem>) {
+    while let Ok(item) = rx.recv().await {
+        let Some(inner) = srv.upgrade() else { break };
+        if !inner.running.get() {
+            break;
+        }
+        match item {
+            WorkItem::Ucr { ep, req, data } => serve_ucr(&inner, ep, req, data).await,
+            WorkItem::Sock { sock, cmd } => serve_sock(&inner, sock, cmd).await,
+            WorkItem::SockBin { sock, frame } => serve_sock_bin(&inner, sock, frame).await,
+            WorkItem::SockUdp {
+                sock,
+                src,
+                request_id,
+                cmd,
+            } => serve_sock_udp(&inner, sock, src, request_id, cmd).await,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// UCR service path
+// ---------------------------------------------------------------------
+
+async fn serve_ucr(srv: &Rc<SrvInner>, ep: Endpoint, req: ReqHeader, data: Vec<u8>) {
+    srv.sim.sleep(srv.service_cost(req.keys.len())).await;
+    let now = srv.now_secs();
+    let mut resp = RespHeader {
+        req_id: req.req_id,
+        status: RespStatus::Ok,
+        flags: 0,
+        cas: 0,
+        number: 0,
+        nvalues: 0,
+    };
+    let mut payload: Vec<u8> = Vec::new();
+    let key = req.keys.first().cloned().unwrap_or_default();
+    let mut store = srv.store.borrow_mut();
+    match req.op {
+        McOp::Get => match store.get(&key, now) {
+            Some(v) => {
+                resp.status = RespStatus::Hit;
+                resp.flags = v.flags;
+                resp.cas = v.cas;
+                payload = v.data;
+            }
+            None => resp.status = RespStatus::Miss,
+        },
+        McOp::Mget => {
+            let mut n = 0u16;
+            for k in &req.keys {
+                if let Some(v) = store.get(k, now) {
+                    encode_mget_entry(&mut payload, k, v.flags, v.cas, &v.data);
+                    n += 1;
+                }
+            }
+            resp.status = RespStatus::Hit;
+            resp.nvalues = n;
+        }
+        McOp::Set | McOp::Add | McOp::Replace | McOp::Append | McOp::Prepend => {
+            let outcome = match req.op {
+                McOp::Set => store.set(&key, &data, req.flags, req.exptime, now),
+                McOp::Add => store.add(&key, &data, req.flags, req.exptime, now),
+                McOp::Replace => store.replace(&key, &data, req.flags, req.exptime, now),
+                McOp::Append => store.append(&key, &data, now),
+                McOp::Prepend => store.prepend(&key, &data, now),
+                _ => unreachable!(),
+            };
+            resp.status = outcome_status(outcome);
+        }
+        McOp::Cas => {
+            let outcome = store.cas(&key, &data, req.flags, req.exptime, req.cas, now);
+            resp.status = outcome_status(outcome);
+        }
+        McOp::Delete => {
+            resp.status = if store.delete(&key, now) {
+                RespStatus::Ok
+            } else {
+                RespStatus::NotFound
+            };
+        }
+        McOp::Incr | McOp::Decr => {
+            let r = if req.op == McOp::Incr {
+                store.incr(&key, req.delta, now)
+            } else {
+                store.decr(&key, req.delta, now)
+            };
+            match r {
+                Ok(n) => {
+                    resp.status = RespStatus::Number;
+                    resp.number = n;
+                }
+                Err(NumericError::NotFound) => resp.status = RespStatus::NotFound,
+                Err(NumericError::NotNumeric) => resp.status = RespStatus::NotNumeric,
+            }
+        }
+        McOp::Touch => {
+            resp.status = if store.touch(&key, req.exptime, now) {
+                RespStatus::Ok
+            } else {
+                RespStatus::NotFound
+            };
+        }
+        McOp::FlushAll => {
+            store.flush_all(now + req.exptime);
+            resp.status = RespStatus::Ok;
+        }
+        McOp::Version => {
+            resp.status = RespStatus::Ok;
+            payload = SERVER_VERSION.as_bytes().to_vec();
+        }
+        McOp::Stats => {
+            resp.status = RespStatus::Ok;
+            payload = match key.as_slice() {
+                b"slabs" => stat_pairs_to_text(&store.slab_stat_lines()),
+                b"items" => stat_pairs_to_text(&store.item_stat_lines()),
+                b"" => render_stats(srv, &store),
+                _ => String::new(),
+            }
+            .into_bytes();
+        }
+    }
+    drop(store);
+    // AM 2: the response, targeting the counter named in AM 1 (§V-B).
+    ep.post_message(
+        MSG_MC_RESP,
+        resp.encode(),
+        payload,
+        SendOptions {
+            target_ctr: req.ctr_id,
+            ..Default::default()
+        },
+    );
+}
+
+fn stat_pairs_to_text(pairs: &[(String, String)]) -> String {
+    pairs
+        .iter()
+        .map(|(k, v)| format!("{k} {v}\n"))
+        .collect()
+}
+
+fn outcome_status(o: SetOutcome) -> RespStatus {
+    match o {
+        SetOutcome::Stored => RespStatus::Stored,
+        SetOutcome::NotStored => RespStatus::NotStored,
+        SetOutcome::Exists => RespStatus::Exists,
+        SetOutcome::NotFound => RespStatus::NotFound,
+        SetOutcome::TooLarge => RespStatus::TooLarge,
+        SetOutcome::OutOfMemory => RespStatus::OutOfMemory,
+    }
+}
+
+fn render_stats(srv: &SrvInner, store: &Store) -> String {
+    let st = store.stats();
+    let mut out = String::new();
+    let mut put = |k: &str, v: String| {
+        out.push_str(k);
+        out.push(' ');
+        out.push_str(&v);
+        out.push('\n');
+    };
+    put("version", SERVER_VERSION.to_string());
+    put("curr_items", store.curr_items().to_string());
+    put("bytes", store.bytes_stored().to_string());
+    put("get_hits", st.get_hits.to_string());
+    put("get_misses", st.get_misses.to_string());
+    put("cmd_set", st.sets.to_string());
+    put("evictions", st.evictions.to_string());
+    put("reclaimed", st.reclaimed.to_string());
+    put("cas_hits", st.cas_hits.to_string());
+    put("cas_badval", st.cas_badval.to_string());
+    put("total_items", st.total_items.to_string());
+    put(
+        "ucr_requests",
+        srv.stats.ucr_requests.get().to_string(),
+    );
+    put(
+        "sock_requests",
+        srv.stats.sock_requests.get().to_string(),
+    );
+    put("curr_connections", srv.stats.connections.get().to_string());
+    out
+}
+
+// ---------------------------------------------------------------------
+// Sockets service path
+// ---------------------------------------------------------------------
+
+/// Per-connection event task: reads, frames commands, and hands them to
+/// the connection's worker (the libevent notification of the original
+/// architecture).
+async fn conn_reader(srv: Weak<SrvInner>, sock: Rc<Socket>, widx: usize) {
+    let mut buf: Vec<u8> = Vec::new();
+    // Protocol sniffing: the binary request magic cannot start an ASCII
+    // command, so the first byte decides the connection's protocol.
+    loop {
+        if buf.is_empty() {
+            match sock.read(64 * 1024).await {
+                Ok(bytes) => buf.extend_from_slice(&bytes),
+                Err(_) => return,
+            }
+        }
+        if !buf.is_empty() {
+            break;
+        }
+    }
+    if buf[0] == MAGIC_REQUEST {
+        return conn_reader_bin(srv, sock, widx, buf).await;
+    }
+    loop {
+        match parse_command(&buf) {
+            Ok(Some((cmd, used))) => {
+                buf.drain(..used);
+                let Some(inner) = srv.upgrade() else { return };
+                if !inner.running.get() {
+                    sock.close();
+                    return;
+                }
+                if matches!(cmd, Command::Quit) {
+                    sock.close();
+                    return;
+                }
+                inner
+                    .stats
+                    .sock_requests
+                    .set(inner.stats.sock_requests.get() + 1);
+                let _ = inner.workers[widx].send(WorkItem::Sock {
+                    sock: sock.clone(),
+                    cmd,
+                });
+            }
+            Ok(None) => match sock.read(64 * 1024).await {
+                Ok(bytes) => buf.extend_from_slice(&bytes),
+                Err(_) => return, // connection closed
+            },
+            Err(_) => {
+                // Protocol error: answer and drop the connection, as
+                // memcached does.
+                let _ = sock.write_all(&encode_response(&Response::Error)).await;
+                sock.close();
+                return;
+            }
+        }
+    }
+}
+
+async fn serve_sock(srv: &Rc<SrvInner>, sock: Rc<Socket>, cmd: Command) {
+    let keys = match &cmd {
+        Command::Get { keys } | Command::Gets { keys } => keys.len(),
+        _ => 1,
+    };
+    srv.sim.sleep(srv.service_cost(keys)).await;
+    let now = srv.now_secs();
+    let (resp, noreply) = {
+        let mut store = srv.store.borrow_mut();
+        execute_ascii(srv, &mut store, cmd, now)
+    };
+    if !noreply {
+        let _ = sock.write_all(&encode_response(&resp)).await;
+    }
+}
+
+/// Executes one ASCII command against the store; shared by the TCP and
+/// UDP service paths. Returns the response and the `noreply` flag.
+fn execute_ascii(
+    srv: &Rc<SrvInner>,
+    store: &mut Store,
+    cmd: Command,
+    now: u32,
+) -> (Response, bool) {
+    match cmd {
+        Command::Store {
+            verb,
+            key,
+            flags,
+            exptime,
+            data,
+            noreply,
+        } => {
+            let outcome = match verb {
+                StoreVerb::Set => store.set(&key, &data, flags, exptime, now),
+                StoreVerb::Add => store.add(&key, &data, flags, exptime, now),
+                StoreVerb::Replace => store.replace(&key, &data, flags, exptime, now),
+                StoreVerb::Append => store.append(&key, &data, now),
+                StoreVerb::Prepend => store.prepend(&key, &data, now),
+            };
+            (store_response(outcome), noreply)
+        }
+        Command::Cas {
+            key,
+            flags,
+            exptime,
+            cas,
+            data,
+            noreply,
+        } => (
+            store_response(store.cas(&key, &data, flags, exptime, cas, now)),
+            noreply,
+        ),
+        Command::Get { keys } => {
+            let values = fetch_values(store, &keys, now, false);
+            (Response::Values(values), false)
+        }
+        Command::Gets { keys } => {
+            let values = fetch_values(store, &keys, now, true);
+            (Response::Values(values), false)
+        }
+        Command::Delete { key, noreply } => {
+            let resp = if store.delete(&key, now) {
+                Response::Deleted
+            } else {
+                Response::NotFound
+            };
+            (resp, noreply)
+        }
+        Command::Incr { key, delta, noreply } => {
+            (numeric_response(store.incr(&key, delta, now)), noreply)
+        }
+        Command::Decr { key, delta, noreply } => {
+            (numeric_response(store.decr(&key, delta, now)), noreply)
+        }
+        Command::Touch { key, exptime, noreply } => {
+            let resp = if store.touch(&key, exptime, now) {
+                Response::Touched
+            } else {
+                Response::NotFound
+            };
+            (resp, noreply)
+        }
+        Command::FlushAll { delay, noreply } => {
+            store.flush_all(now + delay);
+            (Response::Ok, noreply)
+        }
+        Command::Stats { arg } => {
+            let lines = match arg.as_deref() {
+                Some(b"slabs") => store.slab_stat_lines(),
+                Some(b"items") => store.item_stat_lines(),
+                Some(_) => Vec::new(), // unknown sub-report: bare END
+                None => render_stats(srv, store)
+                    .lines()
+                    .map(|l| {
+                        let mut it = l.splitn(2, ' ');
+                        (
+                            it.next().unwrap_or_default().to_string(),
+                            it.next().unwrap_or_default().to_string(),
+                        )
+                    })
+                    .collect(),
+            };
+            (Response::Stats(lines), false)
+        }
+        Command::Version => (Response::Version(SERVER_VERSION.to_string()), false),
+        Command::Quit => (Response::Error, true), // handled by the reader
+    }
+}
+
+fn store_response(o: SetOutcome) -> Response {
+    match o {
+        SetOutcome::Stored => Response::Stored,
+        SetOutcome::NotStored => Response::NotStored,
+        SetOutcome::Exists => Response::Exists,
+        SetOutcome::NotFound => Response::NotFound,
+        SetOutcome::TooLarge => Response::ServerError("object too large for cache".into()),
+        SetOutcome::OutOfMemory => Response::ServerError("out of memory storing object".into()),
+    }
+}
+
+fn fetch_values(store: &mut Store, keys: &[Vec<u8>], now: u32, with_cas: bool) -> Vec<GetValue> {
+    keys.iter()
+        .filter_map(|k| {
+            store.get(k, now).map(|v| GetValue {
+                key: k.clone(),
+                flags: v.flags,
+                cas: with_cas.then_some(v.cas),
+                data: v.data,
+            })
+        })
+        .collect()
+}
+
+fn numeric_response(r: Result<u64, NumericError>) -> Response {
+    match r {
+        Ok(n) => Response::Number(n),
+        Err(NumericError::NotFound) => Response::NotFound,
+        Err(NumericError::NotNumeric) => {
+            Response::ClientError("cannot increment or decrement non-numeric value".into())
+        }
+    }
+}
+
+
+/// Binary-protocol connection loop (frames instead of lines).
+async fn conn_reader_bin(srv: Weak<SrvInner>, sock: Rc<Socket>, widx: usize, mut buf: Vec<u8>) {
+    loop {
+        match BinFrame::parse(&buf) {
+            Ok(Some((frame, used))) => {
+                buf.drain(..used);
+                let Some(inner) = srv.upgrade() else { return };
+                if !inner.running.get() {
+                    sock.close();
+                    return;
+                }
+                if frame.opcode == BinOpcode::Quit {
+                    sock.close();
+                    return;
+                }
+                inner
+                    .stats
+                    .sock_requests
+                    .set(inner.stats.sock_requests.get() + 1);
+                let _ = inner.workers[widx].send(WorkItem::SockBin {
+                    sock: sock.clone(),
+                    frame,
+                });
+            }
+            Ok(None) => match sock.read(64 * 1024).await {
+                Ok(bytes) => buf.extend_from_slice(&bytes),
+                Err(_) => return,
+            },
+            Err(_) => {
+                sock.close();
+                return;
+            }
+        }
+    }
+}
+
+// The store borrow is explicitly dropped before every await in this
+// function (the lint cannot see through `drop()`).
+#[allow(clippy::await_holding_refcell_ref)]
+async fn serve_sock_bin(srv: &Rc<SrvInner>, sock: Rc<Socket>, frame: BinFrame) {
+    srv.sim.sleep(srv.service_cost(1)).await;
+    let now = srv.now_secs();
+    let mut store = srv.store.borrow_mut();
+    let mut resp = BinFrame::response(&frame, BinStatus::Ok);
+    let mut replies: Vec<BinFrame> = Vec::new();
+    let mut quiet_suppress = false;
+
+    match frame.opcode {
+        BinOpcode::Get | BinOpcode::GetK | BinOpcode::GetQ | BinOpcode::GetKQ => {
+            match store.get(&frame.key, now) {
+                Some(v) => {
+                    resp.extras = v.flags.to_be_bytes().to_vec();
+                    resp.cas = v.cas;
+                    resp.value = v.data;
+                    if matches!(frame.opcode, BinOpcode::GetK | BinOpcode::GetKQ) {
+                        resp.key = frame.key.clone();
+                    }
+                }
+                None => {
+                    if frame.opcode.is_quiet() {
+                        quiet_suppress = true; // binary multiget: silent miss
+                    } else {
+                        resp.vbucket_or_status = BinStatus::KeyNotFound as u16;
+                    }
+                }
+            }
+        }
+        BinOpcode::Set | BinOpcode::Add | BinOpcode::Replace => {
+            let Some((flags, exptime)) = mcproto::parse_store_extras(&frame.extras) else {
+                resp.vbucket_or_status = BinStatus::InvalidArgs as u16;
+                drop(store);
+                reply_bin(&sock, srv, vec![resp]).await;
+                return;
+            };
+            let outcome = if frame.cas != 0 {
+                store.cas(&frame.key, &frame.value, flags, exptime, frame.cas, now)
+            } else {
+                match frame.opcode {
+                    BinOpcode::Set => store.set(&frame.key, &frame.value, flags, exptime, now),
+                    BinOpcode::Add => store.add(&frame.key, &frame.value, flags, exptime, now),
+                    _ => store.replace(&frame.key, &frame.value, flags, exptime, now),
+                }
+            };
+            resp.vbucket_or_status = bin_status(outcome) as u16;
+            if outcome == SetOutcome::Stored {
+                // Return the fresh CAS, as real servers do.
+                if let Some(v) = store.get(&frame.key, now) {
+                    resp.cas = v.cas;
+                }
+            }
+        }
+        BinOpcode::Append | BinOpcode::Prepend => {
+            let outcome = if frame.opcode == BinOpcode::Append {
+                store.append(&frame.key, &frame.value, now)
+            } else {
+                store.prepend(&frame.key, &frame.value, now)
+            };
+            resp.vbucket_or_status = bin_status(outcome) as u16;
+        }
+        BinOpcode::Delete => {
+            if !store.delete(&frame.key, now) {
+                resp.vbucket_or_status = BinStatus::KeyNotFound as u16;
+            }
+        }
+        BinOpcode::Increment | BinOpcode::Decrement => {
+            let Some((delta, initial, exptime)) = mcproto::parse_arith_extras(&frame.extras)
+            else {
+                resp.vbucket_or_status = BinStatus::InvalidArgs as u16;
+                drop(store);
+                reply_bin(&sock, srv, vec![resp]).await;
+                return;
+            };
+            let up = frame.opcode == BinOpcode::Increment;
+            let result = if up {
+                store.incr(&frame.key, delta, now)
+            } else {
+                store.decr(&frame.key, delta, now)
+            };
+            match result {
+                Ok(n) => resp.value = n.to_be_bytes().to_vec(),
+                Err(NumericError::NotFound) if exptime != u32::MAX => {
+                    // Spec: create with the initial value unless exptime
+                    // is all-ones.
+                    store.set(&frame.key, initial.to_string().as_bytes(), 0, exptime, now);
+                    resp.value = initial.to_be_bytes().to_vec();
+                }
+                Err(NumericError::NotFound) => {
+                    resp.vbucket_or_status = BinStatus::KeyNotFound as u16;
+                }
+                Err(NumericError::NotNumeric) => {
+                    resp.vbucket_or_status = BinStatus::NonNumeric as u16;
+                }
+            }
+        }
+        BinOpcode::Touch => {
+            let exptime = frame
+                .extras
+                .as_slice()
+                .try_into()
+                .ok()
+                .map(u32::from_be_bytes);
+            match exptime {
+                Some(e) if store.touch(&frame.key, e, now) => {}
+                Some(_) => resp.vbucket_or_status = BinStatus::KeyNotFound as u16,
+                None => resp.vbucket_or_status = BinStatus::InvalidArgs as u16,
+            }
+        }
+        BinOpcode::Flush => {
+            let delay = if frame.extras.len() == 4 {
+                u32::from_be_bytes(frame.extras.as_slice().try_into().expect("4 bytes"))
+            } else {
+                0
+            };
+            store.flush_all(now + delay);
+        }
+        BinOpcode::Noop => {}
+        BinOpcode::Version => {
+            resp.value = SERVER_VERSION.as_bytes().to_vec();
+        }
+        BinOpcode::Stat => {
+            // One frame per statistic, terminated by an empty frame.
+            for line in render_stats(srv, &store).lines() {
+                let mut it = line.splitn(2, ' ');
+                let name = it.next().unwrap_or_default();
+                let value = it.next().unwrap_or_default();
+                let mut f = BinFrame::response(&frame, BinStatus::Ok);
+                f.key = name.as_bytes().to_vec();
+                f.value = value.as_bytes().to_vec();
+                replies.push(f);
+            }
+        }
+        BinOpcode::Quit => return,
+    }
+    drop(store);
+    if !quiet_suppress {
+        replies.push(resp);
+        reply_bin(&sock, srv, replies).await;
+    }
+}
+
+async fn reply_bin(sock: &Rc<Socket>, _srv: &Rc<SrvInner>, frames: Vec<BinFrame>) {
+    let mut wire = Vec::new();
+    for f in frames {
+        wire.extend_from_slice(&f.encode());
+    }
+    let _ = sock.write_all(&wire).await;
+}
+
+fn bin_status(o: SetOutcome) -> BinStatus {
+    match o {
+        SetOutcome::Stored => BinStatus::Ok,
+        SetOutcome::NotStored => BinStatus::NotStored,
+        SetOutcome::Exists => BinStatus::KeyExists,
+        SetOutcome::NotFound => BinStatus::KeyNotFound,
+        SetOutcome::TooLarge => BinStatus::TooLarge,
+        SetOutcome::OutOfMemory => BinStatus::OutOfMemory,
+    }
+}
+
+
+/// UDP receive loop: one task per (stack, port). Requests must fit a
+/// single datagram (as in real memcached); responses are fragmented with
+/// the 8-byte UDP frame header. Connectionless, so requests round-robin
+/// over workers individually.
+async fn udp_receiver(srv: Weak<SrvInner>, sock: Rc<DgramSocket>) {
+    loop {
+        let Ok((src, datagram)) = sock.recv_from().await else {
+            return;
+        };
+        let Some(inner) = srv.upgrade() else { return };
+        if !inner.running.get() {
+            return;
+        }
+        let Ok((frame, payload)) = UdpFrame::decode(&datagram) else {
+            continue;
+        };
+        if frame.total != 1 {
+            continue; // multi-datagram requests are not supported
+        }
+        let Ok(Some((cmd, _))) = parse_command(payload) else {
+            continue;
+        };
+        if matches!(cmd, Command::Quit) {
+            continue; // meaningless without a connection
+        }
+        inner
+            .stats
+            .sock_requests
+            .set(inner.stats.sock_requests.get() + 1);
+        let widx = inner.next_worker();
+        let _ = inner.workers[widx].send(WorkItem::SockUdp {
+            sock: sock.clone(),
+            src,
+            request_id: frame.request_id,
+            cmd,
+        });
+    }
+}
+
+async fn serve_sock_udp(
+    srv: &Rc<SrvInner>,
+    sock: Rc<DgramSocket>,
+    src: socksim::SocketAddr,
+    request_id: u16,
+    cmd: Command,
+) {
+    let keys = match &cmd {
+        Command::Get { keys } | Command::Gets { keys } => keys.len(),
+        _ => 1,
+    };
+    srv.sim.sleep(srv.service_cost(keys)).await;
+    let now = srv.now_secs();
+    let (resp, noreply) = {
+        let mut store = srv.store.borrow_mut();
+        execute_ascii(srv, &mut store, cmd, now)
+    };
+    if noreply {
+        return;
+    }
+    let wire = encode_response(&resp);
+    for datagram in udp_fragment(request_id, &wire) {
+        let _ = sock.send_to(src, &datagram).await;
+    }
+}

@@ -1,0 +1,64 @@
+//! Testbed assembly: one object wiring the cluster, the InfiniBand fabric
+//! view, and the socket fabric together, so examples and benchmarks can
+//! say "give me Cluster A" and start placing servers and clients.
+
+use std::rc::Rc;
+
+use simnet::{Cluster, ClusterProfile, NetKind, NodeId, Sim};
+use socksim::SockFabric;
+use verbs::IbFabric;
+
+/// A fully wired simulated testbed.
+pub struct World {
+    /// The cluster (nodes, links, profile).
+    pub cluster: Rc<Cluster>,
+    /// InfiniBand fabric view (verbs/UCR traffic).
+    pub ib: IbFabric,
+    /// RoCE fabric view (verbs over converged Ethernet), when the
+    /// cluster's Ethernet adapters have an RDMA engine (paper SVII).
+    pub roce: Option<IbFabric>,
+    /// Byte-stream transports (the sockets baseline).
+    pub socks: SockFabric,
+}
+
+impl World {
+    /// Builds a world over an existing cluster.
+    pub fn new(cluster: Rc<Cluster>) -> World {
+        World {
+            ib: IbFabric::new(cluster.clone()),
+            roce: IbFabric::new_on(cluster.clone(), NetKind::TenGigE),
+            socks: SockFabric::new(cluster.clone()),
+            cluster,
+        }
+    }
+
+    /// Cluster A (Clovertown + ConnectX DDR + 10GigE-TOE + 1GigE).
+    pub fn cluster_a(seed: u64, nodes: u32) -> World {
+        World::new(Rc::new(Cluster::cluster_a(seed, nodes)))
+    }
+
+    /// Cluster B (Westmere + ConnectX QDR).
+    pub fn cluster_b(seed: u64, nodes: u32) -> World {
+        World::new(Rc::new(Cluster::cluster_b(seed, nodes)))
+    }
+
+    /// The simulation engine.
+    pub fn sim(&self) -> &Sim {
+        self.cluster.sim()
+    }
+
+    /// The hardware/cost profile in force.
+    pub fn profile(&self) -> &ClusterProfile {
+        self.cluster.profile()
+    }
+
+    /// Crashes a node across every transport: its IB stack dies (UCR
+    /// endpoints fail) and its sockets reset.
+    pub fn crash_node(&self, node: NodeId) {
+        self.ib.open(node).kill();
+        if let Some(roce) = &self.roce {
+            roce.open(node).kill();
+        }
+        self.socks.kill_node(node);
+    }
+}

@@ -1,0 +1,177 @@
+//! The memcached UDP frame header.
+//!
+//! Every UDP datagram carrying memcached traffic starts with eight bytes:
+//! `request id`, `sequence number`, `total datagrams in this message`, and
+//! a reserved word — enough for clients to match responses to requests and
+//! reassemble multi-datagram responses. This is the protocol Facebook's
+//! UDP memcached (paper §III) speaks.
+
+use crate::ProtoError;
+
+/// Size of the UDP frame header.
+pub const UDP_FRAME_BYTES: usize = 8;
+
+/// Largest payload memcached puts in one UDP datagram (fits a standard
+/// Ethernet MTU after UDP/IP headers and the frame header).
+pub const UDP_CHUNK_BYTES: usize = 1_400;
+
+/// A parsed UDP frame header.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct UdpFrame {
+    /// Client-chosen id echoed in every response datagram.
+    pub request_id: u16,
+    /// This datagram's index within the message.
+    pub seq: u16,
+    /// Number of datagrams in the message.
+    pub total: u16,
+}
+
+impl UdpFrame {
+    /// Encodes a header.
+    pub fn encode(&self) -> [u8; UDP_FRAME_BYTES] {
+        let mut b = [0u8; UDP_FRAME_BYTES];
+        b[0..2].copy_from_slice(&self.request_id.to_be_bytes());
+        b[2..4].copy_from_slice(&self.seq.to_be_bytes());
+        b[4..6].copy_from_slice(&self.total.to_be_bytes());
+        b
+    }
+
+    /// Decodes the header and returns it with the payload.
+    pub fn decode(datagram: &[u8]) -> Result<(UdpFrame, &[u8]), ProtoError> {
+        if datagram.len() < UDP_FRAME_BYTES {
+            return Err(ProtoError::Malformed("short UDP frame"));
+        }
+        let frame = UdpFrame {
+            request_id: u16::from_be_bytes([datagram[0], datagram[1]]),
+            seq: u16::from_be_bytes([datagram[2], datagram[3]]),
+            total: u16::from_be_bytes([datagram[4], datagram[5]]),
+        };
+        if frame.seq >= frame.total {
+            return Err(ProtoError::Malformed("UDP seq beyond total"));
+        }
+        Ok((frame, &datagram[UDP_FRAME_BYTES..]))
+    }
+}
+
+/// Splits `payload` into framed datagrams for `request_id`.
+pub fn udp_fragment(request_id: u16, payload: &[u8]) -> Vec<Vec<u8>> {
+    let chunks: Vec<&[u8]> = if payload.is_empty() {
+        vec![&[][..]]
+    } else {
+        payload.chunks(UDP_CHUNK_BYTES).collect()
+    };
+    let total = chunks.len() as u16;
+    chunks
+        .iter()
+        .enumerate()
+        .map(|(seq, chunk)| {
+            let mut d = Vec::with_capacity(UDP_FRAME_BYTES + chunk.len());
+            d.extend_from_slice(
+                &UdpFrame {
+                    request_id,
+                    seq: seq as u16,
+                    total,
+                }
+                .encode(),
+            );
+            d.extend_from_slice(chunk);
+            d
+        })
+        .collect()
+}
+
+/// Reassembles datagrams of one message; `None` until all fragments of
+/// `request_id` are present. Fragments of other request ids are ignored.
+pub fn udp_reassemble(request_id: u16, datagrams: &[(UdpFrame, Vec<u8>)]) -> Option<Vec<u8>> {
+    let mine: Vec<&(UdpFrame, Vec<u8>)> = datagrams
+        .iter()
+        .filter(|(f, _)| f.request_id == request_id)
+        .collect();
+    let total = mine.first()?.0.total as usize;
+    if mine.len() < total {
+        return None;
+    }
+    let mut parts: Vec<Option<&[u8]>> = vec![None; total];
+    for (f, data) in mine {
+        *parts.get_mut(f.seq as usize)? = Some(data);
+    }
+    let mut out = Vec::new();
+    for p in parts {
+        out.extend_from_slice(p?);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_round_trip() {
+        let f = UdpFrame {
+            request_id: 0x1234,
+            seq: 2,
+            total: 5,
+        };
+        let mut d = f.encode().to_vec();
+        d.extend_from_slice(b"payload");
+        let (parsed, rest) = UdpFrame::decode(&d).unwrap();
+        assert_eq!(parsed, f);
+        assert_eq!(rest, b"payload");
+    }
+
+    #[test]
+    fn malformed_headers_rejected() {
+        assert!(UdpFrame::decode(&[1, 2, 3]).is_err());
+        // seq >= total is nonsense.
+        let f = UdpFrame {
+            request_id: 1,
+            seq: 3,
+            total: 3,
+        };
+        assert!(UdpFrame::decode(&f.encode()).is_err());
+    }
+
+    #[test]
+    fn fragment_reassemble_round_trip() {
+        let payload: Vec<u8> = (0..5000u32).map(|i| (i % 251) as u8).collect();
+        let dgrams = udp_fragment(9, &payload);
+        assert_eq!(dgrams.len(), payload.len().div_ceil(UDP_CHUNK_BYTES));
+        let parsed: Vec<(UdpFrame, Vec<u8>)> = dgrams
+            .iter()
+            .map(|d| {
+                let (f, p) = UdpFrame::decode(d).unwrap();
+                (f, p.to_vec())
+            })
+            .collect();
+        assert_eq!(udp_reassemble(9, &parsed), Some(payload));
+        // Wrong request id: nothing to assemble.
+        assert_eq!(udp_reassemble(10, &parsed), None);
+    }
+
+    #[test]
+    fn reassembly_waits_for_all_fragments() {
+        let payload = vec![7u8; 3000];
+        let dgrams = udp_fragment(1, &payload);
+        let mut parsed: Vec<(UdpFrame, Vec<u8>)> = dgrams
+            .iter()
+            .map(|d| {
+                let (f, p) = UdpFrame::decode(d).unwrap();
+                (f, p.to_vec())
+            })
+            .collect();
+        let last = parsed.pop().unwrap();
+        assert_eq!(udp_reassemble(1, &parsed), None, "incomplete");
+        parsed.insert(0, last); // out of order is fine
+        assert_eq!(udp_reassemble(1, &parsed), Some(payload));
+    }
+
+    #[test]
+    fn empty_payload_is_one_datagram() {
+        let dgrams = udp_fragment(3, b"");
+        assert_eq!(dgrams.len(), 1);
+        let (f, rest) = UdpFrame::decode(&dgrams[0]).unwrap();
+        assert_eq!((f.seq, f.total), (0, 1));
+        assert!(rest.is_empty());
+    }
+}

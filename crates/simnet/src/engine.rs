@@ -1,0 +1,494 @@
+//! The discrete-event engine and the cooperative task executor.
+//!
+//! A [`Sim`] owns a virtual clock, a time-ordered event queue, and a
+//! single-threaded executor for `async` tasks. Events are closures scheduled
+//! for a future instant; tasks are futures that suspend on simulation
+//! primitives ([`sleep`](Sim::sleep), channels, [`crate::sync`] waiters) and
+//! are woken by events. Ties in the event queue are broken by insertion
+//! order, which makes every run fully deterministic: the same program and
+//! seed produce the identical event trace, nanosecond for nanosecond.
+//!
+//! The executor is deliberately tiny — no work stealing, no threads — because
+//! simulated time, not wall time, is the quantity under measurement.
+
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+
+use parking_lot::Mutex;
+
+use crate::rng::SimRng;
+use crate::sync::{oneshot, OneReceiver};
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a spawned task.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TaskId(u64);
+
+type BoxFuture = Pin<Box<dyn Future<Output = ()>>>;
+
+/// An event queue entry: fire `action` at `time`. `seq` breaks ties so that
+/// two events scheduled for the same instant fire in scheduling order.
+struct EventEntry {
+    time: SimTime,
+    seq: u64,
+    action: Box<dyn FnOnce()>,
+}
+
+impl PartialEq for EventEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for EventEntry {}
+impl PartialOrd for EventEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EventEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+struct SimWaker {
+    id: TaskId,
+    ready: Arc<Mutex<VecDeque<TaskId>>>,
+}
+
+impl Wake for SimWaker {
+    fn wake(self: Arc<Self>) {
+        self.ready.lock().push_back(self.id);
+    }
+}
+
+struct EngineCore {
+    now: Cell<SimTime>,
+    seq: Cell<u64>,
+    events: RefCell<BinaryHeap<Reverse<EventEntry>>>,
+    /// Tasks ready to be polled. Shared with wakers, hence the (uncontended)
+    /// mutex: `std::task::Wake` requires `Send + Sync` even though this
+    /// executor never leaves one thread.
+    ready: Arc<Mutex<VecDeque<TaskId>>>,
+    tasks: RefCell<HashMap<TaskId, Option<BoxFuture>>>,
+    next_task: Cell<u64>,
+    events_executed: Cell<u64>,
+    polls: Cell<u64>,
+    rng: RefCell<SimRng>,
+}
+
+/// Handle to the simulation world. Cheap to clone; all clones share state.
+#[derive(Clone)]
+pub struct Sim {
+    core: Rc<EngineCore>,
+}
+
+/// Await side of [`Sim::spawn`]: resolves with the task's output once the
+/// task completes. Dropping the handle detaches the task (it keeps running).
+pub struct JoinHandle<T> {
+    rx: OneReceiver<T>,
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        // OneReceiver is Unpin (it only holds an Rc), so no projection needed.
+        match Pin::new(&mut self.get_mut().rx).poll(cx) {
+            Poll::Ready(Ok(v)) => Poll::Ready(v),
+            Poll::Ready(Err(_)) => panic!("simulation task dropped without completing"),
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}
+
+impl Sim {
+    /// Creates a fresh simulation world with the given RNG seed.
+    pub fn new(seed: u64) -> Sim {
+        Sim {
+            core: Rc::new(EngineCore {
+                now: Cell::new(SimTime::ZERO),
+                seq: Cell::new(0),
+                events: RefCell::new(BinaryHeap::new()),
+                ready: Arc::new(Mutex::new(VecDeque::new())),
+                tasks: RefCell::new(HashMap::new()),
+                next_task: Cell::new(0),
+                events_executed: Cell::new(0),
+                polls: Cell::new(0),
+                rng: RefCell::new(SimRng::new(seed)),
+            }),
+        }
+    }
+
+    /// The current instant on the virtual clock.
+    pub fn now(&self) -> SimTime {
+        self.core.now.get()
+    }
+
+    /// Runs `f` with the simulation's deterministic RNG.
+    pub fn with_rng<R>(&self, f: impl FnOnce(&mut SimRng) -> R) -> R {
+        f(&mut self.core.rng.borrow_mut())
+    }
+
+    /// Schedules `action` to run after `delay`.
+    pub fn schedule(&self, delay: SimDuration, action: impl FnOnce() + 'static) {
+        self.schedule_at(self.now() + delay, action);
+    }
+
+    /// Schedules `action` to run at absolute time `at`. Scheduling in the
+    /// past is a logic error and panics: it would rewind causality.
+    pub fn schedule_at(&self, at: SimTime, action: impl FnOnce() + 'static) {
+        assert!(
+            at >= self.now(),
+            "cannot schedule event in the past: at={at:?} now={:?}",
+            self.now()
+        );
+        let seq = self.core.seq.get();
+        self.core.seq.set(seq + 1);
+        self.core.events.borrow_mut().push(Reverse(EventEntry {
+            time: at,
+            seq,
+            action: Box::new(action),
+        }));
+    }
+
+    /// Spawns a task on the executor. The task starts at the next executor
+    /// dispatch (it does not run synchronously inside `spawn`).
+    pub fn spawn<T: 'static>(&self, fut: impl Future<Output = T> + 'static) -> JoinHandle<T> {
+        let (tx, rx) = oneshot();
+        let id = TaskId(self.core.next_task.get());
+        self.core.next_task.set(id.0 + 1);
+        let wrapped: BoxFuture = Box::pin(async move {
+            let out = fut.await;
+            // Receiver may be dropped (detached task); ignore.
+            let _ = tx.send(out);
+        });
+        self.core.tasks.borrow_mut().insert(id, Some(wrapped));
+        self.core.ready.lock().push_back(id);
+        JoinHandle { rx }
+    }
+
+    /// A future that completes after `d` of simulated time.
+    pub fn sleep(&self, d: SimDuration) -> crate::sync::Sleep {
+        crate::sync::Sleep::start(self, d)
+    }
+
+    /// A future that completes at absolute time `at` (immediately if `at` has
+    /// passed).
+    pub fn sleep_until(&self, at: SimTime) -> crate::sync::Sleep {
+        let d = at.saturating_since(self.now());
+        crate::sync::Sleep::start(self, d)
+    }
+
+    /// Runs the simulation until both the event queue and the ready queue are
+    /// empty. Returns the final virtual time.
+    pub fn run(&self) -> SimTime {
+        self.run_inner(None)
+    }
+
+    /// Runs the simulation until `deadline` (events at exactly `deadline`
+    /// still fire). Returns the virtual time when the run stopped.
+    pub fn run_until(&self, deadline: SimTime) -> SimTime {
+        self.run_inner(Some(deadline))
+    }
+
+    /// Drives the world until `main` completes, then returns its output.
+    /// Other pending tasks/events are left in place and can be resumed with
+    /// further `run*` or `block_on` calls.
+    pub fn block_on<T: 'static>(&self, main: impl Future<Output = T> + 'static) -> T {
+        let done: Rc<Cell<bool>> = Rc::new(Cell::new(false));
+        let out: Rc<RefCell<Option<T>>> = Rc::new(RefCell::new(None));
+        {
+            let done = done.clone();
+            let out = out.clone();
+            self.spawn(async move {
+                let v = main.await;
+                *out.borrow_mut() = Some(v);
+                done.set(true);
+            });
+        }
+        while !done.get() {
+            if !self.step() {
+                panic!(
+                    "simulation deadlock: block_on future is pending but no events remain \
+                     (a task is waiting on something that will never happen)"
+                );
+            }
+        }
+        let v = out.borrow_mut().take();
+        v.expect("block_on output present")
+    }
+
+    /// Executes one unit of work (all currently-ready task polls, or one
+    /// event). Returns false when nothing remains.
+    fn step(&self) -> bool {
+        if self.drain_ready() {
+            return true;
+        }
+        let next = self.core.events.borrow_mut().pop();
+        match next {
+            Some(Reverse(ev)) => {
+                debug_assert!(ev.time >= self.core.now.get());
+                self.core.now.set(ev.time);
+                self.core.events_executed.set(self.core.events_executed.get() + 1);
+                (ev.action)();
+                self.drain_ready();
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn run_inner(&self, deadline: Option<SimTime>) -> SimTime {
+        loop {
+            if self.drain_ready() {
+                continue;
+            }
+            // Peek: respect the deadline without consuming the event.
+            let next_time = self.core.events.borrow().peek().map(|Reverse(e)| e.time);
+            match next_time {
+                Some(t) => {
+                    if let Some(d) = deadline {
+                        if t > d {
+                            self.core.now.set(d.max(self.core.now.get()));
+                            return self.now();
+                        }
+                    }
+                    let Reverse(ev) = self.core.events.borrow_mut().pop().expect("peeked");
+                    self.core.now.set(ev.time);
+                    self.core.events_executed.set(self.core.events_executed.get() + 1);
+                    (ev.action)();
+                }
+                None => {
+                    if let Some(d) = deadline {
+                        self.core.now.set(d.max(self.core.now.get()));
+                    }
+                    return self.now();
+                }
+            }
+        }
+    }
+
+    /// Polls every task currently in the ready queue. Returns true if any
+    /// task was polled.
+    fn drain_ready(&self) -> bool {
+        let mut any = false;
+        loop {
+            let id = match self.core.ready.lock().pop_front() {
+                Some(id) => id,
+                None => break,
+            };
+            // Take the future out of its slot so the tasks map is not
+            // borrowed while polling (a poll may spawn or wake other tasks).
+            let fut = match self.core.tasks.borrow_mut().get_mut(&id) {
+                Some(slot) => slot.take(),
+                None => None, // already finished; stale wake
+            };
+            let Some(mut fut) = fut else { continue };
+            any = true;
+            self.core.polls.set(self.core.polls.get() + 1);
+            let waker = Waker::from(Arc::new(SimWaker {
+                id,
+                ready: self.core.ready.clone(),
+            }));
+            let mut cx = Context::from_waker(&waker);
+            match fut.as_mut().poll(&mut cx) {
+                Poll::Ready(()) => {
+                    self.core.tasks.borrow_mut().remove(&id);
+                }
+                Poll::Pending => {
+                    if let Some(slot) = self.core.tasks.borrow_mut().get_mut(&id) {
+                        *slot = Some(fut);
+                    }
+                }
+            }
+        }
+        any
+    }
+
+    /// Number of events executed so far (diagnostics, determinism checks).
+    pub fn events_executed(&self) -> u64 {
+        self.core.events_executed.get()
+    }
+
+    /// Number of task polls so far (diagnostics, determinism checks).
+    pub fn task_polls(&self) -> u64 {
+        self.core.polls.get()
+    }
+
+    /// Number of tasks that have been spawned and not yet completed.
+    pub fn live_tasks(&self) -> usize {
+        self.core.tasks.borrow().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let sim = Sim::new(1);
+        let log: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+        for &d in &[30u64, 10, 20] {
+            let log = log.clone();
+            sim.schedule(SimDuration::from_nanos(d), move || log.borrow_mut().push(d));
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![10, 20, 30]);
+        assert_eq!(sim.now().as_nanos(), 30);
+    }
+
+    #[test]
+    fn same_instant_fires_in_scheduling_order() {
+        let sim = Sim::new(1);
+        let log: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..16u32 {
+            let log = log.clone();
+            sim.schedule(SimDuration::from_nanos(5), move || log.borrow_mut().push(i));
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_scheduling() {
+        let sim = Sim::new(1);
+        let log: Rc<RefCell<Vec<&'static str>>> = Rc::new(RefCell::new(Vec::new()));
+        {
+            let sim2 = sim.clone();
+            let log = log.clone();
+            sim.schedule(SimDuration::from_nanos(10), move || {
+                log.borrow_mut().push("outer");
+                let log = log.clone();
+                sim2.schedule(SimDuration::from_nanos(5), move || {
+                    log.borrow_mut().push("inner");
+                });
+            });
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec!["outer", "inner"]);
+        assert_eq!(sim.now().as_nanos(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule event in the past")]
+    fn scheduling_in_the_past_panics() {
+        let sim = Sim::new(1);
+        sim.schedule(SimDuration::from_nanos(100), {
+            let sim = sim.clone();
+            move || sim.schedule_at(SimTime::from_nanos(50), || {})
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn block_on_sleep_advances_clock() {
+        let sim = Sim::new(1);
+        let s = sim.clone();
+        sim.block_on(async move {
+            s.sleep(SimDuration::from_micros(7)).await;
+        });
+        assert_eq!(sim.now().as_nanos(), 7_000);
+    }
+
+    #[test]
+    fn spawn_and_join() {
+        let sim = Sim::new(1);
+        let s = sim.clone();
+        let got = sim.block_on(async move {
+            let inner = s.clone();
+            let h = s.spawn(async move {
+                inner.sleep(SimDuration::from_nanos(42)).await;
+                99u32
+            });
+            h.await
+        });
+        assert_eq!(got, 99);
+        assert_eq!(sim.now().as_nanos(), 42);
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let sim = Sim::new(1);
+        let hits: Rc<Cell<u32>> = Rc::new(Cell::new(0));
+        for d in [10u64, 20, 30, 40] {
+            let hits = hits.clone();
+            sim.schedule(SimDuration::from_nanos(d), move || hits.set(hits.get() + 1));
+        }
+        sim.run_until(SimTime::from_nanos(25));
+        assert_eq!(hits.get(), 2);
+        assert_eq!(sim.now().as_nanos(), 25);
+        sim.run();
+        assert_eq!(hits.get(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "simulation deadlock")]
+    fn block_on_detects_deadlock() {
+        let sim = Sim::new(1);
+        sim.block_on(async {
+            // A future that never resolves and has no event behind it.
+            std::future::pending::<()>().await;
+        });
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        fn run_once(seed: u64) -> (u64, u64, u64) {
+            let sim = Sim::new(seed);
+            let s = sim.clone();
+            sim.block_on(async move {
+                for _ in 0..50 {
+                    let jitter = s.with_rng(|r| r.gen_range_u64(1, 100));
+                    s.sleep(SimDuration::from_nanos(jitter)).await;
+                }
+            });
+            (sim.now().as_nanos(), sim.events_executed(), sim.task_polls())
+        }
+        assert_eq!(run_once(7), run_once(7));
+        // A different seed should (overwhelmingly likely) produce a
+        // different finishing time.
+        assert_ne!(run_once(7).0, run_once(8).0);
+    }
+
+    #[test]
+    fn many_tasks_interleave_deterministically() {
+        let sim = Sim::new(3);
+        let log: Rc<RefCell<Vec<(u32, u64)>>> = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..8u32 {
+            let s = sim.clone();
+            let log = log.clone();
+            sim.spawn(async move {
+                for step in 0..4u64 {
+                    s.sleep(SimDuration::from_nanos(10 * (i as u64 + 1))).await;
+                    log.borrow_mut().push((i, step));
+                }
+            });
+        }
+        sim.run();
+        let first = log.borrow().clone();
+
+        let sim2 = Sim::new(3);
+        let log2: Rc<RefCell<Vec<(u32, u64)>>> = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..8u32 {
+            let s = sim2.clone();
+            let log = log2.clone();
+            sim2.spawn(async move {
+                for step in 0..4u64 {
+                    s.sleep(SimDuration::from_nanos(10 * (i as u64 + 1))).await;
+                    log.borrow_mut().push((i, step));
+                }
+            });
+        }
+        sim2.run();
+        assert_eq!(first, *log2.borrow());
+    }
+}

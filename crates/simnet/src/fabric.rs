@@ -1,0 +1,377 @@
+//! Nodes, networks, and message delivery.
+//!
+//! A [`Cluster`] instantiates one of the paper's testbeds: a set of compute
+//! nodes, each with a kernel network-processing resource and an InfiniBand
+//! HCA pipeline, joined by up to three physical networks (IB, 10GigE,
+//! 1GigE). [`Network::transmit`] is the only way bytes move between nodes;
+//! it models egress serialization, propagation, and ingress occupancy, and
+//! fires a delivery closure at the computed arrival instant. Everything
+//! above (verbs, sockets, UCR, Memcached) is protocol logic layered on this
+//! one primitive.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::engine::Sim;
+use crate::profiles::{ClusterProfile, NetKind};
+use crate::resource::FifoResource;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a compute node within a cluster.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Per-node shared hardware: the kernel's network-processing pipeline (the
+/// resource socket stacks saturate) and the HCA work-request pipeline (the
+/// resource verbs traffic saturates).
+pub struct Node {
+    /// This node's identifier.
+    pub id: NodeId,
+    /// Kernel protocol-processing occupancy (softirq, socket buffers). All
+    /// byte-stream transports on this node contend here. Verbs bypasses it.
+    pub kernel: FifoResource,
+    /// HCA work-request pipeline. Reciprocal of per-WQE occupancy is the
+    /// adapter message rate.
+    pub hca: FifoResource,
+}
+
+struct Port {
+    egress: FifoResource,
+    ingress: FifoResource,
+}
+
+/// A recorded transfer (tracing enabled via [`Network::set_trace`]).
+#[derive(Clone, Copy, Debug)]
+pub struct Transfer {
+    /// Sender.
+    pub src: NodeId,
+    /// Receiver.
+    pub dst: NodeId,
+    /// Payload + protocol bytes on the wire.
+    pub bytes: u64,
+    /// When the transfer was handed to the network.
+    pub start: SimTime,
+    /// When the last bit arrived.
+    pub delivered: SimTime,
+}
+
+/// One physical network: a full-duplex port per node plus a switch.
+pub struct Network {
+    kind: NetKind,
+    bits_per_sec: u64,
+    propagation: SimDuration,
+    mtu: u32,
+    ports: Vec<Port>,
+    trace: std::cell::RefCell<Option<Vec<Transfer>>>,
+}
+
+impl Network {
+    fn new(kind: NetKind, link: &crate::profiles::LinkProfile, nodes: u32) -> Network {
+        let ports = (0..nodes)
+            .map(|_| Port {
+                egress: FifoResource::new(match kind {
+                    NetKind::Ib => "ib.egress",
+                    NetKind::TenGigE => "10ge.egress",
+                    NetKind::OneGigE => "1ge.egress",
+                }),
+                ingress: FifoResource::new(match kind {
+                    NetKind::Ib => "ib.ingress",
+                    NetKind::TenGigE => "10ge.ingress",
+                    NetKind::OneGigE => "1ge.ingress",
+                }),
+            })
+            .collect();
+        Network {
+            kind,
+            bits_per_sec: link.bits_per_sec,
+            propagation: link.propagation,
+            mtu: link.mtu,
+            ports,
+            trace: std::cell::RefCell::new(None),
+        }
+    }
+
+    /// Enables (or disables) transfer tracing. Tracing records every
+    /// message crossing this network — protocol-efficiency tests assert
+    /// on the counts (e.g. a UCR eager get is exactly two IB messages).
+    pub fn set_trace(&self, on: bool) {
+        *self.trace.borrow_mut() = on.then(Vec::new);
+    }
+
+    /// Drains and returns the recorded transfers.
+    pub fn take_trace(&self) -> Vec<Transfer> {
+        self.trace
+            .borrow_mut()
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
+    }
+
+    /// Which physical network this is.
+    pub fn kind(&self) -> NetKind {
+        self.kind
+    }
+
+    /// Link MTU in bytes.
+    pub fn mtu(&self) -> u32 {
+        self.mtu
+    }
+
+    /// One-way propagation delay (cable + switch).
+    pub fn propagation(&self) -> SimDuration {
+        self.propagation
+    }
+
+    /// Serialization time for `bytes` on this link.
+    pub fn ser_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::for_bytes_at(bytes, self.bits_per_sec)
+    }
+
+    /// Moves `bytes` from `src` to `dst`, beginning no earlier than `start`,
+    /// and returns the delivery instant. `deliver` fires at that instant.
+    ///
+    /// Model: the message occupies the sender's egress port for its
+    /// serialization time (FIFO with earlier traffic); the first bit reaches
+    /// the receiver one propagation delay after egress *starts*; the
+    /// receiver's ingress port is then occupied for the serialization time
+    /// (cut-through, so an uncontended transfer costs `ser + propagation`
+    /// once, not twice, while ingress contention still queues).
+    pub fn transmit(
+        &self,
+        sim: &Sim,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        start: SimTime,
+        deliver: impl FnOnce() + 'static,
+    ) -> SimTime {
+        assert_ne!(src, dst, "loopback does not traverse the network");
+        let ser = self.ser_time(bytes);
+        let egress_done = self.ports[src.0 as usize].egress.occupy_from(start, ser);
+        let egress_start = egress_done - ser;
+        let arrival_start = egress_start + self.propagation;
+        let delivered = self.ports[dst.0 as usize]
+            .ingress
+            .occupy_from(arrival_start, ser);
+        // The ingress port cannot finish before the last bit left the wire.
+        let delivered = delivered.max(egress_done + self.propagation);
+        if let Some(t) = self.trace.borrow_mut().as_mut() {
+            t.push(Transfer {
+                src,
+                dst,
+                bytes,
+                start,
+                delivered,
+            });
+        }
+        sim.schedule_at(delivered, deliver);
+        delivered
+    }
+
+    /// Number of messages delivered into `dst` so far (diagnostics).
+    pub fn ingress_jobs(&self, dst: NodeId) -> u64 {
+        self.ports[dst.0 as usize].ingress.jobs()
+    }
+
+    /// Utilization of a node's egress port (diagnostics).
+    pub fn egress_utilization(&self, src: NodeId, now: SimTime) -> f64 {
+        self.ports[src.0 as usize].egress.utilization(now)
+    }
+}
+
+/// A simulated testbed: the event engine plus nodes and networks built from
+/// a [`ClusterProfile`].
+pub struct Cluster {
+    sim: Sim,
+    profile: ClusterProfile,
+    nodes: Vec<Rc<Node>>,
+    networks: HashMap<NetKind, Rc<Network>>,
+}
+
+impl Cluster {
+    /// Builds a cluster with `nodes` nodes from `profile` (capped at the
+    /// profile's node count) on a fresh simulation world.
+    pub fn new(sim: Sim, profile: ClusterProfile, nodes: u32) -> Cluster {
+        assert!(nodes >= 2, "a cluster needs at least a client and a server");
+        let n = nodes.min(profile.nodes);
+        let node_list = (0..n)
+            .map(|i| {
+                Rc::new(Node {
+                    id: NodeId(i),
+                    kernel: FifoResource::new("kernel"),
+                    hca: FifoResource::new("hca"),
+                })
+            })
+            .collect();
+        let mut networks = HashMap::new();
+        networks.insert(
+            NetKind::Ib,
+            Rc::new(Network::new(NetKind::Ib, &profile.ib, n)),
+        );
+        if let Some(l) = &profile.tengige {
+            networks.insert(NetKind::TenGigE, Rc::new(Network::new(NetKind::TenGigE, l, n)));
+        }
+        if let Some(l) = &profile.onegige {
+            networks.insert(NetKind::OneGigE, Rc::new(Network::new(NetKind::OneGigE, l, n)));
+        }
+        Cluster {
+            sim,
+            profile,
+            nodes: node_list,
+            networks,
+        }
+    }
+
+    /// Convenience: Cluster A with a fresh simulation.
+    pub fn cluster_a(seed: u64, nodes: u32) -> Cluster {
+        Cluster::new(Sim::new(seed), ClusterProfile::cluster_a(), nodes)
+    }
+
+    /// Convenience: Cluster B with a fresh simulation.
+    pub fn cluster_b(seed: u64, nodes: u32) -> Cluster {
+        Cluster::new(Sim::new(seed), ClusterProfile::cluster_b(), nodes)
+    }
+
+    /// The simulation world.
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// The hardware/cost profile.
+    pub fn profile(&self) -> &ClusterProfile {
+        &self.profile
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> u32 {
+        self.nodes.len() as u32
+    }
+
+    /// True if the cluster has no nodes (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Shared per-node hardware.
+    pub fn node(&self, id: NodeId) -> &Rc<Node> {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// A physical network, if this cluster has it.
+    pub fn network(&self, kind: NetKind) -> Option<&Rc<Network>> {
+        self.networks.get(&kind)
+    }
+
+    /// The InfiniBand network (always present).
+    pub fn ib(&self) -> &Rc<Network> {
+        &self.networks[&NetKind::Ib]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::Stack;
+    use std::cell::Cell;
+
+    fn small_cluster() -> Cluster {
+        Cluster::cluster_a(1, 4)
+    }
+
+    #[test]
+    fn uncontended_transfer_is_ser_plus_prop() {
+        let c = small_cluster();
+        let ib = c.ib().clone();
+        let delivered = ib.transmit(c.sim(), NodeId(0), NodeId(1), 0, SimTime::ZERO, || {});
+        // Zero bytes: pure propagation.
+        assert_eq!(delivered.as_nanos(), ib_prop_ns(&c));
+        let t0 = c.sim().now();
+        let d2 = ib.transmit(c.sim(), NodeId(2), NodeId(3), 1024, t0, || {});
+        let expect = ib.ser_time(1024) + crate::profiles::ClusterProfile::cluster_a().ib.propagation;
+        assert_eq!(d2, t0 + expect);
+    }
+
+    fn ib_prop_ns(c: &Cluster) -> u64 {
+        c.profile().ib.propagation.as_nanos()
+    }
+
+    #[test]
+    fn egress_contention_queues_in_fifo_order() {
+        let c = small_cluster();
+        let ib = c.ib().clone();
+        let d1 = ib.transmit(c.sim(), NodeId(0), NodeId(1), 100_000, SimTime::ZERO, || {});
+        let d2 = ib.transmit(c.sim(), NodeId(0), NodeId(2), 100_000, SimTime::ZERO, || {});
+        // Second transfer waits for the first to clear the egress port.
+        assert!(d2 > d1);
+        let ser = ib.ser_time(100_000);
+        assert_eq!(d2 - d1, ser);
+    }
+
+    #[test]
+    fn ingress_contention_at_a_hot_receiver() {
+        let c = small_cluster();
+        let ib = c.ib().clone();
+        // Two different senders target node 3 simultaneously.
+        let d1 = ib.transmit(c.sim(), NodeId(0), NodeId(3), 50_000, SimTime::ZERO, || {});
+        let d2 = ib.transmit(c.sim(), NodeId(1), NodeId(3), 50_000, SimTime::ZERO, || {});
+        assert!(d2 > d1, "receiver ingress must serialize concurrent senders");
+    }
+
+    #[test]
+    fn delivery_callback_fires_at_delivery_time() {
+        let c = small_cluster();
+        let ib = c.ib().clone();
+        let hit: Rc<Cell<Option<SimTime>>> = Rc::new(Cell::new(None));
+        let hit2 = hit.clone();
+        let sim2 = c.sim().clone();
+        let expected = ib.transmit(c.sim(), NodeId(0), NodeId(1), 4096, SimTime::ZERO, move || {
+            hit2.set(Some(sim2.now()));
+        });
+        c.sim().run();
+        assert_eq!(hit.get(), Some(expected));
+    }
+
+    #[test]
+    #[should_panic(expected = "loopback")]
+    fn loopback_is_rejected() {
+        let c = small_cluster();
+        let ib = c.ib().clone();
+        ib.transmit(c.sim(), NodeId(0), NodeId(0), 1, SimTime::ZERO, || {});
+    }
+
+    #[test]
+    fn cluster_b_has_no_ethernet_networks() {
+        let c = Cluster::cluster_b(1, 4);
+        assert!(c.network(NetKind::Ib).is_some());
+        assert!(c.network(NetKind::TenGigE).is_none());
+        assert!(c.network(NetKind::OneGigE).is_none());
+        assert!(!c.profile().supports(Stack::TenGigEToe));
+    }
+
+    #[test]
+    fn node_count_capped_by_profile() {
+        let c = Cluster::cluster_a(1, 1000);
+        assert_eq!(c.len(), 64);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn bandwidth_shapes_transfer_time() {
+        // The same 64 KB transfer is faster on QDR (cluster B) than DDR (A).
+        let a = Cluster::cluster_a(1, 2);
+        let b = Cluster::cluster_b(1, 2);
+        let da = a
+            .ib()
+            .transmit(a.sim(), NodeId(0), NodeId(1), 65536, SimTime::ZERO, || {});
+        let db = b
+            .ib()
+            .transmit(b.sim(), NodeId(0), NodeId(1), 65536, SimTime::ZERO, || {});
+        assert!(db < da);
+    }
+}

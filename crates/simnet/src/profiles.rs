@@ -1,0 +1,538 @@
+//! Calibrated hardware and protocol-stack cost profiles.
+//!
+//! The paper evaluates on two clusters (§VI-A):
+//!
+//! * **Cluster A** — Intel Clovertown (2× quad-core Xeon 2.33 GHz, 6 GB),
+//!   PCIe 1.1, ConnectX **DDR** HCAs (16 Gb/s signal rate) on a SilverStorm
+//!   DDR switch, plus Chelsio T320 **10GigE** NICs with TCP offload on a
+//!   Fulcrum FocalPoint switch, plus onboard 1GigE.
+//! * **Cluster B** — Intel Westmere (2× quad-core Xeon 2.67 GHz, 12 GB),
+//!   PCIe Gen2, MT26428 ConnectX **QDR** HCAs (32 Gb/s) on a Mellanox QDR
+//!   switch. No 10GigE cards.
+//!
+//! Constants below are calibrated so the simulation lands on the paper's
+//! *stated absolute numbers* where it states them, and on period-typical
+//! microbenchmarks elsewhere:
+//!
+//! * verbs one-way small-message latency 1–2 µs (MVAPICH, §I);
+//! * Memcached `get` of 4 KB ≈ **12 µs** on QDR and ≈ **20 µs** on DDR (§VI);
+//! * UCR ≥ 4× faster than 10GigE-TOE at all sizes (§VI-B);
+//! * UCR 5–10× faster than IPoIB/SDP across sizes (§VI, §VII);
+//! * small-`get` throughput: UCR ≈ 6× 10GigE-TOE on A, ≈ 6× SDP on B,
+//!   ≈ 1.8 M transactions/s at 4 B with 16 clients on QDR (§VI-D);
+//! * on Cluster B, SDP shows jitter and slightly *worse* results than IPoIB
+//!   (the paper attributes this to an SDP implementation artifact on QDR).
+//!
+//! Per-stack costs decompose into: application-side per-message CPU
+//! (syscall, wakeup), kernel per-message occupancy (protocol processing on a
+//! shared FIFO resource → this is what saturates in Figure 6), a per-KB
+//! data-path cost charged on the receiving node's kernel resource (byte
+//! stream re-framing, socket buffer copies), link serialization, and
+//! propagation. Verbs traffic bypasses the kernel entirely: it pays only
+//! HCA pipeline occupancy and link time — the OS-bypass the paper leverages.
+
+use crate::time::SimDuration;
+
+/// Microseconds → `SimDuration`, for readable constant tables.
+fn us(x: f64) -> SimDuration {
+    SimDuration::from_micros_f64(x)
+}
+
+/// Which physical network a message travels on.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum NetKind {
+    /// InfiniBand fabric (DDR on Cluster A, QDR on Cluster B).
+    Ib,
+    /// 10 Gigabit Ethernet (Cluster A only).
+    TenGigE,
+    /// Onboard 1 Gigabit Ethernet (Cluster A only).
+    OneGigE,
+}
+
+/// The five transports of the paper's evaluation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Stack {
+    /// UCR over InfiniBand verbs (the paper's design).
+    Ucr,
+    /// Sockets Direct Protocol over IB, buffered-copy mode (zero-copy off,
+    /// as in the paper — the OFED zcopy mode did not work in non-blocking
+    /// mode and crashed Memcached, §VI).
+    Sdp,
+    /// IP-over-InfiniBand, connected mode.
+    Ipoib,
+    /// 10GigE with TCP offload engine (Chelsio T320).
+    TenGigEToe,
+    /// Plain kernel TCP over 1GigE.
+    OneGigE,
+}
+
+impl Stack {
+    /// All transports, in the paper's plotting order.
+    pub const ALL: [Stack; 5] = [
+        Stack::Ucr,
+        Stack::Sdp,
+        Stack::Ipoib,
+        Stack::TenGigEToe,
+        Stack::OneGigE,
+    ];
+
+    /// The physical network this transport runs on.
+    pub fn net(self) -> NetKind {
+        match self {
+            Stack::Ucr | Stack::Sdp | Stack::Ipoib => NetKind::Ib,
+            Stack::TenGigEToe => NetKind::TenGigE,
+            Stack::OneGigE => NetKind::OneGigE,
+        }
+    }
+
+    /// Label used in figure output (matches the paper's legends).
+    pub fn label(self) -> &'static str {
+        match self {
+            Stack::Ucr => "UCR",
+            Stack::Sdp => "SDP",
+            Stack::Ipoib => "IPoIB",
+            Stack::TenGigEToe => "10GigE-TOE",
+            Stack::OneGigE => "1GigE",
+        }
+    }
+
+    /// True for the byte-stream (sockets) transports.
+    pub fn is_sockets(self) -> bool {
+        !matches!(self, Stack::Ucr)
+    }
+}
+
+/// A physical link (host ↔ switch ↔ host path).
+#[derive(Clone, Copy, Debug)]
+pub struct LinkProfile {
+    /// Effective data bandwidth in bits per second (signal rate minus
+    /// encoding and PCIe ceiling — e.g. DDR 16 Gb/s signal ≈ 10.4 Gb/s
+    /// effective through PCIe 1.1).
+    pub bits_per_sec: u64,
+    /// One-way propagation: cable + switch forwarding.
+    pub propagation: SimDuration,
+    /// Maximum transmission unit (drives per-segment costs in socket
+    /// stacks; verbs messages are not segmented at this layer).
+    pub mtu: u32,
+}
+
+impl LinkProfile {
+    /// Serialization time for `bytes` at this link's effective bandwidth.
+    pub fn ser_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::for_bytes_at(bytes, self.bits_per_sec)
+    }
+}
+
+/// Verbs/HCA cost model (latency-path CPU costs are charged on the calling
+/// task; `hca_msg` is shared-pipeline occupancy per work request).
+#[derive(Clone, Copy, Debug)]
+pub struct VerbsProfile {
+    /// CPU cost to build a WQE and ring the doorbell.
+    pub post_overhead: SimDuration,
+    /// CPU cost to reap one completion from a CQ (polling).
+    pub poll_overhead: SimDuration,
+    /// HCA pipeline occupancy per work request (send, recv, or RDMA op).
+    /// The reciprocal is the adapter's message rate — the Figure 6
+    /// bottleneck for UCR.
+    pub hca_msg: SimDuration,
+    /// Extra HCA latency for servicing an inbound RDMA read (target side,
+    /// no CPU involvement — that is the point of RDMA).
+    pub rdma_target: SimDuration,
+}
+
+/// Host-side costs of the Memcached server & UCR data path.
+#[derive(Clone, Copy, Debug)]
+pub struct HostProfile {
+    /// memcpy bandwidth for staging copies (eager path), bytes/s.
+    pub copy_bw_bps: u64,
+    /// Hash-table lookup + item bookkeeping in the server.
+    pub hash_lookup: SimDuration,
+    /// Fixed per-request worker-thread cost (dispatch, request parse).
+    pub worker_fixed: SimDuration,
+    /// UCR active-message dispatch (header-handler invocation).
+    pub am_dispatch: SimDuration,
+    /// Calibration: extra per-KB host cost on the UCR *eager* path
+    /// (buffer management, protocol framing), µs/KB, split across ends.
+    pub ucr_eager_per_kb_us: f64,
+    /// Per-KB host cost on the UCR *rendezvous* (zero-copy RDMA) path.
+    pub ucr_rdma_per_kb_us: f64,
+}
+
+/// Occasional latency spikes (models the SDP-on-QDR artifact of §VI-B).
+#[derive(Clone, Copy, Debug)]
+pub struct JitterProfile {
+    /// Probability a given message picks up a spike.
+    pub prob: f64,
+    /// Mean of the (exponential) spike magnitude.
+    pub mean: SimDuration,
+}
+
+/// Cost model for one byte-stream transport.
+#[derive(Clone, Copy, Debug)]
+pub struct SocketStackProfile {
+    /// Which transport this profile describes.
+    pub stack: Stack,
+    /// Application-side per-message send cost (syscall, copy into socket).
+    pub app_send: SimDuration,
+    /// Application-side per-message receive cost (wakeup, copy out).
+    pub app_recv: SimDuration,
+    /// Kernel (or offload-engine) occupancy per sent message on the
+    /// sending node's shared network-processing resource.
+    pub kernel_send: SimDuration,
+    /// Kernel occupancy per received message on the receiving node.
+    pub kernel_recv: SimDuration,
+    /// Data-path cost for payloads up to `pipeline_threshold`, µs/KB,
+    /// charged on the receiving node's kernel resource. Dominated by
+    /// per-segment interrupts and buffer copies before pipelining kicks in.
+    pub per_kb_small_us: f64,
+    /// Data-path cost beyond the pipeline threshold, µs/KB (bulk regime).
+    pub per_kb_bulk_us: f64,
+    /// Crossover between the two data-path regimes, bytes.
+    pub pipeline_threshold: u64,
+    /// Latency spikes, if this stack exhibits them on this cluster.
+    pub jitter: Option<JitterProfile>,
+}
+
+impl SocketStackProfile {
+    /// Kernel data-path occupancy for a `bytes`-byte payload: the small-
+    /// regime rate up to the pipeline threshold, the bulk rate beyond it.
+    pub fn data_path_cost(&self, bytes: u64) -> SimDuration {
+        let small = bytes.min(self.pipeline_threshold) as f64;
+        let bulk = bytes.saturating_sub(self.pipeline_threshold) as f64;
+        us((small * self.per_kb_small_us + bulk * self.per_kb_bulk_us) / 1024.0)
+    }
+}
+
+/// Everything the simulation needs to know about one testbed.
+#[derive(Clone, Debug)]
+pub struct ClusterProfile {
+    /// "Cluster A" / "Cluster B", as in the paper.
+    pub name: &'static str,
+    /// Number of compute nodes available.
+    pub nodes: u32,
+    /// InfiniBand link (always present).
+    pub ib: LinkProfile,
+    /// 10GigE link, if the cluster has the cards (A only).
+    pub tengige: Option<LinkProfile>,
+    /// 1GigE link, if modeled (A only).
+    pub onegige: Option<LinkProfile>,
+    /// Verbs/HCA cost model (InfiniBand).
+    pub verbs: VerbsProfile,
+    /// Verbs-over-Converged-Ethernet cost model, where the cluster's
+    /// Ethernet adapters support it (paper SVII future work; SII-B
+    /// "Convergence of Fabrics"). RoCE keeps verbs semantics and
+    /// OS-bypass but pays Ethernet propagation and slightly higher
+    /// adapter costs than native IB.
+    pub roce: Option<VerbsProfile>,
+    /// Host-side (CPU, memcpy) cost model.
+    pub host: HostProfile,
+    /// Socket-transport cost models present on this cluster.
+    stacks: [Option<SocketStackProfile>; 4],
+}
+
+fn stack_slot(s: Stack) -> usize {
+    match s {
+        Stack::Sdp => 0,
+        Stack::Ipoib => 1,
+        Stack::TenGigEToe => 2,
+        Stack::OneGigE => 3,
+        Stack::Ucr => panic!("UCR is not a socket stack"),
+    }
+}
+
+impl ClusterProfile {
+    /// Cost model for a socket transport; `None` if the cluster lacks the
+    /// hardware (e.g. 10GigE on Cluster B) or `Ucr` is asked for.
+    pub fn socket_stack(&self, s: Stack) -> Option<&SocketStackProfile> {
+        if s == Stack::Ucr {
+            return None;
+        }
+        self.stacks[stack_slot(s)].as_ref()
+    }
+
+    /// True if this transport can run on this cluster.
+    pub fn supports(&self, s: Stack) -> bool {
+        s == Stack::Ucr || self.socket_stack(s).is_some()
+    }
+
+    /// The link profile for a physical network, if present.
+    pub fn link(&self, net: NetKind) -> Option<&LinkProfile> {
+        match net {
+            NetKind::Ib => Some(&self.ib),
+            NetKind::TenGigE => self.tengige.as_ref(),
+            NetKind::OneGigE => self.onegige.as_ref(),
+        }
+    }
+
+    /// The verbs cost model usable on a physical network: native IB on
+    /// the IB fabric, RoCE (if the adapters support it) on 10GigE.
+    pub fn verbs_for(&self, net: NetKind) -> Option<VerbsProfile> {
+        match net {
+            NetKind::Ib => Some(self.verbs),
+            NetKind::TenGigE => self.roce,
+            NetKind::OneGigE => None,
+        }
+    }
+
+    /// UCR per-KB host cost for an eager transfer (µs/KB → duration).
+    pub fn ucr_eager_cost(&self, bytes: u64) -> SimDuration {
+        us(bytes as f64 * self.host.ucr_eager_per_kb_us / 1024.0)
+    }
+
+    /// UCR per-KB host cost on the zero-copy rendezvous path.
+    pub fn ucr_rdma_cost(&self, bytes: u64) -> SimDuration {
+        us(bytes as f64 * self.host.ucr_rdma_per_kb_us / 1024.0)
+    }
+
+    /// Cluster A: Clovertown + ConnectX DDR + Chelsio 10GigE-TOE + 1GigE.
+    pub fn cluster_a() -> ClusterProfile {
+        let ib = LinkProfile {
+            // DDR 16 Gb/s signal, 8b/10b encoding and PCIe 1.1 x8 ceiling
+            // → ~10.4 Gb/s effective (1.3 GB/s), the MVAPICH-era measured
+            // unidirectional bandwidth for ConnectX DDR.
+            bits_per_sec: 10_400_000_000,
+            propagation: us(0.6),
+            mtu: 2048,
+        };
+        ClusterProfile {
+            name: "Cluster A (Clovertown, ConnectX DDR, PCIe 1.1)",
+            nodes: 64,
+            ib,
+            tengige: Some(LinkProfile {
+                bits_per_sec: 9_500_000_000,
+                propagation: us(2.5),
+                mtu: 1500,
+            }),
+            onegige: Some(LinkProfile {
+                bits_per_sec: 940_000_000,
+                propagation: us(4.0),
+                mtu: 1500,
+            }),
+            verbs: VerbsProfile {
+                post_overhead: us(0.30),
+                poll_overhead: us(0.22),
+                hca_msg: us(0.40),
+                rdma_target: us(0.40),
+            },
+            // RoCE on the 10GigE adapters: verbs semantics, OS-bypass,
+            // but Ethernet switch latency and a slightly slower RDMA
+            // engine than the native DDR HCA (per the RDMA-over-Ethernet
+            // study the paper cites, ref [13]).
+            roce: Some(VerbsProfile {
+                post_overhead: us(0.30),
+                poll_overhead: us(0.22),
+                hca_msg: us(0.55),
+                rdma_target: us(0.55),
+            }),
+            host: HostProfile {
+                copy_bw_bps: 16_000_000_000, // ~2 GB/s memcpy on Clovertown
+                hash_lookup: us(0.40),
+                worker_fixed: us(0.50),
+                am_dispatch: us(0.25),
+                // Calibrated so a 4 KB eager get lands at ≈ 20 µs (§VI).
+                ucr_eager_per_kb_us: 1.90,
+                ucr_rdma_per_kb_us: 0.30,
+            },
+            stacks: [
+                // SDP on DDR: OS-bypass but byte-stream semantics; ~8×
+                // slower than UCR for small messages, ~5× for large.
+                Some(SocketStackProfile {
+                    stack: Stack::Sdp,
+                    app_send: us(4.8),
+                    app_recv: us(6.4),
+                    kernel_send: us(3.1),
+                    kernel_recv: us(4.2),
+                    per_kb_small_us: 27.0,
+                    per_kb_bulk_us: 3.8,
+                    pipeline_threshold: 16 * 1024,
+                    jitter: None,
+                }),
+                // IPoIB connected mode on DDR: full kernel TCP/IP path.
+                Some(SocketStackProfile {
+                    stack: Stack::Ipoib,
+                    app_send: us(5.5),
+                    app_recv: us(7.3),
+                    kernel_send: us(3.2),
+                    kernel_recv: us(4.3),
+                    per_kb_small_us: 28.0,
+                    per_kb_bulk_us: 4.2,
+                    pipeline_threshold: 16 * 1024,
+                    jitter: None,
+                }),
+                // Chelsio TOE: hardware TCP, lowest sockets latency.
+                Some(SocketStackProfile {
+                    stack: Stack::TenGigEToe,
+                    app_send: us(1.5),
+                    app_recv: us(1.9),
+                    kernel_send: us(2.0),
+                    kernel_recv: us(2.8),
+                    per_kb_small_us: 13.2,
+                    per_kb_bulk_us: 3.2,
+                    pipeline_threshold: 16 * 1024,
+                    jitter: None,
+                }),
+                // Onboard 1GigE, plain kernel TCP.
+                Some(SocketStackProfile {
+                    stack: Stack::OneGigE,
+                    app_send: us(9.0),
+                    app_recv: us(12.0),
+                    kernel_send: us(5.0),
+                    kernel_recv: us(7.0),
+                    per_kb_small_us: 20.0,
+                    per_kb_bulk_us: 1.5, // wire (8 µs/KB) dominates bulk
+                    pipeline_threshold: 16 * 1024,
+                    jitter: None,
+                }),
+            ],
+        }
+    }
+
+    /// Cluster B: Westmere + ConnectX QDR, PCIe Gen2. No 10GigE/1GigE runs
+    /// in the paper.
+    pub fn cluster_b() -> ClusterProfile {
+        let ib = LinkProfile {
+            // QDR 32 Gb/s signal → ~25.6 Gb/s (3.2 GB/s) effective through
+            // PCIe Gen2 x8.
+            bits_per_sec: 25_600_000_000,
+            propagation: us(0.5),
+            mtu: 2048,
+        };
+        ClusterProfile {
+            name: "Cluster B (Westmere, ConnectX QDR, PCIe Gen2)",
+            nodes: 144,
+            ib,
+            tengige: None,
+            onegige: None,
+            verbs: VerbsProfile {
+                post_overhead: us(0.25),
+                poll_overhead: us(0.15),
+                hca_msg: us(0.28),
+                rdma_target: us(0.30),
+            },
+            roce: None, // no Ethernet adapters on Cluster B
+            host: HostProfile {
+                copy_bw_bps: 22_400_000_000, // ~2.8 GB/s memcpy on Westmere
+                hash_lookup: us(0.30),
+                worker_fixed: us(0.30),
+                am_dispatch: us(0.15),
+                // Calibrated so a 4 KB eager get lands at ≈ 12 µs (§VI).
+                ucr_eager_per_kb_us: 1.05,
+                ucr_rdma_per_kb_us: 0.20,
+            },
+            stacks: [
+                // SDP on QDR: the paper found it noisy and slightly worse
+                // than IPoIB — "an implementation artifact of SDP on QDR
+                // adapters". Modeled as added exponential spikes.
+                Some(SocketStackProfile {
+                    stack: Stack::Sdp,
+                    app_send: us(6.7),
+                    app_recv: us(8.7),
+                    kernel_send: us(1.4),
+                    kernel_recv: us(1.9),
+                    per_kb_small_us: 21.0,
+                    per_kb_bulk_us: 0.7,
+                    pipeline_threshold: 16 * 1024,
+                    jitter: Some(JitterProfile {
+                        prob: 0.35,
+                        mean: us(10.0),
+                    }),
+                }),
+                Some(SocketStackProfile {
+                    stack: Stack::Ipoib,
+                    app_send: us(6.2),
+                    app_recv: us(8.0),
+                    kernel_send: us(1.3),
+                    kernel_recv: us(1.7),
+                    per_kb_small_us: 20.0,
+                    per_kb_bulk_us: 0.6,
+                    pipeline_threshold: 16 * 1024,
+                    jitter: None,
+                }),
+                None, // no 10GigE cards on Cluster B (§VI-B)
+                None, // 1GigE not evaluated on Cluster B
+            ],
+        }
+    }
+}
+
+/// UCR's eager/rendezvous switch point: one 8 KB network buffer (§V,
+/// "Note on Small Set/Get operations").
+pub const UCR_EAGER_THRESHOLD: usize = 8 * 1024;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_a_has_all_five_transports() {
+        let a = ClusterProfile::cluster_a();
+        for s in Stack::ALL {
+            assert!(a.supports(s), "cluster A should support {s:?}");
+        }
+    }
+
+    #[test]
+    fn cluster_b_lacks_ethernet() {
+        let b = ClusterProfile::cluster_b();
+        assert!(b.supports(Stack::Ucr));
+        assert!(b.supports(Stack::Sdp));
+        assert!(b.supports(Stack::Ipoib));
+        assert!(!b.supports(Stack::TenGigEToe));
+        assert!(!b.supports(Stack::OneGigE));
+        assert!(b.link(NetKind::TenGigE).is_none());
+    }
+
+    #[test]
+    fn qdr_is_faster_than_ddr() {
+        let a = ClusterProfile::cluster_a();
+        let b = ClusterProfile::cluster_b();
+        assert!(b.ib.bits_per_sec > a.ib.bits_per_sec);
+        assert!(b.verbs.hca_msg < a.verbs.hca_msg);
+        // 4 KB moves faster on QDR.
+        assert!(b.ib.ser_time(4096) < a.ib.ser_time(4096));
+    }
+
+    #[test]
+    fn stack_net_mapping() {
+        assert_eq!(Stack::Ucr.net(), NetKind::Ib);
+        assert_eq!(Stack::Sdp.net(), NetKind::Ib);
+        assert_eq!(Stack::Ipoib.net(), NetKind::Ib);
+        assert_eq!(Stack::TenGigEToe.net(), NetKind::TenGigE);
+        assert_eq!(Stack::OneGigE.net(), NetKind::OneGigE);
+        assert!(!Stack::Ucr.is_sockets());
+        assert!(Stack::Sdp.is_sockets());
+    }
+
+    #[test]
+    fn data_path_cost_regimes() {
+        let a = ClusterProfile::cluster_a();
+        let toe = a.socket_stack(Stack::TenGigEToe).unwrap();
+        let small = toe.data_path_cost(1024);
+        let at_threshold = toe.data_path_cost(16 * 1024);
+        let past = toe.data_path_cost(32 * 1024);
+        // Linear in the small regime.
+        assert_eq!(small.as_nanos() * 16, at_threshold.as_nanos());
+        // Bulk regime is cheaper per byte.
+        let bulk_extra = past - at_threshold;
+        assert!(bulk_extra < at_threshold);
+    }
+
+    #[test]
+    fn sdp_jitter_only_on_cluster_b() {
+        let a = ClusterProfile::cluster_a();
+        let b = ClusterProfile::cluster_b();
+        assert!(a.socket_stack(Stack::Sdp).unwrap().jitter.is_none());
+        assert!(b.socket_stack(Stack::Sdp).unwrap().jitter.is_some());
+    }
+
+    #[test]
+    fn eager_threshold_is_the_papers_8kb_buffer() {
+        assert_eq!(UCR_EAGER_THRESHOLD, 8192);
+    }
+
+    #[test]
+    #[should_panic(expected = "UCR is not a socket stack")]
+    fn ucr_stack_slot_panics() {
+        stack_slot(Stack::Ucr);
+    }
+}

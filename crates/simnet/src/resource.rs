@@ -1,0 +1,152 @@
+//! FIFO occupancy resources — the contention model.
+//!
+//! Links, host-channel-adapter pipelines, and kernel network processing are
+//! all modeled as first-come-first-served serial resources: a request
+//! occupies the resource for a service duration, starting no earlier than the
+//! instant the previous request finished. This is the standard M/G/1-style
+//! occupancy bookkeeping used in network simulators: it needs no task
+//! scheduling (just a `next_free` watermark) yet produces correct queueing
+//! delay and saturation throughput, which is what Figure 6 of the paper
+//! (multi-client transactions/s) depends on.
+
+use std::cell::Cell;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A serial FIFO resource (link direction, HCA pipeline, kernel softirq...).
+pub struct FifoResource {
+    name: &'static str,
+    next_free: Cell<SimTime>,
+    busy_total: Cell<SimDuration>,
+    jobs: Cell<u64>,
+}
+
+impl FifoResource {
+    /// Creates an idle resource. `name` appears in diagnostics.
+    pub fn new(name: &'static str) -> FifoResource {
+        FifoResource {
+            name,
+            next_free: Cell::new(SimTime::ZERO),
+            busy_total: Cell::new(SimDuration::ZERO),
+            jobs: Cell::new(0),
+        }
+    }
+
+    /// Diagnostic name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Occupies the resource for `service`, with the job arriving at
+    /// `arrival`. Returns the completion instant: service begins at
+    /// `max(arrival, previous completion)`.
+    pub fn occupy_from(&self, arrival: SimTime, service: SimDuration) -> SimTime {
+        let start = arrival.max(self.next_free.get());
+        let finish = start + service;
+        self.next_free.set(finish);
+        self.busy_total.set(self.busy_total.get() + service);
+        self.jobs.set(self.jobs.get() + 1);
+        finish
+    }
+
+    /// Earliest instant a newly arriving job could start service.
+    pub fn free_at(&self) -> SimTime {
+        self.next_free.get()
+    }
+
+    /// Total service time accumulated (utilization numerator).
+    pub fn busy_total(&self) -> SimDuration {
+        self.busy_total.get()
+    }
+
+    /// Number of jobs served.
+    pub fn jobs(&self) -> u64 {
+        self.jobs.get()
+    }
+
+    /// Utilization over `[SimTime::ZERO, now]`, in `[0, 1]` (can exceed 1
+    /// transiently if jobs are booked beyond `now`).
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        if now == SimTime::ZERO {
+            return 0.0;
+        }
+        self.busy_total.get().as_nanos() as f64 / now.as_nanos() as f64
+    }
+
+    /// Resets accounting (between benchmark phases). The watermark is pulled
+    /// back to `now` so stale bookings don't leak across phases.
+    pub fn reset(&self, now: SimTime) {
+        self.next_free.set(self.next_free.get().max(now));
+        self.busy_total.set(SimDuration::ZERO);
+        self.jobs.set(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+    fn d(ns: u64) -> SimDuration {
+        SimDuration::from_nanos(ns)
+    }
+
+    #[test]
+    fn idle_resource_starts_immediately() {
+        let r = FifoResource::new("link");
+        assert_eq!(r.occupy_from(t(100), d(50)), t(150));
+    }
+
+    #[test]
+    fn back_to_back_jobs_queue() {
+        let r = FifoResource::new("link");
+        assert_eq!(r.occupy_from(t(0), d(100)), t(100));
+        // Arrives while busy: waits.
+        assert_eq!(r.occupy_from(t(10), d(100)), t(200));
+        // Arrives after idle gap: starts at arrival.
+        assert_eq!(r.occupy_from(t(500), d(100)), t(600));
+    }
+
+    #[test]
+    fn fifo_order_holds_under_bursts() {
+        let r = FifoResource::new("hca");
+        let mut last = SimTime::ZERO;
+        for _ in 0..32 {
+            let fin = r.occupy_from(t(0), d(10));
+            assert!(fin > last);
+            last = fin;
+        }
+        assert_eq!(last, t(320));
+        assert_eq!(r.jobs(), 32);
+        assert_eq!(r.busy_total(), d(320));
+    }
+
+    #[test]
+    fn utilization_math() {
+        let r = FifoResource::new("link");
+        r.occupy_from(t(0), d(250));
+        r.occupy_from(t(250), d(250));
+        assert!((r.utilization(t(1000)) - 0.5).abs() < 1e-12);
+        assert_eq!(r.utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn reset_clears_accounting_but_not_future_bookings() {
+        let r = FifoResource::new("link");
+        r.occupy_from(t(0), d(1000));
+        r.reset(t(100));
+        assert_eq!(r.jobs(), 0);
+        assert_eq!(r.busy_total(), SimDuration::ZERO);
+        // Still busy until 1000 from the pre-reset booking.
+        assert_eq!(r.occupy_from(t(100), d(10)), t(1010));
+    }
+
+    #[test]
+    fn zero_service_is_free() {
+        let r = FifoResource::new("link");
+        assert_eq!(r.occupy_from(t(5), SimDuration::ZERO), t(5));
+        assert_eq!(r.occupy_from(t(5), SimDuration::ZERO), t(5));
+    }
+}

@@ -1,0 +1,153 @@
+//! Deterministic random numbers for the simulation.
+//!
+//! A thin wrapper over a seeded [`rand::rngs::StdRng`] (deterministic for a
+//! given seed and rand version) plus the handful of distributions the
+//! workloads and jitter models need. Keeping it behind one type means every
+//! source of randomness in a run flows from the single seed passed to
+//! [`crate::Sim::new`], which is what makes runs replayable.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use crate::time::SimDuration;
+
+/// The simulation RNG. Obtain via [`crate::Sim::with_rng`].
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates an RNG from a 64-bit seed.
+    pub fn new(seed: u64) -> SimRng {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Uniform u64 in `[lo, hi)`. Panics if `lo >= hi`.
+    pub fn gen_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform usize in `[0, n)`. Panics if `n == 0`.
+    pub fn gen_index(&mut self, n: usize) -> usize {
+        self.inner.gen_range(0..n)
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.inner.gen_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// Raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Fills `buf` with random bytes (workload values).
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        self.inner.fill_bytes(buf);
+    }
+
+    /// Exponentially distributed duration with the given mean: the classic
+    /// model for jitter tails and think times. Uses inverse-transform
+    /// sampling; result is clamped to 64 means so a pathological draw cannot
+    /// stall the simulation.
+    pub fn gen_exp(&mut self, mean: SimDuration) -> SimDuration {
+        let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        let x = -u.ln();
+        let scaled = (mean.as_nanos() as f64 * x).min(mean.as_nanos() as f64 * 64.0);
+        SimDuration::from_nanos(scaled as u64)
+    }
+
+    /// Zipf-like rank sample over `[0, n)` with skew `s` (s=0 is uniform).
+    /// Uses the approximation by inverse CDF of the continuous bounded
+    /// Pareto, which is accurate enough for cache-workload key popularity.
+    pub fn gen_zipf(&mut self, n: usize, s: f64) -> usize {
+        assert!(n > 0);
+        if s <= f64::EPSILON {
+            return self.gen_index(n);
+        }
+        let u = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        if (s - 1.0).abs() < 1e-9 {
+            // s == 1: inverse of log-CDF.
+            let hn = (n as f64).ln();
+            let x = (u * hn).exp();
+            return (x as usize).min(n - 1);
+        }
+        let n_f = n as f64;
+        let one_minus_s = 1.0 - s;
+        let x = ((n_f.powf(one_minus_s) - 1.0) * u + 1.0).powf(1.0 / one_minus_s);
+        (x as usize - 1).min(n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 16);
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut r = SimRng::new(3);
+        for _ in 0..1000 {
+            let v = r.gen_range_u64(10, 20);
+            assert!((10..20).contains(&v));
+            let i = r.gen_index(7);
+            assert!(i < 7);
+            let f = r.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn exp_mean_is_plausible() {
+        let mut r = SimRng::new(4);
+        let mean = SimDuration::from_micros(10);
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| r.gen_exp(mean).as_nanos()).sum();
+        let avg = total as f64 / n as f64;
+        // Within 5% of the requested 10 us mean.
+        assert!((avg - 10_000.0).abs() < 500.0, "avg {avg} ns");
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let mut r = SimRng::new(5);
+        let n = 1000;
+        let mut counts = vec![0u32; n];
+        for _ in 0..50_000 {
+            let i = r.gen_zipf(n, 0.99);
+            counts[i] += 1;
+        }
+        // Rank 0 should dominate the median rank by a wide margin.
+        assert!(counts[0] > 20 * counts[n / 2].max(1));
+        // Uniform when s == 0.
+        let mut uni = [0u32; 10];
+        for _ in 0..10_000 {
+            uni[r.gen_zipf(10, 0.0)] += 1;
+        }
+        assert!(uni.iter().all(|&c| c > 700));
+    }
+}

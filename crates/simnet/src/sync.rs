@@ -1,0 +1,547 @@
+//! Synchronization primitives for simulation tasks.
+//!
+//! These mirror the shapes found in async runtimes (sleep, oneshot, mpsc,
+//! notify, timeout) but suspend on *virtual* time: a task blocked here
+//! consumes no simulated time until an event wakes it. All types are
+//! single-threaded (`Rc`-based) and `Unpin`, so no unsafe pin projection is
+//! needed anywhere in the workspace.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::{Rc, Weak};
+use std::task::{Context, Poll, Waker};
+
+use crate::engine::Sim;
+use crate::time::SimDuration;
+
+// ---------------------------------------------------------------------------
+// Sleep
+// ---------------------------------------------------------------------------
+
+struct SleepState {
+    done: bool,
+    waker: Option<Waker>,
+}
+
+/// Future returned by [`Sim::sleep`]. Completes after the requested span of
+/// simulated time.
+pub struct Sleep {
+    state: Rc<RefCell<SleepState>>,
+}
+
+impl Sleep {
+    pub(crate) fn start(sim: &Sim, d: SimDuration) -> Sleep {
+        let state = Rc::new(RefCell::new(SleepState {
+            done: false,
+            waker: None,
+        }));
+        let ev_state = state.clone();
+        sim.schedule(d, move || {
+            let mut s = ev_state.borrow_mut();
+            s.done = true;
+            if let Some(w) = s.waker.take() {
+                w.wake();
+            }
+        });
+        Sleep { state }
+    }
+}
+
+impl Future for Sleep {
+    type Output = ();
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let mut s = self.state.borrow_mut();
+        if s.done {
+            Poll::Ready(())
+        } else {
+            s.waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Oneshot
+// ---------------------------------------------------------------------------
+
+struct OneshotInner<T> {
+    value: Option<T>,
+    sender_gone: bool,
+    receiver_gone: bool,
+    waker: Option<Waker>,
+}
+
+/// Sending half of a oneshot channel.
+pub struct OneSender<T> {
+    inner: Rc<RefCell<OneshotInner<T>>>,
+}
+
+/// Receiving half of a oneshot channel; a future resolving to
+/// `Result<T, Canceled>`.
+pub struct OneReceiver<T> {
+    inner: Rc<RefCell<OneshotInner<T>>>,
+}
+
+/// Error: the sender was dropped without sending.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Canceled;
+
+impl fmt::Display for Canceled {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "oneshot sender dropped without sending")
+    }
+}
+impl std::error::Error for Canceled {}
+
+/// Creates a single-value channel. The receiver is a future.
+pub fn oneshot<T>() -> (OneSender<T>, OneReceiver<T>) {
+    let inner = Rc::new(RefCell::new(OneshotInner {
+        value: None,
+        sender_gone: false,
+        receiver_gone: false,
+        waker: None,
+    }));
+    (
+        OneSender {
+            inner: inner.clone(),
+        },
+        OneReceiver { inner },
+    )
+}
+
+impl<T> OneSender<T> {
+    /// Delivers `v`. Fails (returning the value) if the receiver is gone.
+    pub fn send(self, v: T) -> Result<(), T> {
+        let mut inner = self.inner.borrow_mut();
+        if inner.receiver_gone {
+            return Err(v);
+        }
+        inner.value = Some(v);
+        if let Some(w) = inner.waker.take() {
+            w.wake();
+        }
+        Ok(())
+    }
+}
+
+impl<T> Drop for OneSender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.sender_gone = true;
+        if let Some(w) = inner.waker.take() {
+            w.wake();
+        }
+    }
+}
+
+impl<T> Future for OneReceiver<T> {
+    type Output = Result<T, Canceled>;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(v) = inner.value.take() {
+            return Poll::Ready(Ok(v));
+        }
+        if inner.sender_gone {
+            return Poll::Ready(Err(Canceled));
+        }
+        inner.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+impl<T> Drop for OneReceiver<T> {
+    fn drop(&mut self) {
+        self.inner.borrow_mut().receiver_gone = true;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Unbounded mpsc
+// ---------------------------------------------------------------------------
+
+struct ChannelInner<T> {
+    queue: VecDeque<T>,
+    waker: Option<Waker>,
+    senders: usize,
+    receiver_gone: bool,
+}
+
+/// Sending half of an unbounded channel. Clonable.
+pub struct Sender<T> {
+    inner: Rc<RefCell<ChannelInner<T>>>,
+}
+
+/// Receiving half of an unbounded channel.
+pub struct Receiver<T> {
+    inner: Rc<RefCell<ChannelInner<T>>>,
+}
+
+/// Error: all senders were dropped and the queue is drained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Disconnected;
+
+impl fmt::Display for Disconnected {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "channel disconnected")
+    }
+}
+impl std::error::Error for Disconnected {}
+
+/// Creates an unbounded multi-producer, single-consumer channel.
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    let inner = Rc::new(RefCell::new(ChannelInner {
+        queue: VecDeque::new(),
+        waker: None,
+        senders: 1,
+        receiver_gone: false,
+    }));
+    (
+        Sender {
+            inner: inner.clone(),
+        },
+        Receiver { inner },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueues `v`; fails if the receiver is gone.
+    pub fn send(&self, v: T) -> Result<(), Disconnected> {
+        let mut inner = self.inner.borrow_mut();
+        if inner.receiver_gone {
+            return Err(Disconnected);
+        }
+        inner.queue.push_back(v);
+        if let Some(w) = inner.waker.take() {
+            w.wake();
+        }
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.inner.borrow_mut().senders += 1;
+        Sender {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.senders -= 1;
+        if inner.senders == 0 {
+            if let Some(w) = inner.waker.take() {
+                w.wake();
+            }
+        }
+    }
+}
+
+/// Future returned by [`Receiver::recv`].
+pub struct Recv<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Receiver<T> {
+    /// Awaits the next message; `Err(Disconnected)` once all senders are
+    /// dropped and the queue is empty.
+    pub fn recv(&self) -> Recv<'_, T> {
+        Recv { rx: self }
+    }
+
+    /// Non-blocking pop.
+    pub fn try_recv(&self) -> Option<T> {
+        self.inner.borrow_mut().queue.pop_front()
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().queue.len()
+    }
+
+    /// True when no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.inner.borrow_mut().receiver_gone = true;
+    }
+}
+
+impl<T> Future for Recv<'_, T> {
+    type Output = Result<T, Disconnected>;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut inner = self.rx.inner.borrow_mut();
+        if let Some(v) = inner.queue.pop_front() {
+            return Poll::Ready(Ok(v));
+        }
+        if inner.senders == 0 {
+            return Poll::Ready(Err(Disconnected));
+        }
+        inner.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Notify — edge-triggered wakeups for condition-style waiting
+// ---------------------------------------------------------------------------
+
+/// A wait set: tasks park on it and are all released by
+/// [`notify_all`](Notify::notify_all). Used with a predicate re-checked after
+/// every wakeup (condition-variable style), e.g. by UCR counters.
+#[derive(Default)]
+pub struct Notify {
+    wakers: RefCell<Vec<Waker>>,
+}
+
+impl Notify {
+    /// Creates an empty wait set.
+    pub fn new() -> Notify {
+        Notify::default()
+    }
+
+    /// Wakes every task currently parked on this set.
+    pub fn notify_all(&self) {
+        for w in self.wakers.borrow_mut().drain(..) {
+            w.wake();
+        }
+    }
+
+    /// Number of currently parked waiters (diagnostics).
+    pub fn waiters(&self) -> usize {
+        self.wakers.borrow().len()
+    }
+
+    /// Awaits until `pred()` returns true, re-checking after every
+    /// notification. The predicate is checked immediately first, so a
+    /// satisfied condition never blocks.
+    pub fn wait_until<F: FnMut() -> bool>(self: &Rc<Self>, pred: F) -> WaitUntil<F> {
+        WaitUntil {
+            notify: Rc::downgrade(self),
+            pred,
+        }
+    }
+}
+
+/// Future returned by [`Notify::wait_until`].
+pub struct WaitUntil<F> {
+    notify: Weak<Notify>,
+    pred: F,
+}
+
+impl<F> Unpin for WaitUntil<F> {}
+
+impl<F: FnMut() -> bool> Future for WaitUntil<F> {
+    type Output = ();
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        if (this.pred)() {
+            return Poll::Ready(());
+        }
+        if let Some(n) = this.notify.upgrade() {
+            n.wakers.borrow_mut().push(cx.waker().clone());
+            Poll::Pending
+        } else {
+            // The Notify was dropped: the condition can never change again.
+            Poll::Ready(())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Timeout
+// ---------------------------------------------------------------------------
+
+/// Error: the inner future did not complete before the deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Elapsed;
+
+impl fmt::Display for Elapsed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "simulated timeout elapsed")
+    }
+}
+impl std::error::Error for Elapsed {}
+
+/// Future returned by [`timeout`].
+pub struct Timeout<F> {
+    fut: F,
+    sleep: Sleep,
+}
+
+/// Races `fut` against a simulated-time deadline. If the deadline fires
+/// first the inner future is dropped and `Err(Elapsed)` is returned — the
+/// shape UCR's "synchronization with timeouts" (paper §IV-A) needs so that a
+/// Memcached client can decide a server has died.
+pub fn timeout<F: Future + Unpin>(sim: &Sim, d: SimDuration, fut: F) -> Timeout<F> {
+    Timeout {
+        fut,
+        sleep: sim.sleep(d),
+    }
+}
+
+impl<F: Future + Unpin> Future for Timeout<F> {
+    type Output = Result<F::Output, Elapsed>;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        if let Poll::Ready(v) = Pin::new(&mut this.fut).poll(cx) {
+            return Poll::Ready(Ok(v));
+        }
+        if Pin::new(&mut this.sleep).poll(cx).is_ready() {
+            return Poll::Ready(Err(Elapsed));
+        }
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn oneshot_delivers() {
+        let sim = Sim::new(1);
+        let (tx, rx) = oneshot::<u32>();
+        let s = sim.clone();
+        sim.spawn(async move {
+            s.sleep(SimDuration::from_nanos(10)).await;
+            tx.send(5).unwrap();
+        });
+        let got = sim.block_on(rx);
+        assert_eq!(got, Ok(5));
+    }
+
+    #[test]
+    fn oneshot_cancel_on_sender_drop() {
+        let sim = Sim::new(1);
+        let (tx, rx) = oneshot::<u32>();
+        let s = sim.clone();
+        sim.spawn(async move {
+            s.sleep(SimDuration::from_nanos(10)).await;
+            drop(tx);
+        });
+        let got = sim.block_on(rx);
+        assert_eq!(got, Err(Canceled));
+    }
+
+    #[test]
+    fn oneshot_send_after_receiver_drop_fails() {
+        let (tx, rx) = oneshot::<u32>();
+        drop(rx);
+        assert_eq!(tx.send(1), Err(1));
+    }
+
+    #[test]
+    fn channel_fifo_order() {
+        let sim = Sim::new(1);
+        let (tx, rx) = channel::<u32>();
+        let s = sim.clone();
+        sim.spawn(async move {
+            for i in 0..5 {
+                s.sleep(SimDuration::from_nanos(5)).await;
+                tx.send(i).unwrap();
+            }
+        });
+        let got = sim.block_on(async move {
+            let mut out = Vec::new();
+            while let Ok(v) = rx.recv().await {
+                out.push(v);
+            }
+            out
+        });
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn channel_disconnect_after_drain() {
+        let sim = Sim::new(1);
+        let (tx, rx) = channel::<u32>();
+        tx.send(1).unwrap();
+        drop(tx);
+        let got = sim.block_on(async move {
+            let first = rx.recv().await;
+            let second = rx.recv().await;
+            (first, second)
+        });
+        assert_eq!(got, (Ok(1), Err(Disconnected)));
+    }
+
+    #[test]
+    fn channel_clone_senders_count() {
+        let sim = Sim::new(1);
+        let (tx, rx) = channel::<u32>();
+        let tx2 = tx.clone();
+        drop(tx);
+        tx2.send(9).unwrap();
+        drop(tx2);
+        let got = sim.block_on(async move { (rx.recv().await, rx.recv().await) });
+        assert_eq!(got, (Ok(9), Err(Disconnected)));
+    }
+
+    #[test]
+    fn notify_wait_until() {
+        use std::cell::Cell;
+        let sim = Sim::new(1);
+        let notify = Rc::new(Notify::new());
+        let counter = Rc::new(Cell::new(0u64));
+
+        let s = sim.clone();
+        let n2 = notify.clone();
+        let c2 = counter.clone();
+        sim.spawn(async move {
+            for _ in 0..3 {
+                s.sleep(SimDuration::from_nanos(10)).await;
+                c2.set(c2.get() + 1);
+                n2.notify_all();
+            }
+        });
+
+        let c3 = counter.clone();
+        sim.block_on(async move {
+            notify.wait_until(move || c3.get() >= 3).await;
+        });
+        assert_eq!(counter.get(), 3);
+        assert_eq!(sim.now().as_nanos(), 30);
+    }
+
+    #[test]
+    fn timeout_elapses() {
+        let sim = Sim::new(1);
+        let (_tx, rx) = oneshot::<u32>();
+        let s = sim.clone();
+        let got = sim.block_on(async move {
+            timeout(&s, SimDuration::from_micros(5), rx).await
+        });
+        assert_eq!(got, Err(Elapsed));
+        assert_eq!(sim.now().as_nanos(), 5_000);
+    }
+
+    #[test]
+    fn timeout_inner_wins() {
+        let sim = Sim::new(1);
+        let (tx, rx) = oneshot::<u32>();
+        let s = sim.clone();
+        sim.spawn({
+            let s = s.clone();
+            async move {
+                s.sleep(SimDuration::from_nanos(100)).await;
+                tx.send(7).unwrap();
+            }
+        });
+        let got = sim.block_on(async move {
+            timeout(&s, SimDuration::from_micros(5), rx).await
+        });
+        assert_eq!(got, Ok(Ok(7)));
+        assert_eq!(sim.now().as_nanos(), 100);
+    }
+}

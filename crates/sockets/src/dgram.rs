@@ -1,0 +1,137 @@
+//! Datagram (UDP) sockets.
+//!
+//! Memcached's UDP mode is the §III baseline: Facebook's scaling work
+//! ("Scaling memcached at Facebook") moved gets to UDP to cut per-
+//! connection memory and kernel overhead, reaching ~250 K requests/s per
+//! server at 173 µs average latency. Datagrams here are unreliable: no
+//! connection, silent loss when the receiver's socket buffer overflows
+//! (the real failure mode Facebook engineered around), silent loss into
+//! dead nodes, and per-message kernel costs like the TCP paths — but no
+//! per-connection state.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use simnet::profiles::SocketStackProfile;
+use simnet::sync::Notify;
+use simnet::{Network, Sim, Stack};
+
+use crate::fabric::SockFabricInner;
+use crate::stream::{SockError, SocketAddr};
+
+/// Datagrams queued beyond this bound are dropped (SO_RCVBUF overflow).
+pub const DGRAM_RCVBUF_DATAGRAMS: usize = 256;
+
+/// Largest UDP payload accepted (IPv4 datagram limit minus headers).
+pub const MAX_DGRAM_BYTES: usize = 65_507;
+
+pub(crate) struct DgramInbox {
+    pub queue: RefCell<VecDeque<(SocketAddr, Vec<u8>)>>,
+    pub notify: Rc<Notify>,
+    pub dropped: std::cell::Cell<u64>,
+}
+
+/// An unconnected datagram socket bound to `(stack, node, port)`.
+pub struct DgramSocket {
+    pub(crate) fabric: Rc<SockFabricInner>,
+    pub(crate) stack: Stack,
+    pub(crate) profile: SocketStackProfile,
+    pub(crate) net: Rc<Network>,
+    pub(crate) local: SocketAddr,
+    pub(crate) inbox: Rc<DgramInbox>,
+}
+
+impl DgramSocket {
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// Datagrams dropped at this socket due to buffer overflow.
+    pub fn dropped(&self) -> u64 {
+        self.inbox.dropped.get()
+    }
+
+    /// Sends one datagram to `dst`. Resolves when the local kernel has
+    /// taken the packet; delivery is best-effort.
+    pub async fn send_to(&self, dst: SocketAddr, payload: &[u8]) -> Result<(), SockError> {
+        if payload.len() > MAX_DGRAM_BYTES {
+            return Err(SockError::Closed);
+        }
+        let sim = self.sim();
+        if self.fabric.is_dead(self.local.node) {
+            return Err(SockError::Closed);
+        }
+        if dst.node == self.local.node {
+            return Err(SockError::ConnectionRefused);
+        }
+        sim.sleep(self.profile.app_send).await;
+        let kernel = &self.fabric.cluster.node(self.local.node).kernel;
+        let launch = kernel.occupy_from(sim.now(), self.profile.kernel_send);
+        let wire = payload.len() as u64 + 46; // UDP/IP/Ethernet headers
+        let fabric = self.fabric.clone();
+        let profile = self.profile;
+        let stack = self.stack;
+        let src = self.local;
+        let payload = payload.to_vec();
+        let sim2 = sim.clone();
+        self.net.transmit(&sim, src.node, dst.node, wire, launch, move || {
+            if fabric.is_dead(dst.node) {
+                return; // dropped on the floor
+            }
+            let kernel = &fabric.cluster.node(dst.node).kernel;
+            let ready = kernel.occupy_from(
+                sim2.now(),
+                profile.kernel_recv + profile.data_path_cost(payload.len() as u64),
+            );
+            let fabric2 = fabric.clone();
+            sim2.clone().schedule_at(ready, move || {
+                let Some(inbox) = fabric2.dgram_inbox(stack, dst) else {
+                    return; // no socket bound: ICMP port unreachable, i.e. silence
+                };
+                let mut q = inbox.queue.borrow_mut();
+                if q.len() >= DGRAM_RCVBUF_DATAGRAMS {
+                    // Receive buffer overflow: the datagram is lost. This
+                    // is UDP's defining hazard under load.
+                    inbox.dropped.set(inbox.dropped.get() + 1);
+                    return;
+                }
+                q.push_back((src, payload));
+                drop(q);
+                inbox.notify.notify_all();
+            });
+        });
+        Ok(())
+    }
+
+    /// Receives the next datagram (waits if none is queued).
+    pub async fn recv_from(&self) -> Result<(SocketAddr, Vec<u8>), SockError> {
+        let sim = self.sim();
+        loop {
+            let popped = self.inbox.queue.borrow_mut().pop_front();
+            if let Some(dgram) = popped {
+                sim.sleep(self.profile.app_recv).await;
+                return Ok(dgram);
+            }
+            if self.fabric.is_dead(self.local.node) {
+                return Err(SockError::Closed);
+            }
+            let inbox = self.inbox.clone();
+            let notify = self.inbox.notify.clone();
+            notify
+                .wait_until(move || !inbox.queue.borrow().is_empty())
+                .await;
+        }
+    }
+
+    fn sim(&self) -> Sim {
+        self.fabric.cluster.sim().clone()
+    }
+}
+
+impl Drop for DgramSocket {
+    fn drop(&mut self) {
+        self.fabric.dgram_unbind(self.stack, self.local);
+    }
+}

@@ -1,0 +1,290 @@
+//! Byte-stream sockets: the data path.
+//!
+//! A [`Socket`] is one endpoint of a full-duplex byte stream. Unlike the
+//! verbs layer, a socket write crosses the kernel: the sender pays a
+//! syscall cost, the sending node's kernel pipeline is occupied per
+//! message, the bytes are segmented onto the wire with per-segment header
+//! overhead, and the receiving node's kernel pipeline is occupied for the
+//! per-message cost *plus the per-byte data-path cost* (buffer copies and
+//! byte-stream re-framing — the semantic mismatch the paper identifies as
+//! the fundamental sockets limitation, §III). The reader finally pays a
+//! wakeup/copy-out cost. All of this is driven by the per-stack
+//! [`SocketStackProfile`](simnet::profiles::SocketStackProfile).
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::fmt;
+use std::rc::Rc;
+
+use simnet::profiles::SocketStackProfile;
+use simnet::sync::Notify;
+use simnet::{Network, NodeId, Sim, SimDuration, Stack};
+
+use crate::fabric::SockFabricInner;
+
+/// Errors from socket operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SockError {
+    /// The peer closed (or its node died) and all buffered data is drained.
+    Closed,
+    /// No listener at the target, or the target node is down.
+    ConnectionRefused,
+    /// Connect handshake timed out.
+    ConnectionTimeout,
+    /// The requested transport does not exist on this cluster.
+    StackUnavailable(Stack),
+}
+
+impl fmt::Display for SockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SockError::Closed => write!(f, "connection closed"),
+            SockError::ConnectionRefused => write!(f, "connection refused"),
+            SockError::ConnectionTimeout => write!(f, "connection timed out"),
+            SockError::StackUnavailable(s) => {
+                write!(f, "transport {} not available on this cluster", s.label())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SockError {}
+
+/// A socket address: node + service port.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SocketAddr {
+    /// Target node.
+    pub node: NodeId,
+    /// Service port.
+    pub port: u16,
+}
+
+/// Per-direction receive buffer (lives at the receiving endpoint).
+pub(crate) struct RecvBuf {
+    pub data: RefCell<VecDeque<u8>>,
+    pub notify: Rc<Notify>,
+    pub closed: Cell<bool>,
+    /// Latest scheduled delivery instant: keeps the byte stream in order
+    /// even when a jitter spike delays one message.
+    pub last_delivery: Cell<simnet::SimTime>,
+}
+
+impl RecvBuf {
+    pub(crate) fn new() -> Rc<RecvBuf> {
+        Rc::new(RecvBuf {
+            data: RefCell::new(VecDeque::new()),
+            notify: Rc::new(Notify::new()),
+            closed: Cell::new(false),
+            last_delivery: Cell::new(simnet::SimTime::ZERO),
+        })
+    }
+
+    pub(crate) fn push(&self, bytes: &[u8]) {
+        self.data.borrow_mut().extend(bytes.iter().copied());
+        self.notify.notify_all();
+    }
+
+    pub(crate) fn close(&self) {
+        self.closed.set(true);
+        self.notify.notify_all();
+    }
+}
+
+/// Ethernet/IP/TCP (or IPoIB/SDP framing) header bytes charged per segment.
+const SEGMENT_HEADER_BYTES: u64 = 66;
+
+/// Extra launch delay for small writes when Nagle's algorithm is left on.
+/// The paper's benchmarks set `MEMCACHED_BEHAVIOR_TCP_NODELAY, 1` to avoid
+/// exactly this coalescing penalty (§VI).
+const NAGLE_COALESCE_DELAY: SimDuration = SimDuration::from_micros(400);
+
+/// One endpoint of an established byte-stream connection.
+pub struct Socket {
+    pub(crate) fabric: Rc<SockFabricInner>,
+    pub(crate) stack: Stack,
+    pub(crate) profile: SocketStackProfile,
+    pub(crate) net: Rc<Network>,
+    pub(crate) local: SocketAddr,
+    pub(crate) peer: SocketAddr,
+    /// Inbound bytes for this endpoint.
+    pub(crate) rx: Rc<RecvBuf>,
+    /// The peer's inbound buffer (where our writes land).
+    pub(crate) peer_rx: Rc<RecvBuf>,
+    pub(crate) nodelay: Cell<bool>,
+    pub(crate) sock_id: u64,
+    /// Set by [`close`](Socket::close): writes fail immediately (EPIPE).
+    pub(crate) local_closed: Cell<bool>,
+}
+
+impl Socket {
+    /// Local address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// Peer address.
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.peer
+    }
+
+    /// Transport this socket runs on.
+    pub fn stack(&self) -> Stack {
+        self.stack
+    }
+
+    /// Enables/disables Nagle coalescing (`TCP_NODELAY`). Memcached's
+    /// clients set this, and the paper's benchmarks rely on it.
+    pub fn set_nodelay(&self, on: bool) {
+        self.nodelay.set(on);
+    }
+
+    /// Queues `buf` for transmission. Resolves when the local kernel has
+    /// accepted the bytes (socket-buffer semantics): the transfer itself
+    /// completes asynchronously in simulated time.
+    pub async fn write_all(&self, buf: &[u8]) -> Result<(), SockError> {
+        let sim = self.sim();
+        if self.local_closed.get() || self.peer_rx.closed.get() {
+            return Err(SockError::Closed);
+        }
+        if self.fabric.is_dead(self.local.node) {
+            return Err(SockError::Closed);
+        }
+        // Application-side syscall + copy into the socket buffer.
+        sim.sleep(self.profile.app_send).await;
+
+        let mss = (self.net.mtu() as u64).saturating_sub(SEGMENT_HEADER_BYTES).max(1);
+        let nseg = (buf.len() as u64).div_ceil(mss).max(1);
+        let wire_bytes = buf.len() as u64 + nseg * SEGMENT_HEADER_BYTES;
+
+        // Kernel send-side occupancy (shared with every other socket on
+        // this node).
+        let src_kernel = &self.fabric.cluster.node(self.local.node).kernel;
+        let mut launch = src_kernel.occupy_from(sim.now(), self.profile.kernel_send);
+        if !self.nodelay.get() && (buf.len() as u64) < mss {
+            launch += NAGLE_COALESCE_DELAY;
+        }
+
+        // Receive-side work happens at delivery.
+        let fabric = self.fabric.clone();
+        let dst_node = self.peer.node;
+        let profile = self.profile;
+        let peer_rx = self.peer_rx.clone();
+        let payload = buf.to_vec();
+        let sim2 = sim.clone();
+        self.net.transmit(
+            &sim,
+            self.local.node,
+            dst_node,
+            wire_bytes,
+            launch,
+            move || {
+                if fabric.is_dead(dst_node) {
+                    return; // bytes vanish into the dead node
+                }
+                // Kernel receive-side occupancy: per-message cost plus the
+                // per-byte data path (copies, re-framing).
+                let service = profile.kernel_recv + profile.data_path_cost(payload.len() as u64);
+                let dst_kernel = &fabric.cluster.node(dst_node).kernel;
+                let mut ready = dst_kernel.occupy_from(sim2.now(), service);
+                // Jitter spikes (the SDP-on-QDR artifact, §VI-B) delay this
+                // message's delivery but do not burn shared kernel time —
+                // the paper observes noisy latency, not collapsed
+                // throughput.
+                if let Some(j) = profile.jitter {
+                    let spike = fabric.cluster.sim().with_rng(|r| {
+                        if r.gen_bool(j.prob) {
+                            r.gen_exp(j.mean)
+                        } else {
+                            SimDuration::ZERO
+                        }
+                    });
+                    ready += spike;
+                }
+                // TCP ordering: never deliver before earlier bytes of this
+                // direction.
+                ready = ready.max(peer_rx.last_delivery.get());
+                peer_rx.last_delivery.set(ready);
+                sim2.clone().schedule_at(ready, move || {
+                    if !peer_rx.closed.get() {
+                        peer_rx.push(&payload);
+                    }
+                });
+            },
+        );
+        Ok(())
+    }
+
+    /// Reads up to `max` available bytes, waiting for at least one.
+    /// `Err(Closed)` once the peer has closed and the buffer is drained.
+    pub async fn read(&self, max: usize) -> Result<Vec<u8>, SockError> {
+        assert!(max > 0, "read of zero bytes");
+        let sim = self.sim();
+        loop {
+            if self.local_closed.get() {
+                return Err(SockError::Closed);
+            }
+            let taken = {
+                let mut data = self.rx.data.borrow_mut();
+                if data.is_empty() {
+                    None
+                } else {
+                    let n = data.len().min(max);
+                    Some(data.drain(..n).collect::<Vec<u8>>())
+                }
+            };
+            if let Some(out) = taken {
+                // Reader wakeup + copy-out.
+                sim.sleep(self.profile.app_recv).await;
+                return Ok(out);
+            }
+            if self.rx.closed.get() {
+                return Err(SockError::Closed);
+            }
+            let rx = self.rx.clone();
+            let notify = self.rx.notify.clone();
+            notify
+                .wait_until(move || !rx.data.borrow().is_empty() || rx.closed.get())
+                .await;
+        }
+    }
+
+    /// Reads exactly `n` bytes (looping over [`read`](Socket::read)).
+    pub async fn read_exact(&self, n: usize) -> Result<Vec<u8>, SockError> {
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            let chunk = self.read(n - out.len()).await?;
+            out.extend_from_slice(&chunk);
+        }
+        Ok(out)
+    }
+
+    /// Bytes currently buffered for reading.
+    pub fn available(&self) -> usize {
+        self.rx.data.borrow().len()
+    }
+
+    /// Closes both directions. The peer observes EOF after the in-flight
+    /// data drains (a FIN takes one propagation delay).
+    pub fn close(&self) {
+        let sim = self.sim();
+        self.local_closed.set(true);
+        self.rx.close();
+        let peer_rx = self.peer_rx.clone();
+        sim.schedule(self.net.propagation(), move || peer_rx.close());
+        self.fabric.forget(self.sock_id);
+    }
+
+    fn sim(&self) -> Sim {
+        self.fabric.cluster.sim().clone()
+    }
+}
+
+impl fmt::Debug for Socket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Socket")
+            .field("stack", &self.stack)
+            .field("local", &self.local)
+            .field("peer", &self.peer)
+            .finish()
+    }
+}

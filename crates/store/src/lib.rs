@@ -1,0 +1,34 @@
+//! # mcstore — the memcached storage engine
+//!
+//! The in-memory cache the paper's system serves: slab allocation
+//! (`slabs.c`), a chained hash table with incremental expansion
+//! (`assoc.c`), per-class LRU with expired-tail reclaim, lazy expiration,
+//! `flush_all` barriers, CAS, and the full storage/arithmetic command set
+//! (`items.c`/`memcached.c` semantics). [`Store`] is the pure, clock-free
+//! engine used by the simulated server; [`ShardedStore`] is a thread-safe
+//! wrapper exercised by real threads in stress tests and benches.
+//!
+//! ```
+//! use mcstore::{SetOutcome, Store};
+//!
+//! let mut store = Store::with_defaults();
+//! assert_eq!(store.set(b"k", b"v1", 0, 0, 100), SetOutcome::Stored);
+//! let v = store.get(b"k", 100).unwrap();
+//! assert_eq!(v.data, b"v1");
+//! // CAS: a concurrent change invalidates the token.
+//! store.set(b"k", b"v2", 0, 0, 101);
+//! assert_eq!(store.cas(b"k", b"v3", 0, 0, v.cas, 101), SetOutcome::Exists);
+//! ```
+
+#![warn(missing_docs)]
+
+mod sharded;
+mod slab;
+mod store;
+
+pub use sharded::ShardedStore;
+pub use slab::{ClassId, ClassStats, SlabAllocator, SlabConfig, SlabLoc};
+pub use store::{
+    hash_key, normalize_exptime, NumericError, SetOutcome, Store, StoreConfig, StoreStats, Value,
+    ITEM_HEADER_SIZE, MAX_KEY_LEN, REALTIME_MAXDELTA,
+};

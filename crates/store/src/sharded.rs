@@ -1,0 +1,145 @@
+//! A thread-safe, sharded wrapper around [`Store`].
+//!
+//! Real memcached serializes cache access behind a global lock (worker
+//! threads contend on it); sharding by key hash is the standard way to cut
+//! that contention. This type exists for wall-clock parallel use — stress
+//! tests and Criterion benches drive it from real threads — while the
+//! simulation uses plain [`Store`] single-threaded.
+
+use parking_lot::Mutex;
+
+use crate::store::{hash_key, NumericError, SetOutcome, Store, StoreConfig, StoreStats, Value};
+
+/// `Store` behind N hash-routed shards. All methods take `&self`.
+pub struct ShardedStore {
+    shards: Vec<Mutex<Store>>,
+    mask: usize,
+}
+
+impl ShardedStore {
+    /// Creates `shards` (rounded up to a power of two) stores, each with a
+    /// proportional share of the memory limit.
+    pub fn new(mut config: StoreConfig, shards: usize) -> ShardedStore {
+        let n = shards.max(1).next_power_of_two();
+        config.slab.mem_limit = (config.slab.mem_limit / n).max(config.slab.page_size);
+        ShardedStore {
+            shards: (0..n).map(|_| Mutex::new(Store::new(config))).collect(),
+            mask: n - 1,
+        }
+    }
+
+    fn shard(&self, key: &[u8]) -> &Mutex<Store> {
+        // Use the upper hash bits for shard routing so the lower bits
+        // remain well distributed for the per-shard bucket index.
+        let h = hash_key(key);
+        &self.shards[((h >> 48) as usize) & self.mask]
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// See [`Store::set`].
+    pub fn set(&self, key: &[u8], value: &[u8], flags: u32, exptime: u32, now: u32) -> SetOutcome {
+        self.shard(key).lock().set(key, value, flags, exptime, now)
+    }
+
+    /// See [`Store::add`].
+    pub fn add(&self, key: &[u8], value: &[u8], flags: u32, exptime: u32, now: u32) -> SetOutcome {
+        self.shard(key).lock().add(key, value, flags, exptime, now)
+    }
+
+    /// See [`Store::replace`].
+    pub fn replace(
+        &self,
+        key: &[u8],
+        value: &[u8],
+        flags: u32,
+        exptime: u32,
+        now: u32,
+    ) -> SetOutcome {
+        self.shard(key).lock().replace(key, value, flags, exptime, now)
+    }
+
+    /// See [`Store::cas`].
+    pub fn cas(
+        &self,
+        key: &[u8],
+        value: &[u8],
+        flags: u32,
+        exptime: u32,
+        cas: u64,
+        now: u32,
+    ) -> SetOutcome {
+        self.shard(key).lock().cas(key, value, flags, exptime, cas, now)
+    }
+
+    /// See [`Store::append`].
+    pub fn append(&self, key: &[u8], data: &[u8], now: u32) -> SetOutcome {
+        self.shard(key).lock().append(key, data, now)
+    }
+
+    /// See [`Store::prepend`].
+    pub fn prepend(&self, key: &[u8], data: &[u8], now: u32) -> SetOutcome {
+        self.shard(key).lock().prepend(key, data, now)
+    }
+
+    /// See [`Store::get`].
+    pub fn get(&self, key: &[u8], now: u32) -> Option<Value> {
+        self.shard(key).lock().get(key, now)
+    }
+
+    /// See [`Store::delete`].
+    pub fn delete(&self, key: &[u8], now: u32) -> bool {
+        self.shard(key).lock().delete(key, now)
+    }
+
+    /// See [`Store::incr`].
+    pub fn incr(&self, key: &[u8], delta: u64, now: u32) -> Result<u64, NumericError> {
+        self.shard(key).lock().incr(key, delta, now)
+    }
+
+    /// See [`Store::decr`].
+    pub fn decr(&self, key: &[u8], delta: u64, now: u32) -> Result<u64, NumericError> {
+        self.shard(key).lock().decr(key, delta, now)
+    }
+
+    /// See [`Store::touch`].
+    pub fn touch(&self, key: &[u8], exptime: u32, now: u32) -> bool {
+        self.shard(key).lock().touch(key, exptime, now)
+    }
+
+    /// Flushes every shard.
+    pub fn flush_all(&self, now: u32) {
+        for s in &self.shards {
+            s.lock().flush_all(now);
+        }
+    }
+
+    /// Aggregated statistics across shards.
+    pub fn stats(&self) -> StoreStats {
+        let mut total = StoreStats::default();
+        for s in &self.shards {
+            let st = s.lock().stats();
+            total.get_hits += st.get_hits;
+            total.get_misses += st.get_misses;
+            total.sets += st.sets;
+            total.evictions += st.evictions;
+            total.reclaimed += st.reclaimed;
+            total.delete_hits += st.delete_hits;
+            total.delete_misses += st.delete_misses;
+            total.cas_hits += st.cas_hits;
+            total.cas_badval += st.cas_badval;
+            total.incr_hits += st.incr_hits;
+            total.total_items += st.total_items;
+            total.hash_expansions += st.hash_expansions;
+        }
+        total
+    }
+
+    /// Total live items across shards.
+    pub fn curr_items(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().curr_items()).sum()
+    }
+}

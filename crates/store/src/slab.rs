@@ -1,0 +1,387 @@
+//! Slab allocator, after memcached's `slabs.c`.
+//!
+//! Memory is obtained in fixed-size pages (1 MB by default) and carved into
+//! equal chunks per *slab class*; class chunk sizes grow geometrically by a
+//! configurable factor (memcached's `-f`, default 1.25). An item is stored
+//! in the smallest class whose chunk fits its header + key + value. Pages
+//! are never returned between classes — exactly the fragmentation-avoidance
+//! behaviour that makes it impossible for Memcached clients to cache item
+//! addresses, one of the paper's arguments (§III) against the Blue Gene
+//! design's client-side hash table split.
+//!
+//! Unlike an accounting-only model, chunks here own real bytes: items are
+//! written into and read out of page memory, so property tests can verify
+//! no two live items ever overlap.
+
+use std::fmt;
+
+/// Identifies a slab class (index into the class table).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ClassId(pub u8);
+
+/// The location of an allocated chunk.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SlabLoc {
+    /// Owning class.
+    pub class: ClassId,
+    /// Page index within the class.
+    page: u32,
+    /// Chunk index within the page.
+    chunk: u32,
+}
+
+impl SlabLoc {
+    /// A placeholder location (class 0, page 0, chunk 0) for slots whose
+    /// real location is assigned immediately after.
+    pub fn placeholder() -> SlabLoc {
+        SlabLoc {
+            class: ClassId(0),
+            page: 0,
+            chunk: 0,
+        }
+    }
+}
+
+struct SlabClass {
+    /// Chunk size in bytes (includes the modeled item header).
+    chunk_size: u32,
+    /// Chunks per page.
+    per_page: u32,
+    /// Page storage (each page is one Vec).
+    pages: Vec<Box<[u8]>>,
+    /// Free chunk list.
+    free: Vec<SlabLoc>,
+    /// Number of chunks handed out.
+    used: u32,
+    /// Total allocation requests.
+    alloc_count: u64,
+}
+
+/// Configuration for the allocator.
+#[derive(Clone, Copy, Debug)]
+pub struct SlabConfig {
+    /// Total memory limit (memcached `-m`), bytes.
+    pub mem_limit: usize,
+    /// Page size (memcached's `settings.item_size_max`), bytes.
+    pub page_size: usize,
+    /// Geometric growth factor between classes (memcached `-f`).
+    pub growth_factor: f64,
+    /// Smallest chunk size.
+    pub min_chunk: usize,
+}
+
+impl Default for SlabConfig {
+    fn default() -> Self {
+        SlabConfig {
+            mem_limit: 64 << 20,
+            page_size: 1 << 20,
+            growth_factor: 1.25,
+            min_chunk: 96,
+        }
+    }
+}
+
+/// Per-class statistics snapshot.
+#[derive(Clone, Copy, Debug)]
+pub struct ClassStats {
+    /// Chunk size of the class.
+    pub chunk_size: u32,
+    /// Pages assigned.
+    pub pages: u32,
+    /// Chunks in use.
+    pub used: u32,
+    /// Chunks free.
+    pub free: u32,
+    /// Allocation requests served.
+    pub alloc_count: u64,
+}
+
+/// The slab allocator.
+pub struct SlabAllocator {
+    classes: Vec<SlabClass>,
+    config: SlabConfig,
+    mem_allocated: usize,
+}
+
+impl SlabAllocator {
+    /// Builds the class table from the configuration.
+    pub fn new(config: SlabConfig) -> SlabAllocator {
+        assert!(config.growth_factor > 1.0, "growth factor must exceed 1");
+        assert!(config.min_chunk >= 48, "chunks must fit an item header");
+        assert!(config.page_size >= config.min_chunk);
+        let mut classes = Vec::new();
+        let mut size = config.min_chunk;
+        while size < config.page_size && classes.len() < 62 {
+            let aligned = size.next_multiple_of(8);
+            classes.push(SlabClass {
+                chunk_size: aligned as u32,
+                per_page: (config.page_size / aligned) as u32,
+                pages: Vec::new(),
+                free: Vec::new(),
+                used: 0,
+                alloc_count: 0,
+            });
+            size = ((aligned as f64) * config.growth_factor).ceil() as usize;
+        }
+        // Final class: one chunk per page (largest storable item).
+        classes.push(SlabClass {
+            chunk_size: config.page_size as u32,
+            per_page: 1,
+            pages: Vec::new(),
+            free: Vec::new(),
+            used: 0,
+            alloc_count: 0,
+        });
+        SlabAllocator {
+            classes,
+            config,
+            mem_allocated: 0,
+        }
+    }
+
+    /// Number of slab classes.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Chunk size of a class.
+    pub fn chunk_size(&self, class: ClassId) -> usize {
+        self.classes[class.0 as usize].chunk_size as usize
+    }
+
+    /// The smallest class whose chunks hold `size` bytes; `None` if the
+    /// item exceeds the largest chunk (memcached: SERVER_ERROR object too
+    /// large for cache).
+    pub fn class_for(&self, size: usize) -> Option<ClassId> {
+        // Classes are sorted by chunk size: binary search the first fit.
+        let idx = self
+            .classes
+            .partition_point(|c| (c.chunk_size as usize) < size);
+        (idx < self.classes.len()).then_some(ClassId(idx as u8))
+    }
+
+    /// Allocates a chunk in `class`. `None` when the class has no free
+    /// chunk and the memory limit forbids another page — the caller (the
+    /// store) must then evict.
+    pub fn alloc(&mut self, class: ClassId) -> Option<SlabLoc> {
+        let limit = self.config.mem_limit;
+        let page_size = self.config.page_size;
+        let c = &mut self.classes[class.0 as usize];
+        c.alloc_count += 1;
+        if let Some(loc) = c.free.pop() {
+            c.used += 1;
+            return Some(loc);
+        }
+        if self.mem_allocated + page_size > limit {
+            return None;
+        }
+        // Grab a fresh page and carve it.
+        let page_idx = c.pages.len() as u32;
+        c.pages.push(vec![0u8; page_size].into_boxed_slice());
+        self.mem_allocated += page_size;
+        for chunk in (1..c.per_page).rev() {
+            c.free.push(SlabLoc {
+                class,
+                page: page_idx,
+                chunk,
+            });
+        }
+        c.used += 1;
+        Some(SlabLoc {
+            class,
+            page: page_idx,
+            chunk: 0,
+        })
+    }
+
+    /// Returns a chunk to its class's free list.
+    pub fn free(&mut self, loc: SlabLoc) {
+        let c = &mut self.classes[loc.class.0 as usize];
+        debug_assert!(
+            !c.free.contains(&loc),
+            "double free of slab chunk {loc:?}"
+        );
+        c.used -= 1;
+        c.free.push(loc);
+    }
+
+    /// Writes `data` at `offset` within the chunk.
+    pub fn write(&mut self, loc: SlabLoc, offset: usize, data: &[u8]) {
+        let c = &mut self.classes[loc.class.0 as usize];
+        let chunk_size = c.chunk_size as usize;
+        assert!(offset + data.len() <= chunk_size, "write outside chunk");
+        let base = loc.chunk as usize * chunk_size;
+        let page = &mut c.pages[loc.page as usize];
+        page[base + offset..base + offset + data.len()].copy_from_slice(data);
+    }
+
+    /// Reads `len` bytes at `offset` within the chunk.
+    pub fn read(&self, loc: SlabLoc, offset: usize, len: usize) -> &[u8] {
+        let c = &self.classes[loc.class.0 as usize];
+        let chunk_size = c.chunk_size as usize;
+        assert!(offset + len <= chunk_size, "read outside chunk");
+        let base = loc.chunk as usize * chunk_size;
+        &c.pages[loc.page as usize][base + offset..base + offset + len]
+    }
+
+    /// Total bytes of pages grabbed from the OS.
+    pub fn mem_allocated(&self) -> usize {
+        self.mem_allocated
+    }
+
+    /// The configured memory limit.
+    pub fn mem_limit(&self) -> usize {
+        self.config.mem_limit
+    }
+
+    /// Statistics for one class.
+    pub fn class_stats(&self, class: ClassId) -> ClassStats {
+        let c = &self.classes[class.0 as usize];
+        ClassStats {
+            chunk_size: c.chunk_size,
+            pages: c.pages.len() as u32,
+            used: c.used,
+            free: c.free.len() as u32,
+            alloc_count: c.alloc_count,
+        }
+    }
+}
+
+impl fmt::Debug for SlabAllocator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SlabAllocator({} classes, {}/{} bytes)",
+            self.classes.len(),
+            self.mem_allocated,
+            self.config.mem_limit
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SlabAllocator {
+        SlabAllocator::new(SlabConfig {
+            mem_limit: 4 << 20,
+            page_size: 1 << 20,
+            growth_factor: 1.25,
+            min_chunk: 96,
+        })
+    }
+
+    #[test]
+    fn class_sizes_grow_geometrically() {
+        let s = small();
+        let mut prev = 0usize;
+        for i in 0..s.class_count() - 1 {
+            let sz = s.chunk_size(ClassId(i as u8));
+            assert!(sz > prev, "class sizes must increase");
+            assert_eq!(sz % 8, 0, "chunk sizes are 8-aligned");
+            prev = sz;
+        }
+        assert_eq!(s.chunk_size(ClassId((s.class_count() - 1) as u8)), 1 << 20);
+    }
+
+    #[test]
+    fn class_for_picks_smallest_fit() {
+        let s = small();
+        let c = s.class_for(100).unwrap();
+        assert!(s.chunk_size(c) >= 100);
+        if c.0 > 0 {
+            assert!(s.chunk_size(ClassId(c.0 - 1)) < 100);
+        }
+        // Exactly a chunk size fits that class.
+        let sz = s.chunk_size(ClassId(3));
+        assert_eq!(s.class_for(sz).unwrap(), ClassId(3));
+        // Oversized objects are rejected.
+        assert!(s.class_for((1 << 20) + 1).is_none());
+        // The largest storable item fits the last class.
+        assert_eq!(
+            s.class_for(1 << 20).unwrap(),
+            ClassId((s.class_count() - 1) as u8)
+        );
+    }
+
+    #[test]
+    fn alloc_free_reuse() {
+        let mut s = small();
+        let class = s.class_for(500).unwrap();
+        let a = s.alloc(class).unwrap();
+        let b = s.alloc(class).unwrap();
+        assert_ne!(a, b);
+        s.free(a);
+        let c = s.alloc(class).unwrap();
+        assert_eq!(c, a, "freed chunk is reused");
+        s.free(b);
+        s.free(c);
+        assert_eq!(s.class_stats(class).used, 0);
+    }
+
+    #[test]
+    fn memory_limit_is_enforced() {
+        let mut s = small(); // 4 pages total
+        let class = s.class_for(900_000).unwrap(); // 1 chunk per page
+        let mut got = Vec::new();
+        while let Some(loc) = s.alloc(class) {
+            got.push(loc);
+        }
+        assert_eq!(got.len(), 4, "exactly mem_limit/page_size big chunks");
+        assert_eq!(s.mem_allocated(), 4 << 20);
+        // Freeing lets allocation proceed again.
+        s.free(got.pop().unwrap());
+        assert!(s.alloc(class).is_some());
+    }
+
+    #[test]
+    fn pages_are_not_shared_across_classes() {
+        let mut s = small();
+        let c1 = s.class_for(100).unwrap();
+        let c2 = s.class_for(10_000).unwrap();
+        let a = s.alloc(c1).unwrap();
+        let b = s.alloc(c2).unwrap();
+        assert_eq!(a.class, c1);
+        assert_eq!(b.class, c2);
+        // Each grabbed its own page.
+        assert_eq!(s.mem_allocated(), 2 << 20);
+    }
+
+    #[test]
+    fn data_round_trips_and_does_not_bleed() {
+        let mut s = small();
+        let class = s.class_for(256).unwrap();
+        let a = s.alloc(class).unwrap();
+        let b = s.alloc(class).unwrap();
+        s.write(a, 0, &[0xaa; 256]);
+        s.write(b, 0, &[0xbb; 256]);
+        assert!(s.read(a, 0, 256).iter().all(|&x| x == 0xaa));
+        assert!(s.read(b, 0, 256).iter().all(|&x| x == 0xbb));
+        // Offset writes.
+        s.write(a, 100, b"hello");
+        assert_eq!(s.read(a, 100, 5), b"hello");
+        assert_eq!(s.read(a, 0, 1)[0], 0xaa);
+    }
+
+    #[test]
+    #[should_panic(expected = "write outside chunk")]
+    fn chunk_overflow_is_caught() {
+        let mut s = small();
+        let class = s.class_for(96).unwrap();
+        let size = s.chunk_size(class);
+        let a = s.alloc(class).unwrap();
+        s.write(a, size - 2, &[1, 2, 3]);
+    }
+
+    #[test]
+    fn alloc_counter_tracks_requests() {
+        let mut s = small();
+        let class = s.class_for(200).unwrap();
+        for _ in 0..10 {
+            let loc = s.alloc(class).unwrap();
+            s.free(loc);
+        }
+        assert_eq!(s.class_stats(class).alloc_count, 10);
+    }
+}

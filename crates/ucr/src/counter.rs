@@ -1,0 +1,99 @@
+//! Active-message counters (paper §IV-C).
+//!
+//! Counters are monotonically increasing objects used to track active-
+//! message progress. Three roles exist:
+//!
+//! * **origin counter** — bumped at the origin when the message's buffers
+//!   are reusable (local completion for eager; an internal message after
+//!   the target's RDMA read for rendezvous);
+//! * **target counter** — bumped at the target when the data has fully
+//!   arrived and the completion handler has run;
+//! * **completion counter** — bumped at the origin when the target's
+//!   completion handler has finished (via an internal message).
+//!
+//! Any of the three may be omitted (NULL in the paper's C API; `None`
+//! here), which suppresses the associated internal message. Waiting is
+//! always **bounded by a timeout** — the data-center requirement (§IV-A)
+//! that lets a Memcached client decide a server has died instead of
+//! hanging the job, MPI-style.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use simnet::sync::{timeout, Notify};
+use simnet::{Sim, SimDuration};
+
+use crate::UcrError;
+
+pub(crate) struct CtrInner {
+    pub id: u64,
+    pub value: Cell<u64>,
+    pub notify: Rc<Notify>,
+}
+
+/// A monotonically increasing progress counter.
+#[derive(Clone)]
+pub struct Counter {
+    pub(crate) inner: Rc<CtrInner>,
+    pub(crate) sim: Sim,
+}
+
+impl Counter {
+    pub(crate) fn new(id: u64, sim: Sim) -> Counter {
+        Counter {
+            inner: Rc::new(CtrInner {
+                id,
+                value: Cell::new(0),
+                notify: Rc::new(Notify::new()),
+            }),
+            sim,
+        }
+    }
+
+    /// The runtime-unique identifier carried on the wire.
+    pub fn id(&self) -> u64 {
+        self.inner.id
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.inner.value.get()
+    }
+
+    pub(crate) fn bump(&self) {
+        self.inner.value.set(self.inner.value.get() + 1);
+        self.inner.notify.notify_all();
+    }
+
+    /// Waits until the counter reaches at least `target`, or until
+    /// `deadline` elapses. The blocking-with-timeout primitive Memcached
+    /// uses after issuing a request (paper §V-B).
+    pub async fn wait_for(&self, target: u64, deadline: SimDuration) -> Result<(), UcrError> {
+        let inner = self.inner.clone();
+        if inner.value.get() >= target {
+            return Ok(());
+        }
+        let notify = inner.notify.clone();
+        let inner2 = inner.clone();
+        let wait = notify.wait_until(move || inner2.value.get() >= target);
+        timeout(&self.sim, deadline, wait)
+            .await
+            .map_err(|_| UcrError::Timeout)
+    }
+
+    /// Waits for the counter to advance by `n` from `from`.
+    pub async fn wait_past(
+        &self,
+        from: u64,
+        n: u64,
+        deadline: SimDuration,
+    ) -> Result<(), UcrError> {
+        self.wait_for(from + n, deadline).await
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Counter(id={}, value={})", self.id(), self.value())
+    }
+}

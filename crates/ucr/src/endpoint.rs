@@ -1,0 +1,217 @@
+//! Endpoints and message transmission (paper §IV-A, §IV-B).
+//!
+//! An endpoint is a bi-directional, client-server communication channel —
+//! the departure from MPI's rank-addressed world that the data-center
+//! model requires. A failed endpoint is isolated: sends on it error out,
+//! counters waiting on its traffic time out, and every other endpoint of
+//! the runtime keeps working.
+
+use std::cell::Cell;
+use std::rc::{Rc, Weak};
+
+use simnet::NodeId;
+use verbs::{Access, QueuePair, SendOp, SendWr};
+
+use crate::counter::Counter;
+use crate::runtime::{Pending, RtInner};
+use crate::wire::{PacketHeader, PacketKind, PACKET_HEADER_BYTES};
+use crate::UcrError;
+
+/// Delivery/progress options for one [`Endpoint::send_message`] call. The
+/// three counters mirror the paper's `ucr_send_message` signature; each is
+/// optional, and omitting origin/completion suppresses the corresponding
+/// internal message.
+#[derive(Default)]
+pub struct SendOptions {
+    /// Bumped locally when the message's buffers are reusable.
+    pub origin: Option<Counter>,
+    /// Identifier of a counter *at the target* to bump when the data has
+    /// arrived and the completion handler has run (0 = none). The id is
+    /// typically learned from a prior message's application header.
+    pub target_ctr: u64,
+    /// Bumped locally when the target's completion handler has finished.
+    pub completion: Option<Counter>,
+}
+
+pub(crate) struct EpInner {
+    pub id: u64,
+    pub qp: QueuePair,
+    pub peer: NodeId,
+    pub rt: Weak<RtInner>,
+    pub failed: Cell<bool>,
+    /// For unreliable endpoints: the peer's UD QP number. The QP is the
+    /// runtime's shared UD QP; many endpoints multiplex over it — the
+    /// scaling property SVII is after.
+    pub ud_dest: Option<(NodeId, u32)>,
+}
+
+/// One end of an established UCR channel.
+#[derive(Clone)]
+pub struct Endpoint {
+    pub(crate) inner: Rc<EpInner>,
+}
+
+impl Endpoint {
+    /// The peer node.
+    pub fn peer(&self) -> NodeId {
+        self.inner.peer
+    }
+
+    /// Runtime-unique endpoint id.
+    pub fn id(&self) -> u64 {
+        self.inner.id
+    }
+
+    /// True once the peer is unreachable (RC retries exhausted). Other
+    /// endpoints of the runtime are unaffected — the fault-isolation
+    /// property the paper adds over MPI-style runtimes.
+    pub fn is_failed(&self) -> bool {
+        self.inner.failed.get()
+    }
+
+    /// True for unreliable (UD-backed) endpoints: messages may be dropped
+    /// and are limited to one MTU; use counters + timeouts to detect loss.
+    pub fn is_unreliable(&self) -> bool {
+        self.inner.ud_dest.is_some()
+    }
+
+    /// Sends an active message: `hdr` (application header, run through the
+    /// target's header handler) plus `data`. Messages that fit the 8 KB
+    /// network buffer go eagerly (header + data in one transaction, memcpy
+    /// at the target); larger data is advertised for RDMA read (§IV-B,
+    /// Figure 2). Resolves once the message is handed to the HCA.
+    pub async fn send_message(
+        &self,
+        msg_id: u16,
+        hdr: &[u8],
+        data: &[u8],
+        opts: SendOptions,
+    ) -> Result<(), UcrError> {
+        let inner = &self.inner;
+        if inner.failed.get() {
+            return Err(UcrError::EndpointFailed);
+        }
+        let rt = inner.rt.upgrade().ok_or(UcrError::RuntimeGone)?;
+        let sim = rt.sim.clone();
+        let total = PACKET_HEADER_BYTES + hdr.len() + data.len();
+
+        let mut pkt = PacketHeader::new(PacketKind::Eager, msg_id);
+        pkt.hdr_len = hdr.len() as u32;
+        pkt.data_len = data.len() as u64;
+        pkt.target_ctr = opts.target_ctr;
+        pkt.origin_ctr = opts.origin.as_ref().map(Counter::id).unwrap_or(0);
+        pkt.completion_ctr = opts.completion.as_ref().map(Counter::id).unwrap_or(0);
+
+        if let Some(ud_dest) = inner.ud_dest {
+            // Unreliable endpoint: single-datagram eager only.
+            let limit = rt.ud_payload_limit();
+            if total > limit.min(rt.eager_threshold.get()) {
+                return Err(UcrError::MessageTooLarge);
+            }
+            sim.sleep(rt.stage_cost(data.len())).await;
+            let mut buf = Vec::with_capacity(total);
+            buf.extend_from_slice(&pkt.encode());
+            buf.extend_from_slice(hdr);
+            buf.extend_from_slice(data);
+            let wr_id = rt.alloc_wr(Pending::EagerSend {
+                origin: opts.origin,
+                ep: Rc::downgrade(inner),
+            });
+            let mut wr = SendWr::new(wr_id, SendOp::SendInline { data: buf, imm: None });
+            wr.ud_dest = Some(ud_dest);
+            inner
+                .qp
+                .post_send(wr)
+                .map_err(|_| UcrError::EndpointFailed)?;
+            rt.stats.messages_sent.set(rt.stats.messages_sent.get() + 1);
+            return Ok(());
+        }
+
+        if total <= rt.eager_threshold.get() {
+            // Eager: stage header+data into a communication buffer (one
+            // copy at this end, one at the target), single transaction.
+            sim.sleep(rt.stage_cost(data.len())).await;
+            let mut buf = Vec::with_capacity(total);
+            buf.extend_from_slice(&pkt.encode());
+            buf.extend_from_slice(hdr);
+            buf.extend_from_slice(data);
+            let wr_id = rt.alloc_wr(Pending::EagerSend {
+                origin: opts.origin,
+                ep: Rc::downgrade(inner),
+            });
+            inner
+                .qp
+                .post_send(SendWr::new(wr_id, SendOp::SendInline { data: buf, imm: None }))
+                .map_err(|_| UcrError::EndpointFailed)?;
+            // The completion counter (if any) is bumped when the target's
+            // Fin arrives; its id already travels in the packet header.
+        } else {
+            // Rendezvous: register (cache) the source buffer and advertise
+            // it; the target pulls with RDMA read — zero copy.
+            pkt.kind = PacketKind::RndvReq;
+            let mr = rt.pd.register_with(data.to_vec(), Access::REMOTE_READ);
+            pkt.rkey = mr.rkey();
+            pkt.offset = 0;
+            pkt.token = rt.stash_rndv_src(mr);
+            let mut buf = Vec::with_capacity(PACKET_HEADER_BYTES + hdr.len());
+            buf.extend_from_slice(&pkt.encode());
+            buf.extend_from_slice(hdr);
+            let wr_id = rt.alloc_wr(Pending::CtrlSend {
+                ep: Rc::downgrade(inner),
+            });
+            inner
+                .qp
+                .post_send(SendWr::new(wr_id, SendOp::SendInline { data: buf, imm: None }))
+                .map_err(|_| UcrError::EndpointFailed)?;
+        }
+        rt.stats.messages_sent.set(rt.stats.messages_sent.get() + 1);
+        Ok(())
+    }
+
+    /// Fire-and-forget variant usable from inside (synchronous) completion
+    /// handlers: spawns the send on the runtime's executor.
+    pub fn post_message(&self, msg_id: u16, hdr: Vec<u8>, data: Vec<u8>, opts: SendOptions) {
+        let ep = self.clone();
+        if let Some(rt) = self.inner.rt.upgrade() {
+            rt.sim.clone().spawn(async move {
+                let _ = ep.send_message(msg_id, &hdr, &data, opts).await;
+            });
+        }
+    }
+
+    pub(crate) fn runtime(&self) -> Result<crate::runtime::UcrRuntime, UcrError> {
+        self.inner
+            .rt
+            .upgrade()
+            .map(crate::runtime::UcrRuntime::from_inner)
+            .ok_or(UcrError::RuntimeGone)
+    }
+
+    pub(crate) fn downgrade(&self) -> Weak<EpInner> {
+        Rc::downgrade(&self.inner)
+    }
+
+    pub(crate) fn qp_ref(&self) -> &QueuePair {
+        &self.inner.qp
+    }
+
+    /// Closes the endpoint. The peer's sends will fail over to its error
+    /// path; this runtime drops the QP immediately.
+    pub fn close(&self) {
+        if let Some(rt) = self.inner.rt.upgrade() {
+            rt.drop_endpoint(self.inner.qp.qpn());
+        }
+        self.inner.qp.close();
+        self.inner.failed.set(true);
+    }
+}
+
+impl std::fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Endpoint")
+            .field("id", &self.inner.id)
+            .field("peer", &self.inner.peer)
+            .field("failed", &self.inner.failed.get())
+            .finish()
+    }
+}

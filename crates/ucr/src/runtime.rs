@@ -1,0 +1,675 @@
+//! The UCR runtime: progress engine, buffer pool, endpoint establishment.
+//!
+//! One [`UcrRuntime`] exists per process (node). It owns a protection
+//! domain, one completion queue for all endpoint traffic, a shared receive
+//! queue stocked with 8 KB network buffers (the MVAPICH-derived buffer
+//! management the paper reuses, §I refs [10][11]), the handler and counter
+//! registries, and a progress task that reaps completions and dispatches
+//! active messages.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::{Rc, Weak};
+
+use simnet::profiles::{ClusterProfile, UCR_EAGER_THRESHOLD};
+use simnet::{NodeId, Sim, SimDuration};
+use verbs::{
+    Access, Cq, Hca, IbFabric, Mr, MrSlice, Pd, QpType, QueuePair, SendOp, SendWr, Srq, Wc,
+    WcOpcode,
+};
+
+use crate::counter::{Counter, CtrInner};
+use crate::endpoint::{Endpoint, EpInner};
+use crate::handler::{AmData, AmDest, AmHandler};
+use crate::wire::{PacketHeader, PacketKind, PACKET_HEADER_BYTES};
+use crate::UcrError;
+
+/// Number of 8 KB network buffers kept posted on the SRQ.
+const RECV_POOL_DEPTH: usize = 128;
+
+/// Runtime statistics (diagnostics and tests).
+#[derive(Default)]
+pub struct RtStats {
+    /// Active messages sent (eager + rendezvous).
+    pub messages_sent: Cell<u64>,
+    /// Eager messages delivered.
+    pub eager_delivered: Cell<u64>,
+    /// Rendezvous transfers completed (RDMA reads).
+    pub rndv_delivered: Cell<u64>,
+    /// Internal (Fin) messages sent.
+    pub fins_sent: Cell<u64>,
+    /// Messages dropped for an unregistered msg_id.
+    pub unknown_msg_dropped: Cell<u64>,
+    /// Send-side failures observed (endpoint faults).
+    pub send_failures: Cell<u64>,
+}
+
+pub(crate) enum Pending {
+    EagerSend {
+        origin: Option<Counter>,
+        ep: Weak<EpInner>,
+    },
+    OneSided {
+        done: Option<Counter>,
+        ep: Weak<EpInner>,
+    },
+    CtrlSend {
+        ep: Weak<EpInner>,
+    },
+    RndvRead {
+        ep: Weak<EpInner>,
+        pkt: PacketHeader,
+        hdr: Vec<u8>,
+        dest: RndvDest,
+    },
+}
+
+pub(crate) enum RndvDest {
+    Pool(Mr),
+    Buffer(MrSlice),
+    Discard(Mr),
+}
+
+pub(crate) struct RtInner {
+    pub node: NodeId,
+    pub sim: Sim,
+    pub hca: Hca,
+    pub pd: Pd,
+    pub cq: Cq,
+    pub srq: Srq,
+    pub eager_threshold: std::cell::Cell<usize>,
+    profile: ClusterProfile,
+    handlers: RefCell<HashMap<u16, Rc<dyn AmHandler>>>,
+    counters: RefCell<HashMap<u64, Weak<CtrInner>>>,
+    eps: RefCell<HashMap<u32, Rc<EpInner>>>,
+    pending: RefCell<HashMap<u64, Pending>>,
+    rndv_src: RefCell<HashMap<u64, Mr>>,
+    onesided_src: RefCell<HashMap<u64, Mr>>,
+    recv_bufs: RefCell<HashMap<u64, Mr>>,
+    ud_qp: RefCell<Option<QueuePair>>,
+    ud_eps: RefCell<HashMap<(u32, u32), Rc<EpInner>>>,
+    next_wr: Cell<u64>,
+    next_ctr: Cell<u64>,
+    next_token: Cell<u64>,
+    next_ep: Cell<u64>,
+    shutdown: Cell<bool>,
+    pub stats: RtStats,
+}
+
+/// The Unified Communication Runtime for one node.
+#[derive(Clone)]
+pub struct UcrRuntime {
+    inner: Rc<RtInner>,
+}
+
+impl UcrRuntime {
+    pub(crate) fn from_inner(inner: Rc<RtInner>) -> UcrRuntime {
+        UcrRuntime { inner }
+    }
+}
+
+/// Accepts inbound UCR endpoint connections on a service port.
+pub struct EpListener {
+    listener: verbs::Listener,
+    rt: Rc<RtInner>,
+}
+
+impl UcrRuntime {
+    /// Brings up UCR on `node`: allocates verbs resources, stocks the
+    /// receive pool, and starts the progress engine.
+    pub fn new(fabric: &IbFabric, node: NodeId) -> UcrRuntime {
+        let hca = fabric.open(node);
+        let pd = hca.alloc_pd();
+        let cq = hca.create_cq();
+        let srq = Srq::new();
+        let sim = hca.sim();
+        let profile = fabric.cluster().profile().clone();
+        let inner = Rc::new(RtInner {
+            node,
+            sim: sim.clone(),
+            hca,
+            pd,
+            cq,
+            srq,
+            eager_threshold: std::cell::Cell::new(UCR_EAGER_THRESHOLD),
+            profile,
+            handlers: RefCell::new(HashMap::new()),
+            counters: RefCell::new(HashMap::new()),
+            eps: RefCell::new(HashMap::new()),
+            pending: RefCell::new(HashMap::new()),
+            rndv_src: RefCell::new(HashMap::new()),
+            onesided_src: RefCell::new(HashMap::new()),
+            recv_bufs: RefCell::new(HashMap::new()),
+            ud_qp: RefCell::new(None),
+            ud_eps: RefCell::new(HashMap::new()),
+            next_wr: Cell::new(1),
+            next_ctr: Cell::new(1),
+            next_token: Cell::new(1),
+            next_ep: Cell::new(1),
+            shutdown: Cell::new(false),
+            stats: RtStats::default(),
+        });
+        for _ in 0..RECV_POOL_DEPTH {
+            inner.post_recv_buffer();
+        }
+        // Progress engine: holds the runtime weakly so dropping the last
+        // UcrRuntime handle lets everything unwind.
+        let weak = Rc::downgrade(&inner);
+        let cq = inner.cq.clone();
+        sim.spawn(async move {
+            loop {
+                let wc = cq.next().await;
+                let Some(rt) = weak.upgrade() else { break };
+                if rt.shutdown.get() {
+                    break;
+                }
+                rt.handle_completion(wc).await;
+            }
+        });
+        UcrRuntime { inner }
+    }
+
+    /// The node this runtime serves.
+    pub fn node(&self) -> NodeId {
+        self.inner.node
+    }
+
+    /// The simulation world.
+    pub fn sim(&self) -> Sim {
+        self.inner.sim.clone()
+    }
+
+    /// Creates a fresh counter registered with this runtime.
+    pub fn counter(&self) -> Counter {
+        let id = self.inner.next_ctr.get();
+        self.inner.next_ctr.set(id + 1);
+        let c = Counter::new(id, self.inner.sim.clone());
+        let mut counters = self.inner.counters.borrow_mut();
+        // Periodically drop entries whose counters have been released so
+        // long-running clients (one counter per request) stay bounded.
+        if id.is_multiple_of(1024) {
+            counters.retain(|_, w| w.strong_count() > 0);
+        }
+        counters.insert(id, Rc::downgrade(&c.inner));
+        c
+    }
+
+    /// Registers the handler for `msg_id`, replacing any previous one.
+    pub fn register_handler(&self, msg_id: u16, handler: impl AmHandler + 'static) {
+        self.inner
+            .handlers
+            .borrow_mut()
+            .insert(msg_id, Rc::new(handler));
+    }
+
+    /// Binds a UCR service port for inbound endpoints.
+    pub fn listen(&self, port: u16) -> Result<EpListener, UcrError> {
+        let listener = self
+            .inner
+            .hca
+            .listen(port)
+            .map_err(|_| UcrError::PortInUse)?;
+        Ok(EpListener {
+            listener,
+            rt: self.inner.clone(),
+        })
+    }
+
+    /// Establishes an endpoint to a listening runtime at `(dst, port)`.
+    pub async fn connect(
+        &self,
+        dst: NodeId,
+        port: u16,
+        timeout: SimDuration,
+    ) -> Result<Endpoint, UcrError> {
+        let rt = &self.inner;
+        let qp = verbs::connect(
+            &rt.hca,
+            &rt.pd,
+            &rt.cq,
+            &rt.cq,
+            Some(&rt.srq),
+            dst,
+            port,
+            timeout,
+        )
+        .await
+        .map_err(|e| match e {
+            verbs::VerbsError::ConnectionTimeout => UcrError::Timeout,
+            _ => UcrError::ConnectionRefused,
+        })?;
+        Ok(rt.make_endpoint(qp, dst))
+    }
+
+    /// Tears the runtime down: the progress engine stops and all endpoints
+    /// fail. Models a process exit.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.set(true);
+        for ep in self.inner.eps.borrow().values() {
+            ep.failed.set(true);
+            ep.qp.close();
+        }
+        self.inner.eps.borrow_mut().clear();
+        self.inner.hca.kill();
+    }
+
+    /// Binds this runtime's shared UD queue pair and returns its QP
+    /// number — the address clients use for unreliable endpoints. One UD
+    /// QP serves every unreliable client of the runtime, which is the
+    /// memory-scaling property the paper's SVII future work targets
+    /// (versus one RC QP per client).
+    pub fn ud_bind(&self) -> u32 {
+        if let Some(qp) = self.inner.ud_qp.borrow().as_ref() {
+            return qp.qpn();
+        }
+        let qp = self
+            .inner
+            .pd
+            .create_qp(QpType::Ud, &self.inner.cq, &self.inner.cq, Some(&self.inner.srq));
+        let qpn = qp.qpn();
+        *self.inner.ud_qp.borrow_mut() = Some(qp);
+        qpn
+    }
+
+    /// The bound UD QP number, if [`ud_bind`](Self::ud_bind) has run.
+    pub fn ud_qpn(&self) -> Option<u32> {
+        self.inner.ud_qp.borrow().as_ref().map(|q| q.qpn())
+    }
+
+    /// Creates an unreliable endpoint addressing `(node, qpn)` — the
+    /// peer's UD QP number learned out of band (e.g. from a directory or
+    /// an RC bootstrap exchange). No handshake: UD is connectionless.
+    pub fn ud_endpoint(&self, node: NodeId, qpn: u32) -> Endpoint {
+        self.ud_bind();
+        self.inner.ud_endpoint_for(node, qpn)
+    }
+
+    /// Number of queue pairs this runtime holds open (RC endpoints plus
+    /// at most one shared UD QP) — the server-side memory metric of the
+    /// UD scaling study.
+    pub fn qp_count(&self) -> usize {
+        self.inner.eps.borrow().len() + usize::from(self.inner.ud_qp.borrow().is_some())
+    }
+
+    /// Adjusts the eager/rendezvous switch point (ablation studies; the
+    /// paper fixes it at the 8 KB network buffer). Capped at the receive
+    /// pool's buffer size.
+    pub fn set_eager_threshold(&self, bytes: usize) {
+        assert!(
+            bytes <= UCR_EAGER_THRESHOLD,
+            "eager threshold cannot exceed the {UCR_EAGER_THRESHOLD}-byte network buffers"
+        );
+        self.inner.eager_threshold.set(bytes);
+    }
+
+    /// The current eager/rendezvous switch point.
+    pub fn eager_threshold(&self) -> usize {
+        self.inner.eager_threshold.get()
+    }
+
+    /// Runtime statistics.
+    pub fn stats(&self) -> &RtStats {
+        &self.inner.stats
+    }
+
+    /// Number of live endpoints.
+    pub fn endpoints(&self) -> usize {
+        self.inner.eps.borrow().len()
+    }
+
+    pub(crate) fn pd_ref(&self) -> &Pd {
+        &self.inner.pd
+    }
+
+    pub(crate) fn alloc_pending(&self, p: Pending) -> u64 {
+        self.inner.alloc_wr(p)
+    }
+
+    pub(crate) fn stash_onesided_src(&self, wr_id: u64, mr: Mr) {
+        self.inner.onesided_src.borrow_mut().insert(wr_id, mr);
+    }
+}
+
+impl EpListener {
+    /// Accepts one inbound endpoint.
+    pub async fn accept(&self) -> Result<Endpoint, UcrError> {
+        let qp = self
+            .listener
+            .accept(&self.rt.pd, &self.rt.cq, &self.rt.cq, Some(&self.rt.srq))
+            .await
+            .map_err(|_| UcrError::ConnectionRefused)?;
+        let peer = qp.remote().expect("accepted QP has a peer").0;
+        Ok(self.rt.make_endpoint(qp, peer))
+    }
+
+    /// The bound port.
+    pub fn port(&self) -> u16 {
+        self.listener.port()
+    }
+}
+
+impl RtInner {
+    pub(crate) fn alloc_wr(&self, p: Pending) -> u64 {
+        let id = self.next_wr.get();
+        self.next_wr.set(id + 1);
+        self.pending.borrow_mut().insert(id, p);
+        id
+    }
+
+    pub(crate) fn stash_rndv_src(&self, mr: Mr) -> u64 {
+        let token = self.next_token.get();
+        self.next_token.set(token + 1);
+        self.rndv_src.borrow_mut().insert(token, mr);
+        token
+    }
+
+    pub(crate) fn drop_endpoint(&self, qpn: u32) {
+        self.eps.borrow_mut().remove(&qpn);
+    }
+
+    /// Largest UD payload (UCR packet header + app header + data) that
+    /// fits one datagram on this fabric.
+    pub(crate) fn ud_payload_limit(&self) -> usize {
+        // The verbs layer enforces payload <= path MTU.
+        self.hca.net_mtu() as usize
+    }
+
+    fn ud_endpoint_for(self: &Rc<Self>, node: NodeId, qpn: u32) -> Endpoint {
+        if let Some(ep) = self.ud_eps.borrow().get(&(node.0, qpn)) {
+            return Endpoint { inner: ep.clone() };
+        }
+        let qp = self
+            .ud_qp
+            .borrow()
+            .clone()
+            .expect("ud_bind before creating UD endpoints");
+        let id = self.next_ep.get();
+        self.next_ep.set(id + 1);
+        let inner = Rc::new(EpInner {
+            id,
+            qp,
+            peer: node,
+            rt: Rc::downgrade(self),
+            failed: Cell::new(false),
+            ud_dest: Some((node, qpn)),
+        });
+        self.ud_eps.borrow_mut().insert((node.0, qpn), inner.clone());
+        Endpoint { inner }
+    }
+
+    /// Cost of staging `bytes` through a communication buffer on one side
+    /// of the eager path: memcpy plus the calibrated per-KB host share.
+    pub(crate) fn stage_cost(&self, bytes: usize) -> SimDuration {
+        let copy = SimDuration::for_bytes_at(bytes as u64, self.profile.host.copy_bw_bps);
+        copy + self.profile.ucr_eager_cost(bytes as u64) / 2
+    }
+
+    fn make_endpoint(self: &Rc<Self>, qp: verbs::QueuePair, peer: NodeId) -> Endpoint {
+        let id = self.next_ep.get();
+        self.next_ep.set(id + 1);
+        let inner = Rc::new(EpInner {
+            id,
+            qp,
+            peer,
+            rt: Rc::downgrade(self),
+            failed: Cell::new(false),
+            ud_dest: None,
+        });
+        self.eps.borrow_mut().insert(inner.qp.qpn(), inner.clone());
+        Endpoint { inner }
+    }
+
+    fn post_recv_buffer(&self) {
+        let mr = self
+            .pd
+            .register(PACKET_HEADER_BYTES + UCR_EAGER_THRESHOLD, Access::LOCAL_WRITE);
+        let wr_id = self.next_wr.get();
+        self.next_wr.set(wr_id + 1);
+        self.srq.post_recv(wr_id, mr.full());
+        self.recv_bufs.borrow_mut().insert(wr_id, mr);
+    }
+
+    fn bump_counter(&self, id: u64) {
+        if id == 0 {
+            return;
+        }
+        let ctr = self.counters.borrow().get(&id).and_then(Weak::upgrade);
+        if let Some(c) = ctr {
+            c.value.set(c.value.get() + 1);
+            c.notify.notify_all();
+        }
+    }
+
+    async fn handle_completion(self: &Rc<Self>, wc: Wc) {
+        match wc.opcode {
+            WcOpcode::Recv | WcOpcode::RecvRdmaImm => self.handle_recv(wc).await,
+            _ => self.handle_send_completion(wc).await,
+        }
+    }
+
+    async fn handle_recv(self: &Rc<Self>, wc: Wc) {
+        // Reclaim the network buffer and immediately restock the SRQ so
+        // the pool depth stays constant (flow control by replenishment).
+        let buf = self.recv_bufs.borrow_mut().remove(&wc.wr_id);
+        self.post_recv_buffer();
+        let Some(buf) = buf else { return };
+        if !wc.status.is_ok() {
+            return;
+        }
+        let bytes = buf.read_at(0, wc.byte_len as usize);
+        let Some(pkt) = PacketHeader::decode(&bytes) else {
+            return;
+        };
+        let ud_qpn = self.ud_qp.borrow().as_ref().map(|q| q.qpn());
+        let ep = if ud_qpn == Some(wc.qp_num) {
+            // Arrived on the shared UD QP: the endpoint is identified by
+            // the datagram's source address handle.
+            let Some((src_node, src_qpn)) = wc.src else { return };
+            self.ud_endpoint_for(src_node, src_qpn)
+        } else {
+            let ep = self.eps.borrow().get(&wc.qp_num).cloned();
+            let Some(ep) = ep else { return };
+            Endpoint { inner: ep }
+        };
+
+        match pkt.kind {
+            PacketKind::Eager => {
+                let hdr_end = PACKET_HEADER_BYTES + pkt.hdr_len as usize;
+                let data_end = hdr_end + pkt.data_len as usize;
+                if bytes.len() < data_end {
+                    return;
+                }
+                // Dispatch + copy off the network buffer.
+                self.sim
+                    .sleep(self.profile.host.am_dispatch + self.stage_cost(pkt.data_len as usize))
+                    .await;
+                let hdr = &bytes[PACKET_HEADER_BYTES..hdr_end];
+                let data = &bytes[hdr_end..data_end];
+                let handler = self.handlers.borrow().get(&pkt.msg_id).cloned();
+                let Some(handler) = handler else {
+                    self.stats
+                        .unknown_msg_dropped
+                        .set(self.stats.unknown_msg_dropped.get() + 1);
+                    return;
+                };
+                let am_data = match handler.on_header(&ep, hdr, data.len()) {
+                    AmDest::Pool => AmData::Pool(data.to_vec()),
+                    AmDest::Buffer(slice) => {
+                        let n = data.len().min(slice.len());
+                        // Copy into the caller's registered destination.
+                        let _ = slice_write(&slice, &data[..n]);
+                        AmData::Placed(n)
+                    }
+                    AmDest::Discard => AmData::Discarded,
+                };
+                handler.on_complete(&ep, hdr, am_data);
+                self.stats
+                    .eager_delivered
+                    .set(self.stats.eager_delivered.get() + 1);
+                self.bump_counter(pkt.target_ctr);
+                if pkt.completion_ctr != 0 {
+                    self.send_fin(&ep, 0, pkt.completion_ctr, 0);
+                }
+            }
+            PacketKind::RndvReq => {
+                if ep.is_unreliable() {
+                    // RDMA read needs a connection; a rendezvous header on
+                    // UD is a protocol violation — drop it.
+                    self.stats
+                        .unknown_msg_dropped
+                        .set(self.stats.unknown_msg_dropped.get() + 1);
+                    return;
+                }
+                self.sim.sleep(self.profile.host.am_dispatch).await;
+                let hdr_end = PACKET_HEADER_BYTES + pkt.hdr_len as usize;
+                if bytes.len() < hdr_end {
+                    return;
+                }
+                let hdr = bytes[PACKET_HEADER_BYTES..hdr_end].to_vec();
+                let handler = self.handlers.borrow().get(&pkt.msg_id).cloned();
+                let Some(handler) = handler else {
+                    self.stats
+                        .unknown_msg_dropped
+                        .set(self.stats.unknown_msg_dropped.get() + 1);
+                    return;
+                };
+                let dest = match handler.on_header(&ep, &hdr, pkt.data_len as usize) {
+                    AmDest::Pool => {
+                        RndvDest::Pool(self.pd.register(pkt.data_len as usize, Access::LOCAL_WRITE))
+                    }
+                    AmDest::Buffer(slice) => RndvDest::Buffer(slice),
+                    AmDest::Discard => RndvDest::Discard(
+                        self.pd.register(pkt.data_len as usize, Access::LOCAL_WRITE),
+                    ),
+                };
+                let local = match &dest {
+                    RndvDest::Pool(mr) | RndvDest::Discard(mr) => mr.full(),
+                    RndvDest::Buffer(s) => s.clone(),
+                };
+                let remote = verbs::RemoteMemory {
+                    node: ep.peer(),
+                    rkey: pkt.rkey,
+                    offset: pkt.offset,
+                    len: pkt.data_len,
+                };
+                let wr_id = self.alloc_wr(Pending::RndvRead {
+                    ep: Rc::downgrade(&ep.inner),
+                    pkt,
+                    hdr,
+                    dest,
+                });
+                if ep
+                    .inner
+                    .qp
+                    .post_send(SendWr::new(wr_id, SendOp::RdmaRead { local, remote }))
+                    .is_err()
+                {
+                    self.pending.borrow_mut().remove(&wr_id);
+                    ep.inner.failed.set(true);
+                }
+            }
+            PacketKind::Fin => {
+                self.bump_counter(pkt.origin_ctr);
+                self.bump_counter(pkt.completion_ctr);
+                if pkt.token != 0 {
+                    self.rndv_src.borrow_mut().remove(&pkt.token);
+                }
+            }
+        }
+    }
+
+    async fn handle_send_completion(self: &Rc<Self>, wc: Wc) {
+        let pending = self.pending.borrow_mut().remove(&wc.wr_id);
+        let Some(pending) = pending else { return };
+        match pending {
+            Pending::OneSided { done, ep } => {
+                self.onesided_src.borrow_mut().remove(&wc.wr_id);
+                if !crate::onesided::complete_onesided(done, &ep, wc.status) {
+                    self.stats.send_failures.set(self.stats.send_failures.get() + 1);
+                }
+            }
+            Pending::EagerSend { origin, ep } => {
+                if wc.status.is_ok() {
+                    if let Some(c) = origin {
+                        // Local completion: the application buffer is
+                        // reusable (no extra message needed for eager).
+                        c.bump();
+                    }
+                } else {
+                    self.fail_ep(&ep);
+                }
+            }
+            Pending::CtrlSend { ep } => {
+                if !wc.status.is_ok() {
+                    self.fail_ep(&ep);
+                }
+            }
+            Pending::RndvRead { ep, pkt, hdr, dest } => {
+                let Some(ep_rc) = ep.upgrade() else { return };
+                let ep = Endpoint { inner: ep_rc };
+                if !wc.status.is_ok() {
+                    self.fail_ep(&Rc::downgrade(&ep.inner));
+                    return;
+                }
+                // Zero-copy path: only the calibrated host cost, no copy.
+                self.sim
+                    .sleep(
+                        self.profile.host.am_dispatch
+                            + self.profile.ucr_rdma_cost(pkt.data_len),
+                    )
+                    .await;
+                let handler = self.handlers.borrow().get(&pkt.msg_id).cloned();
+                if let Some(handler) = handler {
+                    let am_data = match dest {
+                        RndvDest::Pool(mr) => AmData::Pool(mr.read_at(0, pkt.data_len as usize)),
+                        RndvDest::Buffer(_) => AmData::Placed(pkt.data_len as usize),
+                        RndvDest::Discard(_) => AmData::Discarded,
+                    };
+                    handler.on_complete(&ep, &hdr, am_data);
+                }
+                self.stats
+                    .rndv_delivered
+                    .set(self.stats.rndv_delivered.get() + 1);
+                self.bump_counter(pkt.target_ctr);
+                // Fin always returns for rendezvous: it releases the
+                // origin's source buffer and carries any counter updates.
+                self.send_fin(&ep, pkt.origin_ctr, pkt.completion_ctr, pkt.token);
+            }
+        }
+    }
+
+    fn fail_ep(&self, ep: &Weak<EpInner>) {
+        self.stats.send_failures.set(self.stats.send_failures.get() + 1);
+        if let Some(ep) = ep.upgrade() {
+            ep.failed.set(true);
+            self.eps.borrow_mut().remove(&ep.qp.qpn());
+        }
+    }
+
+    fn send_fin(self: &Rc<Self>, ep: &Endpoint, origin_ctr: u64, completion_ctr: u64, token: u64) {
+        let mut pkt = PacketHeader::new(PacketKind::Fin, 0);
+        pkt.origin_ctr = origin_ctr;
+        pkt.completion_ctr = completion_ctr;
+        pkt.token = token;
+        let wr_id = self.alloc_wr(Pending::CtrlSend {
+            ep: Rc::downgrade(&ep.inner),
+        });
+        let _ = ep.inner.qp.post_send(SendWr::new(
+            wr_id,
+            SendOp::SendInline {
+                data: pkt.encode().to_vec(),
+                imm: None,
+            },
+        ));
+        self.stats.fins_sent.set(self.stats.fins_sent.get() + 1);
+    }
+}
+
+/// Writes into an MrSlice from plain bytes (helper for the eager path).
+fn slice_write(slice: &MrSlice, data: &[u8]) -> Result<(), ()> {
+    // MrSlice::read exists for reading; writing goes through the DMA path
+    // used by verbs internally. Reuse the public surface: the slice's
+    // region was registered with LOCAL_WRITE, so a recv-style placement is
+    // legitimate here.
+    slice.write_prefix(data).map_err(|_| ())
+}

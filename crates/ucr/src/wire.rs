@@ -1,0 +1,160 @@
+//! UCR packet framing.
+//!
+//! Every UCR message starts with a fixed 64-byte packet header followed by
+//! the application's active-message header and, on the eager path, the
+//! data. Counter identifiers travel in the packet header — this is how a
+//! Memcached client can name the counter it waits on in AM 1 and have the
+//! server's AM 2 target that same counter (paper §V-B/§V-C).
+
+/// Packet kinds on the wire.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PacketKind {
+    /// Header + data in one network buffer (≤ the 8 KB eager threshold).
+    Eager,
+    /// Rendezvous request: header only; data advertised for RDMA read.
+    RndvReq,
+    /// Internal message: counter updates / rendezvous completion.
+    Fin,
+}
+
+impl PacketKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            PacketKind::Eager => 1,
+            PacketKind::RndvReq => 2,
+            PacketKind::Fin => 3,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<PacketKind> {
+        match v {
+            1 => Some(PacketKind::Eager),
+            2 => Some(PacketKind::RndvReq),
+            3 => Some(PacketKind::Fin),
+            _ => None,
+        }
+    }
+}
+
+/// The fixed-size packet header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PacketHeader {
+    /// What follows this header.
+    pub kind: PacketKind,
+    /// Active-message id selecting the target-side handler.
+    pub msg_id: u16,
+    /// Length of the application header that follows.
+    pub hdr_len: u32,
+    /// Length of the data (inline for Eager, advertised for RndvReq).
+    pub data_len: u64,
+    /// Target-side counter to bump on completion (0 = none).
+    pub target_ctr: u64,
+    /// Origin-side counter to bump when buffers are reusable (0 = none).
+    pub origin_ctr: u64,
+    /// Origin-side counter to bump when the target's completion handler
+    /// has run (0 = none).
+    pub completion_ctr: u64,
+    /// Rendezvous: rkey of the advertised source region.
+    pub rkey: u32,
+    /// Rendezvous: offset within the advertised region.
+    pub offset: u64,
+    /// Origin-side token identifying in-flight rendezvous state.
+    pub token: u64,
+}
+
+/// Size of the encoded packet header.
+pub const PACKET_HEADER_BYTES: usize = 64;
+
+impl PacketHeader {
+    /// A zeroed header of the given kind.
+    pub fn new(kind: PacketKind, msg_id: u16) -> PacketHeader {
+        PacketHeader {
+            kind,
+            msg_id,
+            hdr_len: 0,
+            data_len: 0,
+            target_ctr: 0,
+            origin_ctr: 0,
+            completion_ctr: 0,
+            rkey: 0,
+            offset: 0,
+            token: 0,
+        }
+    }
+
+    /// Encodes into the fixed wire layout.
+    pub fn encode(&self) -> [u8; PACKET_HEADER_BYTES] {
+        let mut b = [0u8; PACKET_HEADER_BYTES];
+        b[0] = self.kind.to_u8();
+        b[2..4].copy_from_slice(&self.msg_id.to_le_bytes());
+        b[4..8].copy_from_slice(&self.hdr_len.to_le_bytes());
+        b[8..16].copy_from_slice(&self.data_len.to_le_bytes());
+        b[16..24].copy_from_slice(&self.target_ctr.to_le_bytes());
+        b[24..32].copy_from_slice(&self.origin_ctr.to_le_bytes());
+        b[32..40].copy_from_slice(&self.completion_ctr.to_le_bytes());
+        b[40..44].copy_from_slice(&self.rkey.to_le_bytes());
+        b[44..52].copy_from_slice(&self.offset.to_le_bytes());
+        b[52..60].copy_from_slice(&self.token.to_le_bytes());
+        b
+    }
+
+    /// Decodes from the wire; `None` on a malformed header.
+    pub fn decode(b: &[u8]) -> Option<PacketHeader> {
+        if b.len() < PACKET_HEADER_BYTES {
+            return None;
+        }
+        let kind = PacketKind::from_u8(b[0])?;
+        let le16 = |r: &[u8]| u16::from_le_bytes(r.try_into().expect("2 bytes"));
+        let le32 = |r: &[u8]| u32::from_le_bytes(r.try_into().expect("4 bytes"));
+        let le64 = |r: &[u8]| u64::from_le_bytes(r.try_into().expect("8 bytes"));
+        Some(PacketHeader {
+            kind,
+            msg_id: le16(&b[2..4]),
+            hdr_len: le32(&b[4..8]),
+            data_len: le64(&b[8..16]),
+            target_ctr: le64(&b[16..24]),
+            origin_ctr: le64(&b[24..32]),
+            completion_ctr: le64(&b[32..40]),
+            rkey: le32(&b[40..44]),
+            offset: le64(&b[44..52]),
+            token: le64(&b[52..60]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_fields() {
+        let h = PacketHeader {
+            kind: PacketKind::RndvReq,
+            msg_id: 0xbeef,
+            hdr_len: 123,
+            data_len: 1 << 40,
+            target_ctr: 7,
+            origin_ctr: 8,
+            completion_ctr: 9,
+            rkey: 0xdead_beef,
+            offset: 4096,
+            token: u64::MAX,
+        };
+        let enc = h.encode();
+        assert_eq!(PacketHeader::decode(&enc), Some(h));
+    }
+
+    #[test]
+    fn truncated_or_garbage_rejected() {
+        assert_eq!(PacketHeader::decode(&[1, 2, 3]), None);
+        let mut bad = PacketHeader::new(PacketKind::Eager, 1).encode();
+        bad[0] = 99; // unknown kind
+        assert_eq!(PacketHeader::decode(&bad), None);
+    }
+
+    #[test]
+    fn header_is_64_bytes() {
+        assert_eq!(PACKET_HEADER_BYTES, 64);
+        assert_eq!(PacketHeader::new(PacketKind::Fin, 0).encode().len(), 64);
+    }
+}

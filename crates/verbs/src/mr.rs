@@ -1,0 +1,222 @@
+//! Protection domains and registered memory regions.
+//!
+//! Registration pins a buffer and hands out an `lkey` (local use) and an
+//! `rkey` (advertised to peers for one-sided access). The simulation keeps
+//! each region as a byte vector behind `Rc<RefCell<..>>`; inbound RDMA
+//! resolves the rkey through the owning HCA's region table, checks access
+//! and bounds, and then actually moves the bytes — so data integrity is
+//! end-to-end observable in tests.
+
+use std::cell::RefCell;
+use std::rc::{Rc, Weak};
+
+use crate::types::{Access, RemoteMemory, VerbsError};
+use simnet::NodeId;
+
+pub(crate) struct MrInner {
+    pub rkey: u32,
+    pub pd_id: u32,
+    pub access: Access,
+    pub buf: RefCell<Vec<u8>>,
+}
+
+/// A protection domain: the allocation scope for memory regions and queue
+/// pairs. Regions registered in one PD are usable by QPs of the same PD.
+pub struct Pd {
+    pub(crate) node: NodeId,
+    pub(crate) pd_id: u32,
+    pub(crate) hca: Weak<crate::fabric::HcaInner>,
+}
+
+/// A registered memory region.
+pub struct Mr {
+    pub(crate) inner: Rc<MrInner>,
+    pub(crate) node: NodeId,
+    pub(crate) hca: Weak<crate::fabric::HcaInner>,
+}
+
+/// A borrowable window into a registered region, used as the local buffer
+/// of work requests. Cheap to clone.
+#[derive(Clone)]
+pub struct MrSlice {
+    pub(crate) inner: Rc<MrInner>,
+    pub(crate) offset: usize,
+    pub(crate) len: usize,
+}
+
+impl Pd {
+    /// Registers a fresh zero-filled region of `len` bytes.
+    pub fn register(&self, len: usize, access: Access) -> Mr {
+        self.register_with(vec![0u8; len], access)
+    }
+
+    /// Registers a region initialized with `data`.
+    pub fn register_with(&self, data: Vec<u8>, access: Access) -> Mr {
+        let hca = self.hca.upgrade().expect("HCA outlives its PDs");
+        let rkey = hca.next_key();
+        let inner = Rc::new(MrInner {
+            rkey,
+            pd_id: self.pd_id,
+            access,
+            buf: RefCell::new(data),
+        });
+        hca.mrs.borrow_mut().insert(rkey, Rc::downgrade(&inner));
+        Mr {
+            inner,
+            node: self.node,
+            hca: self.hca.clone(),
+        }
+    }
+}
+
+impl Mr {
+    /// Region length in bytes.
+    pub fn len(&self) -> usize {
+        self.inner.buf.borrow().len()
+    }
+
+    /// True if the region is zero-length.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The steering key peers use to target this region.
+    pub fn rkey(&self) -> u32 {
+        self.inner.rkey
+    }
+
+    /// Copies `data` into the region at `offset` (application-side write,
+    /// e.g. staging a value before a send).
+    pub fn write_at(&self, offset: usize, data: &[u8]) {
+        let mut buf = self.inner.buf.borrow_mut();
+        assert!(
+            offset + data.len() <= buf.len(),
+            "write_at out of bounds: {}+{} > {}",
+            offset,
+            data.len(),
+            buf.len()
+        );
+        buf[offset..offset + data.len()].copy_from_slice(data);
+    }
+
+    /// Copies bytes out of the region (application-side read).
+    pub fn read_at(&self, offset: usize, len: usize) -> Vec<u8> {
+        let buf = self.inner.buf.borrow();
+        assert!(offset + len <= buf.len(), "read_at out of bounds");
+        buf[offset..offset + len].to_vec()
+    }
+
+    /// A window over `[offset, offset+len)` usable in work requests.
+    pub fn slice(&self, offset: usize, len: usize) -> MrSlice {
+        assert!(
+            offset + len <= self.len(),
+            "slice out of bounds: {}+{} > {}",
+            offset,
+            len,
+            self.len()
+        );
+        MrSlice {
+            inner: self.inner.clone(),
+            offset,
+            len,
+        }
+    }
+
+    /// The whole region as a slice.
+    pub fn full(&self) -> MrSlice {
+        self.slice(0, self.len())
+    }
+
+    /// A descriptor a peer can use to RDMA into/out of this window.
+    pub fn remote(&self, offset: usize, len: usize) -> RemoteMemory {
+        assert!(offset + len <= self.len(), "remote window out of bounds");
+        RemoteMemory {
+            node: self.node,
+            rkey: self.inner.rkey,
+            offset: offset as u64,
+            len: len as u64,
+        }
+    }
+}
+
+impl Drop for Mr {
+    fn drop(&mut self) {
+        // Deregister: peers holding a stale rkey get RemoteAccessError.
+        if let Some(hca) = self.hca.upgrade() {
+            hca.mrs.borrow_mut().remove(&self.inner.rkey);
+        }
+    }
+}
+
+impl MrSlice {
+    /// Window length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Copies the window's bytes out (models the HCA DMA-reading them).
+    pub(crate) fn dma_read(&self) -> Vec<u8> {
+        let buf = self.inner.buf.borrow();
+        buf[self.offset..self.offset + self.len].to_vec()
+    }
+
+    /// Writes `data` into the window's prefix (models HCA DMA delivery).
+    /// Fails if `data` is longer than the window or the region lacks
+    /// LOCAL_WRITE.
+    pub(crate) fn dma_write(&self, data: &[u8]) -> Result<(), VerbsError> {
+        if !self.inner.access.allows(Access::LOCAL_WRITE) {
+            return Err(VerbsError::AccessViolation("region lacks LOCAL_WRITE"));
+        }
+        if data.len() > self.len {
+            return Err(VerbsError::AccessViolation("inbound data exceeds buffer"));
+        }
+        let mut buf = self.inner.buf.borrow_mut();
+        buf[self.offset..self.offset + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Writes `data` into the window's prefix (application-side write into
+    /// its own registered memory; requires LOCAL_WRITE, like a recv).
+    pub fn write_prefix(&self, data: &[u8]) -> Result<(), VerbsError> {
+        self.dma_write(data)
+    }
+
+    /// Application-level view of the received bytes.
+    pub fn read(&self, len: usize) -> Vec<u8> {
+        assert!(len <= self.len, "read beyond slice");
+        let buf = self.inner.buf.borrow();
+        buf[self.offset..self.offset + len].to_vec()
+    }
+}
+
+/// Resolves an inbound one-sided access against an HCA's region table.
+/// Returns the region and checked byte range.
+pub(crate) fn resolve_remote(
+    hca: &crate::fabric::HcaInner,
+    mem: &RemoteMemory,
+    need: Access,
+    len: u64,
+) -> Result<(Rc<MrInner>, usize), VerbsError> {
+    let mr = hca
+        .mrs
+        .borrow()
+        .get(&mem.rkey)
+        .and_then(Weak::upgrade)
+        .ok_or(VerbsError::AccessViolation("unknown or deregistered rkey"))?;
+    if !mr.access.allows(need) {
+        return Err(VerbsError::AccessViolation("permission denied"));
+    }
+    let end = mem
+        .offset
+        .checked_add(len)
+        .ok_or(VerbsError::AccessViolation("window overflow"))?;
+    if len > mem.len || end as usize > mr.buf.borrow().len() {
+        return Err(VerbsError::AccessViolation("window out of bounds"));
+    }
+    Ok((mr, mem.offset as usize))
+}

@@ -1,0 +1,167 @@
+//! Common verbs types: access flags, work completions, errors.
+
+use std::fmt;
+
+use simnet::NodeId;
+
+/// Memory-region access permissions (a miniature of `ibv_access_flags`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Access(u8);
+
+impl Access {
+    /// Local read only (registration always implies local read).
+    pub const LOCAL_READ: Access = Access(0);
+    /// The HCA may write inbound data into this region (recv, RDMA write
+    /// target).
+    pub const LOCAL_WRITE: Access = Access(1);
+    /// Remote peers may RDMA-read this region.
+    pub const REMOTE_READ: Access = Access(2);
+    /// Remote peers may RDMA-write this region.
+    pub const REMOTE_WRITE: Access = Access(4);
+
+    /// Everything: local write + remote read + remote write.
+    pub const ALL: Access = Access(1 | 2 | 4);
+
+    /// True if `self` grants every permission in `other`.
+    pub fn allows(self, other: Access) -> bool {
+        self.0 & other.0 == other.0
+    }
+}
+
+impl std::ops::BitOr for Access {
+    type Output = Access;
+    fn bitor(self, rhs: Access) -> Access {
+        Access(self.0 | rhs.0)
+    }
+}
+
+/// Operation type recorded in a completion.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WcOpcode {
+    /// A SEND completed locally (ack received).
+    Send,
+    /// An RDMA write completed locally.
+    RdmaWrite,
+    /// An RDMA read completed locally (data has landed).
+    RdmaRead,
+    /// An inbound SEND consumed a posted receive.
+    Recv,
+    /// An inbound RDMA-write-with-immediate consumed a posted receive.
+    RecvRdmaImm,
+}
+
+/// Completion status (subset of `ibv_wc_status`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WcStatus {
+    /// Operation completed successfully.
+    Success,
+    /// Inbound message longer than the posted receive buffer.
+    LocalLengthError,
+    /// Remote side rejected the access (bad rkey, permissions, bounds).
+    RemoteAccessError,
+    /// The queue pair is not in a state that can carry traffic.
+    QpStateError,
+    /// The remote endpoint is gone (simulated node/process failure).
+    RetryExceeded,
+}
+
+impl WcStatus {
+    /// Success?
+    pub fn is_ok(self) -> bool {
+        matches!(self, WcStatus::Success)
+    }
+}
+
+/// A work completion, as reaped from a completion queue.
+#[derive(Clone, Debug)]
+pub struct Wc {
+    /// Caller-chosen identifier from the work request.
+    pub wr_id: u64,
+    /// What finished.
+    pub opcode: WcOpcode,
+    /// Outcome.
+    pub status: WcStatus,
+    /// Bytes transferred (payload length for recv completions).
+    pub byte_len: u32,
+    /// Immediate data carried by SEND/WRITE-with-imm, if any.
+    pub imm: Option<u32>,
+    /// For recv completions: the queue-pair number the message arrived on
+    /// (lets one CQ serve many QPs, as with SRQ).
+    pub qp_num: u32,
+    /// For recv completions: the sender's (node, QP number) — the address
+    /// handle information UD consumers need to reply (`slid`/`src_qp` of
+    /// a real work completion). Also populated for RC receives.
+    pub src: Option<(NodeId, u32)>,
+}
+
+/// Describes remote memory that can be targeted by one-sided operations —
+/// what an application exchanges instead of pointers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RemoteMemory {
+    /// Node that owns the memory.
+    pub node: NodeId,
+    /// Steering key naming the registered region.
+    pub rkey: u32,
+    /// Offset within the region.
+    pub offset: u64,
+    /// Length of the addressable window.
+    pub len: u64,
+}
+
+/// Errors surfaced synchronously by verbs calls.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerbsError {
+    /// QP is not connected / wrong state for the operation.
+    InvalidState(&'static str),
+    /// MR slice out of bounds or permission missing.
+    AccessViolation(&'static str),
+    /// Connection manager could not reach or match a listener.
+    ConnectionRefused,
+    /// CM handshake timed out.
+    ConnectionTimeout,
+    /// The referenced object (QP, listener, node) does not exist.
+    NotFound(&'static str),
+}
+
+impl fmt::Display for VerbsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerbsError::InvalidState(s) => write!(f, "invalid queue-pair state: {s}"),
+            VerbsError::AccessViolation(s) => write!(f, "memory access violation: {s}"),
+            VerbsError::ConnectionRefused => write!(f, "connection refused"),
+            VerbsError::ConnectionTimeout => write!(f, "connection timed out"),
+            VerbsError::NotFound(s) => write!(f, "not found: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for VerbsError {}
+
+/// Bytes of transport header added to every message on the wire (RC
+/// transport framing, roughly LRH+BTH+ICRC).
+pub const WIRE_HEADER_BYTES: u64 = 30;
+
+/// Extra bytes of GRH prepended to UD datagrams.
+pub const UD_GRH_BYTES: u64 = 40;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_allows() {
+        let rw = Access::REMOTE_READ | Access::REMOTE_WRITE;
+        assert!(rw.allows(Access::REMOTE_READ));
+        assert!(rw.allows(Access::REMOTE_WRITE));
+        assert!(!rw.allows(Access::LOCAL_WRITE));
+        assert!(Access::ALL.allows(rw));
+        // LOCAL_READ is the empty set of extra permissions.
+        assert!(Access::default().allows(Access::LOCAL_READ));
+    }
+
+    #[test]
+    fn status_predicate() {
+        assert!(WcStatus::Success.is_ok());
+        assert!(!WcStatus::RemoteAccessError.is_ok());
+    }
+}

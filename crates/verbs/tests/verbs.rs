@@ -1,0 +1,612 @@
+//! Integration tests for the verbs layer: SEND/RECV, RDMA read/write,
+//! access control, SRQ fan-in, UD semantics, the connection manager, and
+//! failure behaviour.
+
+use std::rc::Rc;
+
+use simnet::{Cluster, NodeId, SimDuration};
+use verbs::{
+    connect, Access, Cq, Hca, IbFabric, Pd, QpType, QueuePair, SendOp, SendWr, Srq, VerbsError,
+    WcOpcode, WcStatus, DEFAULT_CONNECT_TIMEOUT,
+};
+
+struct Side {
+    hca: Hca,
+    pd: Pd,
+    cq: Cq,
+}
+
+fn pair(cluster_b: bool) -> (Rc<Cluster>, Side, Side) {
+    let cluster = Rc::new(if cluster_b {
+        Cluster::cluster_b(11, 4)
+    } else {
+        Cluster::cluster_a(11, 4)
+    });
+    let fabric = IbFabric::new(cluster.clone());
+    let mk = |n: u32| {
+        let hca = fabric.open(NodeId(n));
+        let pd = hca.alloc_pd();
+        let cq = hca.create_cq();
+        Side { hca, pd, cq }
+    };
+    (cluster, mk(0), mk(1))
+}
+
+fn connected_qps(a: &Side, b: &Side) -> (QueuePair, QueuePair) {
+    let qa = a.pd.create_qp(QpType::Rc, &a.cq, &a.cq, None);
+    let qb = b.pd.create_qp(QpType::Rc, &b.cq, &b.cq, None);
+    qa.connect_to(b.hca.node(), qb.qpn()).unwrap();
+    qb.connect_to(a.hca.node(), qa.qpn()).unwrap();
+    (qa, qb)
+}
+
+#[test]
+fn send_recv_moves_real_bytes() {
+    let (cluster, a, b) = pair(false);
+    let (qa, _qb_keepalive) = {
+        let (qa, qb) = connected_qps(&a, &b);
+        (qa, qb)
+    };
+    let dst = b.pd.register(1024, Access::LOCAL_WRITE);
+    _qb_keepalive.post_recv(7, dst.full());
+
+    let payload: Vec<u8> = (0..=255u8).collect();
+    let src = a.pd.register_with(payload.clone(), Access::default());
+    qa.post_send(SendWr::new(1, SendOp::Send {
+        local: src.full(),
+        imm: Some(0xfeed),
+    }))
+    .unwrap();
+
+    let bcq = b.cq.clone();
+    let wc = cluster.sim().block_on(async move { bcq.next().await });
+    assert_eq!(wc.wr_id, 7);
+    assert_eq!(wc.opcode, WcOpcode::Recv);
+    assert!(wc.status.is_ok());
+    assert_eq!(wc.byte_len, 256);
+    assert_eq!(wc.imm, Some(0xfeed));
+    assert_eq!(dst.read_at(0, 256), payload);
+}
+
+#[test]
+fn sender_gets_a_send_completion() {
+    let (cluster, a, b) = pair(false);
+    let (qa, qb) = connected_qps(&a, &b);
+    let dst = b.pd.register(64, Access::LOCAL_WRITE);
+    qb.post_recv(1, dst.full());
+    qa.post_send(SendWr::new(42, SendOp::SendInline {
+        data: b"x".to_vec(),
+        imm: None,
+    }))
+    .unwrap();
+    let acq = a.cq.clone();
+    let wc = cluster.sim().block_on(async move { acq.next().await });
+    assert_eq!(wc.wr_id, 42);
+    assert_eq!(wc.opcode, WcOpcode::Send);
+    assert!(wc.status.is_ok());
+}
+
+#[test]
+fn message_larger_than_recv_buffer_errors() {
+    let (cluster, a, b) = pair(false);
+    let (qa, qb) = connected_qps(&a, &b);
+    let small = b.pd.register(4, Access::LOCAL_WRITE);
+    qb.post_recv(1, small.full());
+    qa.post_send(SendWr::new(2, SendOp::SendInline {
+        data: vec![0u8; 100],
+        imm: None,
+    }))
+    .unwrap();
+    let bcq = b.cq.clone();
+    let wc = cluster.sim().block_on(async move { bcq.next().await });
+    assert_eq!(wc.status, WcStatus::LocalLengthError);
+}
+
+#[test]
+fn rdma_write_lands_without_target_cpu() {
+    let (cluster, a, b) = pair(false);
+    let (qa, _qb) = connected_qps(&a, &b);
+    let target = b.pd.register(4096, Access::LOCAL_WRITE | Access::REMOTE_WRITE);
+    let data = vec![0xabu8; 512];
+    let src = a.pd.register_with(data.clone(), Access::default());
+
+    qa.post_send(SendWr::new(1, SendOp::RdmaWrite {
+        local: src.full(),
+        remote: target.remote(128, 512),
+        imm: None,
+    }))
+    .unwrap();
+
+    let acq = a.cq.clone();
+    let wc = cluster.sim().block_on(async move { acq.next().await });
+    assert_eq!(wc.opcode, WcOpcode::RdmaWrite);
+    assert!(wc.status.is_ok());
+    assert_eq!(target.read_at(128, 512), data);
+    // No receive was consumed, no target completion: one-sided.
+    assert_eq!(b.cq.backlog(), 0);
+}
+
+#[test]
+fn rdma_write_with_imm_consumes_receive() {
+    let (cluster, a, b) = pair(false);
+    let (qa, qb) = connected_qps(&a, &b);
+    let target = b.pd.register(256, Access::LOCAL_WRITE | Access::REMOTE_WRITE);
+    let notice = b.pd.register(0, Access::LOCAL_WRITE);
+    qb.post_recv(9, notice.full());
+
+    let src = a.pd.register_with(vec![1, 2, 3], Access::default());
+    qa.post_send(SendWr::new(1, SendOp::RdmaWrite {
+        local: src.full(),
+        remote: target.remote(0, 3),
+        imm: Some(77),
+    }))
+    .unwrap();
+
+    let bcq = b.cq.clone();
+    let wc = cluster.sim().block_on(async move { bcq.next().await });
+    assert_eq!(wc.wr_id, 9);
+    assert_eq!(wc.opcode, WcOpcode::RecvRdmaImm);
+    assert_eq!(wc.imm, Some(77));
+    assert_eq!(target.read_at(0, 3), vec![1, 2, 3]);
+}
+
+#[test]
+fn rdma_read_pulls_remote_bytes() {
+    let (cluster, a, b) = pair(true);
+    let (qa, _qb) = connected_qps(&a, &b);
+    let secret: Vec<u8> = (0..64).map(|i| i as u8 ^ 0x5a).collect();
+    let remote_mr = b
+        .pd
+        .register_with(secret.clone(), Access::REMOTE_READ | Access::LOCAL_WRITE);
+    let local = a.pd.register(64, Access::LOCAL_WRITE);
+
+    qa.post_send(SendWr::new(5, SendOp::RdmaRead {
+        local: local.full(),
+        remote: remote_mr.remote(0, 64),
+    }))
+    .unwrap();
+
+    let acq = a.cq.clone();
+    let wc = cluster.sim().block_on(async move { acq.next().await });
+    assert_eq!(wc.opcode, WcOpcode::RdmaRead);
+    assert!(wc.status.is_ok());
+    assert_eq!(wc.byte_len, 64);
+    assert_eq!(local.read_at(0, 64), secret);
+}
+
+#[test]
+fn rdma_read_without_permission_is_refused() {
+    let (cluster, a, b) = pair(false);
+    let (qa, _qb) = connected_qps(&a, &b);
+    // Region lacks REMOTE_READ.
+    let remote_mr = b.pd.register(64, Access::LOCAL_WRITE);
+    let local = a.pd.register(64, Access::LOCAL_WRITE);
+    qa.post_send(SendWr::new(5, SendOp::RdmaRead {
+        local: local.full(),
+        remote: remote_mr.remote(0, 64),
+    }))
+    .unwrap();
+    let acq = a.cq.clone();
+    let wc = cluster.sim().block_on(async move { acq.next().await });
+    assert_eq!(wc.status, WcStatus::RemoteAccessError);
+}
+
+#[test]
+fn deregistered_rkey_is_refused() {
+    let (cluster, a, b) = pair(false);
+    let (qa, _qb) = connected_qps(&a, &b);
+    let remote_desc = {
+        let mr = b.pd.register(64, Access::REMOTE_READ | Access::LOCAL_WRITE);
+        mr.remote(0, 64)
+        // mr drops here: deregistered.
+    };
+    let local = a.pd.register(64, Access::LOCAL_WRITE);
+    qa.post_send(SendWr::new(1, SendOp::RdmaRead {
+        local: local.full(),
+        remote: remote_desc,
+    }))
+    .unwrap();
+    let acq = a.cq.clone();
+    let wc = cluster.sim().block_on(async move { acq.next().await });
+    assert_eq!(wc.status, WcStatus::RemoteAccessError);
+}
+
+#[test]
+fn pd_mismatch_is_rejected_synchronously() {
+    let (_cluster, a, b) = pair(false);
+    let (qa, _qb) = connected_qps(&a, &b);
+    let other_pd = a.hca.alloc_pd();
+    let foreign = other_pd.register(16, Access::default());
+    let err = qa
+        .post_send(SendWr::new(1, SendOp::Send {
+            local: foreign.full(),
+            imm: None,
+        }))
+        .unwrap_err();
+    assert!(matches!(err, VerbsError::AccessViolation(_)));
+}
+
+#[test]
+fn srq_fans_in_many_qps() {
+    let (cluster, a, b) = pair(false);
+    let fabric = IbFabric::new(cluster.clone());
+    let _ = fabric; // sides already built on their own fabric view
+    let srq = Srq::new();
+    // Four receive buffers in the shared pool.
+    let bufs: Vec<_> = (0..4)
+        .map(|i| {
+            let mr = b.pd.register(64, Access::LOCAL_WRITE);
+            srq.post_recv(100 + i, mr.full());
+            mr
+        })
+        .collect();
+
+    // Two client QPs share the server's SRQ-backed QPs.
+    let mut client_qps = Vec::new();
+    for _ in 0..2 {
+        let qa = a.pd.create_qp(QpType::Rc, &a.cq, &a.cq, None);
+        let qb = b.pd.create_qp(QpType::Rc, &b.cq, &b.cq, Some(&srq));
+        qa.connect_to(b.hca.node(), qb.qpn()).unwrap();
+        qb.connect_to(a.hca.node(), qa.qpn()).unwrap();
+        client_qps.push((qa, qb));
+    }
+
+    for (i, (qa, _)) in client_qps.iter().enumerate() {
+        qa.post_send(SendWr::new(i as u64, SendOp::SendInline {
+            data: vec![i as u8; 8],
+            imm: None,
+        }))
+        .unwrap();
+    }
+
+    let bcq = b.cq.clone();
+    let (wc1, wc2) = cluster.sim().block_on(async move {
+        let w1 = bcq.next().await;
+        let w2 = bcq.next().await;
+        (w1, w2)
+    });
+    assert!(wc1.status.is_ok() && wc2.status.is_ok());
+    // Both consumed SRQ buffers, in order.
+    assert_eq!(wc1.wr_id, 100);
+    assert_eq!(wc2.wr_id, 101);
+    // Completions identify the arrival QP.
+    assert_ne!(wc1.qp_num, wc2.qp_num);
+    assert_eq!(srq.available(), 2);
+    drop(bufs);
+}
+
+#[test]
+fn ud_send_completes_locally_and_can_drop() {
+    let (cluster, a, b) = pair(false);
+    let qa = a.pd.create_qp(QpType::Ud, &a.cq, &a.cq, None);
+    let qb = b.pd.create_qp(QpType::Ud, &b.cq, &b.cq, None);
+
+    // No receive posted at b: datagram is dropped, sender still completes.
+    let mut wr = SendWr::new(1, SendOp::SendInline {
+        data: b"dgram".to_vec(),
+        imm: None,
+    });
+    wr.ud_dest = Some((b.hca.node(), qb.qpn()));
+    qa.post_send(wr).unwrap();
+
+    let acq = a.cq.clone();
+    let wc = cluster.sim().block_on(async move { acq.next().await });
+    assert!(wc.status.is_ok());
+    cluster.sim().run();
+    assert_eq!(b.cq.backlog(), 0, "dropped datagram must not complete");
+
+    // With a receive posted it is delivered.
+    let dst = b.pd.register(64, Access::LOCAL_WRITE);
+    qb.post_recv(3, dst.full());
+    let mut wr = SendWr::new(2, SendOp::SendInline {
+        data: b"dgram2".to_vec(),
+        imm: None,
+    });
+    wr.ud_dest = Some((b.hca.node(), qb.qpn()));
+    qa.post_send(wr).unwrap();
+    let bcq = b.cq.clone();
+    let wc = cluster.sim().block_on(async move { bcq.next().await });
+    assert_eq!(wc.wr_id, 3);
+    assert_eq!(dst.read_at(0, 6), b"dgram2");
+}
+
+#[test]
+fn ud_payload_capped_at_mtu() {
+    let (cluster, a, b) = pair(false);
+    let qa = a.pd.create_qp(QpType::Ud, &a.cq, &a.cq, None);
+    let mtu = cluster.profile().ib.mtu as usize;
+    let mut wr = SendWr::new(1, SendOp::SendInline {
+        data: vec![0u8; mtu + 1],
+        imm: None,
+    });
+    wr.ud_dest = Some((b.hca.node(), 1));
+    assert!(matches!(
+        qa.post_send(wr),
+        Err(VerbsError::AccessViolation(_))
+    ));
+}
+
+#[test]
+fn cm_handshake_connects_both_sides() {
+    let (cluster, a, b) = pair(false);
+    let listener = b.hca.listen(4000).unwrap();
+    let sim = cluster.sim().clone();
+
+    // Server side: accept then echo-receive.
+    let bcq = b.cq.clone();
+    let b_pd = b.pd;
+    let b_hca = b.hca.clone();
+    let server = sim.spawn(async move {
+        let b_cq2 = b_hca.create_cq();
+        let _ = b_cq2;
+        let qp = listener.accept(&b_pd, &bcq, &bcq, None).await.unwrap();
+        let mr = b_pd.register(64, Access::LOCAL_WRITE);
+        qp.post_recv(1, mr.full());
+        let wc = bcq.next().await;
+        (wc, mr.read_at(0, 5))
+    });
+
+    let a_pd = a.pd;
+    let a_cq = a.cq.clone();
+    let a_hca = a.hca.clone();
+    let dstn = b.hca.node();
+    let client = sim.spawn(async move {
+        let qp = connect(
+            &a_hca,
+            &a_pd,
+            &a_cq,
+            &a_cq,
+            None,
+            dstn,
+            4000,
+            DEFAULT_CONNECT_TIMEOUT,
+        )
+        .await
+        .unwrap();
+        qp.post_send(SendWr::new(1, SendOp::SendInline {
+            data: b"hello".to_vec(),
+            imm: None,
+        }))
+        .unwrap();
+        a_cq.next().await
+    });
+
+    let ((wc_srv, data), wc_cli) = sim.block_on(async move { (server.await, client.await) });
+    assert!(wc_srv.status.is_ok());
+    assert!(wc_cli.status.is_ok());
+    assert_eq!(data, b"hello");
+}
+
+#[test]
+fn connect_to_missing_listener_is_refused() {
+    let (cluster, a, b) = pair(false);
+    // Open b's HCA so the node is routable but has no listener on the port.
+    let _ = &b;
+    let sim = cluster.sim().clone();
+    let a_pd = a.pd;
+    let a_cq = a.cq.clone();
+    let a_hca = a.hca.clone();
+    let dstn = b.hca.node();
+    let err = sim.block_on(async move {
+        connect(
+            &a_hca,
+            &a_pd,
+            &a_cq,
+            &a_cq,
+            None,
+            dstn,
+            4999,
+            DEFAULT_CONNECT_TIMEOUT,
+        )
+        .await
+        .unwrap_err()
+    });
+    assert_eq!(err, VerbsError::ConnectionRefused);
+}
+
+#[test]
+fn send_to_killed_hca_reports_retry_exceeded() {
+    let (cluster, a, b) = pair(false);
+    let (qa, qb) = connected_qps(&a, &b);
+    let _ = qb;
+    b.hca.kill();
+    qa.post_send(SendWr::new(1, SendOp::SendInline {
+        data: b"lost".to_vec(),
+        imm: None,
+    }))
+    .unwrap();
+    let acq = a.cq.clone();
+    let wc = cluster.sim().block_on(async move { acq.next().await });
+    assert_eq!(wc.status, WcStatus::RetryExceeded);
+}
+
+#[test]
+fn timing_qdr_send_is_faster_than_ddr() {
+    fn one_way(cluster_b: bool, bytes: usize) -> SimDuration {
+        let (cluster, a, b) = pair(cluster_b);
+        let (qa, qb) = connected_qps(&a, &b);
+        let dst = b.pd.register(bytes.max(1), Access::LOCAL_WRITE);
+        qb.post_recv(1, dst.full());
+        let t0 = cluster.sim().now();
+        qa.post_send(SendWr::new(1, SendOp::SendInline {
+            data: vec![0u8; bytes],
+            imm: None,
+        }))
+        .unwrap();
+        let bcq = b.cq.clone();
+        cluster.sim().block_on(async move {
+            bcq.next().await;
+        });
+        cluster.sim().now() - t0
+    }
+    let ddr = one_way(false, 4096);
+    let qdr = one_way(true, 4096);
+    assert!(qdr < ddr, "QDR {qdr} should beat DDR {ddr}");
+    // Small verbs message should be in the 1-3 us band the paper quotes
+    // for verbs-level one-way latency.
+    let small = one_way(true, 8);
+    assert!(
+        small.as_micros_f64() > 0.5 && small.as_micros_f64() < 3.0,
+        "one-way small verbs latency {small} outside the expected band"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Additional coverage: state machine, addressing, error paths
+// ---------------------------------------------------------------------
+
+#[test]
+fn rc_qp_state_machine_is_enforced() {
+    let (_cluster, a, b) = pair(false);
+    let qa = a.pd.create_qp(QpType::Rc, &a.cq, &a.cq, None);
+    // Send before connect: invalid state.
+    let err = qa
+        .post_send(SendWr::new(1, SendOp::SendInline {
+            data: b"x".to_vec(),
+            imm: None,
+        }))
+        .unwrap_err();
+    assert!(matches!(err, VerbsError::InvalidState(_)));
+    // Double connect: invalid.
+    qa.connect_to(b.hca.node(), 99).unwrap();
+    assert!(qa.connect_to(b.hca.node(), 100).is_err());
+    // UD QPs cannot use connect_to.
+    let qu = a.pd.create_qp(QpType::Ud, &a.cq, &a.cq, None);
+    assert!(qu.connect_to(b.hca.node(), 1).is_err());
+}
+
+#[test]
+fn closed_qp_rejects_sends_and_peers_fail() {
+    let (cluster, a, b) = pair(false);
+    let (qa, qb) = connected_qps(&a, &b);
+    qb.close();
+    qa.post_send(SendWr::new(5, SendOp::SendInline {
+        data: b"into-the-void".to_vec(),
+        imm: None,
+    }))
+    .unwrap();
+    let acq = a.cq.clone();
+    let wc = cluster.sim().block_on(async move { acq.next().await });
+    assert_eq!(wc.status, WcStatus::RetryExceeded);
+    // The closed QP itself refuses new work.
+    assert!(qb
+        .post_send(SendWr::new(6, SendOp::SendInline {
+            data: b"x".to_vec(),
+            imm: None
+        }))
+        .is_err());
+}
+
+#[test]
+fn recv_completions_carry_source_addressing() {
+    let (cluster, a, b) = pair(false);
+    let (qa, qb) = connected_qps(&a, &b);
+    let mr = b.pd.register(64, Access::LOCAL_WRITE);
+    qb.post_recv(1, mr.full());
+    qa.post_send(SendWr::new(2, SendOp::SendInline {
+        data: b"hi".to_vec(),
+        imm: None,
+    }))
+    .unwrap();
+    let bcq = b.cq.clone();
+    let wc = cluster.sim().block_on(async move { bcq.next().await });
+    assert_eq!(wc.src, Some((a.hca.node(), qa.qpn())));
+    assert_eq!(wc.qp_num, qb.qpn());
+}
+
+#[test]
+fn rdma_write_exceeding_window_fails_synchronously() {
+    let (_cluster, a, b) = pair(false);
+    let (qa, _qb) = connected_qps(&a, &b);
+    let target = b.pd.register(64, Access::LOCAL_WRITE | Access::REMOTE_WRITE);
+    let src = a.pd.register(128, Access::default());
+    let err = qa
+        .post_send(SendWr::new(1, SendOp::RdmaWrite {
+            local: src.full(),
+            remote: target.remote(0, 64), // 128 bytes into a 64-byte window
+            imm: None,
+        }))
+        .unwrap_err();
+    assert!(matches!(err, VerbsError::AccessViolation(_)));
+}
+
+#[test]
+fn rdma_read_against_killed_peer_retries_out() {
+    let (cluster, a, b) = pair(false);
+    let (qa, _qb) = connected_qps(&a, &b);
+    let remote_mr = b.pd.register(64, Access::REMOTE_READ | Access::LOCAL_WRITE);
+    let desc = remote_mr.remote(0, 64);
+    let local = a.pd.register(64, Access::LOCAL_WRITE);
+    b.hca.kill();
+    qa.post_send(SendWr::new(1, SendOp::RdmaRead {
+        local: local.full(),
+        remote: desc,
+    }))
+    .unwrap();
+    let acq = a.cq.clone();
+    let wc = cluster.sim().block_on(async move { acq.next().await });
+    assert_eq!(wc.status, WcStatus::RetryExceeded);
+}
+
+#[test]
+fn listener_port_collision_and_release() {
+    let (_cluster, a, _b) = pair(false);
+    let l1 = a.hca.listen(7000).unwrap();
+    assert!(a.hca.listen(7000).is_err(), "port must be exclusive");
+    drop(l1);
+    // Dropping the listener frees the port.
+    assert!(a.hca.listen(7000).is_ok());
+}
+
+#[test]
+fn messages_on_one_qp_arrive_in_order() {
+    let (cluster, a, b) = pair(true);
+    let (qa, qb) = connected_qps(&a, &b);
+    let mut bufs = Vec::new();
+    for i in 0..16u64 {
+        let mr = b.pd.register(16, Access::LOCAL_WRITE);
+        qb.post_recv(i, mr.full());
+        bufs.push(mr);
+    }
+    for i in 0..16u8 {
+        qa.post_send(SendWr::new(100 + i as u64, SendOp::SendInline {
+            data: vec![i; 8],
+            imm: None,
+        }))
+        .unwrap();
+    }
+    let bcq = b.cq.clone();
+    let order = cluster.sim().block_on(async move {
+        let mut got = Vec::new();
+        for _ in 0..16 {
+            got.push(bcq.next().await.wr_id);
+        }
+        got
+    });
+    assert_eq!(order, (0..16u64).collect::<Vec<_>>(), "RC is ordered");
+    for (i, mr) in bufs.iter().enumerate() {
+        assert_eq!(mr.read_at(0, 8), vec![i as u8; 8]);
+    }
+}
+
+#[test]
+fn mr_register_with_initial_data_and_bounds() {
+    let (_cluster, a, _b) = pair(false);
+    let mr = a.pd.register_with(vec![1, 2, 3, 4], Access::REMOTE_READ);
+    assert_eq!(mr.len(), 4);
+    assert!(!mr.is_empty());
+    assert_eq!(mr.read_at(1, 2), vec![2, 3]);
+    mr.write_at(0, &[9]);
+    assert_eq!(mr.read_at(0, 1), vec![9]);
+    let slice = mr.slice(1, 3);
+    assert_eq!(slice.len(), 3);
+    assert_eq!(slice.read(2), vec![2, 3]);
+}
+
+#[test]
+#[should_panic(expected = "slice out of bounds")]
+fn mr_slice_bounds_checked() {
+    let (_cluster, a, _b) = pair(false);
+    let mr = a.pd.register(8, Access::default());
+    let _ = mr.slice(4, 8);
+}

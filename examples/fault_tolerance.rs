@@ -1,0 +1,92 @@
+//! Fault tolerance: one Memcached server dies mid-workload; the client's
+//! counter wait times out (UCR's synchronization-with-timeout, paper
+//! §IV-A), the client drops the dead server from its pool, and the
+//! surviving deployment keeps serving — one failing process must not fail
+//! the others, unlike an MPI job.
+//!
+//! ```text
+//! cargo run --release --example fault_tolerance
+//! ```
+
+use rdma_memcached::rmc::{
+    Distribution, McClient, McClientConfig, McError, McServer, McServerConfig, Transport, World,
+};
+use rdma_memcached::simnet::{NodeId, SimDuration};
+
+fn main() {
+    let world = World::cluster_a(5, 6);
+    let server_a = McServer::start(&world, NodeId(0), McServerConfig::default());
+    let _server_b = McServer::start(&world, NodeId(1), McServerConfig::default());
+
+    let pool = McClientConfig {
+        transport: Transport::Ucr,
+        servers: vec![NodeId(0), NodeId(1)],
+        port: 11211,
+        op_timeout: SimDuration::from_millis(5),
+        distribution: Distribution::Ketama,
+        ..McClientConfig::single(Transport::Ucr, NodeId(0))
+    };
+    let client = McClient::new(&world, NodeId(2), pool);
+
+    let sim = world.sim().clone();
+    let sim2 = sim.clone();
+    sim.block_on(async move {
+        // Populate across both servers.
+        let keys: Vec<String> = (0..40).map(|i| format!("session:{i}")).collect();
+        for k in &keys {
+            client.set(k.as_bytes(), b"state", 0, 0).await.unwrap();
+        }
+        println!("populated {} keys across 2 servers", keys.len());
+
+        // Server 0 crashes.
+        server_a.shutdown();
+        world.crash_node(NodeId(0));
+        println!("server node0 crashed");
+
+        // Sweep the keys: those on the dead server time out, the rest
+        // keep answering — fault isolation in action.
+        let mut ok = 0;
+        let mut dead = 0;
+        for k in &keys {
+            match client.get(k.as_bytes()).await {
+                Ok(Some(_)) => ok += 1,
+                Ok(None) => {}
+                Err(McError::Timeout) | Err(McError::Disconnected) => dead += 1,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        println!("after crash: {ok} keys still served, {dead} timed out (<=5 ms each)");
+        assert!(ok > 0 && dead > 0);
+
+        // Corrective action (paper §IV-A: "a client may decide that a
+        // server has gone down"): rebuild the pool without the dead node.
+        let survivor = McClient::new(
+            &world,
+            NodeId(3),
+            McClientConfig {
+                transport: Transport::Ucr,
+                servers: vec![NodeId(1)],
+                port: 11211,
+                op_timeout: SimDuration::from_millis(5),
+                distribution: Distribution::Ketama,
+                ..McClientConfig::single(Transport::Ucr, NodeId(1))
+            },
+        );
+        let mut recovered = 0;
+        for k in &keys {
+            // Keys that lived on the dead server are cache misses now;
+            // re-populate them on the survivor (cache-aside refill).
+            if survivor.get(k.as_bytes()).await.unwrap().is_none() {
+                survivor.set(k.as_bytes(), b"state", 0, 0).await.unwrap();
+                recovered += 1;
+            }
+        }
+        println!("re-populated {recovered} keys on the surviving server");
+
+        // Full service restored.
+        for k in &keys {
+            assert!(survivor.get(k.as_bytes()).await.unwrap().is_some());
+        }
+        println!("all {} keys served again at {}", keys.len(), sim2.now());
+    });
+}
