@@ -9,8 +9,8 @@
 //! protocol stacks themselves.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rmc_bench::{measure_latency, measure_throughput, ClusterKind, Mix};
 use rmc::Transport;
+use rmc_bench::{measure_latency, measure_throughput, ClusterKind, Mix};
 use simnet::Stack;
 
 fn fig3(c: &mut Criterion) {
@@ -22,13 +22,9 @@ fn fig3(c: &mut Criterion) {
         ("toe", Transport::Sockets(Stack::TenGigEToe)),
     ] {
         for size in [64usize, 4096] {
-            g.bench_with_input(
-                BenchmarkId::new(name, size),
-                &size,
-                |b, &size| {
-                    b.iter(|| measure_latency(ClusterKind::A, transport, Mix::GetOnly, size, 50, 3))
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(name, size), &size, |b, &size| {
+                b.iter(|| measure_latency(ClusterKind::A, transport, Mix::GetOnly, size, 50, 3))
+            });
         }
     }
     g.finish();

@@ -54,25 +54,29 @@ fn bench_growth_factor(c: &mut Criterion) {
     let mut g = c.benchmark_group("slab_growth_factor");
     g.sample_size(10);
     for factor in [1.1f64, 1.25, 1.5, 2.0] {
-        g.bench_with_input(BenchmarkId::from_parameter(factor), &factor, |b, &factor| {
-            b.iter(|| {
-                let mut s = Store::new(StoreConfig {
-                    slab: SlabConfig {
-                        mem_limit: 32 << 20,
-                        growth_factor: factor,
-                        ..SlabConfig::default()
-                    },
-                    ..StoreConfig::default()
+        g.bench_with_input(
+            BenchmarkId::from_parameter(factor),
+            &factor,
+            |b, &factor| {
+                b.iter(|| {
+                    let mut s = Store::new(StoreConfig {
+                        slab: SlabConfig {
+                            mem_limit: 32 << 20,
+                            growth_factor: factor,
+                            ..SlabConfig::default()
+                        },
+                        ..StoreConfig::default()
+                    });
+                    // Mixed sizes spanning many classes.
+                    for i in 0..20_000u64 {
+                        let size = 64 + (i * 37) % 4000;
+                        let key = format!("k{i}");
+                        s.set(key.as_bytes(), &vec![1u8; size as usize], 0, 0, 1);
+                    }
+                    s.curr_items()
                 });
-                // Mixed sizes spanning many classes.
-                for i in 0..20_000u64 {
-                    let size = 64 + (i * 37) % 4000;
-                    let key = format!("k{i}");
-                    s.set(key.as_bytes(), &vec![1u8; size as usize], 0, 0, 1);
-                }
-                s.curr_items()
-            });
-        });
+            },
+        );
     }
     g.finish();
 }
@@ -114,5 +118,10 @@ fn bench_sharded_parallel(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(store, bench_set_get, bench_growth_factor, bench_sharded_parallel);
+criterion_group!(
+    store,
+    bench_set_get,
+    bench_growth_factor,
+    bench_sharded_parallel
+);
 criterion_main!(store);

@@ -88,7 +88,10 @@ fn measure(which: Counters, size: usize) -> (f64, u64) {
                     .await
                     .unwrap(),
                 Counters::Both => {
-                    origin.wait_for(1, SimDuration::from_millis(10)).await.unwrap();
+                    origin
+                        .wait_for(1, SimDuration::from_millis(10))
+                        .await
+                        .unwrap();
                     completion
                         .wait_for(1, SimDuration::from_millis(10))
                         .await

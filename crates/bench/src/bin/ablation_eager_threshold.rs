@@ -37,7 +37,12 @@ fn measure(threshold: usize, size: usize) -> f64 {
 
 fn main() {
     let thresholds = [512usize, 1024, 2048, 4096, 8192];
-    let sizes = [256usize, 1024, 2048, 4096, 7000];
+    // 992 sits exactly at the 1024 boundary: the get response's payload is
+    // the value plus the 32-byte response header, so at thr=1024 a 992 B
+    // value is the largest that still rides the eager path (the threshold
+    // applies to payload bytes; the 64-byte packet header is carried by
+    // the receive buffers' headroom).
+    let sizes = [256usize, 992, 1024, 2048, 4096, 7000];
     println!("Ablation: UCR eager/rendezvous threshold vs get latency (us), Cluster B");
     print!("{:>10}", "value");
     for t in thresholds {

@@ -75,7 +75,9 @@ fn run(clients: u32, unreliable: bool) -> (usize, f64) {
                 ep.send_message(ECHO, &hdr, b"req-" as &[u8], SendOptions::default())
                     .await
                     .unwrap();
-                ctr.wait_for(1, SimDuration::from_millis(100)).await.unwrap();
+                ctr.wait_for(1, SimDuration::from_millis(100))
+                    .await
+                    .unwrap();
             }
         }));
     }

@@ -9,10 +9,26 @@ use rmc_bench::{
 fn main() {
     let cluster = ClusterKind::A;
     let panels = [
-        ("Figure 3(a): Latency of Set - Small Message, Cluster A (us)", Mix::SetOnly, SMALL_SIZES),
-        ("Figure 3(b): Latency of Set - Large Message, Cluster A (us)", Mix::SetOnly, LARGE_SIZES),
-        ("Figure 3(c): Latency of Get - Small Message, Cluster A (us)", Mix::GetOnly, SMALL_SIZES),
-        ("Figure 3(d): Latency of Get - Large Message, Cluster A (us)", Mix::GetOnly, LARGE_SIZES),
+        (
+            "Figure 3(a): Latency of Set - Small Message, Cluster A (us)",
+            Mix::SetOnly,
+            SMALL_SIZES,
+        ),
+        (
+            "Figure 3(b): Latency of Set - Large Message, Cluster A (us)",
+            Mix::SetOnly,
+            LARGE_SIZES,
+        ),
+        (
+            "Figure 3(c): Latency of Get - Small Message, Cluster A (us)",
+            Mix::GetOnly,
+            SMALL_SIZES,
+        ),
+        (
+            "Figure 3(d): Latency of Get - Large Message, Cluster A (us)",
+            Mix::GetOnly,
+            LARGE_SIZES,
+        ),
     ];
     for (title, mix, sizes) in panels {
         let columns: Vec<_> = cluster

@@ -10,10 +10,26 @@ use rmc_bench::{
 fn main() {
     let cluster = ClusterKind::B;
     let panels = [
-        ("Figure 4(a): Latency of Set - Small Message, Cluster B (us)", Mix::SetOnly, SMALL_SIZES),
-        ("Figure 4(b): Latency of Set - Large Message, Cluster B (us)", Mix::SetOnly, LARGE_SIZES),
-        ("Figure 4(c): Latency of Get - Small Message, Cluster B (us)", Mix::GetOnly, SMALL_SIZES),
-        ("Figure 4(d): Latency of Get - Large Message, Cluster B (us)", Mix::GetOnly, LARGE_SIZES),
+        (
+            "Figure 4(a): Latency of Set - Small Message, Cluster B (us)",
+            Mix::SetOnly,
+            SMALL_SIZES,
+        ),
+        (
+            "Figure 4(b): Latency of Set - Large Message, Cluster B (us)",
+            Mix::SetOnly,
+            LARGE_SIZES,
+        ),
+        (
+            "Figure 4(c): Latency of Get - Small Message, Cluster B (us)",
+            Mix::GetOnly,
+            SMALL_SIZES,
+        ),
+        (
+            "Figure 4(d): Latency of Get - Large Message, Cluster B (us)",
+            Mix::GetOnly,
+            LARGE_SIZES,
+        ),
     ];
     for (title, mix, sizes) in panels {
         let columns: Vec<_> = cluster

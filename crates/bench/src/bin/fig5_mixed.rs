@@ -8,10 +8,26 @@ use rmc_bench::{
 
 fn main() {
     let panels = [
-        ("Figure 5(a): Non-Interleaved (Set 10% Get 90%), Cluster A (us)", ClusterKind::A, Mix::NonInterleaved),
-        ("Figure 5(b): Non-Interleaved (Set 10% Get 90%), Cluster B (us)", ClusterKind::B, Mix::NonInterleaved),
-        ("Figure 5(c): Interleaved (Set 50% Get 50%), Cluster A (us)", ClusterKind::A, Mix::Interleaved),
-        ("Figure 5(d): Interleaved (Set 50% Get 50%), Cluster B (us)", ClusterKind::B, Mix::Interleaved),
+        (
+            "Figure 5(a): Non-Interleaved (Set 10% Get 90%), Cluster A (us)",
+            ClusterKind::A,
+            Mix::NonInterleaved,
+        ),
+        (
+            "Figure 5(b): Non-Interleaved (Set 10% Get 90%), Cluster B (us)",
+            ClusterKind::B,
+            Mix::NonInterleaved,
+        ),
+        (
+            "Figure 5(c): Interleaved (Set 50% Get 50%), Cluster A (us)",
+            ClusterKind::A,
+            Mix::Interleaved,
+        ),
+        (
+            "Figure 5(d): Interleaved (Set 50% Get 50%), Cluster B (us)",
+            ClusterKind::B,
+            Mix::Interleaved,
+        ),
     ];
     for (title, cluster, mix) in panels {
         let columns: Vec<_> = cluster

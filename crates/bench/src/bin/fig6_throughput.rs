@@ -11,10 +11,26 @@ use rmc_bench::{render_tps_table, throughput_sweep, ClusterKind, DEFAULT_TPUT_OP
 fn main() {
     let clients = [8u32, 16];
     let panels = [
-        ("Figure 6(a): Get TPS, 4-byte values, Cluster A", ClusterKind::A, 4usize),
-        ("Figure 6(b): Get TPS, 4096-byte values, Cluster A", ClusterKind::A, 4096),
-        ("Figure 6(c): Get TPS, 4-byte values, Cluster B", ClusterKind::B, 4),
-        ("Figure 6(d): Get TPS, 4096-byte values, Cluster B", ClusterKind::B, 4096),
+        (
+            "Figure 6(a): Get TPS, 4-byte values, Cluster A",
+            ClusterKind::A,
+            4usize,
+        ),
+        (
+            "Figure 6(b): Get TPS, 4096-byte values, Cluster A",
+            ClusterKind::A,
+            4096,
+        ),
+        (
+            "Figure 6(c): Get TPS, 4-byte values, Cluster B",
+            ClusterKind::B,
+            4,
+        ),
+        (
+            "Figure 6(d): Get TPS, 4096-byte values, Cluster B",
+            ClusterKind::B,
+            4096,
+        ),
     ];
     for (title, cluster, size) in panels {
         let columns: Vec<_> = cluster

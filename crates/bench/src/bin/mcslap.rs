@@ -69,7 +69,9 @@ fn parse_args() -> Args {
                 args.value_size = req(flag, value).parse().unwrap_or_else(|_| die("bad size"))
             }
             "--set-fraction" => {
-                args.set_fraction = req(flag, value).parse().unwrap_or_else(|_| die("bad fraction"))
+                args.set_fraction = req(flag, value)
+                    .parse()
+                    .unwrap_or_else(|_| die("bad fraction"))
             }
             "--key-space" => {
                 args.key_space = req(flag, value).parse().unwrap_or_else(|_| die("bad N"))
@@ -130,8 +132,8 @@ fn main() {
             let mut hits = 0u64;
             let mut gets = 0u64;
             for _ in 0..ops {
-                let (do_set, key_idx) = sim2
-                    .with_rng(|r| (r.gen_bool(set_fraction), r.gen_zipf(key_space, zipf)));
+                let (do_set, key_idx) =
+                    sim2.with_rng(|r| (r.gen_bool(set_fraction), r.gen_zipf(key_space, zipf)));
                 let key = format!("mcslap-{key_idx}");
                 if do_set {
                     client.set(key.as_bytes(), &value, 0, 0).await.expect("set");
@@ -160,16 +162,26 @@ fn main() {
     });
     let ops_total = a.clients as u64 * a.ops as u64;
 
-    println!("mcslap results ({}, {} clients)", a.transport.label(), a.clients);
+    println!(
+        "mcslap results ({}, {} clients)",
+        a.transport.label(),
+        a.clients
+    );
     println!("  cluster        : {}", a.cluster.label());
     println!("  operations     : {ops_total}");
     println!("  elapsed (sim)  : {:.3} ms", elapsed * 1e3);
-    println!("  throughput     : {:.1}K ops/s", ops_total as f64 / elapsed / 1e3);
+    println!(
+        "  throughput     : {:.1}K ops/s",
+        ops_total as f64 / elapsed / 1e3
+    );
     println!(
         "  mean latency   : {:.1} us",
         elapsed * 1e6 * a.clients as f64 / ops_total as f64
     );
     if gets > 0 {
-        println!("  get hit rate   : {:.1}%", 100.0 * hits as f64 / gets as f64);
+        println!(
+            "  get hit rate   : {:.1}%",
+            100.0 * hits as f64 / gets as f64
+        );
     }
 }

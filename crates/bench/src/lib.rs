@@ -16,7 +16,10 @@
 //! over repeated operations. Latency and throughput are **simulated time**
 //! — the quantity the paper measures — not host wall-clock.
 
+use std::rc::Rc;
+
 use rmc::{McClient, McClientConfig, McError, McServer, McServerConfig, Transport, World};
+use simnet::metrics::{Histogram, LatencySpans, Stage, STAGE_COUNT};
 use simnet::{NodeId, SimDuration, Stack};
 
 /// Which testbed to instantiate.
@@ -124,8 +127,25 @@ pub fn measure_latency(
     iters: u32,
     seed: u64,
 ) -> f64 {
+    run_latency(cluster, transport, mix, size, iters, seed, None)
+}
+
+/// The shared latency loop behind [`measure_latency`] and
+/// [`measure_latency_attributed`]. When `spans` is given it is attached
+/// to both ends *after* the warm-up pass, so the recorded breakdown
+/// covers exactly the timed operations; spans add no virtual time, so
+/// the measured mean is identical either way.
+fn run_latency(
+    cluster: ClusterKind,
+    transport: Transport,
+    mix: Mix,
+    size: usize,
+    iters: u32,
+    seed: u64,
+    spans: Option<Rc<LatencySpans>>,
+) -> f64 {
     let world = cluster.world(seed, 4);
-    let _server = McServer::start(&world, NodeId(0), McServerConfig::default());
+    let server = McServer::start(&world, NodeId(0), McServerConfig::default());
     let client = McClient::new(
         &world,
         NodeId(1),
@@ -139,6 +159,10 @@ pub fn measure_latency(
         // Warm up: establish the connection and populate the item.
         client.set(key, &value, 0, 0).await.expect("warm-up set");
         client.get(key).await.expect("warm-up get");
+        if let Some(sp) = spans {
+            client.attach_spans(Some(sp.clone()));
+            server.attach_spans(Some(sp));
+        }
 
         let t0 = sim2.now();
         let mut ops = 0u32;
@@ -175,6 +199,75 @@ pub fn measure_latency(
         let elapsed = sim2.now() - t0;
         elapsed.as_micros_f64() / ops as f64
     })
+}
+
+/// Per-stage latency attribution of one measurement run (the paper's
+/// §VI-D decomposition, produced by [`measure_latency_attributed`]).
+#[derive(Clone, Debug)]
+pub struct AttributedLatency {
+    /// End-to-end mean latency, microseconds — computed exactly as
+    /// [`measure_latency`] computes it (elapsed / ops).
+    pub mean_us: f64,
+    /// Mean time in each pipeline stage, microseconds, in
+    /// [`Stage::ALL`] order.
+    pub stage_means_us: [f64; STAGE_COUNT],
+    /// Sum of the stage means — equals the end-to-end mean recorded by
+    /// the spans (the attribution invariant).
+    pub attributed_mean_us: f64,
+    /// Operations with a complete recorded span.
+    pub ops_attributed: u64,
+}
+
+impl AttributedLatency {
+    /// Mean time in `stage`, microseconds.
+    pub fn stage_us(&self, stage: Stage) -> f64 {
+        self.stage_means_us[stage as usize]
+    }
+
+    /// Renders the breakdown as an aligned table.
+    pub fn render(&self, title: &str) -> String {
+        let mut out = format!("{title}\n");
+        for stage in Stage::ALL {
+            out.push_str(&format!(
+                "{:>18} {:>9.3} us\n",
+                stage.label(),
+                self.stage_us(stage)
+            ));
+        }
+        out.push_str(&format!("{:>18} {:>9.3} us\n", "end_to_end", self.mean_us));
+        out
+    }
+}
+
+/// Like [`measure_latency`], but also records where each operation's time
+/// went: the span sink is attached to both client and server after warm-up
+/// and every timed operation's stage breakdown is recorded. The returned
+/// breakdown sums to the measured end-to-end mean (within integer-ns
+/// rounding) — the cross-layer invariant `tests/attribution.rs` checks.
+pub fn measure_latency_attributed(
+    cluster: ClusterKind,
+    transport: Transport,
+    mix: Mix,
+    size: usize,
+    iters: u32,
+    seed: u64,
+) -> AttributedLatency {
+    let spans = LatencySpans::new();
+    let mean_us = run_latency(
+        cluster,
+        transport,
+        mix,
+        size,
+        iters,
+        seed,
+        Some(spans.clone()),
+    );
+    AttributedLatency {
+        mean_us,
+        stage_means_us: spans.stage_means_us(),
+        attributed_mean_us: spans.sum_of_stage_means_us(),
+        ops_attributed: spans.completed(),
+    }
 }
 
 /// Latency sweep over a size list.
@@ -227,7 +320,10 @@ pub fn measure_throughput(
             sim.spawn(async move {
                 let key = format!("client-{c}");
                 let value = vec![1u8; value_size];
-                client.set(key.as_bytes(), &value, 0, 0).await.expect("populate");
+                client
+                    .set(key.as_bytes(), &value, 0, 0)
+                    .await
+                    .expect("populate");
                 let _ = ready_tx.send(());
                 let _ = go_rx.await;
                 for _ in 0..ops_per_client {
@@ -267,7 +363,14 @@ pub fn throughput_sweep(
         .iter()
         .map(|&clients| ThroughputPoint {
             clients,
-            tps: measure_throughput(cluster, transport, clients, value_size, ops_per_client, seed),
+            tps: measure_throughput(
+                cluster,
+                transport,
+                clients,
+                value_size,
+                ops_per_client,
+                seed,
+            ),
         })
         .collect()
 }
@@ -338,7 +441,10 @@ pub fn run_workload(
         let t0 = sim2.now();
         for _ in 0..ops {
             let (do_set, key_idx) = sim2.with_rng(|r| {
-                (r.gen_bool(wl.set_fraction), r.gen_zipf(wl.key_space, wl.zipf_skew))
+                (
+                    r.gen_bool(wl.set_fraction),
+                    r.gen_zipf(wl.key_space, wl.zipf_skew),
+                )
             });
             let key = format!("wl-{key_idx}");
             if do_set {
@@ -357,7 +463,11 @@ pub fn run_workload(
         WorkloadResult {
             ops: ops as u64,
             mean_us: elapsed.as_micros_f64() / ops as f64,
-            hit_rate: if gets == 0 { 0.0 } else { hits as f64 / gets as f64 },
+            hit_rate: if gets == 0 {
+                0.0
+            } else {
+                hits as f64 / gets as f64
+            },
         }
     })
 }
@@ -470,6 +580,21 @@ impl LatencyDistribution {
             mean_us: samples.iter().sum::<f64>() / samples.len() as f64,
         }
     }
+
+    /// Summarizes a [`simnet::metrics::Histogram`] of per-operation
+    /// latencies (same nearest-rank quantiles, converted to µs).
+    pub fn from_histogram(h: &Histogram) -> LatencyDistribution {
+        let s = h.summary();
+        assert!(s.count > 0, "empty latency histogram");
+        LatencyDistribution {
+            min_us: s.min.as_micros_f64(),
+            p50_us: s.p50.as_micros_f64(),
+            p95_us: s.p95.as_micros_f64(),
+            p99_us: s.p99.as_micros_f64(),
+            max_us: s.max.as_micros_f64(),
+            mean_us: s.mean.as_micros_f64(),
+        }
+    }
 }
 
 /// Per-operation get latencies for one transport (the distribution behind
@@ -491,17 +616,19 @@ pub fn measure_latency_distribution(
     );
     let sim = world.sim().clone();
     let sim2 = sim.clone();
+    // Per-op latencies land in the cluster metrics registry so the
+    // distribution is readable from the same place as every other metric.
+    let hist = world.cluster.metrics().histogram("client.get_latency");
     sim.block_on(async move {
         let value = vec![0x5au8; size];
         client.set(b"bench-key", &value, 0, 0).await.expect("set");
         client.get(b"bench-key").await.expect("warm");
-        let mut samples = Vec::with_capacity(iters as usize);
         for _ in 0..iters {
             let t0 = sim2.now();
             client.get(b"bench-key").await.expect("get").expect("hit");
-            samples.push((sim2.now() - t0).as_micros_f64());
+            hist.record(sim2.now() - t0);
         }
-        LatencyDistribution::from_samples(samples)
+        LatencyDistribution::from_histogram(&hist)
     })
 }
 
@@ -545,7 +672,10 @@ pub fn measure_bottlenecks(
         joins.push(sim.spawn(async move {
             let key = format!("client-{c}");
             let value = vec![1u8; value_size];
-            client.set(key.as_bytes(), &value, 0, 0).await.expect("populate");
+            client
+                .set(key.as_bytes(), &value, 0, 0)
+                .await
+                .expect("populate");
             for _ in 0..ops_per_client {
                 client.get(key.as_bytes()).await.expect("get").expect("hit");
             }
@@ -553,6 +683,7 @@ pub fn measure_bottlenecks(
     }
     let sim2 = sim.clone();
     let server_node = world.cluster.node(NodeId(0)).clone();
+    let cluster_rc = world.cluster.clone();
     // Reset accounting after connection setup noise.
     sim.clone().block_on(async move {
         let t0 = sim2.now();
@@ -562,12 +693,21 @@ pub fn measure_bottlenecks(
             j.await;
         }
         let elapsed = sim2.now() - t0;
-        let window = elapsed.as_nanos().max(1);
+        // Publish the window's resource occupancy into the cluster
+        // metrics registry and read the attribution back from there —
+        // the same gauges `stats`-style consumers see.
+        cluster_rc.export_node_metrics(t0);
+        let m = cluster_rc.metrics();
+        let tps = (clients as u64 * ops_per_client as u64) as f64 / elapsed.as_secs_f64();
+        m.gauge("bench.tps").set(tps);
         BottleneckReport {
-            tps: (clients as u64 * ops_per_client as u64) as f64 / elapsed.as_secs_f64(),
-            hca_utilization: server_node.hca.busy_total().as_nanos() as f64 / window as f64,
-            kernel_utilization: server_node.kernel.busy_total().as_nanos() as f64
-                / window as f64,
+            tps,
+            hca_utilization: m
+                .gauge_value(&format!("{}.hca.utilization", NodeId(0)))
+                .expect("exported"),
+            kernel_utilization: m
+                .gauge_value(&format!("{}.kernel.utilization", NodeId(0)))
+                .expect("exported"),
         }
     })
 }

@@ -21,6 +21,7 @@ use mcproto::{
     BinStatus, Command, GetValue, Response, StoreVerb, UdpFrame, UDP_CHUNK_BYTES,
 };
 use mcstore::Value;
+use simnet::metrics::{LatencySpans, Stage};
 use simnet::sync::timeout;
 use simnet::{NodeId, Sim, SimDuration, Stack};
 use socksim::{DgramSocket, SockError, Socket, SocketAddr};
@@ -229,6 +230,10 @@ pub fn one_at_a_time(key: &[u8]) -> u32 {
 /// Responses parked by the UCR handler until their request wakes up.
 type PendingResponses = Rc<RefCell<HashMap<u64, (RespHeader, Vec<u8>)>>>;
 
+/// Shared slot holding the (optional) latency-attribution sink, so the
+/// UCR response handler closure can see spans attached after setup.
+type SpanSlot = Rc<RefCell<Option<Rc<LatencySpans>>>>;
+
 enum Conn {
     Ucr(Endpoint),
     Sock(Rc<Socket>),
@@ -250,6 +255,8 @@ struct CliInner {
     ring: Vec<(u32, usize)>,
     /// Operations issued (diagnostics).
     ops: Cell<u64>,
+    /// Latency-attribution sink, when attached (adds no virtual time).
+    spans: SpanSlot,
 }
 
 /// A Memcached client bound to one node of the simulated cluster.
@@ -264,6 +271,7 @@ impl McClient {
     pub fn new(world: &World, node: NodeId, cfg: McClientConfig) -> McClient {
         assert!(!cfg.servers.is_empty(), "client needs at least one server");
         let pending: PendingResponses = Rc::new(RefCell::new(HashMap::new()));
+        let spans: SpanSlot = Rc::new(RefCell::new(None));
         let ucr = match cfg.transport {
             Transport::Ucr | Transport::UcrRoce => {
                 let fabric = match cfg.transport {
@@ -276,10 +284,16 @@ impl McClient {
                 };
                 let rt = UcrRuntime::new(fabric, node);
                 let pending2 = pending.clone();
+                let spans2 = spans.clone();
+                let sim2 = world.sim().clone();
                 rt.register_handler(
                     MSG_MC_RESP,
                     FnHandler(move |_ep: &Endpoint, hdr: &[u8], data: AmData| {
                         if let Some(resp) = RespHeader::decode(hdr) {
+                            if let Some(sp) = spans2.borrow().as_ref() {
+                                // Response landed: wire time ends here.
+                                sp.mark(resp.req_id, Stage::ReplyWire, sim2.now());
+                            }
                             let payload = data.into_vec().unwrap_or_default();
                             pending2.borrow_mut().insert(resp.req_id, (resp, payload));
                         }
@@ -312,8 +326,17 @@ impl McClient {
                 next_req: Cell::new(1),
                 ring,
                 ops: Cell::new(0),
+                spans,
             }),
         }
+    }
+
+    /// Attaches (or clears) a latency-attribution sink: every subsequent
+    /// operation records its per-stage breakdown there. Pass the same
+    /// sink to [`McServer::attach_spans`](crate::McServer::attach_spans)
+    /// so the server-side stages land in the same spans.
+    pub fn attach_spans(&self, spans: Option<Rc<LatencySpans>>) {
+        *self.inner.spans.borrow_mut() = spans;
     }
 
     /// The node this client runs on.
@@ -357,7 +380,8 @@ impl McClient {
         flags: u32,
         exptime: u32,
     ) -> Result<(), McError> {
-        self.store_op(McOp::Set, key, value, flags, exptime, 0).await
+        self.store_op(McOp::Set, key, value, flags, exptime, 0)
+            .await
     }
 
     /// Stores only if the key is absent.
@@ -368,7 +392,8 @@ impl McClient {
         flags: u32,
         exptime: u32,
     ) -> Result<(), McError> {
-        self.store_op(McOp::Add, key, value, flags, exptime, 0).await
+        self.store_op(McOp::Add, key, value, flags, exptime, 0)
+            .await
     }
 
     /// Stores only if the key exists.
@@ -402,7 +427,8 @@ impl McClient {
         exptime: u32,
         cas: u64,
     ) -> Result<(), McError> {
-        self.store_op(McOp::Cas, key, value, flags, exptime, cas).await
+        self.store_op(McOp::Cas, key, value, flags, exptime, cas)
+            .await
     }
 
     /// Fetches a value (CAS token always populated).
@@ -414,9 +440,11 @@ impl McClient {
         match &*conn {
             Conn::Ucr(ep) => {
                 let (resp, data) = inner
-                    .ucr_round_trip(ep, |req_id, ctr| {
-                        ReqHeader::new(McOp::Get, req_id, ctr, key.to_vec())
-                    }, Vec::new())
+                    .ucr_round_trip(
+                        ep,
+                        |req_id, ctr| ReqHeader::new(McOp::Get, req_id, ctr, key.to_vec()),
+                        Vec::new(),
+                    )
                     .await?;
                 match resp.status {
                     RespStatus::Hit => Ok(Some(Value {
@@ -452,7 +480,10 @@ impl McClient {
         inner.ops.set(inner.ops.get() + 1);
         let mut by_server: HashMap<usize, Vec<Vec<u8>>> = HashMap::new();
         for k in keys {
-            by_server.entry(inner.route(k)).or_default().push(k.to_vec());
+            by_server
+                .entry(inner.route(k))
+                .or_default()
+                .push(k.to_vec());
         }
         let mut out = Vec::new();
         let mut groups: Vec<_> = by_server.into_iter().collect();
@@ -462,21 +493,32 @@ impl McClient {
             match &*conn {
                 Conn::Ucr(ep) => {
                     let (resp, data) = inner
-                        .ucr_round_trip(ep, |req_id, ctr| ReqHeader {
-                            op: McOp::Mget,
-                            req_id,
-                            ctr_id: ctr,
-                            flags: 0,
-                            exptime: 0,
-                            cas: 0,
-                            delta: 0,
-                            keys: group.clone(),
-                        }, Vec::new())
+                        .ucr_round_trip(
+                            ep,
+                            |req_id, ctr| ReqHeader {
+                                op: McOp::Mget,
+                                req_id,
+                                ctr_id: ctr,
+                                flags: 0,
+                                exptime: 0,
+                                cas: 0,
+                                delta: 0,
+                                keys: group.clone(),
+                            },
+                            Vec::new(),
+                        )
                         .await?;
                     let entries = decode_mget_entries(&data, resp.nvalues as usize)
                         .ok_or(McError::Protocol)?;
                     for (key, flags, cas, value) in entries {
-                        out.push((key, Value { data: value, flags, cas }));
+                        out.push((
+                            key,
+                            Value {
+                                data: value,
+                                flags,
+                                cas,
+                            },
+                        ));
                     }
                 }
                 c @ (Conn::Sock(_) | Conn::Udp { .. }) => {
@@ -510,9 +552,11 @@ impl McClient {
         match &*conn {
             Conn::Ucr(ep) => {
                 let (resp, _) = inner
-                    .ucr_round_trip(ep, |req_id, ctr| {
-                        ReqHeader::new(McOp::Delete, req_id, ctr, key.to_vec())
-                    }, Vec::new())
+                    .ucr_round_trip(
+                        ep,
+                        |req_id, ctr| ReqHeader::new(McOp::Delete, req_id, ctr, key.to_vec()),
+                        Vec::new(),
+                    )
                     .await?;
                 match resp.status {
                     RespStatus::Ok => Ok(true),
@@ -552,11 +596,15 @@ impl McClient {
         match &*conn {
             Conn::Ucr(ep) => {
                 let (resp, _) = inner
-                    .ucr_round_trip(ep, |req_id, ctr| {
-                        let mut h = ReqHeader::new(McOp::Touch, req_id, ctr, key.to_vec());
-                        h.exptime = exptime;
-                        h
-                    }, Vec::new())
+                    .ucr_round_trip(
+                        ep,
+                        |req_id, ctr| {
+                            let mut h = ReqHeader::new(McOp::Touch, req_id, ctr, key.to_vec());
+                            h.exptime = exptime;
+                            h
+                        },
+                        Vec::new(),
+                    )
                     .await?;
                 match resp.status {
                     RespStatus::Ok => Ok(true),
@@ -587,9 +635,11 @@ impl McClient {
             match &*conn {
                 Conn::Ucr(ep) => {
                     let (resp, _) = inner
-                        .ucr_round_trip(ep, |req_id, ctr| {
-                            ReqHeader::new(McOp::FlushAll, req_id, ctr, Vec::new())
-                        }, Vec::new())
+                        .ucr_round_trip(
+                            ep,
+                            |req_id, ctr| ReqHeader::new(McOp::FlushAll, req_id, ctr, Vec::new()),
+                            Vec::new(),
+                        )
                         .await?;
                     if resp.status != RespStatus::Ok {
                         return Err(McError::Protocol);
@@ -617,16 +667,20 @@ impl McClient {
         match &*conn {
             Conn::Ucr(ep) => {
                 let (_, data) = inner
-                    .ucr_round_trip(ep, |req_id, ctr| {
-                        ReqHeader::new(McOp::Version, req_id, ctr, Vec::new())
-                    }, Vec::new())
+                    .ucr_round_trip(
+                        ep,
+                        |req_id, ctr| ReqHeader::new(McOp::Version, req_id, ctr, Vec::new()),
+                        Vec::new(),
+                    )
                     .await?;
                 Ok(String::from_utf8_lossy(&data).into_owned())
             }
-            c @ (Conn::Sock(_) | Conn::Udp { .. }) => match inner.sock_round_trip(c, &Command::Version).await? {
-                Response::Version(v) => Ok(v),
-                _ => Err(McError::Protocol),
-            },
+            c @ (Conn::Sock(_) | Conn::Udp { .. }) => {
+                match inner.sock_round_trip(c, &Command::Version).await? {
+                    Response::Version(v) => Ok(v),
+                    _ => Err(McError::Protocol),
+                }
+            }
         }
     }
 
@@ -644,9 +698,11 @@ impl McClient {
         match &*conn {
             Conn::Ucr(ep) => {
                 let (_, data) = inner
-                    .ucr_round_trip(ep, |req_id, ctr| {
-                        ReqHeader::new(McOp::Stats, req_id, ctr, arg.clone())
-                    }, Vec::new())
+                    .ucr_round_trip(
+                        ep,
+                        |req_id, ctr| ReqHeader::new(McOp::Stats, req_id, ctr, arg.clone()),
+                        Vec::new(),
+                    )
                     .await?;
                 let text = String::from_utf8_lossy(&data);
                 Ok(text
@@ -687,13 +743,17 @@ impl McClient {
         match &*conn {
             Conn::Ucr(ep) => {
                 let (resp, _) = inner
-                    .ucr_round_trip(ep, |req_id, ctr| {
-                        let mut h = ReqHeader::new(op, req_id, ctr, key.to_vec());
-                        h.flags = flags;
-                        h.exptime = exptime;
-                        h.cas = cas;
-                        h
-                    }, value.to_vec())
+                    .ucr_round_trip(
+                        ep,
+                        |req_id, ctr| {
+                            let mut h = ReqHeader::new(op, req_id, ctr, key.to_vec());
+                            h.flags = flags;
+                            h.exptime = exptime;
+                            h.cas = cas;
+                            h
+                        },
+                        value.to_vec(),
+                    )
                     .await?;
                 status_to_result(resp.status)
             }
@@ -743,11 +803,15 @@ impl McClient {
         match &*conn {
             Conn::Ucr(ep) => {
                 let (resp, _) = inner
-                    .ucr_round_trip(ep, |req_id, ctr| {
-                        let mut h = ReqHeader::new(op, req_id, ctr, key.to_vec());
-                        h.delta = delta;
-                        h
-                    }, Vec::new())
+                    .ucr_round_trip(
+                        ep,
+                        |req_id, ctr| {
+                            let mut h = ReqHeader::new(op, req_id, ctr, key.to_vec());
+                            h.delta = delta;
+                            h
+                        },
+                        Vec::new(),
+                    )
                     .await?;
                 match resp.status {
                     RespStatus::Number => Ok(resp.number),
@@ -884,17 +948,40 @@ impl CliInner {
         self.next_req.set(req_id + 1);
         let ctr = rt.counter();
         let req = build(req_id, ctr.id());
-        ep.send_message(MSG_MC_REQ, &req.encode(), &data, SendOptions::default())
-            .await
-            .map_err(|_| McError::Disconnected)?;
-        ctr.wait_for(1, self.cfg.op_timeout).await.map_err(|_| {
+        self.span(|sp| sp.begin(req_id, self.sim.now()));
+        let sent = ep
+            .send_message(MSG_MC_REQ, &req.encode(), &data, SendOptions::default())
+            .await;
+        if sent.is_err() {
+            self.span(|sp| sp.discard(req_id));
+            return Err(McError::Disconnected);
+        }
+        // `send_message` resolves when the staged request is handed to
+        // the HCA — everything up to here is client-side serialization.
+        self.span(|sp| sp.mark(req_id, Stage::ClientSerialize, self.sim.now()));
+        if ctr.wait_for(1, self.cfg.op_timeout).await.is_err() {
             // Server presumed dead: the corrective action of §IV-A.
-            McError::Timeout
-        })?;
-        self.pending
-            .borrow_mut()
-            .remove(&req_id)
-            .ok_or(McError::Protocol)
+            self.span(|sp| sp.discard(req_id));
+            return Err(McError::Timeout);
+        }
+        let resp = self.pending.borrow_mut().remove(&req_id);
+        match resp {
+            Some(resp) => {
+                self.span(|sp| sp.finish(req_id, self.sim.now()));
+                Ok(resp)
+            }
+            None => {
+                self.span(|sp| sp.discard(req_id));
+                Err(McError::Protocol)
+            }
+        }
+    }
+
+    /// Runs `f` against the attached span sink, if any.
+    fn span(&self, f: impl FnOnce(&LatencySpans)) {
+        if let Some(sp) = self.spans.borrow().as_ref() {
+            f(sp);
+        }
     }
 
     /// One request/response over a non-UCR connection: ASCII or binary
@@ -910,8 +997,14 @@ impl CliInner {
         if self.cfg.binary_protocol {
             return self.sock_round_trip_bin(sock, cmd).await;
         }
+        let span_id = self.begin_sock_span();
         let wire = encode_command(cmd);
-        sock.write_all(&wire).await.map_err(|_| McError::Disconnected)?;
+        if sock.write_all(&wire).await.is_err() {
+            self.span(|sp| sp.discard(span_id));
+            return Err(McError::Disconnected);
+        }
+        // The write has cleared the send path: serialization is done.
+        self.span(|sp| sp.mark(span_id, Stage::ClientSerialize, self.sim.now()));
         let sock = sock.clone();
         let fut: Pin<Box<dyn std::future::Future<Output = Result<Response, McError>>>> =
             Box::pin(async move {
@@ -927,9 +1020,34 @@ impl CliInner {
                     }
                 }
             });
-        match timeout(&self.sim, self.cfg.op_timeout, fut).await {
+        let out = match timeout(&self.sim, self.cfg.op_timeout, fut).await {
             Ok(r) => r,
             Err(_) => Err(McError::Timeout),
+        };
+        self.close_sock_span(span_id, out.is_ok());
+        out
+    }
+
+    /// Opens a latency span for a socket round trip. The ASCII wire has no
+    /// request id, so the span id is purely client-local.
+    fn begin_sock_span(&self) -> u64 {
+        let span_id = self.next_req.get();
+        self.next_req.set(span_id + 1);
+        self.span(|sp| sp.begin(span_id, self.sim.now()));
+        span_id
+    }
+
+    /// Closes (or abandons) a socket round-trip span: the response is
+    /// fully parsed, so reply-wire time ends here and the residue is the
+    /// client completion stage.
+    fn close_sock_span(&self, span_id: u64, ok: bool) {
+        if ok {
+            self.span(|sp| {
+                sp.mark(span_id, Stage::ReplyWire, self.sim.now());
+                sp.finish(span_id, self.sim.now());
+            });
+        } else {
+            self.span(|sp| sp.discard(span_id));
         }
     }
 }
@@ -950,7 +1068,12 @@ impl CliInner {
         for f in &frames {
             wire.extend_from_slice(&f.encode());
         }
-        sock.write_all(&wire).await.map_err(|_| McError::Disconnected)?;
+        let span_id = self.begin_sock_span();
+        if sock.write_all(&wire).await.is_err() {
+            self.span(|sp| sp.discard(span_id));
+            return Err(McError::Disconnected);
+        }
+        self.span(|sp| sp.mark(span_id, Stage::ClientSerialize, self.sim.now()));
 
         let sock = sock.clone();
         let is_stat = matches!(cmd, Command::Stats { .. });
@@ -981,9 +1104,16 @@ impl CliInner {
                 }
             });
         let frames = match timeout(&self.sim, self.cfg.op_timeout, fut).await {
-            Ok(r) => r?,
-            Err(_) => return Err(McError::Timeout),
+            Ok(Ok(r)) => r,
+            other => {
+                self.span(|sp| sp.discard(span_id));
+                return match other {
+                    Ok(Err(e)) => Err(e),
+                    _ => Err(McError::Timeout),
+                };
+            }
         };
+        self.close_sock_span(span_id, true);
         frames_to_response(cmd, frames)
     }
 
@@ -1005,7 +1135,9 @@ impl CliInner {
         self.next_req.set(self.next_req.get() + 1);
         let datagrams = udp_fragment(req_id, &wire);
         for d in &datagrams {
-            sock.send_to(server, d).await.map_err(|_| McError::Disconnected)?;
+            sock.send_to(server, d)
+                .await
+                .map_err(|_| McError::Disconnected)?;
         }
         let sock = sock.clone();
         let fut: Pin<Box<dyn std::future::Future<Output = Result<Response, McError>>>> =
@@ -1106,19 +1238,31 @@ fn command_to_frames(cmd: &Command) -> Vec<BinFrame> {
             f.key = key.clone();
             vec![f]
         }
-        Command::Incr { key, delta, noreply: _ } => {
+        Command::Incr {
+            key,
+            delta,
+            noreply: _,
+        } => {
             let mut f = BinFrame::request(BinOpcode::Increment, next());
             f.key = key.clone();
             f.extras = arith_extras(*delta, 0, u32::MAX);
             vec![f]
         }
-        Command::Decr { key, delta, noreply: _ } => {
+        Command::Decr {
+            key,
+            delta,
+            noreply: _,
+        } => {
             let mut f = BinFrame::request(BinOpcode::Decrement, next());
             f.key = key.clone();
             f.extras = arith_extras(*delta, 0, u32::MAX);
             vec![f]
         }
-        Command::Touch { key, exptime, noreply: _ } => {
+        Command::Touch {
+            key,
+            exptime,
+            noreply: _,
+        } => {
             let mut f = BinFrame::request(BinOpcode::Touch, next());
             f.key = key.clone();
             f.extras = exptime.to_be_bytes().to_vec();

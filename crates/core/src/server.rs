@@ -24,10 +24,11 @@ use mcproto::{
     encode_response, parse_command, udp_fragment, BinFrame, BinOpcode, BinStatus, Command,
     GetValue, Response, StoreVerb, UdpFrame, MAGIC_REQUEST,
 };
-use socksim::DgramSocket;
 use mcstore::{NumericError, SetOutcome, Store, StoreConfig};
+use simnet::metrics::{LatencySpans, Stage};
 use simnet::sync::{self, Receiver, Sender};
 use simnet::{NodeId, Sim, SimDuration, Stack};
+use socksim::DgramSocket;
 use socksim::Socket;
 use ucr::{AmData, AmHandler, Endpoint, SendOptions, UcrRuntime};
 
@@ -71,12 +72,7 @@ impl Default for McServerConfig {
             store: StoreConfig::default(),
             enable_ucr: true,
             enable_roce: true,
-            socket_stacks: vec![
-                Stack::Sdp,
-                Stack::Ipoib,
-                Stack::TenGigEToe,
-                Stack::OneGigE,
-            ],
+            socket_stacks: vec![Stack::Sdp, Stack::Ipoib, Stack::TenGigEToe, Stack::OneGigE],
             enable_udp: true,
         }
     }
@@ -128,6 +124,8 @@ struct SrvInner {
     stats: SrvStats,
     ucr: RefCell<Option<UcrRuntime>>,
     roce: RefCell<Option<UcrRuntime>>,
+    /// Latency-attribution sink, when attached (adds no virtual time).
+    spans: RefCell<Option<Rc<LatencySpans>>>,
 }
 
 /// A running Memcached server.
@@ -142,12 +140,19 @@ struct ReqDispatch {
 
 impl AmHandler for ReqDispatch {
     fn on_complete(&self, ep: &Endpoint, hdr: &[u8], data: AmData) {
-        let Some(srv) = self.srv.upgrade() else { return };
+        let Some(srv) = self.srv.upgrade() else {
+            return;
+        };
         if !srv.running.get() {
             return;
         }
-        let Some(req) = ReqHeader::decode(hdr) else { return };
+        let Some(req) = ReqHeader::decode(hdr) else {
+            return;
+        };
         let data = data.into_vec().unwrap_or_default();
+        // Request landed and is decoded: the request-wire stage ends at
+        // the dispatch hand-off.
+        srv.span(|sp| sp.mark(req.req_id, Stage::RequestWire, srv.sim.now()));
         // Every request of a connection is served by the worker the
         // connection was assigned to (paper §V-A).
         let widx = srv.worker_for_ep(ep.id());
@@ -185,6 +190,7 @@ impl McServer {
             stats: SrvStats::default(),
             ucr: RefCell::new(None),
             roce: RefCell::new(None),
+            spans: RefCell::new(None),
         });
 
         for rx in worker_rxs {
@@ -275,6 +281,14 @@ impl McServer {
         self.inner.roce.borrow().clone()
     }
 
+    /// Attaches (or clears) a latency-attribution sink. Use the same sink
+    /// as the client's [`McClient::attach_spans`](crate::McClient::
+    /// attach_spans) so server-side stages (request-wire end, dispatch
+    /// wait, worker service) land in the same per-operation spans.
+    pub fn attach_spans(&self, spans: Option<Rc<LatencySpans>>) {
+        *self.inner.spans.borrow_mut() = spans;
+    }
+
     /// Stops accepting and serving. UCR endpoints fail over to their error
     /// path; socket clients see EOF on their next read.
     pub fn shutdown(&self) {
@@ -350,6 +364,13 @@ impl SrvInner {
     fn service_cost(&self, keys: usize) -> SimDuration {
         self.worker_fixed + self.hash_lookup * keys.max(1) as u64
     }
+
+    /// Runs `f` against the attached span sink, if any.
+    fn span(&self, f: impl FnOnce(&LatencySpans)) {
+        if let Some(sp) = self.spans.borrow().as_ref() {
+            f(sp);
+        }
+    }
 }
 
 async fn worker_loop(srv: Weak<SrvInner>, rx: Receiver<WorkItem>) {
@@ -377,6 +398,8 @@ async fn worker_loop(srv: Weak<SrvInner>, rx: Receiver<WorkItem>) {
 // ---------------------------------------------------------------------
 
 async fn serve_ucr(srv: &Rc<SrvInner>, ep: Endpoint, req: ReqHeader, data: Vec<u8>) {
+    // The connection's worker picked the item up: dispatch wait ends.
+    srv.span(|sp| sp.mark(req.req_id, Stage::DispatchWait, srv.sim.now()));
     srv.sim.sleep(srv.service_cost(req.keys.len())).await;
     let now = srv.now_secs();
     let mut resp = RespHeader {
@@ -475,6 +498,8 @@ async fn serve_ucr(srv: &Rc<SrvInner>, ep: Endpoint, req: ReqHeader, data: Vec<u
         }
     }
     drop(store);
+    // Store work done; from here the response is on its way back.
+    srv.span(|sp| sp.mark(req.req_id, Stage::WorkerService, srv.sim.now()));
     // AM 2: the response, targeting the counter named in AM 1 (§V-B).
     ep.post_message(
         MSG_MC_RESP,
@@ -488,10 +513,7 @@ async fn serve_ucr(srv: &Rc<SrvInner>, ep: Endpoint, req: ReqHeader, data: Vec<u
 }
 
 fn stat_pairs_to_text(pairs: &[(String, String)]) -> String {
-    pairs
-        .iter()
-        .map(|(k, v)| format!("{k} {v}\n"))
-        .collect()
+    pairs.iter().map(|(k, v)| format!("{k} {v}\n")).collect()
 }
 
 fn outcome_status(o: SetOutcome) -> RespStatus {
@@ -525,15 +547,21 @@ fn render_stats(srv: &SrvInner, store: &Store) -> String {
     put("cas_hits", st.cas_hits.to_string());
     put("cas_badval", st.cas_badval.to_string());
     put("total_items", st.total_items.to_string());
-    put(
-        "ucr_requests",
-        srv.stats.ucr_requests.get().to_string(),
-    );
-    put(
-        "sock_requests",
-        srv.stats.sock_requests.get().to_string(),
-    );
+    put("ucr_requests", srv.stats.ucr_requests.get().to_string());
+    put("sock_requests", srv.stats.sock_requests.get().to_string());
     put("curr_connections", srv.stats.connections.get().to_string());
+    // UCR runtime counters (eager/rendezvous traffic, drops, faults).
+    if let Some(rt) = srv.ucr.borrow().as_ref() {
+        for (k, v) in rt.stats().report() {
+            put(&k, v);
+        }
+    }
+    // Per-stage latency attribution, when a span sink is attached.
+    if let Some(sp) = srv.spans.borrow().as_ref() {
+        for (k, v) in sp.report() {
+            put(&k, v);
+        }
+    }
     out
 }
 
@@ -579,6 +607,9 @@ async fn conn_reader(srv: Weak<SrvInner>, sock: Rc<Socket>, widx: usize) {
                     .stats
                     .sock_requests
                     .set(inner.stats.sock_requests.get() + 1);
+                // No request id on the ASCII wire: attribute by the one
+                // open span (single-client attribution runs).
+                inner.span(|sp| sp.mark_open(Stage::RequestWire, inner.sim.now()));
                 let _ = inner.workers[widx].send(WorkItem::Sock {
                     sock: sock.clone(),
                     cmd,
@@ -600,6 +631,7 @@ async fn conn_reader(srv: Weak<SrvInner>, sock: Rc<Socket>, widx: usize) {
 }
 
 async fn serve_sock(srv: &Rc<SrvInner>, sock: Rc<Socket>, cmd: Command) {
+    srv.span(|sp| sp.mark_open(Stage::DispatchWait, srv.sim.now()));
     let keys = match &cmd {
         Command::Get { keys } | Command::Gets { keys } => keys.len(),
         _ => 1,
@@ -610,6 +642,7 @@ async fn serve_sock(srv: &Rc<SrvInner>, sock: Rc<Socket>, cmd: Command) {
         let mut store = srv.store.borrow_mut();
         execute_ascii(srv, &mut store, cmd, now)
     };
+    srv.span(|sp| sp.mark_open(Stage::WorkerService, srv.sim.now()));
     if !noreply {
         let _ = sock.write_all(&encode_response(&resp)).await;
     }
@@ -668,13 +701,21 @@ fn execute_ascii(
             };
             (resp, noreply)
         }
-        Command::Incr { key, delta, noreply } => {
-            (numeric_response(store.incr(&key, delta, now)), noreply)
-        }
-        Command::Decr { key, delta, noreply } => {
-            (numeric_response(store.decr(&key, delta, now)), noreply)
-        }
-        Command::Touch { key, exptime, noreply } => {
+        Command::Incr {
+            key,
+            delta,
+            noreply,
+        } => (numeric_response(store.incr(&key, delta, now)), noreply),
+        Command::Decr {
+            key,
+            delta,
+            noreply,
+        } => (numeric_response(store.decr(&key, delta, now)), noreply),
+        Command::Touch {
+            key,
+            exptime,
+            noreply,
+        } => {
             let resp = if store.touch(&key, exptime, now) {
                 Response::Touched
             } else {
@@ -743,7 +784,6 @@ fn numeric_response(r: Result<u64, NumericError>) -> Response {
     }
 }
 
-
 /// Binary-protocol connection loop (frames instead of lines).
 async fn conn_reader_bin(srv: Weak<SrvInner>, sock: Rc<Socket>, widx: usize, mut buf: Vec<u8>) {
     loop {
@@ -763,6 +803,7 @@ async fn conn_reader_bin(srv: Weak<SrvInner>, sock: Rc<Socket>, widx: usize, mut
                     .stats
                     .sock_requests
                     .set(inner.stats.sock_requests.get() + 1);
+                inner.span(|sp| sp.mark_open(Stage::RequestWire, inner.sim.now()));
                 let _ = inner.workers[widx].send(WorkItem::SockBin {
                     sock: sock.clone(),
                     frame,
@@ -784,6 +825,7 @@ async fn conn_reader_bin(srv: Weak<SrvInner>, sock: Rc<Socket>, widx: usize, mut
 // function (the lint cannot see through `drop()`).
 #[allow(clippy::await_holding_refcell_ref)]
 async fn serve_sock_bin(srv: &Rc<SrvInner>, sock: Rc<Socket>, frame: BinFrame) {
+    srv.span(|sp| sp.mark_open(Stage::DispatchWait, srv.sim.now()));
     srv.sim.sleep(srv.service_cost(1)).await;
     let now = srv.now_secs();
     let mut store = srv.store.borrow_mut();
@@ -849,8 +891,7 @@ async fn serve_sock_bin(srv: &Rc<SrvInner>, sock: Rc<Socket>, frame: BinFrame) {
             }
         }
         BinOpcode::Increment | BinOpcode::Decrement => {
-            let Some((delta, initial, exptime)) = mcproto::parse_arith_extras(&frame.extras)
-            else {
+            let Some((delta, initial, exptime)) = mcproto::parse_arith_extras(&frame.extras) else {
                 resp.vbucket_or_status = BinStatus::InvalidArgs as u16;
                 drop(store);
                 reply_bin(&sock, srv, vec![resp]).await;
@@ -924,7 +965,8 @@ async fn serve_sock_bin(srv: &Rc<SrvInner>, sock: Rc<Socket>, frame: BinFrame) {
     }
 }
 
-async fn reply_bin(sock: &Rc<Socket>, _srv: &Rc<SrvInner>, frames: Vec<BinFrame>) {
+async fn reply_bin(sock: &Rc<Socket>, srv: &Rc<SrvInner>, frames: Vec<BinFrame>) {
+    srv.span(|sp| sp.mark_open(Stage::WorkerService, srv.sim.now()));
     let mut wire = Vec::new();
     for f in frames {
         wire.extend_from_slice(&f.encode());
@@ -942,7 +984,6 @@ fn bin_status(o: SetOutcome) -> BinStatus {
         SetOutcome::OutOfMemory => BinStatus::OutOfMemory,
     }
 }
-
 
 /// UDP receive loop: one task per (stack, port). Requests must fit a
 /// single datagram (as in real memcached); responses are fragmented with

@@ -58,15 +58,15 @@ fn full_command_set_over_every_transport() {
             // append / prepend
             c.append(b"k2", b"-tail").await.unwrap();
             c.prepend(b"k2", b"head-").await.unwrap();
-            assert_eq!(c.get(b"k2").await.unwrap().unwrap().data, b"head-newer-tail");
+            assert_eq!(
+                c.get(b"k2").await.unwrap().unwrap().data,
+                b"head-newer-tail"
+            );
 
             // cas
             let v = c.get(b"k1").await.unwrap().unwrap();
             c.cas(b"k1", b"v2", 0, 0, v.cas).await.unwrap();
-            assert_eq!(
-                c.cas(b"k1", b"v3", 0, 0, v.cas).await,
-                Err(McError::Exists)
-            );
+            assert_eq!(c.cas(b"k1", b"v3", 0, 0, v.cas).await, Err(McError::Exists));
 
             // incr / decr
             c.set(b"n", b"41", 0, 0).await.unwrap();
@@ -128,10 +128,7 @@ fn oversized_value_is_rejected() {
     let c = client(&world, Transport::Ucr);
     world.sim().block_on(async move {
         let too_big = vec![0u8; 2 << 20];
-        assert_eq!(
-            c.set(b"huge", &too_big, 0, 0).await,
-            Err(McError::TooLarge)
-        );
+        assert_eq!(c.set(b"huge", &too_big, 0, 0).await, Err(McError::TooLarge));
     });
 }
 
@@ -591,7 +588,10 @@ fn binary_protocol_full_command_set() {
         c.replace(b"k2", b"newer", 0, 0).await.unwrap();
         c.append(b"k2", b"-tail").await.unwrap();
         c.prepend(b"k2", b"head-").await.unwrap();
-        assert_eq!(c.get(b"k2").await.unwrap().unwrap().data, b"head-newer-tail");
+        assert_eq!(
+            c.get(b"k2").await.unwrap().unwrap().data,
+            b"head-newer-tail"
+        );
 
         let v = c.get(b"k1").await.unwrap().unwrap();
         c.cas(b"k1", b"v2", 0, 0, v.cas).await.unwrap();
@@ -875,7 +875,11 @@ fn stats_subreports_expose_slabs_and_items() {
             c.set(b"b", &vec![1u8; 5000], 0, 0).await.unwrap();
             let slabs = c.stats_report("slabs").await.unwrap();
             assert!(
-                slabs.iter().filter(|(k, _)| k.ends_with(":chunk_size")).count() >= 2,
+                slabs
+                    .iter()
+                    .filter(|(k, _)| k.ends_with(":chunk_size"))
+                    .count()
+                    >= 2,
                 "{transport:?}: two size classes in use: {slabs:?}"
             );
             let items = c.stats_report("items").await.unwrap();

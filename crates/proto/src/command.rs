@@ -126,7 +126,9 @@ pub enum Command {
 }
 
 fn split_tokens(line: &[u8]) -> Vec<&[u8]> {
-    line.split(|&b| b == b' ').filter(|t| !t.is_empty()).collect()
+    line.split(|&b| b == b' ')
+        .filter(|t| !t.is_empty())
+        .collect()
 }
 
 fn num<T: std::str::FromStr>(tok: &[u8]) -> Result<T, ProtoError> {
@@ -262,9 +264,17 @@ pub fn parse_command(buf: &[u8]) -> Result<Option<(Command, usize)>, ProtoError>
             let delta: u64 = num(toks[2])?;
             let noreply = toks.get(3) == Some(&&b"noreply"[..]);
             let cmd = if verb == b"incr" {
-                Command::Incr { key, delta, noreply }
+                Command::Incr {
+                    key,
+                    delta,
+                    noreply,
+                }
             } else {
-                Command::Decr { key, delta, noreply }
+                Command::Decr {
+                    key,
+                    delta,
+                    noreply,
+                }
             };
             Ok(Some((cmd, line_len)))
         }
@@ -276,7 +286,14 @@ pub fn parse_command(buf: &[u8]) -> Result<Option<(Command, usize)>, ProtoError>
             check_key(&key)?;
             let exptime: u32 = num(toks[2])?;
             let noreply = toks.get(3) == Some(&&b"noreply"[..]);
-            Ok(Some((Command::Touch { key, exptime, noreply }, line_len)))
+            Ok(Some((
+                Command::Touch {
+                    key,
+                    exptime,
+                    noreply,
+                },
+                line_len,
+            )))
         }
         b"flush_all" => {
             let mut delay = 0u32;
@@ -316,8 +333,14 @@ pub fn encode_command(cmd: &Command) -> Vec<u8> {
             out.push(b' ');
             out.extend_from_slice(key);
             out.extend_from_slice(
-                format!(" {} {} {}{}", flags, exptime, data.len(), reply_suffix(*noreply))
-                    .as_bytes(),
+                format!(
+                    " {} {} {}{}",
+                    flags,
+                    exptime,
+                    data.len(),
+                    reply_suffix(*noreply)
+                )
+                .as_bytes(),
             );
             out.extend_from_slice(CRLF);
             out.extend_from_slice(data);
@@ -366,7 +389,16 @@ pub fn encode_command(cmd: &Command) -> Vec<u8> {
             out.extend_from_slice(reply_suffix(*noreply).as_bytes());
             out.extend_from_slice(CRLF);
         }
-        Command::Incr { key, delta, noreply } | Command::Decr { key, delta, noreply } => {
+        Command::Incr {
+            key,
+            delta,
+            noreply,
+        }
+        | Command::Decr {
+            key,
+            delta,
+            noreply,
+        } => {
             out.extend_from_slice(if matches!(cmd, Command::Incr { .. }) {
                 b"incr "
             } else {
@@ -376,7 +408,11 @@ pub fn encode_command(cmd: &Command) -> Vec<u8> {
             out.extend_from_slice(format!(" {}{}", delta, reply_suffix(*noreply)).as_bytes());
             out.extend_from_slice(CRLF);
         }
-        Command::Touch { key, exptime, noreply } => {
+        Command::Touch {
+            key,
+            exptime,
+            noreply,
+        } => {
             out.extend_from_slice(b"touch ");
             out.extend_from_slice(key);
             out.extend_from_slice(format!(" {}{}", exptime, reply_suffix(*noreply)).as_bytes());

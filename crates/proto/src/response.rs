@@ -66,8 +66,9 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                     Some(cas) => out.extend_from_slice(
                         format!(" {} {} {}", v.flags, v.data.len(), cas).as_bytes(),
                     ),
-                    None => out
-                        .extend_from_slice(format!(" {} {}", v.flags, v.data.len()).as_bytes()),
+                    None => {
+                        out.extend_from_slice(format!(" {} {}", v.flags, v.data.len()).as_bytes())
+                    }
                 }
                 out.extend_from_slice(CRLF);
                 out.extend_from_slice(&v.data);
@@ -101,7 +102,10 @@ pub fn parse_response(buf: &[u8]) -> Result<Option<(Response, usize)>, ProtoErro
     let Some((line, line_len)) = take_line(buf)? else {
         return Ok(None);
     };
-    let toks: Vec<&[u8]> = line.split(|&b| b == b' ').filter(|t| !t.is_empty()).collect();
+    let toks: Vec<&[u8]> = line
+        .split(|&b| b == b' ')
+        .filter(|t| !t.is_empty())
+        .collect();
     if toks.is_empty() {
         return Err(ProtoError::Malformed("empty response line"));
     }
@@ -154,7 +158,10 @@ fn parse_values(buf: &[u8]) -> Result<Option<(Response, usize)>, ProtoError> {
         if line == b"END" {
             return Ok(Some((Response::Values(values), pos + line_len)));
         }
-        let toks: Vec<&[u8]> = line.split(|&b| b == b' ').filter(|t| !t.is_empty()).collect();
+        let toks: Vec<&[u8]> = line
+            .split(|&b| b == b' ')
+            .filter(|t| !t.is_empty())
+            .collect();
         if toks.len() < 4 || toks[0] != b"VALUE" {
             return Err(ProtoError::Malformed("expected VALUE or END"));
         }

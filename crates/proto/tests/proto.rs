@@ -2,8 +2,8 @@
 //! encode∘parse round-trip properties.
 
 use mcproto::{
-    encode_command, encode_response, parse_command, parse_response, Command, GetValue,
-    ProtoError, Response, StoreVerb,
+    encode_command, encode_response, parse_command, parse_response, Command, GetValue, ProtoError,
+    Response, StoreVerb,
 };
 
 #[test]
@@ -38,9 +38,19 @@ fn incremental_parse_waits_for_data() {
 fn parse_consumes_exactly_one_command() {
     let wire = b"get a\r\nget b\r\n";
     let (cmd, used) = parse_command(wire).unwrap().unwrap();
-    assert_eq!(cmd, Command::Get { keys: vec![b"a".to_vec()] });
+    assert_eq!(
+        cmd,
+        Command::Get {
+            keys: vec![b"a".to_vec()]
+        }
+    );
     let (cmd2, _) = parse_command(&wire[used..]).unwrap().unwrap();
-    assert_eq!(cmd2, Command::Get { keys: vec![b"b".to_vec()] });
+    assert_eq!(
+        cmd2,
+        Command::Get {
+            keys: vec![b"b".to_vec()]
+        }
+    );
 }
 
 #[test]
@@ -57,7 +67,13 @@ fn multiget_keys() {
 #[test]
 fn noreply_flag() {
     let (cmd, _) = parse_command(b"delete k noreply\r\n").unwrap().unwrap();
-    assert_eq!(cmd, Command::Delete { key: b"k".to_vec(), noreply: true });
+    assert_eq!(
+        cmd,
+        Command::Delete {
+            key: b"k".to_vec(),
+            noreply: true
+        }
+    );
 }
 
 #[test]
@@ -130,7 +146,12 @@ fn empty_get_is_bare_end() {
 #[test]
 fn stats_with_arg_parses() {
     let (cmd, _) = parse_command(b"stats slabs\r\n").unwrap().unwrap();
-    assert_eq!(cmd, Command::Stats { arg: Some(b"slabs".to_vec()) });
+    assert_eq!(
+        cmd,
+        Command::Stats {
+            arg: Some(b"slabs".to_vec())
+        }
+    );
     let (cmd, _) = parse_command(b"stats\r\n").unwrap().unwrap();
     assert_eq!(cmd, Command::Stats { arg: None });
 }
@@ -187,16 +208,32 @@ mod properties {
             Just(StoreVerb::Prepend),
         ];
         prop_oneof![
-            (verb, key_strategy(), any::<u32>(), any::<u32>(), data_strategy(), any::<bool>())
-                .prop_map(|(verb, key, flags, exptime, data, noreply)| Command::Store {
-                    verb,
-                    key,
-                    flags,
-                    exptime,
-                    data,
-                    noreply
+            (
+                verb,
+                key_strategy(),
+                any::<u32>(),
+                any::<u32>(),
+                data_strategy(),
+                any::<bool>()
+            )
+                .prop_map(|(verb, key, flags, exptime, data, noreply)| {
+                    Command::Store {
+                        verb,
+                        key,
+                        flags,
+                        exptime,
+                        data,
+                        noreply,
+                    }
                 }),
-            (key_strategy(), any::<u32>(), any::<u32>(), any::<u64>(), data_strategy(), any::<bool>())
+            (
+                key_strategy(),
+                any::<u32>(),
+                any::<u32>(),
+                any::<u64>(),
+                data_strategy(),
+                any::<bool>()
+            )
                 .prop_map(|(key, flags, exptime, cas, data, noreply)| Command::Cas {
                     key,
                     flags,
@@ -205,29 +242,53 @@ mod properties {
                     data,
                     noreply
                 }),
-            proptest::collection::vec(key_strategy(), 1..5)
-                .prop_map(|keys| Command::Get { keys }),
-            proptest::collection::vec(key_strategy(), 1..5)
-                .prop_map(|keys| Command::Gets { keys }),
+            proptest::collection::vec(key_strategy(), 1..5).prop_map(|keys| Command::Get { keys }),
+            proptest::collection::vec(key_strategy(), 1..5).prop_map(|keys| Command::Gets { keys }),
             (key_strategy(), any::<bool>())
                 .prop_map(|(key, noreply)| Command::Delete { key, noreply }),
-            (key_strategy(), any::<u64>(), any::<bool>())
-                .prop_map(|(key, delta, noreply)| Command::Incr { key, delta, noreply }),
-            (key_strategy(), any::<u64>(), any::<bool>())
-                .prop_map(|(key, delta, noreply)| Command::Decr { key, delta, noreply }),
-            (key_strategy(), any::<u32>(), any::<bool>())
-                .prop_map(|(key, exptime, noreply)| Command::Touch { key, exptime, noreply }),
+            (key_strategy(), any::<u64>(), any::<bool>()).prop_map(|(key, delta, noreply)| {
+                Command::Incr {
+                    key,
+                    delta,
+                    noreply,
+                }
+            }),
+            (key_strategy(), any::<u64>(), any::<bool>()).prop_map(|(key, delta, noreply)| {
+                Command::Decr {
+                    key,
+                    delta,
+                    noreply,
+                }
+            }),
+            (key_strategy(), any::<u32>(), any::<bool>()).prop_map(|(key, exptime, noreply)| {
+                Command::Touch {
+                    key,
+                    exptime,
+                    noreply,
+                }
+            }),
             (any::<u32>(), any::<bool>())
                 .prop_map(|(delay, noreply)| Command::FlushAll { delay, noreply }),
-            proptest::option::of(proptest::collection::vec(0x21u8..0x7f, 1..10)).prop_map(|arg| Command::Stats { arg }),
+            proptest::option::of(proptest::collection::vec(0x21u8..0x7f, 1..10))
+                .prop_map(|arg| Command::Stats { arg }),
             Just(Command::Version),
             Just(Command::Quit),
         ]
     }
 
     fn response_strategy() -> impl Strategy<Value = Response> {
-        let value = (key_strategy(), any::<u32>(), data_strategy(), proptest::option::of(any::<u64>()))
-            .prop_map(|(key, flags, data, cas)| GetValue { key, flags, data, cas });
+        let value = (
+            key_strategy(),
+            any::<u32>(),
+            data_strategy(),
+            proptest::option::of(any::<u64>()),
+        )
+            .prop_map(|(key, flags, data, cas)| GetValue {
+                key,
+                flags,
+                data,
+                cas,
+            });
         prop_oneof![
             Just(Response::Stored),
             Just(Response::NotStored),

@@ -235,7 +235,9 @@ impl Sim {
             Some(Reverse(ev)) => {
                 debug_assert!(ev.time >= self.core.now.get());
                 self.core.now.set(ev.time);
-                self.core.events_executed.set(self.core.events_executed.get() + 1);
+                self.core
+                    .events_executed
+                    .set(self.core.events_executed.get() + 1);
                 (ev.action)();
                 self.drain_ready();
                 true
@@ -261,7 +263,9 @@ impl Sim {
                     }
                     let Reverse(ev) = self.core.events.borrow_mut().pop().expect("peeked");
                     self.core.now.set(ev.time);
-                    self.core.events_executed.set(self.core.events_executed.get() + 1);
+                    self.core
+                        .events_executed
+                        .set(self.core.events_executed.get() + 1);
                     (ev.action)();
                 }
                 None => {
@@ -451,7 +455,11 @@ mod tests {
                     s.sleep(SimDuration::from_nanos(jitter)).await;
                 }
             });
-            (sim.now().as_nanos(), sim.events_executed(), sim.task_polls())
+            (
+                sim.now().as_nanos(),
+                sim.events_executed(),
+                sim.task_polls(),
+            )
         }
         assert_eq!(run_once(7), run_once(7));
         // A different seed should (overwhelmingly likely) produce a

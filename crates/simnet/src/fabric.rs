@@ -13,6 +13,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use crate::engine::Sim;
+use crate::metrics::{Metrics, TraceEvent, TraceKind, TraceSubscriber};
 use crate::profiles::{ClusterProfile, NetKind};
 use crate::resource::FifoResource;
 use crate::time::{SimDuration, SimTime};
@@ -69,6 +70,7 @@ pub struct Network {
     mtu: u32,
     ports: Vec<Port>,
     trace: std::cell::RefCell<Option<Vec<Transfer>>>,
+    subscriber: std::cell::RefCell<Option<Rc<dyn TraceSubscriber>>>,
 }
 
 impl Network {
@@ -94,6 +96,7 @@ impl Network {
             mtu: link.mtu,
             ports,
             trace: std::cell::RefCell::new(None),
+            subscriber: std::cell::RefCell::new(None),
         }
     }
 
@@ -111,6 +114,15 @@ impl Network {
             .as_mut()
             .map(std::mem::take)
             .unwrap_or_default()
+    }
+
+    /// Attaches (or clears) a structured trace subscriber. Unlike
+    /// [`set_trace`](Network::set_trace)'s buffered transfer log, the
+    /// subscriber sees each wire event as a typed [`TraceEvent`] the
+    /// moment the transfer is submitted — the hook tests and the latency
+    /// attribution layer build on.
+    pub fn set_subscriber(&self, sub: Option<Rc<dyn TraceSubscriber>>) {
+        *self.subscriber.borrow_mut() = sub;
     }
 
     /// Which physical network this is.
@@ -170,6 +182,22 @@ impl Network {
                 delivered,
             });
         }
+        if let Some(sub) = self.subscriber.borrow().as_ref() {
+            sub.event(&TraceEvent {
+                kind: TraceKind::WireTx,
+                node: Some(src),
+                peer: Some(dst),
+                bytes,
+                at: egress_start,
+            });
+            sub.event(&TraceEvent {
+                kind: TraceKind::WireRx,
+                node: Some(dst),
+                peer: Some(src),
+                bytes,
+                at: delivered,
+            });
+        }
         sim.schedule_at(delivered, deliver);
         delivered
     }
@@ -192,6 +220,7 @@ pub struct Cluster {
     profile: ClusterProfile,
     nodes: Vec<Rc<Node>>,
     networks: HashMap<NetKind, Rc<Network>>,
+    metrics: Rc<Metrics>,
 }
 
 impl Cluster {
@@ -215,16 +244,23 @@ impl Cluster {
             Rc::new(Network::new(NetKind::Ib, &profile.ib, n)),
         );
         if let Some(l) = &profile.tengige {
-            networks.insert(NetKind::TenGigE, Rc::new(Network::new(NetKind::TenGigE, l, n)));
+            networks.insert(
+                NetKind::TenGigE,
+                Rc::new(Network::new(NetKind::TenGigE, l, n)),
+            );
         }
         if let Some(l) = &profile.onegige {
-            networks.insert(NetKind::OneGigE, Rc::new(Network::new(NetKind::OneGigE, l, n)));
+            networks.insert(
+                NetKind::OneGigE,
+                Rc::new(Network::new(NetKind::OneGigE, l, n)),
+            );
         }
         Cluster {
             sim,
             profile,
             nodes: node_list,
             networks,
+            metrics: Rc::new(Metrics::new()),
         }
     }
 
@@ -272,6 +308,42 @@ impl Cluster {
     pub fn ib(&self) -> &Rc<Network> {
         &self.networks[&NetKind::Ib]
     }
+
+    /// The cluster-wide metrics registry. Benchmarks and the memcached
+    /// stack publish counters/gauges/histograms here by dotted name.
+    pub fn metrics(&self) -> &Rc<Metrics> {
+        &self.metrics
+    }
+
+    /// Attaches (or clears) one structured trace subscriber on every
+    /// physical network of the cluster.
+    pub fn set_subscriber(&self, sub: Option<Rc<dyn TraceSubscriber>>) {
+        for net in self.networks.values() {
+            net.set_subscriber(sub.clone());
+        }
+    }
+
+    /// Publishes each node's shared-resource occupancy into the metrics
+    /// registry as gauges (`nodeN.hca.utilization`, `nodeN.kernel.
+    /// utilization`) and counters-as-gauges for completed jobs, measured
+    /// over the window from `since` to the current virtual time. This is
+    /// the §VI-D bottleneck attribution: it tells you *which* server
+    /// resource saturates under load.
+    pub fn export_node_metrics(&self, since: SimTime) {
+        let now = self.sim.now();
+        let window = now.saturating_since(since).as_nanos().max(1) as f64;
+        for node in &self.nodes {
+            for (res, name) in [(&node.hca, "hca"), (&node.kernel, "kernel")] {
+                let busy = res.busy_total().as_nanos() as f64;
+                self.metrics
+                    .gauge(&format!("{}.{}.utilization", node.id, name))
+                    .set((busy / window).min(1.0));
+                self.metrics
+                    .gauge(&format!("{}.{}.jobs", node.id, name))
+                    .set(res.jobs() as f64);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -293,7 +365,8 @@ mod tests {
         assert_eq!(delivered.as_nanos(), ib_prop_ns(&c));
         let t0 = c.sim().now();
         let d2 = ib.transmit(c.sim(), NodeId(2), NodeId(3), 1024, t0, || {});
-        let expect = ib.ser_time(1024) + crate::profiles::ClusterProfile::cluster_a().ib.propagation;
+        let expect =
+            ib.ser_time(1024) + crate::profiles::ClusterProfile::cluster_a().ib.propagation;
         assert_eq!(d2, t0 + expect);
     }
 
@@ -320,7 +393,10 @@ mod tests {
         // Two different senders target node 3 simultaneously.
         let d1 = ib.transmit(c.sim(), NodeId(0), NodeId(3), 50_000, SimTime::ZERO, || {});
         let d2 = ib.transmit(c.sim(), NodeId(1), NodeId(3), 50_000, SimTime::ZERO, || {});
-        assert!(d2 > d1, "receiver ingress must serialize concurrent senders");
+        assert!(
+            d2 > d1,
+            "receiver ingress must serialize concurrent senders"
+        );
     }
 
     #[test]
@@ -330,9 +406,16 @@ mod tests {
         let hit: Rc<Cell<Option<SimTime>>> = Rc::new(Cell::new(None));
         let hit2 = hit.clone();
         let sim2 = c.sim().clone();
-        let expected = ib.transmit(c.sim(), NodeId(0), NodeId(1), 4096, SimTime::ZERO, move || {
-            hit2.set(Some(sim2.now()));
-        });
+        let expected = ib.transmit(
+            c.sim(),
+            NodeId(0),
+            NodeId(1),
+            4096,
+            SimTime::ZERO,
+            move || {
+                hit2.set(Some(sim2.now()));
+            },
+        );
         c.sim().run();
         assert_eq!(hit.get(), Some(expected));
     }

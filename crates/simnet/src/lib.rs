@@ -38,6 +38,7 @@
 
 mod engine;
 mod fabric;
+pub mod metrics;
 pub mod profiles;
 mod resource;
 mod rng;
@@ -46,6 +47,9 @@ mod time;
 
 pub use engine::{JoinHandle, Sim, TaskId};
 pub use fabric::{Cluster, Network, Node, NodeId, Transfer};
+pub use metrics::{
+    LatencySpans, Metrics, Stage, TraceEvent, TraceKind, TraceRecorder, TraceSubscriber,
+};
 pub use profiles::{ClusterProfile, NetKind, Stack};
 pub use resource::FifoResource;
 pub use rng::SimRng;

@@ -519,9 +519,7 @@ mod tests {
         let sim = Sim::new(1);
         let (_tx, rx) = oneshot::<u32>();
         let s = sim.clone();
-        let got = sim.block_on(async move {
-            timeout(&s, SimDuration::from_micros(5), rx).await
-        });
+        let got = sim.block_on(async move { timeout(&s, SimDuration::from_micros(5), rx).await });
         assert_eq!(got, Err(Elapsed));
         assert_eq!(sim.now().as_nanos(), 5_000);
     }
@@ -538,9 +536,7 @@ mod tests {
                 tx.send(7).unwrap();
             }
         });
-        let got = sim.block_on(async move {
-            timeout(&s, SimDuration::from_micros(5), rx).await
-        });
+        let got = sim.block_on(async move { timeout(&s, SimDuration::from_micros(5), rx).await });
         assert_eq!(got, Ok(Ok(7)));
         assert_eq!(sim.now().as_nanos(), 100);
     }

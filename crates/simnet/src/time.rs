@@ -244,10 +244,7 @@ mod tests {
     #[test]
     fn serialization_time_rounds_up() {
         // 1 byte at 1 Gbit/s is 8 ns exactly.
-        assert_eq!(
-            SimDuration::for_bytes_at(1, 1_000_000_000).as_nanos(),
-            8
-        );
+        assert_eq!(SimDuration::for_bytes_at(1, 1_000_000_000).as_nanos(), 8);
         // 1 byte at 3 Gbit/s is 2.67 ns -> rounds up to 3.
         assert_eq!(SimDuration::for_bytes_at(1, 3_000_000_000).as_nanos(), 3);
         // Zero bytes take zero time.

@@ -18,7 +18,8 @@ fn run_task_graph(seed: u64, delays: &[u64]) -> Vec<(u64, usize)> {
         sim.spawn(async move {
             for step in 0..3u64 {
                 let jitter = s.with_rng(|r| r.gen_range_u64(1, 50));
-                s.sleep(SimDuration::from_nanos(base % 1000 + 1 + jitter * step)).await;
+                s.sleep(SimDuration::from_nanos(base % 1000 + 1 + jitter * step))
+                    .await;
                 log.borrow_mut().push((s.now().as_nanos(), idx));
             }
         });

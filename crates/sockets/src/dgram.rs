@@ -76,32 +76,33 @@ impl DgramSocket {
         let src = self.local;
         let payload = payload.to_vec();
         let sim2 = sim.clone();
-        self.net.transmit(&sim, src.node, dst.node, wire, launch, move || {
-            if fabric.is_dead(dst.node) {
-                return; // dropped on the floor
-            }
-            let kernel = &fabric.cluster.node(dst.node).kernel;
-            let ready = kernel.occupy_from(
-                sim2.now(),
-                profile.kernel_recv + profile.data_path_cost(payload.len() as u64),
-            );
-            let fabric2 = fabric.clone();
-            sim2.clone().schedule_at(ready, move || {
-                let Some(inbox) = fabric2.dgram_inbox(stack, dst) else {
-                    return; // no socket bound: ICMP port unreachable, i.e. silence
-                };
-                let mut q = inbox.queue.borrow_mut();
-                if q.len() >= DGRAM_RCVBUF_DATAGRAMS {
-                    // Receive buffer overflow: the datagram is lost. This
-                    // is UDP's defining hazard under load.
-                    inbox.dropped.set(inbox.dropped.get() + 1);
-                    return;
+        self.net
+            .transmit(&sim, src.node, dst.node, wire, launch, move || {
+                if fabric.is_dead(dst.node) {
+                    return; // dropped on the floor
                 }
-                q.push_back((src, payload));
-                drop(q);
-                inbox.notify.notify_all();
+                let kernel = &fabric.cluster.node(dst.node).kernel;
+                let ready = kernel.occupy_from(
+                    sim2.now(),
+                    profile.kernel_recv + profile.data_path_cost(payload.len() as u64),
+                );
+                let fabric2 = fabric.clone();
+                sim2.clone().schedule_at(ready, move || {
+                    let Some(inbox) = fabric2.dgram_inbox(stack, dst) else {
+                        return; // no socket bound: ICMP port unreachable, i.e. silence
+                    };
+                    let mut q = inbox.queue.borrow_mut();
+                    if q.len() >= DGRAM_RCVBUF_DATAGRAMS {
+                        // Receive buffer overflow: the datagram is lost. This
+                        // is UDP's defining hazard under load.
+                        inbox.dropped.set(inbox.dropped.get() + 1);
+                        return;
+                    }
+                    q.push_back((src, payload));
+                    drop(q);
+                    inbox.notify.notify_all();
+                });
             });
-        });
         Ok(())
     }
 

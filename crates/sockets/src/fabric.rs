@@ -282,14 +282,9 @@ impl SockFabricInner {
     fn register(self: &Rc<Self>, node: NodeId, rx: Rc<RecvBuf>, peer_rx: Rc<RecvBuf>) -> u64 {
         let id = self.next_sock.get();
         self.next_sock.set(id + 1);
-        self.socks.borrow_mut().insert(
-            id,
-            SockRec {
-                node,
-                rx,
-                peer_rx,
-            },
-        );
+        self.socks
+            .borrow_mut()
+            .insert(id, SockRec { node, rx, peer_rx });
         id
     }
 

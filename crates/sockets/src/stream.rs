@@ -152,7 +152,9 @@ impl Socket {
         // Application-side syscall + copy into the socket buffer.
         sim.sleep(self.profile.app_send).await;
 
-        let mss = (self.net.mtu() as u64).saturating_sub(SEGMENT_HEADER_BYTES).max(1);
+        let mss = (self.net.mtu() as u64)
+            .saturating_sub(SEGMENT_HEADER_BYTES)
+            .max(1);
         let nseg = (buf.len() as u64).div_ceil(mss).max(1);
         let wire_bytes = buf.len() as u64 + nseg * SEGMENT_HEADER_BYTES;
 

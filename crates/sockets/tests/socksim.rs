@@ -106,15 +106,24 @@ fn latency_ordering_matches_the_paper() {
     assert!(ipoib < onegige, "IPoIB {ipoib} should beat 1GigE {onegige}");
     // And everything lands in the tens-of-microseconds band for small
     // messages, as 2011-era sockets did.
-    assert!(toe.as_micros_f64() > 10.0 && toe.as_micros_f64() < 40.0, "TOE rtt {toe}");
-    assert!(onegige.as_micros_f64() > 50.0 && onegige.as_micros_f64() < 200.0, "1GigE rtt {onegige}");
+    assert!(
+        toe.as_micros_f64() > 10.0 && toe.as_micros_f64() < 40.0,
+        "TOE rtt {toe}"
+    );
+    assert!(
+        onegige.as_micros_f64() > 50.0 && onegige.as_micros_f64() < 200.0,
+        "1GigE rtt {onegige}"
+    );
 }
 
 #[test]
 fn cluster_b_sockets_are_faster_than_cluster_a() {
     let a = rtt(Stack::Ipoib, 64, false);
     let b = rtt(Stack::Ipoib, 64, true);
-    assert!(b < a, "Westmere+QDR IPoIB {b} should beat Clovertown+DDR {a}");
+    assert!(
+        b < a,
+        "Westmere+QDR IPoIB {b} should beat Clovertown+DDR {a}"
+    );
 }
 
 #[test]
@@ -130,13 +139,20 @@ fn nagle_delays_small_writes() {
         let (cluster, fabric) = fabric_a();
         let sim = cluster.sim().clone();
         sim.block_on(async move {
-            let listener = fabric.listen(Stack::TenGigEToe, SERVER.node, SERVER.port).unwrap();
+            let listener = fabric
+                .listen(Stack::TenGigEToe, SERVER.node, SERVER.port)
+                .unwrap();
             let srv = fabric.cluster().sim().spawn(async move {
                 let s = listener.accept().await.unwrap();
                 s.read_exact(8).await.unwrap();
             });
             let sock = fabric
-                .connect(Stack::TenGigEToe, NodeId(0), SERVER, DEFAULT_CONNECT_TIMEOUT)
+                .connect(
+                    Stack::TenGigEToe,
+                    NodeId(0),
+                    SERVER,
+                    DEFAULT_CONNECT_TIMEOUT,
+                )
                 .await
                 .unwrap();
             sock.set_nodelay(nodelay);
@@ -178,7 +194,12 @@ fn unavailable_stack_is_reported() {
     ));
     let err = sim.block_on(async move {
         fabric
-            .connect(Stack::TenGigEToe, NodeId(0), SERVER, DEFAULT_CONNECT_TIMEOUT)
+            .connect(
+                Stack::TenGigEToe,
+                NodeId(0),
+                SERVER,
+                DEFAULT_CONNECT_TIMEOUT,
+            )
             .await
             .unwrap_err()
     });
@@ -244,7 +265,9 @@ fn kernel_contention_limits_aggregate_throughput() {
 
         async fn fabric_server(sock: Socket, rounds: usize) {
             for _ in 0..rounds {
-                let Ok(data) = sock.read(1 << 16).await else { return };
+                let Ok(data) = sock.read(1 << 16).await else {
+                    return;
+                };
                 if sock.write_all(&data).await.is_err() {
                     return;
                 }
@@ -260,7 +283,10 @@ fn kernel_contention_limits_aggregate_throughput() {
                     .connect(
                         Stack::Ipoib,
                         NodeId(1 + (c % 5)),
-                        SocketAddr { node: NodeId(0), port: 9000 },
+                        SocketAddr {
+                            node: NodeId(0),
+                            port: 9000,
+                        },
                         DEFAULT_CONNECT_TIMEOUT,
                     )
                     .await
@@ -421,7 +447,10 @@ fn many_sequential_connections_to_one_listener() {
                 .connect(
                     Stack::TenGigEToe,
                     NodeId(1 + (i % 4) as u32),
-                    SocketAddr { node: NodeId(0), port: 8080 },
+                    SocketAddr {
+                        node: NodeId(0),
+                        port: 8080,
+                    },
                     DEFAULT_CONNECT_TIMEOUT,
                 )
                 .await
@@ -449,12 +478,24 @@ mod dgram {
         let client = fabric.udp_bind(Stack::TenGigEToe, NodeId(1), 6000).unwrap();
         sim.block_on(async move {
             client
-                .send_to(SocketAddr { node: NodeId(0), port: 5353 }, b"ping")
+                .send_to(
+                    SocketAddr {
+                        node: NodeId(0),
+                        port: 5353,
+                    },
+                    b"ping",
+                )
                 .await
                 .unwrap();
             let (src, data) = server.recv_from().await.unwrap();
             assert_eq!(data, b"ping");
-            assert_eq!(src, SocketAddr { node: NodeId(1), port: 6000 });
+            assert_eq!(
+                src,
+                SocketAddr {
+                    node: NodeId(1),
+                    port: 6000
+                }
+            );
             // Reply straight back to the observed source.
             server.send_to(src, b"pong").await.unwrap();
             let (src2, data2) = client.recv_from().await.unwrap();
@@ -468,12 +509,19 @@ mod dgram {
         let (cluster, fabric) = fabric_a();
         let sim = cluster.sim().clone();
         let client = fabric.udp_bind(Stack::Ipoib, NodeId(1), 6000).unwrap();
-        sim.block_on(async move {
+        let client = sim.block_on(async move {
             // No listener at the destination: fire and forget, no error.
             client
-                .send_to(SocketAddr { node: NodeId(0), port: 1 }, b"void")
+                .send_to(
+                    SocketAddr {
+                        node: NodeId(0),
+                        port: 1,
+                    },
+                    b"void",
+                )
                 .await
                 .unwrap();
+            client
         });
         cluster.sim().run();
         assert_eq!(client.dropped(), 0);
@@ -491,7 +539,10 @@ mod dgram {
             for i in 0..burst {
                 client
                     .send_to(
-                        SocketAddr { node: NodeId(0), port: 5353 },
+                        SocketAddr {
+                            node: NodeId(0),
+                            port: 5353,
+                        },
                         &i.to_le_bytes(),
                     )
                     .await

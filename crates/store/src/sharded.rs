@@ -59,7 +59,9 @@ impl ShardedStore {
         exptime: u32,
         now: u32,
     ) -> SetOutcome {
-        self.shard(key).lock().replace(key, value, flags, exptime, now)
+        self.shard(key)
+            .lock()
+            .replace(key, value, flags, exptime, now)
     }
 
     /// See [`Store::cas`].
@@ -72,7 +74,9 @@ impl ShardedStore {
         cas: u64,
         now: u32,
     ) -> SetOutcome {
-        self.shard(key).lock().cas(key, value, flags, exptime, cas, now)
+        self.shard(key)
+            .lock()
+            .cas(key, value, flags, exptime, cas, now)
     }
 
     /// See [`Store::append`].

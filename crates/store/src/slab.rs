@@ -197,10 +197,7 @@ impl SlabAllocator {
     /// Returns a chunk to its class's free list.
     pub fn free(&mut self, loc: SlabLoc) {
         let c = &mut self.classes[loc.class.0 as usize];
-        debug_assert!(
-            !c.free.contains(&loc),
-            "double free of slab chunk {loc:?}"
-        );
+        debug_assert!(!c.free.contains(&loc), "double free of slab chunk {loc:?}");
         c.used -= 1;
         c.free.push(loc);
     }

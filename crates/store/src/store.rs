@@ -204,19 +204,40 @@ impl Store {
     // ------------------------------------------------------------------
 
     /// Unconditional store.
-    pub fn set(&mut self, key: &[u8], value: &[u8], flags: u32, exptime: u32, now: u32) -> SetOutcome {
+    pub fn set(
+        &mut self,
+        key: &[u8],
+        value: &[u8],
+        flags: u32,
+        exptime: u32,
+        now: u32,
+    ) -> SetOutcome {
         let exp = normalize_exptime(exptime, now);
         self.store_item(key, value, flags, exp, now, StorePolicy::Set)
     }
 
     /// Store only if absent.
-    pub fn add(&mut self, key: &[u8], value: &[u8], flags: u32, exptime: u32, now: u32) -> SetOutcome {
+    pub fn add(
+        &mut self,
+        key: &[u8],
+        value: &[u8],
+        flags: u32,
+        exptime: u32,
+        now: u32,
+    ) -> SetOutcome {
         let exp = normalize_exptime(exptime, now);
         self.store_item(key, value, flags, exp, now, StorePolicy::Add)
     }
 
     /// Store only if present.
-    pub fn replace(&mut self, key: &[u8], value: &[u8], flags: u32, exptime: u32, now: u32) -> SetOutcome {
+    pub fn replace(
+        &mut self,
+        key: &[u8],
+        value: &[u8],
+        flags: u32,
+        exptime: u32,
+        now: u32,
+    ) -> SetOutcome {
         let exp = normalize_exptime(exptime, now);
         self.store_item(key, value, flags, exp, now, StorePolicy::Replace)
     }

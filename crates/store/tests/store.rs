@@ -297,7 +297,10 @@ fn item_header_constant_matches_class_selection() {
     // least that large.
     let key = b"0123456789";
     let vlen = 100;
-    let class = s.slabs().class_for(ITEM_HEADER_SIZE + key.len() + vlen).unwrap();
+    let class = s
+        .slabs()
+        .class_for(ITEM_HEADER_SIZE + key.len() + vlen)
+        .unwrap();
     assert!(s.slabs().chunk_size(class) >= ITEM_HEADER_SIZE + key.len() + vlen);
 }
 
@@ -485,7 +488,10 @@ mod sharded {
         }
         for i in 0..1000u32 {
             let key = format!("key-{i}");
-            assert_eq!(s.get(key.as_bytes(), 1).unwrap().data, format!("v{i}").as_bytes());
+            assert_eq!(
+                s.get(key.as_bytes(), 1).unwrap().data,
+                format!("v{i}").as_bytes()
+            );
         }
         assert_eq!(s.curr_items(), 1000);
     }
@@ -571,7 +577,7 @@ fn append_preserves_expiry() {
 fn incr_preserves_expiry_across_class_move() {
     let mut s = store();
     s.set(b"n", b"9", 0, 10, 100); // expires at 110
-    // Growing to "10" re-stores the item; expiry must carry over.
+                                   // Growing to "10" re-stores the item; expiry must carry over.
     assert_eq!(s.incr(b"n", 1, 105), Ok(10));
     assert!(s.get(b"n", 109).is_some());
     assert!(s.get(b"n", 111).is_none());
@@ -580,13 +586,23 @@ fn incr_preserves_expiry_across_class_move() {
 #[test]
 fn value_resize_moves_between_classes_without_leaks() {
     let mut s = store();
-    let small_class = s.slabs().class_for(mcstore::ITEM_HEADER_SIZE + 1 + 10).unwrap();
-    let big_class = s.slabs().class_for(mcstore::ITEM_HEADER_SIZE + 1 + 5000).unwrap();
+    let small_class = s
+        .slabs()
+        .class_for(mcstore::ITEM_HEADER_SIZE + 1 + 10)
+        .unwrap();
+    let big_class = s
+        .slabs()
+        .class_for(mcstore::ITEM_HEADER_SIZE + 1 + 5000)
+        .unwrap();
     assert_ne!(small_class, big_class);
     s.set(b"k", &[1u8; 10], 0, 0, 1);
     assert_eq!(s.slabs().class_stats(small_class).used, 1);
     s.set(b"k", &vec![1u8; 5000], 0, 0, 1);
-    assert_eq!(s.slabs().class_stats(small_class).used, 0, "old chunk freed");
+    assert_eq!(
+        s.slabs().class_stats(small_class).used,
+        0,
+        "old chunk freed"
+    );
     assert_eq!(s.slabs().class_stats(big_class).used, 1);
     s.delete(b"k", 1);
     assert_eq!(s.slabs().class_stats(big_class).used, 0);
@@ -610,7 +626,10 @@ fn lru_tail_key_reports_coldest_item() {
     let mut s = store();
     s.set(b"first", b"v", 0, 0, 1);
     s.set(b"second", b"v", 0, 0, 1);
-    let class = s.slabs().class_for(mcstore::ITEM_HEADER_SIZE + 5 + 1).unwrap();
+    let class = s
+        .slabs()
+        .class_for(mcstore::ITEM_HEADER_SIZE + 5 + 1)
+        .unwrap();
     assert_eq!(s.lru_tail_key(class), Some(b"first".to_vec()));
     // A get bumps "first" to the front; "second" becomes the tail.
     s.get(b"first", 1);

@@ -93,7 +93,13 @@ impl Endpoint {
         }
         let rt = inner.rt.upgrade().ok_or(UcrError::RuntimeGone)?;
         let sim = rt.sim.clone();
-        let total = PACKET_HEADER_BYTES + hdr.len() + data.len();
+        // The eager threshold governs *payload* bytes (application header
+        // + data): receive buffers are sized `PACKET_HEADER_BYTES +
+        // threshold` (see `post_recv_buffer`), so the 64-byte packet
+        // header must not count against it — a payload of exactly
+        // `eager_threshold` bytes (the paper's 8 KB, §IV-C) rides eager.
+        let payload = hdr.len() + data.len();
+        let total = PACKET_HEADER_BYTES + payload;
 
         let mut pkt = PacketHeader::new(PacketKind::Eager, msg_id);
         pkt.hdr_len = hdr.len() as u32;
@@ -103,9 +109,11 @@ impl Endpoint {
         pkt.completion_ctr = opts.completion.as_ref().map(Counter::id).unwrap_or(0);
 
         if let Some(ud_dest) = inner.ud_dest {
-            // Unreliable endpoint: single-datagram eager only.
+            // Unreliable endpoint: single-datagram eager only. The eager
+            // threshold bounds the payload; the MTU bounds the full
+            // datagram (packet header included) — both must hold.
             let limit = rt.ud_payload_limit();
-            if total > limit.min(rt.eager_threshold.get()) {
+            if payload > rt.eager_threshold.get() || total > limit {
                 return Err(UcrError::MessageTooLarge);
             }
             sim.sleep(rt.stage_cost(data.len())).await;
@@ -117,17 +125,23 @@ impl Endpoint {
                 origin: opts.origin,
                 ep: Rc::downgrade(inner),
             });
-            let mut wr = SendWr::new(wr_id, SendOp::SendInline { data: buf, imm: None });
+            let mut wr = SendWr::new(
+                wr_id,
+                SendOp::SendInline {
+                    data: buf,
+                    imm: None,
+                },
+            );
             wr.ud_dest = Some(ud_dest);
             inner
                 .qp
                 .post_send(wr)
                 .map_err(|_| UcrError::EndpointFailed)?;
-            rt.stats.messages_sent.set(rt.stats.messages_sent.get() + 1);
+            rt.stats.messages_sent.inc();
             return Ok(());
         }
 
-        if total <= rt.eager_threshold.get() {
+        if payload <= rt.eager_threshold.get() {
             // Eager: stage header+data into a communication buffer (one
             // copy at this end, one at the target), single transaction.
             sim.sleep(rt.stage_cost(data.len())).await;
@@ -141,7 +155,13 @@ impl Endpoint {
             });
             inner
                 .qp
-                .post_send(SendWr::new(wr_id, SendOp::SendInline { data: buf, imm: None }))
+                .post_send(SendWr::new(
+                    wr_id,
+                    SendOp::SendInline {
+                        data: buf,
+                        imm: None,
+                    },
+                ))
                 .map_err(|_| UcrError::EndpointFailed)?;
             // The completion counter (if any) is bumped when the target's
             // Fin arrives; its id already travels in the packet header.
@@ -161,10 +181,16 @@ impl Endpoint {
             });
             inner
                 .qp
-                .post_send(SendWr::new(wr_id, SendOp::SendInline { data: buf, imm: None }))
+                .post_send(SendWr::new(
+                    wr_id,
+                    SendOp::SendInline {
+                        data: buf,
+                        imm: None,
+                    },
+                ))
                 .map_err(|_| UcrError::EndpointFailed)?;
         }
-        rt.stats.messages_sent.set(rt.stats.messages_sent.get() + 1);
+        rt.stats.messages_sent.inc();
         Ok(())
     }
 

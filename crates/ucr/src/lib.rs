@@ -30,9 +30,9 @@ mod runtime;
 mod wire;
 
 pub use counter::Counter;
-pub use onesided::{MemoryDescriptor, UcrMemory};
 pub use endpoint::{Endpoint, SendOptions};
 pub use handler::{AmData, AmDest, AmHandler, FnHandler};
+pub use onesided::{MemoryDescriptor, UcrMemory};
 pub use runtime::{EpListener, RtStats, UcrRuntime};
 pub use wire::{PacketHeader, PacketKind, PACKET_HEADER_BYTES};
 

@@ -27,9 +27,10 @@ impl UcrRuntime {
     /// Registers `len` bytes for remote one-sided access (put and get).
     pub fn register_memory(&self, len: usize) -> UcrMemory {
         UcrMemory {
-            mr: self
-                .pd_ref()
-                .register(len, Access::LOCAL_WRITE | Access::REMOTE_READ | Access::REMOTE_WRITE),
+            mr: self.pd_ref().register(
+                len,
+                Access::LOCAL_WRITE | Access::REMOTE_READ | Access::REMOTE_WRITE,
+            ),
         }
     }
 }
@@ -82,11 +83,14 @@ impl Endpoint {
         });
         rt.stash_onesided_src(wr_id, src);
         self.qp_ref()
-            .post_send(SendWr::new(wr_id, SendOp::RdmaWrite {
-                local,
-                remote,
-                imm: None,
-            }))
+            .post_send(SendWr::new(
+                wr_id,
+                SendOp::RdmaWrite {
+                    local,
+                    remote,
+                    imm: None,
+                },
+            ))
             .map_err(|_| UcrError::EndpointFailed)
     }
 
@@ -111,10 +115,13 @@ impl Endpoint {
             ep: self.downgrade(),
         });
         self.qp_ref()
-            .post_send(SendWr::new(wr_id, SendOp::RdmaRead {
-                local: slice,
-                remote,
-            }))
+            .post_send(SendWr::new(
+                wr_id,
+                SendOp::RdmaRead {
+                    local: slice,
+                    remote,
+                },
+            ))
             .map_err(|_| UcrError::EndpointFailed)
     }
 }

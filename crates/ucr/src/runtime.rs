@@ -27,21 +27,40 @@ use crate::UcrError;
 /// Number of 8 KB network buffers kept posted on the SRQ.
 const RECV_POOL_DEPTH: usize = 128;
 
-/// Runtime statistics (diagnostics and tests).
+/// Runtime statistics (diagnostics and tests), built on the
+/// [`simnet::metrics`] counter primitive so they surface verbatim in
+/// `stats`-style reports.
 #[derive(Default)]
 pub struct RtStats {
     /// Active messages sent (eager + rendezvous).
-    pub messages_sent: Cell<u64>,
+    pub messages_sent: simnet::metrics::Counter,
     /// Eager messages delivered.
-    pub eager_delivered: Cell<u64>,
+    pub eager_delivered: simnet::metrics::Counter,
     /// Rendezvous transfers completed (RDMA reads).
-    pub rndv_delivered: Cell<u64>,
+    pub rndv_delivered: simnet::metrics::Counter,
     /// Internal (Fin) messages sent.
-    pub fins_sent: Cell<u64>,
+    pub fins_sent: simnet::metrics::Counter,
     /// Messages dropped for an unregistered msg_id.
-    pub unknown_msg_dropped: Cell<u64>,
+    pub unknown_msg_dropped: simnet::metrics::Counter,
     /// Send-side failures observed (endpoint faults).
-    pub send_failures: Cell<u64>,
+    pub send_failures: simnet::metrics::Counter,
+}
+
+impl RtStats {
+    /// Renders the counters as `stats`-style `(name, value)` pairs.
+    pub fn report(&self) -> Vec<(String, String)> {
+        [
+            ("ucr_messages_sent", self.messages_sent.get()),
+            ("ucr_eager_delivered", self.eager_delivered.get()),
+            ("ucr_rndv_delivered", self.rndv_delivered.get()),
+            ("ucr_fins_sent", self.fins_sent.get()),
+            ("ucr_unknown_msg_dropped", self.unknown_msg_dropped.get()),
+            ("ucr_send_failures", self.send_failures.get()),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+    }
 }
 
 pub(crate) enum Pending {
@@ -262,10 +281,12 @@ impl UcrRuntime {
         if let Some(qp) = self.inner.ud_qp.borrow().as_ref() {
             return qp.qpn();
         }
-        let qp = self
-            .inner
-            .pd
-            .create_qp(QpType::Ud, &self.inner.cq, &self.inner.cq, Some(&self.inner.srq));
+        let qp = self.inner.pd.create_qp(
+            QpType::Ud,
+            &self.inner.cq,
+            &self.inner.cq,
+            Some(&self.inner.srq),
+        );
         let qpn = qp.qpn();
         *self.inner.ud_qp.borrow_mut() = Some(qp);
         qpn
@@ -393,7 +414,9 @@ impl RtInner {
             failed: Cell::new(false),
             ud_dest: Some((node, qpn)),
         });
-        self.ud_eps.borrow_mut().insert((node.0, qpn), inner.clone());
+        self.ud_eps
+            .borrow_mut()
+            .insert((node.0, qpn), inner.clone());
         Endpoint { inner }
     }
 
@@ -420,9 +443,10 @@ impl RtInner {
     }
 
     fn post_recv_buffer(&self) {
-        let mr = self
-            .pd
-            .register(PACKET_HEADER_BYTES + UCR_EAGER_THRESHOLD, Access::LOCAL_WRITE);
+        let mr = self.pd.register(
+            PACKET_HEADER_BYTES + UCR_EAGER_THRESHOLD,
+            Access::LOCAL_WRITE,
+        );
         let wr_id = self.next_wr.get();
         self.next_wr.set(wr_id + 1);
         self.srq.post_recv(wr_id, mr.full());
@@ -464,7 +488,9 @@ impl RtInner {
         let ep = if ud_qpn == Some(wc.qp_num) {
             // Arrived on the shared UD QP: the endpoint is identified by
             // the datagram's source address handle.
-            let Some((src_node, src_qpn)) = wc.src else { return };
+            let Some((src_node, src_qpn)) = wc.src else {
+                return;
+            };
             self.ud_endpoint_for(src_node, src_qpn)
         } else {
             let ep = self.eps.borrow().get(&wc.qp_num).cloned();
@@ -487,9 +513,7 @@ impl RtInner {
                 let data = &bytes[hdr_end..data_end];
                 let handler = self.handlers.borrow().get(&pkt.msg_id).cloned();
                 let Some(handler) = handler else {
-                    self.stats
-                        .unknown_msg_dropped
-                        .set(self.stats.unknown_msg_dropped.get() + 1);
+                    self.stats.unknown_msg_dropped.inc();
                     return;
                 };
                 let am_data = match handler.on_header(&ep, hdr, data.len()) {
@@ -503,9 +527,7 @@ impl RtInner {
                     AmDest::Discard => AmData::Discarded,
                 };
                 handler.on_complete(&ep, hdr, am_data);
-                self.stats
-                    .eager_delivered
-                    .set(self.stats.eager_delivered.get() + 1);
+                self.stats.eager_delivered.inc();
                 self.bump_counter(pkt.target_ctr);
                 if pkt.completion_ctr != 0 {
                     self.send_fin(&ep, 0, pkt.completion_ctr, 0);
@@ -515,9 +537,7 @@ impl RtInner {
                 if ep.is_unreliable() {
                     // RDMA read needs a connection; a rendezvous header on
                     // UD is a protocol violation — drop it.
-                    self.stats
-                        .unknown_msg_dropped
-                        .set(self.stats.unknown_msg_dropped.get() + 1);
+                    self.stats.unknown_msg_dropped.inc();
                     return;
                 }
                 self.sim.sleep(self.profile.host.am_dispatch).await;
@@ -528,9 +548,7 @@ impl RtInner {
                 let hdr = bytes[PACKET_HEADER_BYTES..hdr_end].to_vec();
                 let handler = self.handlers.borrow().get(&pkt.msg_id).cloned();
                 let Some(handler) = handler else {
-                    self.stats
-                        .unknown_msg_dropped
-                        .set(self.stats.unknown_msg_dropped.get() + 1);
+                    self.stats.unknown_msg_dropped.inc();
                     return;
                 };
                 let dest = match handler.on_header(&ep, &hdr, pkt.data_len as usize) {
@@ -585,7 +603,7 @@ impl RtInner {
             Pending::OneSided { done, ep } => {
                 self.onesided_src.borrow_mut().remove(&wc.wr_id);
                 if !crate::onesided::complete_onesided(done, &ep, wc.status) {
-                    self.stats.send_failures.set(self.stats.send_failures.get() + 1);
+                    self.stats.send_failures.inc();
                 }
             }
             Pending::EagerSend { origin, ep } => {
@@ -613,10 +631,7 @@ impl RtInner {
                 }
                 // Zero-copy path: only the calibrated host cost, no copy.
                 self.sim
-                    .sleep(
-                        self.profile.host.am_dispatch
-                            + self.profile.ucr_rdma_cost(pkt.data_len),
-                    )
+                    .sleep(self.profile.host.am_dispatch + self.profile.ucr_rdma_cost(pkt.data_len))
                     .await;
                 let handler = self.handlers.borrow().get(&pkt.msg_id).cloned();
                 if let Some(handler) = handler {
@@ -627,9 +642,7 @@ impl RtInner {
                     };
                     handler.on_complete(&ep, &hdr, am_data);
                 }
-                self.stats
-                    .rndv_delivered
-                    .set(self.stats.rndv_delivered.get() + 1);
+                self.stats.rndv_delivered.inc();
                 self.bump_counter(pkt.target_ctr);
                 // Fin always returns for rendezvous: it releases the
                 // origin's source buffer and carries any counter updates.
@@ -639,7 +652,7 @@ impl RtInner {
     }
 
     fn fail_ep(&self, ep: &Weak<EpInner>) {
-        self.stats.send_failures.set(self.stats.send_failures.get() + 1);
+        self.stats.send_failures.inc();
         if let Some(ep) = ep.upgrade() {
             ep.failed.set(true);
             self.eps.borrow_mut().remove(&ep.qp.qpn());
@@ -661,7 +674,7 @@ impl RtInner {
                 imm: None,
             },
         ));
-        self.stats.fins_sent.set(self.stats.fins_sent.get() + 1);
+        self.stats.fins_sent.inc();
     }
 }
 

@@ -86,7 +86,9 @@ async fn echo_once(
     ep.send_message(ECHO, &hdr, &data, SendOptions::default())
         .await
         .unwrap();
-    ctr.wait_for(1, SimDuration::from_millis(500)).await.unwrap();
+    ctr.wait_for(1, SimDuration::from_millis(500))
+        .await
+        .unwrap();
     let dt = sim.now() - t0;
     let reply = got.borrow().clone();
     (dt, reply)
@@ -234,7 +236,9 @@ fn completion_counter_requires_internal_message() {
         ep.send_message(SINK, b"h", b"data", SendOptions::default())
             .await
             .unwrap();
-        client.sim().run_until(client.sim().now() + SimDuration::from_millis(1));
+        client
+            .sim()
+            .run_until(client.sim().now() + SimDuration::from_millis(1));
         assert_eq!(server2.stats().fins_sent.get(), fins_before);
 
         // With one: the target sends Fin and the counter fires.
@@ -321,7 +325,10 @@ fn header_handler_can_place_into_registered_buffer() {
         )
         .await
         .unwrap();
-        origin.wait_for(1, SimDuration::from_millis(100)).await.unwrap();
+        origin
+            .wait_for(1, SimDuration::from_millis(100))
+            .await
+            .unwrap();
     });
     cluster.sim().run();
     assert_eq!(placed.get(), payload.len());
@@ -347,7 +354,9 @@ fn unknown_msg_id_is_counted_and_dropped() {
         ep.send_message(999, b"h", b"d", SendOptions::default())
             .await
             .unwrap();
-        client.sim().run_until(client.sim().now() + SimDuration::from_millis(1));
+        client
+            .sim()
+            .run_until(client.sim().now() + SimDuration::from_millis(1));
         assert_eq!(server2.stats().unknown_msg_dropped.get(), 1);
     });
 }
@@ -367,14 +376,18 @@ fn counter_wait_times_out_when_server_dies() {
         let ctr = client.counter();
         let hdr = ctr.id().to_le_bytes().to_vec();
         // The send itself may succeed (fire into the void) or fail fast.
-        let _ = ep.send_message(ECHO, &hdr, b"x", SendOptions::default()).await;
+        let _ = ep
+            .send_message(ECHO, &hdr, b"x", SendOptions::default())
+            .await;
         let err = ctr
             .wait_for(1, SimDuration::from_millis(5))
             .await
             .unwrap_err();
         assert_eq!(err, UcrError::Timeout);
         // The endpoint eventually observes the failure.
-        client.sim().run_until(client.sim().now() + SimDuration::from_millis(5));
+        client
+            .sim()
+            .run_until(client.sim().now() + SimDuration::from_millis(5));
         let err2 = ep
             .send_message(ECHO, &hdr, b"y", SendOptions::default())
             .await
@@ -408,7 +421,9 @@ fn one_failing_endpoint_does_not_break_others() {
         dying.shutdown();
         let ctr = client.counter();
         let hdr = ctr.id().to_le_bytes().to_vec();
-        let _ = ep_dying.send_message(ECHO, &hdr, b"x", SendOptions::default()).await;
+        let _ = ep_dying
+            .send_message(ECHO, &hdr, b"x", SendOptions::default())
+            .await;
         assert!(ctr.wait_for(1, SimDuration::from_millis(5)).await.is_err());
 
         // The same client runtime still works against the healthy server.
@@ -429,7 +444,10 @@ fn connect_times_out_against_dead_node() {
             .await
             .unwrap_err()
     });
-    assert!(matches!(err, UcrError::Timeout | UcrError::ConnectionRefused));
+    assert!(matches!(
+        err,
+        UcrError::Timeout | UcrError::ConnectionRefused
+    ));
 }
 
 #[test]
@@ -532,7 +550,10 @@ fn ud_loss_is_detected_by_counter_timeout() {
         ep.send_message(ECHO, &hdr, b"lost", SendOptions::default())
             .await
             .unwrap();
-        let err = ctr.wait_for(1, SimDuration::from_millis(5)).await.unwrap_err();
+        let err = ctr
+            .wait_for(1, SimDuration::from_millis(5))
+            .await
+            .unwrap_err();
         assert_eq!(err, UcrError::Timeout);
     });
 }
@@ -607,14 +628,22 @@ fn one_sided_put_and_get_move_bytes_without_remote_handlers() {
         let local = client2.register_memory(4096);
         let done = client2.counter();
         ep.get(&local, 0, desc_head, Some(done.clone())).unwrap();
-        done.wait_for(1, SimDuration::from_millis(50)).await.unwrap();
+        done.wait_for(1, SimDuration::from_millis(50))
+            .await
+            .unwrap();
         assert_eq!(local.read(0, 16), b"initial-content!");
 
         // put: write into the middle of the region.
         let done = client2.counter();
-        ep.put(region_window(&desc_all, 100, 11), b"put-payload", Some(done.clone()))
+        ep.put(
+            region_window(&desc_all, 100, 11),
+            b"put-payload",
+            Some(done.clone()),
+        )
+        .unwrap();
+        done.wait_for(1, SimDuration::from_millis(50))
+            .await
             .unwrap();
-        done.wait_for(1, SimDuration::from_millis(50)).await.unwrap();
     });
     assert_eq!(region.read(100, 11), b"put-payload");
     // No active messages were dispatched for any of this.
@@ -671,12 +700,16 @@ fn one_sided_get_latency_is_a_pure_round_trip() {
         // Warm.
         let done = client.counter();
         ep.get(&local, 0, desc, Some(done.clone())).unwrap();
-        done.wait_for(1, SimDuration::from_millis(50)).await.unwrap();
+        done.wait_for(1, SimDuration::from_millis(50))
+            .await
+            .unwrap();
         let sim = client.sim();
         let t0 = sim.now();
         let done = client.counter();
         ep.get(&local, 0, desc, Some(done.clone())).unwrap();
-        done.wait_for(1, SimDuration::from_millis(50)).await.unwrap();
+        done.wait_for(1, SimDuration::from_millis(50))
+            .await
+            .unwrap();
         (sim.now() - t0).as_micros_f64()
     });
     assert!(
@@ -762,10 +795,12 @@ mod properties {
             a.sort();
             b.sort();
             prop_assert_eq!(a, b);
-            // In order within each protocol path. The eager path carries
-            // packet+app headers (64 + 1 bytes) + data within the 8 KB
-            // buffer.
-            let is_eager = |m: &Vec<u8>| 64 + 1 + m.len() <= 8192;
+            // In order within each protocol path. The eager threshold
+            // applies to the payload (app header, 1 byte here, + data);
+            // the 64-byte packet header rides in the receive buffers'
+            // extra headroom.
+            // payload = 1 + m.len() <= 8192, i.e. m.len() < 8192.
+            let is_eager = |m: &Vec<u8>| m.len() < 8192;
             let eager_sent: Vec<&Vec<u8>> = expected.iter().filter(|m| is_eager(m)).collect();
             let eager_recv: Vec<&Vec<u8>> = received.iter().filter(|m| is_eager(m)).collect();
             prop_assert_eq!(eager_sent, eager_recv);
@@ -774,4 +809,205 @@ mod properties {
             prop_assert_eq!(rndv_sent, rndv_recv);
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Eager/rendezvous boundary semantics
+// ---------------------------------------------------------------------
+
+/// Sends one message of exactly `payload` bytes (empty app header) at
+/// eager threshold `thr` and reports what the receiver saw:
+/// `(eager_delivered, rndv_delivered, fabric_messages)`.
+fn boundary_probe(payload: usize, thr: usize) -> (u64, u64, usize) {
+    let (cluster, fabric) = world(false, 2);
+    let receiver = UcrRuntime::new(&fabric, NodeId(1));
+    receiver.register_handler(SINK, FnHandler(|_: &Endpoint, _: &[u8], _: AmData| {}));
+    let listener = receiver.listen(PORT).unwrap();
+    cluster.sim().spawn(async move {
+        let _ = listener.accept().await;
+    });
+    let sender = UcrRuntime::new(&fabric, NodeId(0));
+    sender.set_eager_threshold(thr);
+    let recorder = simnet::TraceRecorder::new();
+    let data = vec![0xabu8; payload];
+    let cluster2 = cluster.clone();
+    let rec2 = recorder.clone();
+    let sender2 = sender.clone();
+    cluster.sim().block_on(async move {
+        let ep = sender2
+            .connect(NodeId(1), PORT, SimDuration::from_millis(100))
+            .await
+            .unwrap();
+        // Count only the message itself (not connection setup).
+        cluster2.set_subscriber(Some(rec2));
+        let done = sender2.counter();
+        ep.send_message(
+            SINK,
+            &[],
+            &data,
+            SendOptions {
+                completion: Some(done.clone()),
+                ..Default::default()
+            },
+        )
+        .await
+        .unwrap();
+        done.wait_for(1, SimDuration::from_millis(500))
+            .await
+            .unwrap();
+        cluster2.set_subscriber(None);
+    });
+    (
+        receiver.stats().eager_delivered.get(),
+        receiver.stats().rndv_delivered.get(),
+        recorder.wire_messages(),
+    )
+}
+
+#[test]
+fn eager_boundary_applies_to_payload_bytes() {
+    let thr = 4096;
+    // thr-1 and exactly thr ride the eager path: the payload plus the
+    // 64-byte packet header still fits the receive buffers, which are
+    // sized `PACKET_HEADER_BYTES + threshold`. One eager message plus
+    // the completion Fin = 2 fabric messages.
+    for payload in [thr - 1, thr] {
+        let (eager, rndv, msgs) = boundary_probe(payload, thr);
+        assert_eq!((eager, rndv), (1, 0), "payload {payload} must be eager");
+        assert_eq!(msgs, 2, "eager send = message + Fin, payload {payload}");
+    }
+    // One byte past the threshold switches to rendezvous: RndvReq +
+    // RDMA read request + read response + Fin = 4 fabric messages.
+    let (eager, rndv, msgs) = boundary_probe(thr + 1, thr);
+    assert_eq!(
+        (eager, rndv),
+        (0, 1),
+        "payload past threshold must rendezvous"
+    );
+    assert_eq!(msgs, 4, "rendezvous = RndvReq + read req/resp + Fin");
+}
+
+#[test]
+fn paper_8kb_payload_rides_eager_at_default_threshold() {
+    // §IV-C: the design point is an 8 KB eager threshold. A payload of
+    // exactly 8 KB must go eagerly — 2 fabric messages, not the
+    // rendezvous 4.
+    let thr = 8192;
+    let (eager, rndv, msgs) = boundary_probe(thr, thr);
+    assert_eq!((eager, rndv), (1, 0));
+    assert_eq!(msgs, 2);
+}
+
+// ---------------------------------------------------------------------
+// Counter edge cases
+// ---------------------------------------------------------------------
+
+#[test]
+fn counter_wait_for_zero_on_fresh_counter_is_immediate() {
+    let (cluster, fabric) = world(false, 2);
+    let rt = UcrRuntime::new(&fabric, NodeId(0));
+    cluster.sim().block_on(async move {
+        let ctr = rt.counter();
+        let t0 = rt.sim().now();
+        // A fresh counter already satisfies target 0: no suspension, no
+        // virtual time consumed, even with a zero deadline.
+        ctr.wait_for(0, SimDuration::ZERO).await.unwrap();
+        assert_eq!(rt.sim().now(), t0);
+        assert_eq!(ctr.value(), 0);
+    });
+}
+
+#[test]
+fn counter_wait_past_tracks_concurrent_bumps() {
+    let (cluster, fabric) = world(false, 2);
+    let receiver = UcrRuntime::new(&fabric, NodeId(1));
+    receiver.register_handler(SINK, FnHandler(|_: &Endpoint, _: &[u8], _: AmData| {}));
+    let listener = receiver.listen(PORT).unwrap();
+    cluster.sim().spawn(async move {
+        let _ = listener.accept().await;
+    });
+    let sender = UcrRuntime::new(&fabric, NodeId(0));
+    let ctr = receiver.counter();
+    let ctr_id = ctr.id();
+    let sim = cluster.sim().clone();
+    // A sender task streams 5 messages at the counter while the main
+    // task is already waiting.
+    sim.spawn(async move {
+        let ep = sender
+            .connect(NodeId(1), PORT, SimDuration::from_millis(100))
+            .await
+            .unwrap();
+        for _ in 0..5 {
+            ep.send_message(
+                SINK,
+                &[],
+                b"bump",
+                SendOptions {
+                    target_ctr: ctr_id,
+                    ..Default::default()
+                },
+            )
+            .await
+            .unwrap();
+        }
+    });
+    cluster.sim().block_on(async move {
+        ctr.wait_past(0, 3, SimDuration::from_millis(500))
+            .await
+            .unwrap();
+        let seen = ctr.value();
+        assert!(seen >= 3, "waited past 3, saw {seen}");
+        // Wait for the remainder relative to the live snapshot.
+        ctr.wait_past(seen, 5 - seen, SimDuration::from_millis(500))
+            .await
+            .unwrap();
+        assert_eq!(ctr.value(), 5);
+    });
+}
+
+#[test]
+fn counter_timeout_then_late_bump_does_not_stale_notify() {
+    let (cluster, fabric) = world(false, 2);
+    let receiver = UcrRuntime::new(&fabric, NodeId(1));
+    receiver.register_handler(SINK, FnHandler(|_: &Endpoint, _: &[u8], _: AmData| {}));
+    let listener = receiver.listen(PORT).unwrap();
+    cluster.sim().spawn(async move {
+        let _ = listener.accept().await;
+    });
+    let sender = UcrRuntime::new(&fabric, NodeId(0));
+    let ctr = receiver.counter();
+    cluster.sim().block_on(async move {
+        let ep = sender
+            .connect(NodeId(1), PORT, SimDuration::from_millis(100))
+            .await
+            .unwrap();
+        // Nothing in flight: the wait must time out.
+        assert!(matches!(
+            ctr.wait_for(1, SimDuration::from_micros(50)).await,
+            Err(UcrError::Timeout)
+        ));
+        // The bump arrives after the waiter gave up.
+        ep.send_message(
+            SINK,
+            &[],
+            b"late",
+            SendOptions {
+                target_ctr: ctr.id(),
+                ..Default::default()
+            },
+        )
+        .await
+        .unwrap();
+        ctr.wait_for(1, SimDuration::from_millis(100))
+            .await
+            .unwrap();
+        assert_eq!(ctr.value(), 1);
+        // The late bump's notification must not satisfy a *new* waiter
+        // whose target is still ahead of the counter.
+        assert!(matches!(
+            ctr.wait_for(2, SimDuration::from_millis(1)).await,
+            Err(UcrError::Timeout)
+        ));
+        assert_eq!(ctr.value(), 1, "no phantom bump from a stale notify");
+    });
 }

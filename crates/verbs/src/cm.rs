@@ -92,7 +92,10 @@ impl Listener {
 
         // Reply with our QP number.
         let inner = &self.hca.inner;
-        let fabric = inner.fabric.upgrade().ok_or(VerbsError::NotFound("fabric"))?;
+        let fabric = inner
+            .fabric
+            .upgrade()
+            .ok_or(VerbsError::NotFound("fabric"))?;
         let dst = req.src_node;
         let conn_id = req.conn_id;
         let qpn = qp.qpn();
@@ -158,7 +161,9 @@ pub async fn connect(
         .net
         .clone()
         .transmit(&sim, src, dst, CM_MSG_BYTES, sim.now(), move || {
-            let Some(f) = fabric_weak.upgrade() else { return };
+            let Some(f) = fabric_weak.upgrade() else {
+                return;
+            };
             let reject = match f.live_hca(dst) {
                 Some(rhca) => {
                     let delivered = rhca
@@ -176,9 +181,13 @@ pub async fn connect(
                 let sim2 = f.cluster.sim().clone();
                 let f2 = fabric_weak.clone();
                 if let Some(rhca) = f.hcas.borrow().get(&dst).cloned() {
-                    rhca.net
-                        .clone()
-                        .transmit(&sim2, dst, src, CM_MSG_BYTES, sim2.now(), move || {
+                    rhca.net.clone().transmit(
+                        &sim2,
+                        dst,
+                        src,
+                        CM_MSG_BYTES,
+                        sim2.now(),
+                        move || {
                             if let Some(f) = f2.upgrade() {
                                 if let Some(sh) = f.live_hca(src) {
                                     if let Some(tx) =
@@ -188,7 +197,8 @@ pub async fn connect(
                                     }
                                 }
                             }
-                        });
+                        },
+                    );
                 }
             }
         });
@@ -213,4 +223,3 @@ pub async fn connect(
         }
     }
 }
-

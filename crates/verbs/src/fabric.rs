@@ -98,7 +98,10 @@ impl IbFabric {
         let inner = Rc::new(HcaInner {
             node,
             sim: cluster.sim().clone(),
-            net: cluster.network(net_kind).expect("checked at fabric creation").clone(),
+            net: cluster
+                .network(net_kind)
+                .expect("checked at fabric creation")
+                .clone(),
             hw: cluster.node(node).clone(),
             profile: cluster
                 .profile()

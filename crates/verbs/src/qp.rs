@@ -354,7 +354,10 @@ impl QueuePair {
                     let target = fabric.upgrade().and_then(|f| f.live_hca(dst));
                     match target {
                         Some(thca) => {
-                            let t = thca.hw.hca.occupy_from(sim2.now(), thca.profile.rdma_target);
+                            let t = thca
+                                .hw
+                                .hca
+                                .occupy_from(sim2.now(), thca.profile.rdma_target);
                             let this2 = this.clone();
                             sim2.clone().schedule_at(t, move || {
                                 let status = match resolve_remote(
@@ -368,8 +371,7 @@ impl QueuePair {
                                             .copy_from_slice(&payload);
                                         if let Some(word) = imm {
                                             // WRITE_WITH_IMM consumes a receive.
-                                            if let Some(rqp) =
-                                                thca.qps.borrow().get(&dqpn).cloned()
+                                            if let Some(rqp) = thca.qps.borrow().get(&dqpn).cloned()
                                             {
                                                 let sqpn = this2.qpn;
                                                 rqp.rx_inbound(Inbound {
@@ -429,7 +431,10 @@ impl QueuePair {
                     let target = fabric2.upgrade().and_then(|f| f.live_hca(dst));
                     match target {
                         Some(thca) => {
-                            let t = thca.hw.hca.occupy_from(sim2.now(), thca.profile.rdma_target);
+                            let t = thca
+                                .hw
+                                .hca
+                                .occupy_from(sim2.now(), thca.profile.rdma_target);
                             let this2 = this.clone();
                             let net2 = thca.net.clone();
                             let sim3 = sim2.clone();
@@ -515,41 +520,49 @@ impl QueuePair {
         let this = self.inner.clone();
         let prop = hca.net_propagation();
         let wire = payload.len() as u64 + WIRE_HEADER_BYTES;
-        hca.net.clone().transmit(&sim, src, dst, wire, t_hca, move || {
-            let sim2 = match fabric.upgrade() {
-                Some(f) => f.cluster.sim().clone(),
-                None => return,
-            };
-            let target = fabric.upgrade().and_then(|f| f.live_hca(dst));
-            let rqp = target
-                .as_ref()
-                .and_then(|t| t.qps.borrow().get(&dqpn).cloned());
-            match (target, rqp) {
-                (Some(thca), Some(rqp)) if rqp.state.get() != QpState::Closed => {
-                    let t = thca.hw.hca.occupy_from(sim2.now(), thca.profile.hca_msg);
-                    let bytes = payload.len() as u32;
-                    let this2 = this.clone();
-                    sim2.schedule_at(t, move || {
-                        let sqpn = this2.qpn;
-                        rqp.rx_inbound(Inbound {
-                            payload,
-                            imm,
-                            opcode: WcOpcode::Recv,
-                            src: Some((src, sqpn)),
+        hca.net
+            .clone()
+            .transmit(&sim, src, dst, wire, t_hca, move || {
+                let sim2 = match fabric.upgrade() {
+                    Some(f) => f.cluster.sim().clone(),
+                    None => return,
+                };
+                let target = fabric.upgrade().and_then(|f| f.live_hca(dst));
+                let rqp = target
+                    .as_ref()
+                    .and_then(|t| t.qps.borrow().get(&dqpn).cloned());
+                match (target, rqp) {
+                    (Some(thca), Some(rqp)) if rqp.state.get() != QpState::Closed => {
+                        let t = thca.hw.hca.occupy_from(sim2.now(), thca.profile.hca_msg);
+                        let bytes = payload.len() as u32;
+                        let this2 = this.clone();
+                        sim2.schedule_at(t, move || {
+                            let sqpn = this2.qpn;
+                            rqp.rx_inbound(Inbound {
+                                payload,
+                                imm,
+                                opcode: WcOpcode::Recv,
+                                src: Some((src, sqpn)),
+                            });
+                            // RC ack: local send completion one propagation later.
+                            this2.complete_send_after(
+                                prop,
+                                wr_id,
+                                WcOpcode::Send,
+                                WcStatus::Success,
+                                bytes,
+                            );
                         });
-                        // RC ack: local send completion one propagation later.
-                        this2.complete_send_after(prop, wr_id, WcOpcode::Send, WcStatus::Success, bytes);
-                    });
+                    }
+                    _ => this.complete_send_after(
+                        RETRY_EXCEEDED_DELAY,
+                        wr_id,
+                        WcOpcode::Send,
+                        WcStatus::RetryExceeded,
+                        0,
+                    ),
                 }
-                _ => this.complete_send_after(
-                    RETRY_EXCEEDED_DELAY,
-                    wr_id,
-                    WcOpcode::Send,
-                    WcStatus::RetryExceeded,
-                    0,
-                ),
-            }
-        });
+            });
         Ok(())
     }
 
@@ -577,30 +590,32 @@ impl QueuePair {
         if dst == src {
             return Err(VerbsError::InvalidState("UD loopback not modeled"));
         }
-        hca.net.clone().transmit(&sim, src, dst, wire, t_hca, move || {
-            // Unreliable: deliver if possible, else drop on the floor.
-            if let Some(f) = fabric.upgrade() {
-                if let Some(thca) = f.live_hca(dst) {
-                    let sim2 = f.cluster.sim().clone();
-                    let t = thca.hw.hca.occupy_from(sim2.now(), thca.profile.hca_msg);
-                    if let Some(rqp) = thca.qps.borrow().get(&dqpn).cloned() {
-                        if rqp.qp_type == QpType::Ud {
-                            sim2.schedule_at(t, move || {
-                                // UD with no posted receive drops the datagram.
-                                if rqp.has_recv_available() {
-                                    rqp.rx_inbound(Inbound {
-                                        payload,
-                                        imm,
-                                        opcode: WcOpcode::Recv,
-                                        src: Some((src, sender_qpn)),
-                                    });
-                                }
-                            });
+        hca.net
+            .clone()
+            .transmit(&sim, src, dst, wire, t_hca, move || {
+                // Unreliable: deliver if possible, else drop on the floor.
+                if let Some(f) = fabric.upgrade() {
+                    if let Some(thca) = f.live_hca(dst) {
+                        let sim2 = f.cluster.sim().clone();
+                        let t = thca.hw.hca.occupy_from(sim2.now(), thca.profile.hca_msg);
+                        if let Some(rqp) = thca.qps.borrow().get(&dqpn).cloned() {
+                            if rqp.qp_type == QpType::Ud {
+                                sim2.schedule_at(t, move || {
+                                    // UD with no posted receive drops the datagram.
+                                    if rqp.has_recv_available() {
+                                        rqp.rx_inbound(Inbound {
+                                            payload,
+                                            imm,
+                                            opcode: WcOpcode::Recv,
+                                            src: Some((src, sender_qpn)),
+                                        });
+                                    }
+                                });
+                            }
                         }
                     }
                 }
-            }
-        });
+            });
         // UD send completes locally as soon as the HCA has it.
         self.inner
             .complete_send_at(t_hca, wr.wr_id, WcOpcode::Send, WcStatus::Success, bytes);
@@ -638,7 +653,11 @@ impl QpInner {
 
     fn match_pending(self: &Rc<Self>) {
         while !self.pending_inbound.borrow().is_empty() && self.has_recv_available() {
-            let msg = self.pending_inbound.borrow_mut().pop_front().expect("nonempty");
+            let msg = self
+                .pending_inbound
+                .borrow_mut()
+                .pop_front()
+                .expect("nonempty");
             let rwr = self.pop_recv().expect("available");
             self.complete_recv(rwr, msg);
         }

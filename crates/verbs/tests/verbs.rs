@@ -52,10 +52,13 @@ fn send_recv_moves_real_bytes() {
 
     let payload: Vec<u8> = (0..=255u8).collect();
     let src = a.pd.register_with(payload.clone(), Access::default());
-    qa.post_send(SendWr::new(1, SendOp::Send {
-        local: src.full(),
-        imm: Some(0xfeed),
-    }))
+    qa.post_send(SendWr::new(
+        1,
+        SendOp::Send {
+            local: src.full(),
+            imm: Some(0xfeed),
+        },
+    ))
     .unwrap();
 
     let bcq = b.cq.clone();
@@ -74,10 +77,13 @@ fn sender_gets_a_send_completion() {
     let (qa, qb) = connected_qps(&a, &b);
     let dst = b.pd.register(64, Access::LOCAL_WRITE);
     qb.post_recv(1, dst.full());
-    qa.post_send(SendWr::new(42, SendOp::SendInline {
-        data: b"x".to_vec(),
-        imm: None,
-    }))
+    qa.post_send(SendWr::new(
+        42,
+        SendOp::SendInline {
+            data: b"x".to_vec(),
+            imm: None,
+        },
+    ))
     .unwrap();
     let acq = a.cq.clone();
     let wc = cluster.sim().block_on(async move { acq.next().await });
@@ -92,10 +98,13 @@ fn message_larger_than_recv_buffer_errors() {
     let (qa, qb) = connected_qps(&a, &b);
     let small = b.pd.register(4, Access::LOCAL_WRITE);
     qb.post_recv(1, small.full());
-    qa.post_send(SendWr::new(2, SendOp::SendInline {
-        data: vec![0u8; 100],
-        imm: None,
-    }))
+    qa.post_send(SendWr::new(
+        2,
+        SendOp::SendInline {
+            data: vec![0u8; 100],
+            imm: None,
+        },
+    ))
     .unwrap();
     let bcq = b.cq.clone();
     let wc = cluster.sim().block_on(async move { bcq.next().await });
@@ -106,15 +115,19 @@ fn message_larger_than_recv_buffer_errors() {
 fn rdma_write_lands_without_target_cpu() {
     let (cluster, a, b) = pair(false);
     let (qa, _qb) = connected_qps(&a, &b);
-    let target = b.pd.register(4096, Access::LOCAL_WRITE | Access::REMOTE_WRITE);
+    let target =
+        b.pd.register(4096, Access::LOCAL_WRITE | Access::REMOTE_WRITE);
     let data = vec![0xabu8; 512];
     let src = a.pd.register_with(data.clone(), Access::default());
 
-    qa.post_send(SendWr::new(1, SendOp::RdmaWrite {
-        local: src.full(),
-        remote: target.remote(128, 512),
-        imm: None,
-    }))
+    qa.post_send(SendWr::new(
+        1,
+        SendOp::RdmaWrite {
+            local: src.full(),
+            remote: target.remote(128, 512),
+            imm: None,
+        },
+    ))
     .unwrap();
 
     let acq = a.cq.clone();
@@ -130,16 +143,20 @@ fn rdma_write_lands_without_target_cpu() {
 fn rdma_write_with_imm_consumes_receive() {
     let (cluster, a, b) = pair(false);
     let (qa, qb) = connected_qps(&a, &b);
-    let target = b.pd.register(256, Access::LOCAL_WRITE | Access::REMOTE_WRITE);
+    let target =
+        b.pd.register(256, Access::LOCAL_WRITE | Access::REMOTE_WRITE);
     let notice = b.pd.register(0, Access::LOCAL_WRITE);
     qb.post_recv(9, notice.full());
 
     let src = a.pd.register_with(vec![1, 2, 3], Access::default());
-    qa.post_send(SendWr::new(1, SendOp::RdmaWrite {
-        local: src.full(),
-        remote: target.remote(0, 3),
-        imm: Some(77),
-    }))
+    qa.post_send(SendWr::new(
+        1,
+        SendOp::RdmaWrite {
+            local: src.full(),
+            remote: target.remote(0, 3),
+            imm: Some(77),
+        },
+    ))
     .unwrap();
 
     let bcq = b.cq.clone();
@@ -155,15 +172,17 @@ fn rdma_read_pulls_remote_bytes() {
     let (cluster, a, b) = pair(true);
     let (qa, _qb) = connected_qps(&a, &b);
     let secret: Vec<u8> = (0..64).map(|i| i as u8 ^ 0x5a).collect();
-    let remote_mr = b
-        .pd
-        .register_with(secret.clone(), Access::REMOTE_READ | Access::LOCAL_WRITE);
+    let remote_mr =
+        b.pd.register_with(secret.clone(), Access::REMOTE_READ | Access::LOCAL_WRITE);
     let local = a.pd.register(64, Access::LOCAL_WRITE);
 
-    qa.post_send(SendWr::new(5, SendOp::RdmaRead {
-        local: local.full(),
-        remote: remote_mr.remote(0, 64),
-    }))
+    qa.post_send(SendWr::new(
+        5,
+        SendOp::RdmaRead {
+            local: local.full(),
+            remote: remote_mr.remote(0, 64),
+        },
+    ))
     .unwrap();
 
     let acq = a.cq.clone();
@@ -181,10 +200,13 @@ fn rdma_read_without_permission_is_refused() {
     // Region lacks REMOTE_READ.
     let remote_mr = b.pd.register(64, Access::LOCAL_WRITE);
     let local = a.pd.register(64, Access::LOCAL_WRITE);
-    qa.post_send(SendWr::new(5, SendOp::RdmaRead {
-        local: local.full(),
-        remote: remote_mr.remote(0, 64),
-    }))
+    qa.post_send(SendWr::new(
+        5,
+        SendOp::RdmaRead {
+            local: local.full(),
+            remote: remote_mr.remote(0, 64),
+        },
+    ))
     .unwrap();
     let acq = a.cq.clone();
     let wc = cluster.sim().block_on(async move { acq.next().await });
@@ -201,10 +223,13 @@ fn deregistered_rkey_is_refused() {
         // mr drops here: deregistered.
     };
     let local = a.pd.register(64, Access::LOCAL_WRITE);
-    qa.post_send(SendWr::new(1, SendOp::RdmaRead {
-        local: local.full(),
-        remote: remote_desc,
-    }))
+    qa.post_send(SendWr::new(
+        1,
+        SendOp::RdmaRead {
+            local: local.full(),
+            remote: remote_desc,
+        },
+    ))
     .unwrap();
     let acq = a.cq.clone();
     let wc = cluster.sim().block_on(async move { acq.next().await });
@@ -218,10 +243,13 @@ fn pd_mismatch_is_rejected_synchronously() {
     let other_pd = a.hca.alloc_pd();
     let foreign = other_pd.register(16, Access::default());
     let err = qa
-        .post_send(SendWr::new(1, SendOp::Send {
-            local: foreign.full(),
-            imm: None,
-        }))
+        .post_send(SendWr::new(
+            1,
+            SendOp::Send {
+                local: foreign.full(),
+                imm: None,
+            },
+        ))
         .unwrap_err();
     assert!(matches!(err, VerbsError::AccessViolation(_)));
 }
@@ -252,10 +280,13 @@ fn srq_fans_in_many_qps() {
     }
 
     for (i, (qa, _)) in client_qps.iter().enumerate() {
-        qa.post_send(SendWr::new(i as u64, SendOp::SendInline {
-            data: vec![i as u8; 8],
-            imm: None,
-        }))
+        qa.post_send(SendWr::new(
+            i as u64,
+            SendOp::SendInline {
+                data: vec![i as u8; 8],
+                imm: None,
+            },
+        ))
         .unwrap();
     }
 
@@ -282,10 +313,13 @@ fn ud_send_completes_locally_and_can_drop() {
     let qb = b.pd.create_qp(QpType::Ud, &b.cq, &b.cq, None);
 
     // No receive posted at b: datagram is dropped, sender still completes.
-    let mut wr = SendWr::new(1, SendOp::SendInline {
-        data: b"dgram".to_vec(),
-        imm: None,
-    });
+    let mut wr = SendWr::new(
+        1,
+        SendOp::SendInline {
+            data: b"dgram".to_vec(),
+            imm: None,
+        },
+    );
     wr.ud_dest = Some((b.hca.node(), qb.qpn()));
     qa.post_send(wr).unwrap();
 
@@ -298,10 +332,13 @@ fn ud_send_completes_locally_and_can_drop() {
     // With a receive posted it is delivered.
     let dst = b.pd.register(64, Access::LOCAL_WRITE);
     qb.post_recv(3, dst.full());
-    let mut wr = SendWr::new(2, SendOp::SendInline {
-        data: b"dgram2".to_vec(),
-        imm: None,
-    });
+    let mut wr = SendWr::new(
+        2,
+        SendOp::SendInline {
+            data: b"dgram2".to_vec(),
+            imm: None,
+        },
+    );
     wr.ud_dest = Some((b.hca.node(), qb.qpn()));
     qa.post_send(wr).unwrap();
     let bcq = b.cq.clone();
@@ -315,10 +352,13 @@ fn ud_payload_capped_at_mtu() {
     let (cluster, a, b) = pair(false);
     let qa = a.pd.create_qp(QpType::Ud, &a.cq, &a.cq, None);
     let mtu = cluster.profile().ib.mtu as usize;
-    let mut wr = SendWr::new(1, SendOp::SendInline {
-        data: vec![0u8; mtu + 1],
-        imm: None,
-    });
+    let mut wr = SendWr::new(
+        1,
+        SendOp::SendInline {
+            data: vec![0u8; mtu + 1],
+            imm: None,
+        },
+    );
     wr.ud_dest = Some((b.hca.node(), 1));
     assert!(matches!(
         qa.post_send(wr),
@@ -363,10 +403,13 @@ fn cm_handshake_connects_both_sides() {
         )
         .await
         .unwrap();
-        qp.post_send(SendWr::new(1, SendOp::SendInline {
-            data: b"hello".to_vec(),
-            imm: None,
-        }))
+        qp.post_send(SendWr::new(
+            1,
+            SendOp::SendInline {
+                data: b"hello".to_vec(),
+                imm: None,
+            },
+        ))
         .unwrap();
         a_cq.next().await
     });
@@ -410,10 +453,13 @@ fn send_to_killed_hca_reports_retry_exceeded() {
     let (qa, qb) = connected_qps(&a, &b);
     let _ = qb;
     b.hca.kill();
-    qa.post_send(SendWr::new(1, SendOp::SendInline {
-        data: b"lost".to_vec(),
-        imm: None,
-    }))
+    qa.post_send(SendWr::new(
+        1,
+        SendOp::SendInline {
+            data: b"lost".to_vec(),
+            imm: None,
+        },
+    ))
     .unwrap();
     let acq = a.cq.clone();
     let wc = cluster.sim().block_on(async move { acq.next().await });
@@ -428,10 +474,13 @@ fn timing_qdr_send_is_faster_than_ddr() {
         let dst = b.pd.register(bytes.max(1), Access::LOCAL_WRITE);
         qb.post_recv(1, dst.full());
         let t0 = cluster.sim().now();
-        qa.post_send(SendWr::new(1, SendOp::SendInline {
-            data: vec![0u8; bytes],
-            imm: None,
-        }))
+        qa.post_send(SendWr::new(
+            1,
+            SendOp::SendInline {
+                data: vec![0u8; bytes],
+                imm: None,
+            },
+        ))
         .unwrap();
         let bcq = b.cq.clone();
         cluster.sim().block_on(async move {
@@ -461,10 +510,13 @@ fn rc_qp_state_machine_is_enforced() {
     let qa = a.pd.create_qp(QpType::Rc, &a.cq, &a.cq, None);
     // Send before connect: invalid state.
     let err = qa
-        .post_send(SendWr::new(1, SendOp::SendInline {
-            data: b"x".to_vec(),
-            imm: None,
-        }))
+        .post_send(SendWr::new(
+            1,
+            SendOp::SendInline {
+                data: b"x".to_vec(),
+                imm: None,
+            },
+        ))
         .unwrap_err();
     assert!(matches!(err, VerbsError::InvalidState(_)));
     // Double connect: invalid.
@@ -480,20 +532,26 @@ fn closed_qp_rejects_sends_and_peers_fail() {
     let (cluster, a, b) = pair(false);
     let (qa, qb) = connected_qps(&a, &b);
     qb.close();
-    qa.post_send(SendWr::new(5, SendOp::SendInline {
-        data: b"into-the-void".to_vec(),
-        imm: None,
-    }))
+    qa.post_send(SendWr::new(
+        5,
+        SendOp::SendInline {
+            data: b"into-the-void".to_vec(),
+            imm: None,
+        },
+    ))
     .unwrap();
     let acq = a.cq.clone();
     let wc = cluster.sim().block_on(async move { acq.next().await });
     assert_eq!(wc.status, WcStatus::RetryExceeded);
     // The closed QP itself refuses new work.
     assert!(qb
-        .post_send(SendWr::new(6, SendOp::SendInline {
-            data: b"x".to_vec(),
-            imm: None
-        }))
+        .post_send(SendWr::new(
+            6,
+            SendOp::SendInline {
+                data: b"x".to_vec(),
+                imm: None
+            }
+        ))
         .is_err());
 }
 
@@ -503,10 +561,13 @@ fn recv_completions_carry_source_addressing() {
     let (qa, qb) = connected_qps(&a, &b);
     let mr = b.pd.register(64, Access::LOCAL_WRITE);
     qb.post_recv(1, mr.full());
-    qa.post_send(SendWr::new(2, SendOp::SendInline {
-        data: b"hi".to_vec(),
-        imm: None,
-    }))
+    qa.post_send(SendWr::new(
+        2,
+        SendOp::SendInline {
+            data: b"hi".to_vec(),
+            imm: None,
+        },
+    ))
     .unwrap();
     let bcq = b.cq.clone();
     let wc = cluster.sim().block_on(async move { bcq.next().await });
@@ -518,14 +579,18 @@ fn recv_completions_carry_source_addressing() {
 fn rdma_write_exceeding_window_fails_synchronously() {
     let (_cluster, a, b) = pair(false);
     let (qa, _qb) = connected_qps(&a, &b);
-    let target = b.pd.register(64, Access::LOCAL_WRITE | Access::REMOTE_WRITE);
+    let target =
+        b.pd.register(64, Access::LOCAL_WRITE | Access::REMOTE_WRITE);
     let src = a.pd.register(128, Access::default());
     let err = qa
-        .post_send(SendWr::new(1, SendOp::RdmaWrite {
-            local: src.full(),
-            remote: target.remote(0, 64), // 128 bytes into a 64-byte window
-            imm: None,
-        }))
+        .post_send(SendWr::new(
+            1,
+            SendOp::RdmaWrite {
+                local: src.full(),
+                remote: target.remote(0, 64), // 128 bytes into a 64-byte window
+                imm: None,
+            },
+        ))
         .unwrap_err();
     assert!(matches!(err, VerbsError::AccessViolation(_)));
 }
@@ -538,10 +603,13 @@ fn rdma_read_against_killed_peer_retries_out() {
     let desc = remote_mr.remote(0, 64);
     let local = a.pd.register(64, Access::LOCAL_WRITE);
     b.hca.kill();
-    qa.post_send(SendWr::new(1, SendOp::RdmaRead {
-        local: local.full(),
-        remote: desc,
-    }))
+    qa.post_send(SendWr::new(
+        1,
+        SendOp::RdmaRead {
+            local: local.full(),
+            remote: desc,
+        },
+    ))
     .unwrap();
     let acq = a.cq.clone();
     let wc = cluster.sim().block_on(async move { acq.next().await });
@@ -569,10 +637,13 @@ fn messages_on_one_qp_arrive_in_order() {
         bufs.push(mr);
     }
     for i in 0..16u8 {
-        qa.post_send(SendWr::new(100 + i as u64, SendOp::SendInline {
-            data: vec![i; 8],
-            imm: None,
-        }))
+        qa.post_send(SendWr::new(
+            100 + i as u64,
+            SendOp::SendInline {
+                data: vec![i; 8],
+                imm: None,
+            },
+        ))
         .unwrap();
     }
     let bcq = b.cq.clone();

@@ -32,11 +32,17 @@ impl McFs {
     async fn write(&self, path: &str, data: &[u8]) {
         for (n, chunk) in data.chunks(BLOCK).enumerate() {
             let key = format!("fs:{path}:{n}");
-            self.mc.set(key.as_bytes(), chunk, 0, 0).await.expect("block");
+            self.mc
+                .set(key.as_bytes(), chunk, 0, 0)
+                .await
+                .expect("block");
         }
         let inode = format!("len={}", data.len());
         let ikey = format!("fs:{path}");
-        self.mc.set(ikey.as_bytes(), inode.as_bytes(), 0, 0).await.expect("inode");
+        self.mc
+            .set(ikey.as_bytes(), inode.as_bytes(), 0, 0)
+            .await
+            .expect("inode");
 
         // Directory update with optimistic concurrency: retry on CAS
         // conflict, so two writers cannot lose each other's entries.

@@ -34,11 +34,17 @@ fn main() {
         println!("latency: {latency} (simulated, UCR over QDR InfiniBand)");
 
         // A 4 KB value: the headline measurement of the paper (~12 us).
-        client.set(b"page:home", &vec![7u8; 4096], 0, 0).await.expect("set");
+        client
+            .set(b"page:home", &vec![7u8; 4096], 0, 0)
+            .await
+            .expect("set");
         client.get(b"page:home").await.expect("warm").expect("hit");
         let t0 = sim2.now();
         client.get(b"page:home").await.expect("get").expect("hit");
-        println!("4 KB get latency: {} (paper reports ~12 us on QDR)", sim2.now() - t0);
+        println!(
+            "4 KB get latency: {} (paper reports ~12 us on QDR)",
+            sim2.now() - t0
+        );
     });
 
     println!(

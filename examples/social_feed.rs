@@ -70,7 +70,10 @@ fn main() {
         let t0 = sim2.now();
         let (feed, db_hits) = render_feed(&sim2, &ucr_cache, &friends).await;
         let cold = sim2.now() - t0;
-        println!("cold cache : feed of {} posts in {cold} ({db_hits} DB lookups)", feed.len());
+        println!(
+            "cold cache : feed of {} posts in {cold} ({db_hits} DB lookups)",
+            feed.len()
+        );
 
         // Warm cache over UCR: pure RDMA-path gets.
         let t0 = sim2.now();
@@ -90,7 +93,10 @@ fn main() {
         let t0 = sim2.now();
         let hits = ucr_cache.mget(&refs).await.expect("mget");
         let batched = sim2.now() - t0;
-        println!("warm / UCR mget: {} posts in one request, {batched}", hits.len());
+        println!(
+            "warm / UCR mget: {} posts in one request, {batched}",
+            hits.len()
+        );
 
         let speedup_cache = cold.as_micros_f64() / warm_ucr.as_micros_f64();
         let speedup_net = warm_ipoib.as_micros_f64() / warm_ucr.as_micros_f64();

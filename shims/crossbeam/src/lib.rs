@@ -1,0 +1,82 @@
+//! Offline stand-in for `crossbeam`: just `crossbeam::scope`, built on
+//! `std::thread::scope` (stable since 1.63, well under this workspace's
+//! MSRV). The closure passed to `spawn` receives a `&Scope` exactly like
+//! crossbeam's, so call sites (`scope.spawn(move |_| ...)`) compile
+//! unchanged, and a panic in any spawned thread surfaces as `Err` from
+//! `scope` rather than a propagated panic.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::thread::ScopedJoinHandle;
+
+/// Scope handle passed to `scope` and to every spawned closure.
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        self.inner.spawn(move || f(&scope))
+    }
+}
+
+/// Runs `f` with a scope in which threads borrowing from the environment
+/// can be spawned; joins them all before returning. Returns `Err` with
+/// the panic payload if the closure or any spawned thread panicked.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn spawned_threads_share_borrows() {
+        let total = AtomicU64::new(0);
+        super::scope(|scope| {
+            for _ in 0..4 {
+                let total = &total;
+                scope.spawn(move |_| {
+                    for _ in 0..1000 {
+                        total.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(total.load(Ordering::Relaxed), 4000);
+    }
+
+    #[test]
+    fn panic_in_thread_is_err() {
+        let result = super::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let hits = AtomicU64::new(0);
+        super::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,157 @@
+//! Cross-layer latency-attribution invariants.
+//!
+//! The metrics layer decomposes every operation into pipeline stages
+//! (client serialize → request wire → dispatch wait → worker service →
+//! reply wire → client complete). Because the stages are deltas between
+//! consecutive boundary timestamps on one virtual clock, their sum must
+//! equal the end-to-end latency — any calibration change that breaks a
+//! stage boundary (a sleep moved across a mark, a double-counted cost)
+//! shows up here directly, where the shape tests in `experiments.rs`
+//! would only drift indirectly.
+
+use rmc::Transport;
+use rmc_bench::{
+    measure_bottlenecks, measure_latency, measure_latency_attributed, ClusterKind, Mix,
+};
+use simnet::metrics::Stage;
+use simnet::Stack;
+
+const ITERS: u32 = 60;
+const SIZE: usize = 4096;
+const SEED: u64 = 7;
+
+/// Runs the attributed measurement next to the plain one and checks:
+/// attaching spans perturbs nothing, every op is attributed, and the
+/// per-stage breakdown sums to the end-to-end mean within 1%.
+fn check_attribution_invariant(cluster: ClusterKind, transport: Transport) {
+    let attr = measure_latency_attributed(cluster, transport, Mix::GetOnly, SIZE, ITERS, SEED);
+    let plain = measure_latency(cluster, transport, Mix::GetOnly, SIZE, ITERS, SEED);
+
+    // Spans add no virtual time: the measured mean is bit-identical to a
+    // run without instrumentation.
+    assert!(
+        (attr.mean_us - plain).abs() < 1e-9,
+        "{cluster:?}/{transport:?}: instrumented mean {} != plain mean {}",
+        attr.mean_us,
+        plain
+    );
+    assert_eq!(
+        attr.ops_attributed, ITERS as u64,
+        "{cluster:?}/{transport:?}: every timed op must be attributed"
+    );
+
+    // The invariant: per-stage breakdown sums to end-to-end within 1%.
+    let sum = attr.attributed_mean_us;
+    let rel = (sum - attr.mean_us).abs() / attr.mean_us;
+    assert!(
+        rel <= 0.01,
+        "{cluster:?}/{transport:?}: stage sum {sum:.3}us vs end-to-end {:.3}us ({:.3}% off)",
+        attr.mean_us,
+        rel * 100.0
+    );
+
+    // The pipeline stages every transport must traverse are non-trivial.
+    for stage in [Stage::RequestWire, Stage::WorkerService, Stage::ReplyWire] {
+        assert!(
+            attr.stage_us(stage) > 0.0,
+            "{cluster:?}/{transport:?}: stage {} must take time, got breakdown {:?}",
+            stage.label(),
+            attr.stage_means_us
+        );
+    }
+}
+
+#[test]
+fn attribution_sums_ucr_cluster_a() {
+    check_attribution_invariant(ClusterKind::A, Transport::Ucr);
+}
+
+#[test]
+fn attribution_sums_ucr_cluster_b() {
+    check_attribution_invariant(ClusterKind::B, Transport::Ucr);
+}
+
+#[test]
+fn attribution_sums_tengige_toe_cluster_a() {
+    check_attribution_invariant(ClusterKind::A, Transport::Sockets(Stack::TenGigEToe));
+}
+
+#[test]
+fn attribution_sums_ipoib_cluster_b() {
+    check_attribution_invariant(ClusterKind::B, Transport::Sockets(Stack::Ipoib));
+}
+
+/// §VI-D mechanism through the metrics layer: UCR saturates the server's
+/// HCA work-request pipeline and bypasses the kernel; a sockets stack
+/// saturates the kernel and barely touches the HCA. `measure_bottlenecks`
+/// now reads both utilizations from the cluster metrics registry
+/// (`node0.hca.utilization` / `node0.kernel.utilization` gauges), so this
+/// also covers the export path.
+#[test]
+fn bottleneck_attribution_flows_through_metrics() {
+    let ucr = measure_bottlenecks(ClusterKind::A, Transport::Ucr, 8, 4, 300, 31);
+    let toe = measure_bottlenecks(
+        ClusterKind::A,
+        Transport::Sockets(Stack::TenGigEToe),
+        8,
+        4,
+        300,
+        31,
+    );
+    assert!(
+        ucr.hca_utilization > 10.0 * ucr.kernel_utilization,
+        "UCR must be HCA-bound, kernel-bypassing: {ucr:?}"
+    );
+    assert!(
+        toe.kernel_utilization > 10.0 * toe.hca_utilization,
+        "TOE sockets must be kernel-bound: {toe:?}"
+    );
+    assert!(
+        ucr.tps > toe.tps,
+        "kernel bypass must out-rate the kernel path: {} vs {}",
+        ucr.tps,
+        toe.tps
+    );
+}
+
+/// The §VI-D worked example from the README: the wire stages of a 4 KB
+/// get shrink dramatically from 10GigE-TOE to UCR, while the worker
+/// service stage (store execution) is transport-invariant.
+#[test]
+fn ucr_beats_toe_in_the_wire_stages_not_the_store() {
+    let ucr = measure_latency_attributed(
+        ClusterKind::A,
+        Transport::Ucr,
+        Mix::GetOnly,
+        SIZE,
+        ITERS,
+        SEED,
+    );
+    let toe = measure_latency_attributed(
+        ClusterKind::A,
+        Transport::Sockets(Stack::TenGigEToe),
+        Mix::GetOnly,
+        SIZE,
+        ITERS,
+        SEED,
+    );
+    let wire = |a: &rmc_bench::AttributedLatency| {
+        a.stage_us(Stage::ClientSerialize)
+            + a.stage_us(Stage::RequestWire)
+            + a.stage_us(Stage::ReplyWire)
+    };
+    assert!(
+        wire(&toe) > 2.0 * wire(&ucr),
+        "TOE wire+kernel time {:.3}us should dwarf UCR's {:.3}us",
+        wire(&toe),
+        wire(&ucr)
+    );
+    let svc_rel = (toe.stage_us(Stage::WorkerService) - ucr.stage_us(Stage::WorkerService)).abs()
+        / ucr.stage_us(Stage::WorkerService);
+    assert!(
+        svc_rel < 0.05,
+        "worker service is transport-invariant: UCR {:.3}us vs TOE {:.3}us",
+        ucr.stage_us(Stage::WorkerService),
+        toe.stage_us(Stage::WorkerService)
+    );
+}

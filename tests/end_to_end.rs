@@ -89,7 +89,10 @@ fn eight_servers_sixteen_clients_mixed_transports() {
         joins.push(sim.spawn(async move {
             for j in 0..40u32 {
                 let key = format!("client{i}:item{j}");
-                client.set(key.as_bytes(), key.as_bytes(), 0, 0).await.unwrap();
+                client
+                    .set(key.as_bytes(), key.as_bytes(), 0, 0)
+                    .await
+                    .unwrap();
             }
             for j in 0..40u32 {
                 let key = format!("client{i}:item{j}");
@@ -123,7 +126,7 @@ fn expiry_is_visible_through_the_client() {
     let sim = world.sim().clone();
     let sim2 = sim.clone();
     sim.block_on(async move {
-        client.set(b"ephemeral", b"v", 0, 2, ).await.unwrap(); // 2 s TTL
+        client.set(b"ephemeral", b"v", 0, 2).await.unwrap(); // 2 s TTL
         assert!(client.get(b"ephemeral").await.unwrap().is_some());
         sim2.sleep(SimDuration::from_secs(3)).await;
         assert!(

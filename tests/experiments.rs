@@ -24,8 +24,14 @@ const GIGE: Transport = Transport::Sockets(Stack::OneGigE);
 fn headline_4kb_get_latency() {
     let ddr = lat(ClusterKind::A, UCR, Mix::GetOnly, 4096);
     let qdr = lat(ClusterKind::B, UCR, Mix::GetOnly, 4096);
-    assert!((17.0..24.0).contains(&ddr), "DDR 4KB get {ddr} us, paper ~20");
-    assert!((10.0..14.5).contains(&qdr), "QDR 4KB get {qdr} us, paper ~12");
+    assert!(
+        (17.0..24.0).contains(&ddr),
+        "DDR 4KB get {ddr} us, paper ~20"
+    );
+    assert!(
+        (10.0..14.5).contains(&qdr),
+        "QDR 4KB get {qdr} us, paper ~12"
+    );
 }
 
 /// §VI-B (Cluster A): UCR ≥ 4× 10GigE-TOE for all message sizes.
@@ -46,7 +52,11 @@ fn fig3_ucr_vs_toe_factor_four_all_sizes() {
 /// and ~5× for large messages (abstract: 5–10× over the range).
 #[test]
 fn fig3_ucr_vs_ib_sockets_factors() {
-    for (size, lo, hi) in [(64usize, 5.0, 10.5), (4096, 5.0, 10.5), (512 * 1024, 3.5, 7.0)] {
+    for (size, lo, hi) in [
+        (64usize, 5.0, 10.5),
+        (4096, 5.0, 10.5),
+        (512 * 1024, 3.5, 7.0),
+    ] {
         for t in [SDP, IPOIB] {
             let ucr = lat(ClusterKind::A, UCR, Mix::GetOnly, size);
             let other = lat(ClusterKind::A, t, Mix::GetOnly, size);
@@ -84,7 +94,10 @@ fn fig4_cluster_b_factors() {
 fn fig4_sdp_artifact_on_qdr() {
     let sdp = lat(ClusterKind::B, SDP, Mix::GetOnly, 64);
     let ipoib = lat(ClusterKind::B, IPOIB, Mix::GetOnly, 64);
-    assert!(sdp > ipoib, "SDP {sdp} should be worse than IPoIB {ipoib} on B");
+    assert!(
+        sdp > ipoib,
+        "SDP {sdp} should be worse than IPoIB {ipoib} on B"
+    );
     // And jitter is visible: per-op latencies vary run to run more than
     // IPoIB's (deterministic seeds, different draws).
     let sdp2 = measure_latency(ClusterKind::B, SDP, Mix::GetOnly, 64, 10, 1);
@@ -118,16 +131,8 @@ fn fig5_mixed_follows_same_trends() {
         let ucr = lat(ClusterKind::A, UCR, mix, 1024);
         let toe = lat(ClusterKind::A, TOE, mix, 1024);
         let ipoib = lat(ClusterKind::A, IPOIB, mix, 1024);
-        assert!(
-            toe / ucr >= 3.5,
-            "{mix:?}: TOE/UCR {:.2}",
-            toe / ucr
-        );
-        assert!(
-            ipoib / ucr >= 5.0,
-            "{mix:?}: IPoIB/UCR {:.2}",
-            ipoib / ucr
-        );
+        assert!(toe / ucr >= 3.5, "{mix:?}: TOE/UCR {:.2}", toe / ucr);
+        assert!(ipoib / ucr >= 5.0, "{mix:?}: IPoIB/UCR {:.2}", ipoib / ucr);
         // Mixed latency sits between pure set and pure get (they are
         // nearly equal here, as in the paper's plots).
         let pure_get = lat(ClusterKind::A, UCR, Mix::GetOnly, 1024);
@@ -143,8 +148,14 @@ fn fig6_cluster_a_throughput_shape() {
     let toe = measure_throughput(ClusterKind::A, TOE, 16, 4, ops, 6);
     let ipoib = measure_throughput(ClusterKind::A, IPOIB, 16, 4, ops, 6);
     let f = ucr / toe;
-    assert!((5.0..7.5).contains(&f), "UCR/TOE TPS factor {f:.2} (paper: ~6)");
-    assert!(toe > ipoib, "TOE {toe:.0} must outperform IPoIB {ipoib:.0} (§VI-D)");
+    assert!(
+        (5.0..7.5).contains(&f),
+        "UCR/TOE TPS factor {f:.2} (paper: ~6)"
+    );
+    assert!(
+        toe > ipoib,
+        "TOE {toe:.0} must outperform IPoIB {ipoib:.0} (§VI-D)"
+    );
 }
 
 /// §VI-D (Cluster B): ≈1.8 M TPS for UCR at 4 B/16 clients; ≈6× SDP;
@@ -160,8 +171,14 @@ fn fig6_cluster_b_throughput_shape() {
         "UCR TPS on QDR {ucr:.0} (paper: ~1.8M)"
     );
     let f = ucr / sdp;
-    assert!((4.5..8.0).contains(&f), "UCR/SDP TPS factor {f:.2} (paper: ~6)");
-    assert!(sdp < ipoib, "SDP {sdp:.0} below IPoIB {ipoib:.0} on B (§VI-D)");
+    assert!(
+        (4.5..8.0).contains(&f),
+        "UCR/SDP TPS factor {f:.2} (paper: ~6)"
+    );
+    assert!(
+        sdp < ipoib,
+        "SDP {sdp:.0} below IPoIB {ipoib:.0} on B (§VI-D)"
+    );
 }
 
 /// Set and Get behave alike across sizes (paper plots them as twins).
