@@ -110,6 +110,7 @@ fn main() {
         "{:>12}{:>16}{:>12}{:>16}{:>12}",
         "counters", "64B us/msg", "fins", "64KB us/msg", "fins"
     );
+    let mut records = Vec::new();
     for which in [
         Counters::None,
         Counters::Origin,
@@ -122,7 +123,20 @@ fn main() {
             "{:>12}{small:>16.2}{fins_small:>12}{large:>16.2}{fins_large:>12}",
             which.label()
         );
+        for (size, us, fins) in [(64u64, small, fins_small), (64 * 1024, large, fins_large)] {
+            records.push(
+                rmc_bench::json_out::Record::new()
+                    .str("op", "am_echo")
+                    .str("transport", "UCR IB")
+                    .str("cluster", "Cluster B (QDR)")
+                    .str("counters", which.label())
+                    .int("size", size)
+                    .num("mean_us", us)
+                    .int("fins", fins),
+            );
+        }
     }
+    rmc_bench::json_out::write("ablation_counters", &records);
     println!("\n(Eager + origin counter costs nothing extra: local completion.");
     println!("Completion counters add one internal message; rendezvous always");
     println!("sends a Fin to release the advertised source buffer.)");

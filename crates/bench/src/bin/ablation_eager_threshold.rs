@@ -49,13 +49,25 @@ fn main() {
         print!("{:>10}", format!("thr={t}"));
     }
     println!();
+    let mut records = Vec::new();
     for size in sizes {
         print!("{size:>10}");
         for t in thresholds {
-            print!("{:>10.1}", measure(t, size));
+            let us = measure(t, size);
+            print!("{us:>10.1}");
+            records.push(
+                rmc_bench::json_out::Record::new()
+                    .str("op", "get")
+                    .str("transport", "UCR IB")
+                    .str("cluster", "Cluster B (QDR)")
+                    .int("size", size as u64)
+                    .int("eager_threshold", t as u64)
+                    .num("mean_us", us),
+            );
         }
         println!();
     }
+    rmc_bench::json_out::write("ablation_eager_threshold", &records);
     println!("\n(Values under the threshold ride the eager path; larger ones pay an");
     println!("extra rendezvous round trip but skip both staging copies.)");
 }

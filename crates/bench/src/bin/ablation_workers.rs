@@ -50,9 +50,23 @@ fn measure(cluster: ClusterKind, workers: usize, clients: u32) -> f64 {
 fn main() {
     println!("Ablation: worker threads vs aggregate get TPS, 16 clients, 64-byte values");
     println!("{:>10}{:>16}{:>16}", "workers", "Cluster A", "Cluster B");
+    let mut records = Vec::new();
     for workers in [1usize, 2, 4, 8] {
         let a = measure(ClusterKind::A, workers, 16);
         let b = measure(ClusterKind::B, workers, 16);
         println!("{workers:>10}{:>15.1}K{:>15.1}K", a / 1e3, b / 1e3);
+        for (cluster, tps) in [(ClusterKind::A, a), (ClusterKind::B, b)] {
+            records.push(
+                rmc_bench::json_out::Record::new()
+                    .str("op", "get")
+                    .str("transport", "UCR IB")
+                    .str("cluster", cluster.label())
+                    .int("size", 64)
+                    .int("clients", 16)
+                    .int("workers", workers as u64)
+                    .num("tps", tps),
+            );
+        }
     }
+    rmc_bench::json_out::write("ablation_workers", &records);
 }

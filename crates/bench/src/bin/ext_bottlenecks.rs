@@ -25,6 +25,7 @@ fn main() {
         (ClusterKind::B, Transport::Sockets(Stack::Sdp)),
         (ClusterKind::B, Transport::Sockets(Stack::Ipoib)),
     ];
+    let mut records = Vec::new();
     for (cluster, transport) in cases {
         let r = measure_bottlenecks(cluster, transport, 16, 4, 800, 31);
         println!(
@@ -38,7 +39,19 @@ fn main() {
             r.hca_utilization * 100.0,
             r.kernel_utilization * 100.0,
         );
+        records.push(
+            rmc_bench::json_out::Record::new()
+                .str("op", "get")
+                .str("transport", transport.label())
+                .str("cluster", cluster.label())
+                .int("size", 4)
+                .int("clients", 16)
+                .num("tps", r.tps)
+                .num("hca_utilization", r.hca_utilization)
+                .num("kernel_utilization", r.kernel_utilization),
+        );
     }
+    rmc_bench::json_out::write("ext_bottlenecks", &records);
     println!("\n(OS-bypass in one row: UCR runs the HCA at ~100% with the kernel");
     println!("near 0%; sockets transports saturate the kernel instead, which is");
     println!("the 5-25x request-rate gap of Figure 6.)");

@@ -69,6 +69,7 @@ fn main() {
         "{:>10}{:>16}{:>14}{:>16}{:>14}",
         "clients", "UDP req/s", "UDP us/op", "UCR req/s", "UCR us/op"
     );
+    let mut records = Vec::new();
     for clients in [4u32, 8, 16, 32] {
         let (udp_tps, udp_lat) = run(Transport::Udp(Stack::TenGigEToe), clients, false);
         let (ucr_tps, ucr_lat) = run(Transport::Ucr, clients, true);
@@ -77,7 +78,23 @@ fn main() {
             udp_tps / 1e3,
             ucr_tps / 1e3
         );
+        for (transport, cluster, tps, lat) in [
+            ("UDP 10GigE-TOE", "Cluster A (DDR)", udp_tps, udp_lat),
+            ("UCR IB", "Cluster B (QDR)", ucr_tps, ucr_lat),
+        ] {
+            records.push(
+                rmc_bench::json_out::Record::new()
+                    .str("op", "get")
+                    .str("transport", transport)
+                    .str("cluster", cluster)
+                    .int("size", 32)
+                    .int("clients", clients as u64)
+                    .num("tps", tps)
+                    .num("mean_us", lat),
+            );
+        }
     }
+    rmc_bench::json_out::write("ext_facebook_udp", &records);
     println!("\n(Facebook reported ~200-300K UDP req/s at 173+ us; the paper's");
     println!("answer is ~12 us latency and request rates in the millions. The");
     println!("UDP ceiling here is the server's kernel per-datagram cost; UCR's");

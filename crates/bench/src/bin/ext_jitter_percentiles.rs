@@ -17,6 +17,7 @@ fn main() {
         "{:>10}{:>9}{:>9}{:>9}{:>9}{:>9}{:>9}",
         "transport", "min", "p50", "p95", "p99", "max", "mean"
     );
+    let mut records = Vec::new();
     for (name, t) in [
         ("UCR", Transport::Ucr),
         ("IPoIB", Transport::Sockets(Stack::Ipoib)),
@@ -27,7 +28,21 @@ fn main() {
             "{name:>10}{:>9.1}{:>9.1}{:>9.1}{:>9.1}{:>9.1}{:>9.1}",
             d.min_us, d.p50_us, d.p95_us, d.p99_us, d.max_us, d.mean_us
         );
+        records.push(
+            rmc_bench::json_out::Record::new()
+                .str("op", "get")
+                .str("transport", name)
+                .str("cluster", ClusterKind::B.label())
+                .int("size", 64)
+                .num("mean_us", d.mean_us)
+                .num("min_us", d.min_us)
+                .num("p50_us", d.p50_us)
+                .num("p95_us", d.p95_us)
+                .num("p99_us", d.p99_us)
+                .num("max_us", d.max_us),
+        );
     }
+    rmc_bench::json_out::write("ext_jitter_percentiles", &records);
     println!("\n(UCR and IPoIB are tight around their medians; SDP's tail is the");
     println!("QDR artifact the paper describes — the mean hides a long p99.)");
 }

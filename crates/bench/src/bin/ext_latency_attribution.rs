@@ -42,6 +42,22 @@ fn main() {
         print!("{:>12.3}", r.mean_us);
     }
     println!();
+    let mut records = Vec::new();
+    for ((name, _), r) in cases.iter().zip(&reports) {
+        let mut rec = rmc_bench::json_out::Record::new()
+            .str("op", "get")
+            .str("transport", *name)
+            .str("cluster", ClusterKind::A.label())
+            .int("size", 4096)
+            .num("mean_us", r.mean_us)
+            .num("attributed_mean_us", r.attributed_mean_us)
+            .int("ops_attributed", r.ops_attributed);
+        for stage in Stage::ALL {
+            rec = rec.num(&format!("stage_{}_us", stage.label()), r.stage_us(stage));
+        }
+        records.push(rec);
+    }
+    rmc_bench::json_out::write("ext_latency_attribution", &records);
     println!("\n(Stages sum to the end-to-end mean — the attribution invariant.");
     println!("OS-bypass shrinks the wire stages; worker service is the store's");
     println!("own cost and barely moves across transports.)");

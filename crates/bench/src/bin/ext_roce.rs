@@ -39,12 +39,24 @@ fn main() {
         "{:>10}{:>12}{:>12}{:>12}",
         "size", "UCR (IB)", "UCR-RoCE", "10GigE-TOE"
     );
+    let mut records = Vec::new();
     for size in [4usize, 64, 1024, 4096, 65536] {
         let ib = latency(Transport::Ucr, size);
         let roce = latency(Transport::UcrRoce, size);
         let toe = latency(Transport::Sockets(Stack::TenGigEToe), size);
         println!("{size:>10}{ib:>12.1}{roce:>12.1}{toe:>12.1}");
+        for (name, us) in [("UCR IB", ib), ("UCR RoCE", roce), ("10GigE-TOE", toe)] {
+            records.push(
+                rmc_bench::json_out::Record::new()
+                    .str("op", "get")
+                    .str("transport", name)
+                    .str("cluster", "Cluster A (DDR)")
+                    .int("size", size as u64)
+                    .num("mean_us", us),
+            );
+        }
     }
+    rmc_bench::json_out::write("ext_roce", &records);
     println!("\n(RoCE keeps the OS-bypass win over TOE sockets while trailing");
     println!("native DDR IB slightly — Ethernet switch latency and a slower");
     println!("RDMA engine. Exactly the outcome the paper's SVII anticipates.)");

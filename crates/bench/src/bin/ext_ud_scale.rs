@@ -98,6 +98,7 @@ fn main() {
         "{:>10}{:>12}{:>14}{:>12}{:>14}",
         "clients", "RC QPs", "RC msgs/s", "UD QPs", "UD msgs/s"
     );
+    let mut records = Vec::new();
     for clients in [4u32, 16, 64, 128] {
         let (rc_qps, rc_tps) = run(clients, false);
         let (ud_qps, ud_tps) = run(clients, true);
@@ -106,7 +107,20 @@ fn main() {
             rc_tps / 1e3,
             ud_tps / 1e3
         );
+        for (transport, qps, tps) in [("UCR RC", rc_qps, rc_tps), ("UCR UD", ud_qps, ud_tps)] {
+            records.push(
+                rmc_bench::json_out::Record::new()
+                    .str("op", "am_echo")
+                    .str("transport", transport)
+                    .str("cluster", "Cluster B (QDR)")
+                    .int("size", 4)
+                    .int("clients", clients as u64)
+                    .int("server_qps", qps as u64)
+                    .num("tps", tps),
+            );
+        }
     }
+    rmc_bench::json_out::write("ext_ud_scale", &records);
     println!("\n(RC holds one queue pair per client at the server — memory that");
     println!("grows with the client population. UD multiplexes every client over");
     println!("a single QP at comparable throughput, which is why SVII proposes it");

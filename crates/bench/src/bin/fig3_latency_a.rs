@@ -2,12 +2,14 @@
 //! small (a, c) and large (b, d) messages, across UCR / SDP / IPoIB /
 //! 10GigE-TOE / 1GigE.
 
+use rmc_bench::json_out::{self, Record};
 use rmc_bench::{
     latency_sweep, render_latency_table, ClusterKind, Mix, DEFAULT_ITERS, LARGE_SIZES, SMALL_SIZES,
 };
 
 fn main() {
     let cluster = ClusterKind::A;
+    let mut records = Vec::new();
     let panels = [
         (
             "Figure 3(a): Latency of Set - Small Message, Cluster A (us)",
@@ -41,6 +43,19 @@ fn main() {
                 )
             })
             .collect();
+        for (label, points) in &columns {
+            for p in points {
+                records.push(
+                    Record::new()
+                        .str("op", if mix == Mix::SetOnly { "set" } else { "get" })
+                        .str("transport", label.as_str())
+                        .str("cluster", cluster.label())
+                        .int("size", p.size as u64)
+                        .num("mean_us", p.mean_us),
+                );
+            }
+        }
         println!("{}", render_latency_table(title, sizes, &columns));
     }
+    json_out::write("fig3_latency_a", &records);
 }

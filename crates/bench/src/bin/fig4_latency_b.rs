@@ -3,12 +3,14 @@
 //! (No 10GigE cards on this cluster, §VI-B; the SDP column shows the
 //! jitter artifact the paper reports on QDR adapters.)
 
+use rmc_bench::json_out::{self, Record};
 use rmc_bench::{
     latency_sweep, render_latency_table, ClusterKind, Mix, DEFAULT_ITERS, LARGE_SIZES, SMALL_SIZES,
 };
 
 fn main() {
     let cluster = ClusterKind::B;
+    let mut records = Vec::new();
     let panels = [
         (
             "Figure 4(a): Latency of Set - Small Message, Cluster B (us)",
@@ -42,6 +44,19 @@ fn main() {
                 )
             })
             .collect();
+        for (label, points) in &columns {
+            for p in points {
+                records.push(
+                    Record::new()
+                        .str("op", if mix == Mix::SetOnly { "set" } else { "get" })
+                        .str("transport", label.as_str())
+                        .str("cluster", cluster.label())
+                        .int("size", p.size as u64)
+                        .num("mean_us", p.mean_us),
+                );
+            }
+        }
         println!("{}", render_latency_table(title, sizes, &columns));
     }
+    json_out::write("fig4_latency_b", &records);
 }

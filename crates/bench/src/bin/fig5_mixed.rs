@@ -2,11 +2,13 @@
 //! non-interleaved (10% Set / 90% Get: 1 set then 9 gets) and interleaved
 //! (50% / 50%: alternating) — on Clusters A and B.
 
+use rmc_bench::json_out::{self, Record};
 use rmc_bench::{
     latency_sweep, render_latency_table, ClusterKind, Mix, DEFAULT_ITERS, SMALL_SIZES,
 };
 
 fn main() {
+    let mut records = Vec::new();
     let panels = [
         (
             "Figure 5(a): Non-Interleaved (Set 10% Get 90%), Cluster A (us)",
@@ -40,6 +42,24 @@ fn main() {
                 )
             })
             .collect();
+        let op = if mix == Mix::NonInterleaved {
+            "mixed_noninterleaved"
+        } else {
+            "mixed_interleaved"
+        };
+        for (label, points) in &columns {
+            for p in points {
+                records.push(
+                    Record::new()
+                        .str("op", op)
+                        .str("transport", label.as_str())
+                        .str("cluster", cluster.label())
+                        .int("size", p.size as u64)
+                        .num("mean_us", p.mean_us),
+                );
+            }
+        }
         println!("{}", render_latency_table(title, SMALL_SIZES, &columns));
     }
+    json_out::write("fig5_mixed", &records);
 }

@@ -6,10 +6,12 @@
 //! UCR ≈ 6× SDP on Cluster B, reaching ≈ 1.8 M TPS at 4 B with 16
 //! clients; SDP slightly below IPoIB on B.
 
+use rmc_bench::json_out::{self, Record};
 use rmc_bench::{render_tps_table, throughput_sweep, ClusterKind, DEFAULT_TPUT_OPS};
 
 fn main() {
     let clients = [8u32, 16];
+    let mut records = Vec::new();
     let panels = [
         (
             "Figure 6(a): Get TPS, 4-byte values, Cluster A",
@@ -43,6 +45,20 @@ fn main() {
                 )
             })
             .collect();
+        for (label, points) in &columns {
+            for p in points {
+                records.push(
+                    Record::new()
+                        .str("op", "get")
+                        .str("transport", label.as_str())
+                        .str("cluster", cluster.label())
+                        .int("size", size as u64)
+                        .int("clients", p.clients as u64)
+                        .num("tps", p.tps),
+                );
+            }
+        }
         println!("{}", render_tps_table(title, &clients, &columns));
     }
+    json_out::write("fig6_throughput", &records);
 }

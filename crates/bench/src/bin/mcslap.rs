@@ -184,4 +184,26 @@ fn main() {
             100.0 * hits as f64 / gets as f64
         );
     }
+    let record = rmc_bench::json_out::Record::new()
+        .str("op", "mixed")
+        .str("transport", a.transport.label())
+        .str("cluster", a.cluster.label())
+        .int("size", a.value_size as u64)
+        .int("clients", a.clients as u64)
+        .int("ops", ops_total)
+        .num("set_fraction", a.set_fraction)
+        .num("tps", ops_total as f64 / elapsed)
+        .num(
+            "mean_us",
+            elapsed * 1e6 * a.clients as f64 / ops_total as f64,
+        )
+        .num(
+            "hit_rate",
+            if gets > 0 {
+                hits as f64 / gets as f64
+            } else {
+                f64::NAN
+            },
+        );
+    rmc_bench::json_out::write("mcslap", &[record]);
 }

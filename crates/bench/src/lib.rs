@@ -18,6 +18,8 @@
 
 use std::rc::Rc;
 
+pub mod json_out;
+
 use rmc::{McClient, McClientConfig, McError, McServer, McServerConfig, Transport, World};
 use simnet::metrics::{Histogram, LatencySpans, Stage, STAGE_COUNT};
 use simnet::{NodeId, SimDuration, Stack};

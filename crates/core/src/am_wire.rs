@@ -49,6 +49,28 @@ pub enum McOp {
 }
 
 impl McOp {
+    /// Stable lowercase name, used for per-operation statistics keys
+    /// (`op.get.service_us` …) and trace labels.
+    pub fn label(self) -> &'static str {
+        match self {
+            McOp::Get => "get",
+            McOp::Mget => "mget",
+            McOp::Set => "set",
+            McOp::Add => "add",
+            McOp::Replace => "replace",
+            McOp::Append => "append",
+            McOp::Prepend => "prepend",
+            McOp::Cas => "cas",
+            McOp::Delete => "delete",
+            McOp::Incr => "incr",
+            McOp::Decr => "decr",
+            McOp::Touch => "touch",
+            McOp::FlushAll => "flush_all",
+            McOp::Version => "version",
+            McOp::Stats => "stats",
+        }
+    }
+
     fn from_u8(v: u8) -> Option<McOp> {
         Some(match v {
             1 => McOp::Get,

@@ -23,7 +23,8 @@ use mcproto::{
 use mcstore::Value;
 use simnet::metrics::{LatencySpans, Stage};
 use simnet::sync::timeout;
-use simnet::{NodeId, Sim, SimDuration, Stack};
+use simnet::trace::{Layer, Track};
+use simnet::{NodeId, Sim, SimDuration, Stack, Tracer};
 use socksim::{DgramSocket, SockError, Socket, SocketAddr};
 use ucr::{AmData, Endpoint, FnHandler, SendOptions, UcrRuntime};
 
@@ -257,6 +258,8 @@ struct CliInner {
     ops: Cell<u64>,
     /// Latency-attribution sink, when attached (adds no virtual time).
     spans: SpanSlot,
+    /// Cross-layer event tracer (cluster-wide; adds no virtual time).
+    tracer: Rc<Tracer>,
 }
 
 /// A Memcached client bound to one node of the simulated cluster.
@@ -327,6 +330,7 @@ impl McClient {
                 ring,
                 ops: Cell::new(0),
                 spans,
+                tracer: world.cluster.tracer().clone(),
             }),
         }
     }
@@ -949,11 +953,32 @@ impl CliInner {
         let ctr = rt.counter();
         let req = build(req_id, ctr.id());
         self.span(|sp| sp.begin(req_id, self.sim.now()));
+        self.tracer.begin(
+            Layer::Core,
+            "client_op",
+            self.node,
+            Track::Main,
+            req_id,
+            data.len() as u64,
+            self.sim.now(),
+        );
+        let end_op = |bytes: u64| {
+            self.tracer.end(
+                Layer::Core,
+                "client_op",
+                self.node,
+                Track::Main,
+                req_id,
+                bytes,
+                self.sim.now(),
+            );
+        };
         let sent = ep
             .send_message(MSG_MC_REQ, &req.encode(), &data, SendOptions::default())
             .await;
         if sent.is_err() {
             self.span(|sp| sp.discard(req_id));
+            end_op(0);
             return Err(McError::Disconnected);
         }
         // `send_message` resolves when the staged request is handed to
@@ -962,16 +987,19 @@ impl CliInner {
         if ctr.wait_for(1, self.cfg.op_timeout).await.is_err() {
             // Server presumed dead: the corrective action of §IV-A.
             self.span(|sp| sp.discard(req_id));
+            end_op(0);
             return Err(McError::Timeout);
         }
         let resp = self.pending.borrow_mut().remove(&req_id);
         match resp {
             Some(resp) => {
                 self.span(|sp| sp.finish(req_id, self.sim.now()));
+                end_op(resp.1.len() as u64);
                 Ok(resp)
             }
             None => {
                 self.span(|sp| sp.discard(req_id));
+                end_op(0);
                 Err(McError::Protocol)
             }
         }

@@ -25,9 +25,10 @@ use mcproto::{
     GetValue, Response, StoreVerb, UdpFrame, MAGIC_REQUEST,
 };
 use mcstore::{NumericError, SetOutcome, Store, StoreConfig};
-use simnet::metrics::{LatencySpans, Stage};
+use simnet::metrics::{Histogram, LatencySpans, Stage};
 use simnet::sync::{self, Receiver, Sender};
-use simnet::{NodeId, Sim, SimDuration, Stack};
+use simnet::trace::{Layer, Track};
+use simnet::{NodeId, Sim, SimDuration, Stack, Tracer};
 use socksim::DgramSocket;
 use socksim::Socket;
 use ucr::{AmData, AmHandler, Endpoint, SendOptions, UcrRuntime};
@@ -126,6 +127,11 @@ struct SrvInner {
     roce: RefCell<Option<UcrRuntime>>,
     /// Latency-attribution sink, when attached (adds no virtual time).
     spans: RefCell<Option<Rc<LatencySpans>>>,
+    /// Cross-layer event tracer (cluster-wide; adds no virtual time).
+    tracer: Rc<Tracer>,
+    /// Per-operation worker service-time histograms, keyed by
+    /// [`McOp::label`]; surfaced through `stats`.
+    op_hist: RefCell<HashMap<&'static str, Rc<Histogram>>>,
 }
 
 /// A running Memcached server.
@@ -153,6 +159,15 @@ impl AmHandler for ReqDispatch {
         // Request landed and is decoded: the request-wire stage ends at
         // the dispatch hand-off.
         srv.span(|sp| sp.mark(req.req_id, Stage::RequestWire, srv.sim.now()));
+        srv.tracer.instant(
+            Layer::Core,
+            "dispatch",
+            srv.node,
+            Track::Main,
+            req.req_id,
+            data.len() as u64,
+            srv.sim.now(),
+        );
         // Every request of a connection is served by the worker the
         // connection was assigned to (paper §V-A).
         let widx = srv.worker_for_ep(ep.id());
@@ -191,11 +206,13 @@ impl McServer {
             ucr: RefCell::new(None),
             roce: RefCell::new(None),
             spans: RefCell::new(None),
+            tracer: world.cluster.tracer().clone(),
+            op_hist: RefCell::new(HashMap::new()),
         });
 
-        for rx in worker_rxs {
+        for (widx, rx) in worker_rxs.into_iter().enumerate() {
             let weak = Rc::downgrade(&inner);
-            sim.spawn(worker_loop(weak, rx));
+            sim.spawn(worker_loop(weak, rx, widx as u32));
         }
 
         if config.enable_ucr {
@@ -371,16 +388,48 @@ impl SrvInner {
             f(sp);
         }
     }
+
+    /// The service-time histogram for `op`, created on first use.
+    fn op_histogram(&self, op: McOp) -> Rc<Histogram> {
+        self.op_hist
+            .borrow_mut()
+            .entry(op.label())
+            .or_insert_with(|| Rc::new(Histogram::new()))
+            .clone()
+    }
 }
 
-async fn worker_loop(srv: Weak<SrvInner>, rx: Receiver<WorkItem>) {
+/// The `stats trace` sub-report: per-layer event counts plus the state of
+/// the flight recorder (paper-independent observability surface).
+fn trace_stat_lines(srv: &SrvInner) -> Vec<(String, String)> {
+    let t = &srv.tracer;
+    let mut lines: Vec<(String, String)> = Layer::ALL
+        .iter()
+        .map(|l| {
+            (
+                format!("trace.events.{}", l.label()),
+                t.layer_count(*l).to_string(),
+            )
+        })
+        .collect();
+    lines.push(("trace.events.total".into(), t.total_events().to_string()));
+    lines.push(("trace.flight.len".into(), t.flight_len().to_string()));
+    lines.push((
+        "trace.flight.dropped".into(),
+        t.flight_dropped().to_string(),
+    ));
+    lines.push(("trace.faults".into(), t.fault_count().to_string()));
+    lines
+}
+
+async fn worker_loop(srv: Weak<SrvInner>, rx: Receiver<WorkItem>, widx: u32) {
     while let Ok(item) = rx.recv().await {
         let Some(inner) = srv.upgrade() else { break };
         if !inner.running.get() {
             break;
         }
         match item {
-            WorkItem::Ucr { ep, req, data } => serve_ucr(&inner, ep, req, data).await,
+            WorkItem::Ucr { ep, req, data } => serve_ucr(&inner, ep, req, data, widx).await,
             WorkItem::Sock { sock, cmd } => serve_sock(&inner, sock, cmd).await,
             WorkItem::SockBin { sock, frame } => serve_sock_bin(&inner, sock, frame).await,
             WorkItem::SockUdp {
@@ -397,9 +446,19 @@ async fn worker_loop(srv: Weak<SrvInner>, rx: Receiver<WorkItem>) {
 // UCR service path
 // ---------------------------------------------------------------------
 
-async fn serve_ucr(srv: &Rc<SrvInner>, ep: Endpoint, req: ReqHeader, data: Vec<u8>) {
+async fn serve_ucr(srv: &Rc<SrvInner>, ep: Endpoint, req: ReqHeader, data: Vec<u8>, widx: u32) {
     // The connection's worker picked the item up: dispatch wait ends.
-    srv.span(|sp| sp.mark(req.req_id, Stage::DispatchWait, srv.sim.now()));
+    let service_start = srv.sim.now();
+    srv.span(|sp| sp.mark(req.req_id, Stage::DispatchWait, service_start));
+    srv.tracer.begin(
+        Layer::Core,
+        "worker_service",
+        srv.node,
+        Track::Worker(widx),
+        req.req_id,
+        data.len() as u64,
+        service_start,
+    );
     srv.sim.sleep(srv.service_cost(req.keys.len())).await;
     let now = srv.now_secs();
     let mut resp = RespHeader {
@@ -491,6 +550,7 @@ async fn serve_ucr(srv: &Rc<SrvInner>, ep: Endpoint, req: ReqHeader, data: Vec<u
             payload = match key.as_slice() {
                 b"slabs" => stat_pairs_to_text(&store.slab_stat_lines()),
                 b"items" => stat_pairs_to_text(&store.item_stat_lines()),
+                b"trace" => stat_pairs_to_text(&trace_stat_lines(srv)),
                 b"" => render_stats(srv, &store),
                 _ => String::new(),
             }
@@ -499,7 +559,19 @@ async fn serve_ucr(srv: &Rc<SrvInner>, ep: Endpoint, req: ReqHeader, data: Vec<u
     }
     drop(store);
     // Store work done; from here the response is on its way back.
-    srv.span(|sp| sp.mark(req.req_id, Stage::WorkerService, srv.sim.now()));
+    let service_end = srv.sim.now();
+    srv.span(|sp| sp.mark(req.req_id, Stage::WorkerService, service_end));
+    srv.op_histogram(req.op)
+        .record(service_end.saturating_since(service_start));
+    srv.tracer.end(
+        Layer::Core,
+        "worker_service",
+        srv.node,
+        Track::Worker(widx),
+        req.req_id,
+        payload.len() as u64,
+        service_end,
+    );
     // AM 2: the response, targeting the counter named in AM 1 (§V-B).
     ep.post_message(
         MSG_MC_RESP,
@@ -560,6 +632,29 @@ fn render_stats(srv: &SrvInner, store: &Store) -> String {
     if let Some(sp) = srv.spans.borrow().as_ref() {
         for (k, v) in sp.report() {
             put(&k, v);
+        }
+    }
+    // Per-operation worker service-time summaries (UCR path).
+    {
+        let hists = srv.op_hist.borrow();
+        let mut labels: Vec<&&str> = hists.keys().collect();
+        labels.sort_unstable();
+        for label in labels {
+            let h = &hists[*label];
+            let s = h.summary();
+            put(&format!("op.{label}.count"), s.count.to_string());
+            put(
+                &format!("op.{label}.service_us.mean"),
+                format!("{:.3}", s.mean.as_micros_f64()),
+            );
+            put(
+                &format!("op.{label}.service_us.p50"),
+                format!("{:.3}", s.p50.as_micros_f64()),
+            );
+            put(
+                &format!("op.{label}.service_us.p99"),
+                format!("{:.3}", s.p99.as_micros_f64()),
+            );
         }
     }
     out
@@ -731,6 +826,7 @@ fn execute_ascii(
             let lines = match arg.as_deref() {
                 Some(b"slabs") => store.slab_stat_lines(),
                 Some(b"items") => store.item_stat_lines(),
+                Some(b"trace") => trace_stat_lines(srv),
                 Some(_) => Vec::new(), // unknown sub-report: bare END
                 None => render_stats(srv, store)
                     .lines()

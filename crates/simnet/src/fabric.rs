@@ -17,6 +17,7 @@ use crate::metrics::{Metrics, TraceEvent, TraceKind, TraceSubscriber};
 use crate::profiles::{ClusterProfile, NetKind};
 use crate::resource::FifoResource;
 use crate::time::{SimDuration, SimTime};
+use crate::trace::{self, Tracer};
 
 /// Identifier of a compute node within a cluster.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -71,10 +72,16 @@ pub struct Network {
     ports: Vec<Port>,
     trace: std::cell::RefCell<Option<Vec<Transfer>>>,
     subscriber: std::cell::RefCell<Option<Rc<dyn TraceSubscriber>>>,
+    tracer: Rc<Tracer>,
 }
 
 impl Network {
-    fn new(kind: NetKind, link: &crate::profiles::LinkProfile, nodes: u32) -> Network {
+    fn new(
+        kind: NetKind,
+        link: &crate::profiles::LinkProfile,
+        nodes: u32,
+        tracer: Rc<Tracer>,
+    ) -> Network {
         let ports = (0..nodes)
             .map(|_| Port {
                 egress: FifoResource::new(match kind {
@@ -97,6 +104,7 @@ impl Network {
             ports,
             trace: std::cell::RefCell::new(None),
             subscriber: std::cell::RefCell::new(None),
+            tracer,
         }
     }
 
@@ -198,6 +206,24 @@ impl Network {
                 at: delivered,
             });
         }
+        self.tracer.instant(
+            trace::Layer::Wire,
+            "wire_tx",
+            src,
+            trace::Track::Main,
+            0,
+            bytes,
+            egress_start,
+        );
+        self.tracer.instant(
+            trace::Layer::Wire,
+            "wire_rx",
+            dst,
+            trace::Track::Main,
+            0,
+            bytes,
+            delivered,
+        );
         sim.schedule_at(delivered, deliver);
         delivered
     }
@@ -221,6 +247,7 @@ pub struct Cluster {
     nodes: Vec<Rc<Node>>,
     networks: HashMap<NetKind, Rc<Network>>,
     metrics: Rc<Metrics>,
+    tracer: Rc<Tracer>,
 }
 
 impl Cluster {
@@ -238,21 +265,22 @@ impl Cluster {
                 })
             })
             .collect();
+        let tracer = Tracer::new();
         let mut networks = HashMap::new();
         networks.insert(
             NetKind::Ib,
-            Rc::new(Network::new(NetKind::Ib, &profile.ib, n)),
+            Rc::new(Network::new(NetKind::Ib, &profile.ib, n, tracer.clone())),
         );
         if let Some(l) = &profile.tengige {
             networks.insert(
                 NetKind::TenGigE,
-                Rc::new(Network::new(NetKind::TenGigE, l, n)),
+                Rc::new(Network::new(NetKind::TenGigE, l, n, tracer.clone())),
             );
         }
         if let Some(l) = &profile.onegige {
             networks.insert(
                 NetKind::OneGigE,
-                Rc::new(Network::new(NetKind::OneGigE, l, n)),
+                Rc::new(Network::new(NetKind::OneGigE, l, n, tracer.clone())),
             );
         }
         Cluster {
@@ -261,6 +289,7 @@ impl Cluster {
             nodes: node_list,
             networks,
             metrics: Rc::new(Metrics::new()),
+            tracer,
         }
     }
 
@@ -313,6 +342,13 @@ impl Cluster {
     /// stack publish counters/gauges/histograms here by dotted name.
     pub fn metrics(&self) -> &Rc<Metrics> {
         &self.metrics
+    }
+
+    /// The cluster-wide tracing hub: every layer (wire, verbs, UCR, core)
+    /// emits its span/instant events here, and the always-on flight
+    /// recorder lives inside it. See [`trace`](crate::trace).
+    pub fn tracer(&self) -> &Rc<Tracer> {
+        &self.tracer
     }
 
     /// Attaches (or clears) one structured trace subscriber on every

@@ -44,6 +44,8 @@ mod resource;
 mod rng;
 pub mod sync;
 mod time;
+pub mod trace;
+pub mod trace_export;
 
 pub use engine::{JoinHandle, Sim, TaskId};
 pub use fabric::{Cluster, Network, Node, NodeId, Transfer};
@@ -54,3 +56,4 @@ pub use profiles::{ClusterProfile, NetKind, Stack};
 pub use resource::FifoResource;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
+pub use trace::{Event, EventRecorder, EventSink, Layer, Phase, Tracer, Track};

@@ -281,7 +281,9 @@ impl Metrics {
 
     /// Renders every metric as `(name, value)` lines: counters as
     /// integers, gauges as decimals, histograms flattened into
-    /// `name.{count,mean_us,p50_us,p95_us,p99_us,max_us}`.
+    /// `name.{count,mean_us,p50_us,p95_us,p99_us,max_us}`. Lines come out
+    /// sorted by name across all three instrument kinds, so `stats`
+    /// output and test snapshots are stable run to run.
     pub fn report(&self) -> Vec<(String, String)> {
         let mut out = Vec::new();
         for (name, c) in self.counters.borrow().iter() {
@@ -314,6 +316,7 @@ impl Metrics {
                 format!("{:.3}", s.max.as_micros_f64()),
             ));
         }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
         out
     }
 
@@ -595,17 +598,48 @@ pub trait TraceSubscriber {
     fn event(&self, ev: &TraceEvent);
 }
 
+/// Default [`TraceRecorder`] capacity — generous (a multi-client
+/// throughput run fits comfortably) while keeping a runaway simulation's
+/// trace heap bounded.
+pub const TRACE_RECORDER_DEFAULT_CAPACITY: usize = 1 << 20;
+
 /// A [`TraceSubscriber`] that records every event for later inspection —
 /// what protocol-efficiency tests attach to count messages on the wire.
-#[derive(Default)]
+///
+/// The buffer is bounded: once `capacity` events are held, further events
+/// are discarded and counted in [`dropped`](TraceRecorder::dropped), so a
+/// long simulation cannot grow the recorder without limit. [`take`]
+/// (TraceRecorder::take) frees the buffer and recording resumes.
 pub struct TraceRecorder {
     events: RefCell<Vec<TraceEvent>>,
+    capacity: usize,
+    dropped: Cell<u64>,
+}
+
+impl Default for TraceRecorder {
+    fn default() -> TraceRecorder {
+        TraceRecorder {
+            events: RefCell::new(Vec::new()),
+            capacity: TRACE_RECORDER_DEFAULT_CAPACITY,
+            dropped: Cell::new(0),
+        }
+    }
 }
 
 impl TraceRecorder {
-    /// A fresh recorder, ready to pass as a subscriber.
+    /// A fresh recorder with the default capacity, ready to pass as a
+    /// subscriber.
     pub fn new() -> Rc<TraceRecorder> {
         Rc::new(TraceRecorder::default())
+    }
+
+    /// A recorder that holds at most `capacity` events at a time.
+    pub fn with_capacity(capacity: usize) -> Rc<TraceRecorder> {
+        Rc::new(TraceRecorder {
+            events: RefCell::new(Vec::new()),
+            capacity: capacity.max(1),
+            dropped: Cell::new(0),
+        })
     }
 
     /// Drains and returns everything recorded so far.
@@ -622,11 +656,22 @@ impl TraceRecorder {
     pub fn wire_messages(&self) -> usize {
         self.count(|e| e.kind == TraceKind::WireRx)
     }
+
+    /// Events discarded because the buffer was at capacity when they
+    /// arrived.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.get()
+    }
 }
 
 impl TraceSubscriber for TraceRecorder {
     fn event(&self, ev: &TraceEvent) {
-        self.events.borrow_mut().push(*ev);
+        let mut events = self.events.borrow_mut();
+        if events.len() >= self.capacity {
+            self.dropped.set(self.dropped.get() + 1);
+            return;
+        }
+        events.push(*ev);
     }
 }
 
@@ -673,6 +718,94 @@ mod tests {
         assert_eq!(h.summary().count, 0);
         assert_eq!(h.mean(), SimDuration::ZERO);
         assert_eq!(h.percentile(0.99), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn empty_histogram_summary_is_all_zero() {
+        let s = Histogram::new().summary();
+        assert_eq!(s.min, SimDuration::ZERO);
+        assert_eq!(s.mean, SimDuration::ZERO);
+        assert_eq!(s.p50, SimDuration::ZERO);
+        assert_eq!(s.p95, SimDuration::ZERO);
+        assert_eq!(s.p99, SimDuration::ZERO);
+        assert_eq!(s.max, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn single_sample_histogram_every_percentile_is_the_sample() {
+        let h = Histogram::new();
+        h.record(SimDuration::from_micros(12));
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.percentile(q).as_micros_f64(), 12.0, "q={q}");
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.min, s.max);
+        assert_eq!(s.mean.as_micros_f64(), 12.0);
+    }
+
+    #[test]
+    fn reset_clears_summary() {
+        let h = Histogram::new();
+        h.record(SimDuration::from_micros(5));
+        h.record(SimDuration::from_micros(9));
+        assert_eq!(h.summary().count, 2);
+        h.reset();
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, SimDuration::ZERO);
+        assert_eq!(s.p99, SimDuration::ZERO);
+        assert_eq!(s.max, SimDuration::ZERO);
+        // The instrument keeps working after the reset.
+        h.record(SimDuration::from_micros(1));
+        assert_eq!(h.summary().count, 1);
+    }
+
+    #[test]
+    fn report_is_globally_sorted_by_name() {
+        let m = Metrics::new();
+        // Interleave names across instrument kinds so per-kind grouping
+        // would misorder them.
+        m.counter("zz.reqs").inc();
+        m.gauge("aa.util").set(0.25);
+        m.histogram("mm.lat").record(SimDuration::from_micros(2));
+        m.counter("bb.reqs").inc();
+        let report = m.report();
+        let names: Vec<&String> = report.iter().map(|(k, _)| k).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted, "report must be sorted by name");
+        assert_eq!(names.first().map(|s| s.as_str()), Some("aa.util"));
+        assert_eq!(names.last().map(|s| s.as_str()), Some("zz.reqs"));
+    }
+
+    #[test]
+    fn bounded_recorder_drops_and_counts_overflow() {
+        let rec = TraceRecorder::with_capacity(2);
+        for i in 0..5u64 {
+            rec.event(&TraceEvent {
+                kind: TraceKind::WireRx,
+                node: Some(NodeId(0)),
+                peer: Some(NodeId(1)),
+                bytes: i,
+                at: t(i * 10),
+            });
+        }
+        assert_eq!(rec.dropped(), 3);
+        let kept = rec.take();
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept[0].bytes, 0);
+        assert_eq!(kept[1].bytes, 1);
+        // Draining frees capacity: recording resumes.
+        rec.event(&TraceEvent {
+            kind: TraceKind::WireRx,
+            node: Some(NodeId(0)),
+            peer: Some(NodeId(1)),
+            bytes: 99,
+            at: t(100),
+        });
+        assert_eq!(rec.take().len(), 1);
+        assert_eq!(rec.dropped(), 3);
     }
 
     #[test]

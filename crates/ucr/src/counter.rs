@@ -21,7 +21,8 @@ use std::cell::Cell;
 use std::rc::Rc;
 
 use simnet::sync::{timeout, Notify};
-use simnet::{Sim, SimDuration};
+use simnet::trace::{Layer, Track};
+use simnet::{NodeId, Sim, SimDuration, Tracer};
 
 use crate::UcrError;
 
@@ -36,10 +37,12 @@ pub(crate) struct CtrInner {
 pub struct Counter {
     pub(crate) inner: Rc<CtrInner>,
     pub(crate) sim: Sim,
+    pub(crate) tracer: Rc<Tracer>,
+    pub(crate) node: NodeId,
 }
 
 impl Counter {
-    pub(crate) fn new(id: u64, sim: Sim) -> Counter {
+    pub(crate) fn new(id: u64, sim: Sim, tracer: Rc<Tracer>, node: NodeId) -> Counter {
         Counter {
             inner: Rc::new(CtrInner {
                 id,
@@ -47,6 +50,8 @@ impl Counter {
                 notify: Rc::new(Notify::new()),
             }),
             sim,
+            tracer,
+            node,
         }
     }
 
@@ -62,6 +67,15 @@ impl Counter {
 
     pub(crate) fn bump(&self) {
         self.inner.value.set(self.inner.value.get() + 1);
+        self.tracer.instant(
+            Layer::Ucr,
+            "counter_bump",
+            self.node,
+            Track::Main,
+            self.inner.id,
+            0,
+            self.sim.now(),
+        );
         self.inner.notify.notify_all();
     }
 
@@ -76,9 +90,30 @@ impl Counter {
         let notify = inner.notify.clone();
         let inner2 = inner.clone();
         let wait = notify.wait_until(move || inner2.value.get() >= target);
-        timeout(&self.sim, deadline, wait)
-            .await
-            .map_err(|_| UcrError::Timeout)
+        match timeout(&self.sim, deadline, wait).await {
+            Ok(()) => Ok(()),
+            Err(_) => {
+                // Sync timeout: dump the flight recorder so the failure
+                // carries the event tail that led up to it.
+                self.tracer.instant(
+                    Layer::Ucr,
+                    "counter_timeout",
+                    self.node,
+                    Track::Main,
+                    self.inner.id,
+                    0,
+                    self.sim.now(),
+                );
+                self.tracer.fault(&format!(
+                    "counter {} on {} timed out waiting for {} (value {})",
+                    self.inner.id,
+                    self.node,
+                    target,
+                    self.inner.value.get()
+                ));
+                Err(UcrError::Timeout)
+            }
+        }
     }
 
     /// Waits for the counter to advance by `n` from `from`.

@@ -9,6 +9,7 @@
 use std::cell::Cell;
 use std::rc::{Rc, Weak};
 
+use simnet::trace::{Layer, Track};
 use simnet::NodeId;
 use verbs::{Access, QueuePair, SendOp, SendWr};
 
@@ -137,6 +138,15 @@ impl Endpoint {
                 .qp
                 .post_send(wr)
                 .map_err(|_| UcrError::EndpointFailed)?;
+            rt.tracer.instant(
+                Layer::Ucr,
+                "am_send_ud",
+                rt.node,
+                Track::Endpoint(inner.id),
+                wr_id,
+                payload as u64,
+                sim.now(),
+            );
             rt.stats.messages_sent.inc();
             return Ok(());
         }
@@ -163,6 +173,15 @@ impl Endpoint {
                     },
                 ))
                 .map_err(|_| UcrError::EndpointFailed)?;
+            rt.tracer.instant(
+                Layer::Ucr,
+                "am_send_eager",
+                rt.node,
+                Track::Endpoint(inner.id),
+                wr_id,
+                payload as u64,
+                sim.now(),
+            );
             // The completion counter (if any) is bumped when the target's
             // Fin arrives; its id already travels in the packet header.
         } else {
@@ -189,6 +208,15 @@ impl Endpoint {
                     },
                 ))
                 .map_err(|_| UcrError::EndpointFailed)?;
+            rt.tracer.instant(
+                Layer::Ucr,
+                "am_send_rndv",
+                rt.node,
+                Track::Endpoint(inner.id),
+                wr_id,
+                data.len() as u64,
+                sim.now(),
+            );
         }
         rt.stats.messages_sent.inc();
         Ok(())

@@ -12,7 +12,8 @@ use std::collections::HashMap;
 use std::rc::{Rc, Weak};
 
 use simnet::profiles::{ClusterProfile, UCR_EAGER_THRESHOLD};
-use simnet::{NodeId, Sim, SimDuration};
+use simnet::trace::{Layer, Track};
+use simnet::{NodeId, Sim, SimDuration, Tracer};
 use verbs::{
     Access, Cq, Hca, IbFabric, Mr, MrSlice, Pd, QpType, QueuePair, SendOp, SendWr, Srq, Wc,
     WcOpcode,
@@ -113,6 +114,7 @@ pub(crate) struct RtInner {
     next_ep: Cell<u64>,
     shutdown: Cell<bool>,
     pub stats: RtStats,
+    pub(crate) tracer: Rc<Tracer>,
 }
 
 /// The Unified Communication Runtime for one node.
@@ -143,6 +145,7 @@ impl UcrRuntime {
         let srq = Srq::new();
         let sim = hca.sim();
         let profile = fabric.cluster().profile().clone();
+        let tracer = fabric.cluster().tracer().clone();
         let inner = Rc::new(RtInner {
             node,
             sim: sim.clone(),
@@ -167,6 +170,7 @@ impl UcrRuntime {
             next_ep: Cell::new(1),
             shutdown: Cell::new(false),
             stats: RtStats::default(),
+            tracer,
         });
         for _ in 0..RECV_POOL_DEPTH {
             inner.post_recv_buffer();
@@ -202,7 +206,12 @@ impl UcrRuntime {
     pub fn counter(&self) -> Counter {
         let id = self.inner.next_ctr.get();
         self.inner.next_ctr.set(id + 1);
-        let c = Counter::new(id, self.inner.sim.clone());
+        let c = Counter::new(
+            id,
+            self.inner.sim.clone(),
+            self.inner.tracer.clone(),
+            self.inner.node,
+        );
         let mut counters = self.inner.counters.borrow_mut();
         // Periodically drop entries whose counters have been released so
         // long-running clients (one counter per request) stay bounded.
@@ -460,6 +469,15 @@ impl RtInner {
         let ctr = self.counters.borrow().get(&id).and_then(Weak::upgrade);
         if let Some(c) = ctr {
             c.value.set(c.value.get() + 1);
+            self.tracer.instant(
+                Layer::Ucr,
+                "counter_bump",
+                self.node,
+                Track::Main,
+                id,
+                0,
+                self.sim.now(),
+            );
             c.notify.notify_all();
         }
     }
@@ -516,7 +534,27 @@ impl RtInner {
                     self.stats.unknown_msg_dropped.inc();
                     return;
                 };
-                let am_data = match handler.on_header(&ep, hdr, data.len()) {
+                let track = Track::Endpoint(ep.id());
+                self.tracer.begin(
+                    Layer::Ucr,
+                    "header_handler",
+                    self.node,
+                    track,
+                    wc.wr_id,
+                    pkt.data_len,
+                    self.sim.now(),
+                );
+                let dest = handler.on_header(&ep, hdr, data.len());
+                self.tracer.end(
+                    Layer::Ucr,
+                    "header_handler",
+                    self.node,
+                    track,
+                    wc.wr_id,
+                    pkt.data_len,
+                    self.sim.now(),
+                );
+                let am_data = match dest {
                     AmDest::Pool => AmData::Pool(data.to_vec()),
                     AmDest::Buffer(slice) => {
                         let n = data.len().min(slice.len());
@@ -526,7 +564,25 @@ impl RtInner {
                     }
                     AmDest::Discard => AmData::Discarded,
                 };
+                self.tracer.begin(
+                    Layer::Ucr,
+                    "completion_handler",
+                    self.node,
+                    track,
+                    wc.wr_id,
+                    pkt.data_len,
+                    self.sim.now(),
+                );
                 handler.on_complete(&ep, hdr, am_data);
+                self.tracer.end(
+                    Layer::Ucr,
+                    "completion_handler",
+                    self.node,
+                    track,
+                    wc.wr_id,
+                    pkt.data_len,
+                    self.sim.now(),
+                );
                 self.stats.eager_delivered.inc();
                 self.bump_counter(pkt.target_ctr);
                 if pkt.completion_ctr != 0 {
@@ -551,7 +607,27 @@ impl RtInner {
                     self.stats.unknown_msg_dropped.inc();
                     return;
                 };
-                let dest = match handler.on_header(&ep, &hdr, pkt.data_len as usize) {
+                let track = Track::Endpoint(ep.id());
+                self.tracer.begin(
+                    Layer::Ucr,
+                    "header_handler",
+                    self.node,
+                    track,
+                    wc.wr_id,
+                    pkt.data_len,
+                    self.sim.now(),
+                );
+                let on_header = handler.on_header(&ep, &hdr, pkt.data_len as usize);
+                self.tracer.end(
+                    Layer::Ucr,
+                    "header_handler",
+                    self.node,
+                    track,
+                    wc.wr_id,
+                    pkt.data_len,
+                    self.sim.now(),
+                );
+                let dest = match on_header {
                     AmDest::Pool => {
                         RndvDest::Pool(self.pd.register(pkt.data_len as usize, Access::LOCAL_WRITE))
                     }
@@ -570,12 +646,25 @@ impl RtInner {
                     offset: pkt.offset,
                     len: pkt.data_len,
                 };
+                let data_len = pkt.data_len;
                 let wr_id = self.alloc_wr(Pending::RndvRead {
                     ep: Rc::downgrade(&ep.inner),
                     pkt,
                     hdr,
                     dest,
                 });
+                // The rendezvous window: open when the target posts its
+                // RDMA read, closed when the pulled data has been
+                // dispatched (`handle_send_completion`).
+                self.tracer.begin(
+                    Layer::Ucr,
+                    "rndv_window",
+                    self.node,
+                    track,
+                    wr_id,
+                    data_len,
+                    self.sim.now(),
+                );
                 if ep
                     .inner
                     .qp
@@ -583,6 +672,15 @@ impl RtInner {
                     .is_err()
                 {
                     self.pending.borrow_mut().remove(&wr_id);
+                    self.tracer.end(
+                        Layer::Ucr,
+                        "rndv_window",
+                        self.node,
+                        track,
+                        wr_id,
+                        0,
+                        self.sim.now(),
+                    );
                     ep.inner.failed.set(true);
                 }
             }
@@ -625,7 +723,17 @@ impl RtInner {
             Pending::RndvRead { ep, pkt, hdr, dest } => {
                 let Some(ep_rc) = ep.upgrade() else { return };
                 let ep = Endpoint { inner: ep_rc };
+                let track = Track::Endpoint(ep.id());
                 if !wc.status.is_ok() {
+                    self.tracer.end(
+                        Layer::Ucr,
+                        "rndv_window",
+                        self.node,
+                        track,
+                        wc.wr_id,
+                        0,
+                        self.sim.now(),
+                    );
                     self.fail_ep(&Rc::downgrade(&ep.inner));
                     return;
                 }
@@ -640,8 +748,35 @@ impl RtInner {
                         RndvDest::Buffer(_) => AmData::Placed(pkt.data_len as usize),
                         RndvDest::Discard(_) => AmData::Discarded,
                     };
+                    self.tracer.begin(
+                        Layer::Ucr,
+                        "completion_handler",
+                        self.node,
+                        track,
+                        wc.wr_id,
+                        pkt.data_len,
+                        self.sim.now(),
+                    );
                     handler.on_complete(&ep, &hdr, am_data);
+                    self.tracer.end(
+                        Layer::Ucr,
+                        "completion_handler",
+                        self.node,
+                        track,
+                        wc.wr_id,
+                        pkt.data_len,
+                        self.sim.now(),
+                    );
                 }
+                self.tracer.end(
+                    Layer::Ucr,
+                    "rndv_window",
+                    self.node,
+                    track,
+                    wc.wr_id,
+                    pkt.data_len,
+                    self.sim.now(),
+                );
                 self.stats.rndv_delivered.inc();
                 self.bump_counter(pkt.target_ctr);
                 // Fin always returns for rendezvous: it releases the
@@ -656,6 +791,19 @@ impl RtInner {
         if let Some(ep) = ep.upgrade() {
             ep.failed.set(true);
             self.eps.borrow_mut().remove(&ep.qp.qpn());
+            self.tracer.instant(
+                Layer::Ucr,
+                "ep_failed",
+                self.node,
+                Track::Endpoint(ep.id),
+                ep.id,
+                0,
+                self.sim.now(),
+            );
+            self.tracer.fault(&format!(
+                "endpoint {} on {} to {} failed (send error)",
+                ep.id, self.node, ep.peer
+            ));
         }
     }
 

@@ -8,6 +8,7 @@
 //! endpoint establishment (paper §IV-A) is built directly on this.
 
 use simnet::sync::{self, timeout};
+use simnet::trace::{Layer, Track};
 use simnet::{NodeId, SimDuration};
 
 use crate::cq::Cq;
@@ -113,6 +114,15 @@ impl Listener {
                 }
             });
         let _ = fabric;
+        inner.tracer.instant(
+            Layer::Verbs,
+            "cm_accept",
+            inner.node,
+            Track::Qp(qp.qpn()),
+            conn_id,
+            0,
+            sim.now(),
+        );
         Ok(qp)
     }
 }
@@ -203,7 +213,7 @@ pub async fn connect(
             }
         });
 
-    match timeout(&sim, connect_timeout, rx).await {
+    let res = match timeout(&sim, connect_timeout, rx).await {
         Ok(Ok(Ok(remote_qpn))) => {
             qp.connect_to(dst, remote_qpn)?;
             Ok(qp)
@@ -221,5 +231,22 @@ pub async fn connect(
             qp.close();
             Err(VerbsError::ConnectionTimeout)
         }
-    }
+    };
+    inner.tracer.instant(
+        Layer::Verbs,
+        if res.is_ok() {
+            "cm_connect"
+        } else {
+            "cm_connect_failed"
+        },
+        inner.node,
+        match &res {
+            Ok(qp) => Track::Qp(qp.qpn()),
+            Err(_) => Track::Main,
+        },
+        conn_id,
+        0,
+        sim.now(),
+    );
+    res
 }

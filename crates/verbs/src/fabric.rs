@@ -13,7 +13,7 @@ use std::rc::{Rc, Weak};
 
 use simnet::profiles::VerbsProfile;
 use simnet::sync;
-use simnet::{Cluster, NetKind, Network, NodeId, Sim};
+use simnet::{Cluster, NetKind, Network, NodeId, Sim, Tracer};
 
 use crate::cm::CmMessage;
 use crate::cq::Cq;
@@ -44,6 +44,7 @@ pub(crate) struct HcaInner {
     pub qps: RefCell<HashMap<u32, Rc<QpInner>>>,
     pub listeners: RefCell<HashMap<u16, sync::Sender<CmMessage>>>,
     pub pending_connects: RefCell<HashMap<u64, sync::OneSender<Result<u32, VerbsError>>>>,
+    pub tracer: Rc<Tracer>,
     pub alive: Cell<bool>,
     next_key: Cell<u32>,
     next_qpn: Cell<u32>,
@@ -112,6 +113,7 @@ impl IbFabric {
             qps: RefCell::new(HashMap::new()),
             listeners: RefCell::new(HashMap::new()),
             pending_connects: RefCell::new(HashMap::new()),
+            tracer: cluster.tracer().clone(),
             alive: Cell::new(true),
             next_key: Cell::new(1),
             next_qpn: Cell::new(1),

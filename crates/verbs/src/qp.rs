@@ -25,6 +25,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::rc::{Rc, Weak};
 
+use simnet::trace::{Layer, Track};
 use simnet::{NodeId, SimDuration, SimTime};
 
 use crate::cq::Cq;
@@ -257,6 +258,15 @@ impl QueuePair {
     pub fn close(&self) {
         self.inner.state.set(QpState::Closed);
         if let Some(hca) = self.inner.hca.upgrade() {
+            hca.tracer.instant(
+                Layer::Verbs,
+                "qp_close",
+                hca.node,
+                Track::Qp(self.inner.qpn),
+                0,
+                0,
+                hca.sim.now(),
+            );
             hca.qps.borrow_mut().remove(&self.inner.qpn);
         }
     }
@@ -273,6 +283,17 @@ impl QueuePair {
             buf.inner.pd_id, self.inner.pd_id,
             "receive buffer and QP belong to different protection domains"
         );
+        if let Some(hca) = self.inner.hca.upgrade() {
+            hca.tracer.instant(
+                Layer::Verbs,
+                "post_recv",
+                hca.node,
+                Track::Qp(self.inner.qpn),
+                wr_id,
+                buf.len() as u64,
+                hca.sim.now(),
+            );
+        }
         self.inner
             .recv_queue
             .borrow_mut()
@@ -291,10 +312,31 @@ impl QueuePair {
         if inner.state.get() != QpState::Rts {
             return Err(VerbsError::InvalidState("QP not ready to send"));
         }
-        match inner.qp_type {
+        // Span begin for the work request; the matching end fires when its
+        // completion lands on the send CQ (`complete_send_now`).
+        let (ev_name, ev_bytes) = match &wr.op {
+            SendOp::Send { local, .. } => ("send", local.len() as u64),
+            SendOp::SendInline { data, .. } => ("send", data.len() as u64),
+            SendOp::RdmaWrite { local, .. } => ("rdma_write", local.len() as u64),
+            SendOp::RdmaRead { local, .. } => ("rdma_read", local.len() as u64),
+        };
+        let wr_id = wr.wr_id;
+        let res = match inner.qp_type {
             QpType::Rc => self.post_send_rc(&hca, wr),
             QpType::Ud => self.post_send_ud(&hca, wr),
+        };
+        if res.is_ok() {
+            hca.tracer.begin(
+                Layer::Verbs,
+                ev_name,
+                hca.node,
+                Track::Qp(inner.qpn),
+                wr_id,
+                ev_bytes,
+                hca.sim.now(),
+            );
         }
+        res
     }
 
     fn post_send_rc(&self, hca: &Rc<HcaInner>, wr: SendWr) -> Result<(), VerbsError> {
@@ -672,6 +714,17 @@ impl QpInner {
                 Err(_) => (WcStatus::LocalLengthError, 0),
             }
         };
+        if let Some(hca) = self.hca.upgrade() {
+            hca.tracer.instant(
+                Layer::Verbs,
+                "recv_complete",
+                hca.node,
+                Track::Qp(self.qpn),
+                rwr.wr_id,
+                byte_len as u64,
+                hca.sim.now(),
+            );
+        }
         self.recv_cq.push(Wc {
             wr_id: rwr.wr_id,
             opcode: msg.opcode,
@@ -684,6 +737,33 @@ impl QpInner {
     }
 
     fn complete_send_now(&self, wr_id: u64, opcode: WcOpcode, status: WcStatus, byte_len: u32) {
+        if let Some(hca) = self.hca.upgrade() {
+            let name = match opcode {
+                WcOpcode::RdmaWrite => "rdma_write",
+                WcOpcode::RdmaRead => "rdma_read",
+                _ => "send",
+            };
+            if status != WcStatus::Success {
+                hca.tracer.instant(
+                    Layer::Verbs,
+                    "wc_error",
+                    hca.node,
+                    Track::Qp(self.qpn),
+                    wr_id,
+                    0,
+                    hca.sim.now(),
+                );
+            }
+            hca.tracer.end(
+                Layer::Verbs,
+                name,
+                hca.node,
+                Track::Qp(self.qpn),
+                wr_id,
+                byte_len as u64,
+                hca.sim.now(),
+            );
+        }
         self.send_cq.push(Wc {
             wr_id,
             opcode,

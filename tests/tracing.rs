@@ -1,0 +1,237 @@
+//! Acceptance tests for the cross-layer tracing subsystem: the Perfetto
+//! export of one traced get carries correlated events from every layer,
+//! tracing costs zero virtual time, the flight recorder captures the
+//! QP-level tail of a forced endpoint failure, and the `stats trace` /
+//! per-op histogram surfaces report through the memcached protocol.
+
+use rdma_memcached::rmc::{McClient, McClientConfig, McServer, McServerConfig, Transport, World};
+use rdma_memcached::simnet::trace::{Layer, Phase};
+use rdma_memcached::simnet::trace_export::{chrome_trace_json, parse_json, Json};
+use rdma_memcached::simnet::{EventRecorder, NodeId};
+
+fn ucr_world(seed: u64) -> (World, McServer, McClient) {
+    let world = World::cluster_b(seed, 4);
+    let server = McServer::start(&world, NodeId(0), McServerConfig::default());
+    let client = McClient::new(
+        &world,
+        NodeId(1),
+        McClientConfig::single(Transport::Ucr, NodeId(0)),
+    );
+    (world, server, client)
+}
+
+/// Items of the exported `traceEvents` array matching a predicate.
+fn items<'a>(trace: &'a Json, pred: impl Fn(&Json) -> bool + 'a) -> Vec<&'a Json> {
+    trace
+        .get("traceEvents")
+        .and_then(|e| e.as_arr())
+        .expect("traceEvents array")
+        .iter()
+        .filter(|it| pred(it))
+        .collect()
+}
+
+fn field<'a>(item: &'a Json, key: &str) -> &'a str {
+    item.get(key).and_then(|v| v.as_str()).unwrap_or("")
+}
+
+#[test]
+fn four_kb_get_trace_correlates_all_three_layers() {
+    let (world, _server, client) = ucr_world(61);
+    let recorder = EventRecorder::new();
+    world.cluster.tracer().add_sink(recorder.clone());
+    let sim = world.sim().clone();
+    sim.block_on(async move {
+        client.set(b"k", &vec![0x4bu8; 4096], 0, 0).await.unwrap();
+        recorder.take(); // trace exactly the one get
+        client.get(b"k").await.unwrap().unwrap();
+
+        let trace = parse_json(&chrome_trace_json(&recorder.events())).expect("valid JSON");
+
+        // Core: the client op span, the server dispatch marker, and the
+        // worker service span all share the request id.
+        let begins = items(&trace, |it| {
+            field(it, "ph") == "b" && field(it, "name") == "client_op"
+        });
+        assert_eq!(begins.len(), 1, "exactly one traced client op");
+        let req_id = field(begins[0], "id").to_string();
+        assert!(!req_id.is_empty());
+        for (name, ph) in [
+            ("client_op", "e"),
+            ("dispatch", "i"),
+            ("worker_service", "b"),
+            ("worker_service", "e"),
+        ] {
+            let matching = items(&trace, |it| {
+                field(it, "name") == name && field(it, "ph") == ph && field(it, "id") == req_id
+            });
+            assert_eq!(matching.len(), 1, "core event {name}/{ph} with id {req_id}");
+        }
+
+        // Verbs: the request's RC send posts and completes (begin + end
+        // pairs sharing an id), on both directions of the exchange.
+        let sends = items(&trace, |it| {
+            field(it, "cat") == "verbs" && field(it, "name") == "send" && field(it, "ph") == "b"
+        });
+        assert!(sends.len() >= 2, "request and response sends traced");
+        for s in &sends {
+            let id = field(s, "id");
+            let ends = items(&trace, |it| {
+                field(it, "cat") == "verbs"
+                    && field(it, "name") == "send"
+                    && field(it, "ph") == "e"
+                    && field(it, "id") == id
+            });
+            assert_eq!(ends.len(), 1, "send span {id} completes");
+        }
+
+        // UCR: the 4 KB payload rides the eager path, and the client's
+        // counter is bumped when the response lands.
+        assert!(
+            !items(&trace, |it| field(it, "name") == "am_send_eager").is_empty(),
+            "eager AM send traced"
+        );
+        assert!(
+            !items(&trace, |it| field(it, "name") == "counter_bump").is_empty(),
+            "counter bump traced"
+        );
+
+        // The UCR request send shares its wr_id with the verbs-level
+        // send span: the same transfer, seen by both layers.
+        let am = items(&trace, |it| field(it, "name") == "am_send_eager");
+        let am_id = field(am[0], "id");
+        assert!(
+            sends.iter().any(|s| field(s, "id") == am_id),
+            "AM send {am_id} has a matching verbs send span"
+        );
+    });
+}
+
+#[test]
+fn tracing_adds_no_virtual_time() {
+    let run = |traced: bool| {
+        let (world, _server, client) = ucr_world(62);
+        let recorder = EventRecorder::new();
+        if traced {
+            world.cluster.tracer().add_sink(recorder.clone());
+            world.cluster.tracer().set_flight_capacity(8);
+        }
+        let sim = world.sim().clone();
+        let sim2 = sim.clone();
+        let end = sim.block_on(async move {
+            client.set(b"k", &vec![7u8; 4096], 0, 0).await.unwrap();
+            for _ in 0..20 {
+                client.get(b"k").await.unwrap().unwrap();
+            }
+            sim2.now().as_nanos()
+        });
+        (end, recorder.len())
+    };
+    let (untraced_end, _) = run(false);
+    let (traced_end, recorded) = run(true);
+    assert!(recorded > 0, "the traced run actually recorded events");
+    assert_eq!(
+        untraced_end, traced_end,
+        "tracing must not move the virtual clock"
+    );
+}
+
+#[test]
+fn flight_recorder_captures_failed_send_tail() {
+    let (world, _server, client) = ucr_world(63);
+    let sim = world.sim().clone();
+    let tracer = world.cluster.tracer().clone();
+    sim.block_on(async move {
+        client.set(b"k", b"v", 0, 0).await.unwrap();
+        client.get(b"k").await.unwrap().unwrap();
+
+        // Kill the server's HCA: the next send exhausts RC retries, the
+        // completion carries an error, and UCR fails the endpoint.
+        world.crash_node(NodeId(0));
+        assert!(client.get(b"k").await.is_err());
+
+        assert!(tracer.fault_count() >= 1, "endpoint failure raised a fault");
+        let dump = tracer.last_fault().expect("fault dump stored");
+        assert!(dump.contains("failed"), "dump names the failure: {dump}");
+
+        // The ring's tail holds the failed send's QP-level story: the
+        // posted send, its error completion, the closed span, and the
+        // endpoint teardown — in virtual-time order.
+        let flight = tracer.flight_snapshot();
+        let err_idx = flight
+            .iter()
+            .rposition(|ev| ev.name == "wc_error")
+            .expect("error completion in the flight ring");
+        let wr = flight[err_idx].op;
+        let story: Vec<_> = flight.iter().filter(|ev| ev.op == wr).collect();
+        assert!(
+            story
+                .iter()
+                .any(|ev| ev.name == "send" && ev.phase == Phase::Begin),
+            "the failed send's post is in the ring"
+        );
+        assert!(
+            story
+                .iter()
+                .any(|ev| ev.name == "send" && ev.phase == Phase::End),
+            "the failed send's (error) completion closes its span"
+        );
+        assert!(
+            story.windows(2).all(|w| w[0].at <= w[1].at),
+            "the failed send's events are in virtual-time order"
+        );
+        assert!(
+            flight[err_idx..]
+                .iter()
+                .any(|ev| ev.layer == Layer::Ucr && ev.name == "ep_failed"),
+            "the endpoint failure marker follows the error completion"
+        );
+    });
+}
+
+#[test]
+fn stats_trace_and_per_op_histograms_surface_through_protocol() {
+    let (world, _server, client) = ucr_world(64);
+    let sim = world.sim().clone();
+    sim.block_on(async move {
+        client.set(b"k", &[1u8; 128], 0, 0).await.unwrap();
+        for _ in 0..5 {
+            client.get(b"k").await.unwrap().unwrap();
+        }
+
+        // `stats trace`: per-layer event counts plus flight-ring state.
+        let trace_stats = client.stats_report("trace").await.unwrap();
+        let lookup = |key: &str| {
+            trace_stats
+                .iter()
+                .find(|(k, _)| k == key)
+                .unwrap_or_else(|| panic!("missing {key}"))
+                .1
+                .clone()
+        };
+        for layer in ["wire", "verbs", "ucr", "core"] {
+            let n: u64 = lookup(&format!("trace.events.{layer}")).parse().unwrap();
+            assert!(n > 0, "layer {layer} has emitted events");
+        }
+        assert!(lookup("trace.flight.len").parse::<u64>().unwrap() > 0);
+
+        // The plain `stats` report carries per-op service-time summaries.
+        let stats = client.stats().await.unwrap();
+        let get_mean: f64 = stats
+            .iter()
+            .find(|(k, _)| k == "op.get.service_us.mean")
+            .expect("per-op get histogram")
+            .1
+            .parse()
+            .unwrap();
+        assert!(get_mean > 0.0);
+        let get_count: u64 = stats
+            .iter()
+            .find(|(k, _)| k == "op.get.count")
+            .expect("per-op get count")
+            .1
+            .parse()
+            .unwrap();
+        assert!(get_count >= 5);
+    });
+}
