@@ -5,7 +5,7 @@
 //! cargo run --release -p rmc-bench --bin mcslap -- \
 //!     [--cluster a|b] [--transport ucr|ucr-roce|sdp|ipoib|toe|1gige] \
 //!     [--clients N] [--ops N] [--value-size BYTES] [--set-fraction F] \
-//!     [--key-space N] [--zipf S] [--seed N]
+//!     [--key-space N] [--zipf S] [--seed N] [--depth N]
 //! ```
 
 use rmc::{McClient, McClientConfig, McServer, McServerConfig, Transport};
@@ -22,6 +22,7 @@ struct Args {
     key_space: usize,
     zipf: f64,
     seed: u64,
+    depth: usize,
 }
 
 fn parse_args() -> Args {
@@ -35,6 +36,7 @@ fn parse_args() -> Args {
         key_space: 10_000,
         zipf: 0.99,
         seed: 42,
+        depth: 1,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -78,6 +80,14 @@ fn parse_args() -> Args {
             }
             "--zipf" => args.zipf = req(flag, value).parse().unwrap_or_else(|_| die("bad skew")),
             "--seed" => args.seed = req(flag, value).parse().unwrap_or_else(|_| die("bad seed")),
+            "--depth" => {
+                args.depth = req(flag, value)
+                    .parse()
+                    .unwrap_or_else(|_| die("bad depth"));
+                if args.depth == 0 {
+                    die("--depth must be >= 1");
+                }
+            }
             "--help" | "-h" => {
                 println!(
                     "mcslap: memslap-style load generator\n\
@@ -89,7 +99,10 @@ fn parse_args() -> Args {
                      --set-fraction F     fraction of sets (default 0.1)\n\
                      --key-space N        distinct keys (default 10000)\n\
                      --zipf S             key popularity skew (default 0.99)\n\
-                     --seed N             RNG seed (default 42)"
+                     --seed N             RNG seed (default 42)\n\
+                     --depth N            requests kept in flight per connection\n\
+                     \x20                    (default 1 = classic closed loop; >1\n\
+                     \x20                    batches gets through the pipelined API)"
                 );
                 std::process::exit(0);
             }
@@ -119,31 +132,55 @@ fn main() {
 
     let mut joins = Vec::new();
     for c in 0..a.clients {
-        let client = McClient::new(
-            &world,
-            NodeId(1 + c),
-            McClientConfig::single(a.transport, NodeId(0)),
-        );
+        let mut cfg = McClientConfig::single(a.transport, NodeId(0));
+        cfg.pipeline_depth = a.depth;
+        let client = McClient::new(&world, NodeId(1 + c), cfg);
         let sim2 = sim.clone();
-        let (value_size, set_fraction, key_space, zipf, ops) =
-            (a.value_size, a.set_fraction, a.key_space, a.zipf, a.ops);
+        let (value_size, set_fraction, key_space, zipf, ops, depth) = (
+            a.value_size,
+            a.set_fraction,
+            a.key_space,
+            a.zipf,
+            a.ops,
+            a.depth,
+        );
         joins.push(sim.spawn(async move {
             let value = vec![0xabu8; value_size];
             let mut hits = 0u64;
             let mut gets = 0u64;
+            // Gets waiting to be flushed through the pipelined batch API
+            // (depth > 1 only; a batch flushes at depth*4 keys, before any
+            // set, and at the end of the run).
+            let mut batch: Vec<String> = Vec::new();
+            async fn flush(client: &McClient, batch: &mut Vec<String>, hits: &mut u64) {
+                if batch.is_empty() {
+                    return;
+                }
+                let keys: Vec<&[u8]> = batch.iter().map(|k| k.as_bytes()).collect();
+                let got = client.get_many(&keys).await.expect("get_many");
+                *hits += got.iter().filter(|v| v.is_some()).count() as u64;
+                batch.clear();
+            }
             for _ in 0..ops {
                 let (do_set, key_idx) =
                     sim2.with_rng(|r| (r.gen_bool(set_fraction), r.gen_zipf(key_space, zipf)));
                 let key = format!("mcslap-{key_idx}");
                 if do_set {
+                    flush(&client, &mut batch, &mut hits).await;
                     client.set(key.as_bytes(), &value, 0, 0).await.expect("set");
                 } else {
                     gets += 1;
-                    if client.get(key.as_bytes()).await.expect("get").is_some() {
+                    if depth > 1 {
+                        batch.push(key);
+                        if batch.len() >= depth * 4 {
+                            flush(&client, &mut batch, &mut hits).await;
+                        }
+                    } else if client.get(key.as_bytes()).await.expect("get").is_some() {
                         hits += 1;
                     }
                 }
             }
+            flush(&client, &mut batch, &mut hits).await;
             (hits, gets)
         }));
     }
@@ -168,6 +205,9 @@ fn main() {
         a.clients
     );
     println!("  cluster        : {}", a.cluster.label());
+    if a.depth > 1 {
+        println!("  pipeline depth : {}", a.depth);
+    }
     println!("  operations     : {ops_total}");
     println!("  elapsed (sim)  : {:.3} ms", elapsed * 1e3);
     println!(
@@ -190,6 +230,7 @@ fn main() {
         .str("cluster", a.cluster.label())
         .int("size", a.value_size as u64)
         .int("clients", a.clients as u64)
+        .int("depth", a.depth as u64)
         .int("ops", ops_total)
         .num("set_fraction", a.set_fraction)
         .num("tps", ops_total as f64 / elapsed)

@@ -635,6 +635,122 @@ pub fn measure_latency_distribution(
 }
 
 // ---------------------------------------------------------------------
+// Pipelined request engine (ext_pipeline_depth)
+// ---------------------------------------------------------------------
+
+/// Closed-loop pipelined get throughput from a single client: `ops` gets
+/// over a 64-key working set with up to `depth` requests kept in flight
+/// on the connection ([`McClient::get_many`]). Depth 1 reproduces the
+/// classic synchronous client, so the ratio between depths is exactly
+/// the per-connection pipelining win the paper's Fig. 6 obtains by
+/// adding whole clients.
+pub fn measure_pipeline_throughput(
+    cluster: ClusterKind,
+    transport: Transport,
+    depth: usize,
+    value_size: usize,
+    ops: u32,
+    seed: u64,
+) -> f64 {
+    let world = cluster.world(seed, 4);
+    let _server = McServer::start(&world, NodeId(0), McServerConfig::default());
+    let mut cfg = McClientConfig::single(transport, NodeId(0));
+    cfg.pipeline_depth = depth;
+    let client = McClient::new(&world, NodeId(1), cfg);
+    let sim = world.sim().clone();
+    let sim2 = sim.clone();
+    sim.block_on(async move {
+        const KEYS: usize = 64;
+        let value = vec![0x42u8; value_size];
+        let names: Vec<String> = (0..KEYS).map(|i| format!("pipe-{i}")).collect();
+        for name in &names {
+            client
+                .set(name.as_bytes(), &value, 0, 0)
+                .await
+                .expect("populate");
+        }
+        // One warm round trip so connection setup is outside the window.
+        client
+            .get(names[0].as_bytes())
+            .await
+            .expect("warm")
+            .expect("hit");
+        let batch: Vec<&[u8]> = (0..ops as usize)
+            .map(|i| names[i % KEYS].as_bytes())
+            .collect();
+        let t0 = sim2.now();
+        let got = client.get_many(&batch).await.expect("get_many");
+        assert!(got.iter().all(Option::is_some), "every pipelined get hits");
+        let elapsed = (sim2.now() - t0).as_secs_f64();
+        ops as f64 / elapsed
+    })
+}
+
+/// Registration-cache statistics for a repeated-buffer rendezvous
+/// workload: one UCR endpoint sends `sends` rendezvous messages (payload
+/// `value_size` > eager threshold) from the *same* source buffer, each
+/// followed by a completion-counter wait so the full
+/// advertise → RDMA-read → Fin flow finishes. With the per-destination
+/// MR cache only the first send registers; every repeat hits. Returns
+/// `(hits, misses)` as counted in [`ucr::RtStats`].
+pub fn measure_mr_cache(
+    cluster: ClusterKind,
+    sends: u32,
+    value_size: usize,
+    seed: u64,
+) -> (u64, u64) {
+    let world = cluster.world(seed, 2);
+    let sim = world.sim().clone();
+    const MSG: u16 = 7;
+    const PORT: u16 = 9099;
+    let srv_rt = ucr::UcrRuntime::new(&world.ib, NodeId(0));
+    srv_rt.register_handler(
+        MSG,
+        ucr::FnHandler(|_: &ucr::Endpoint, _: &[u8], _: ucr::AmData| {}),
+    );
+    let listener = srv_rt.listen(PORT).expect("UCR port free");
+    sim.spawn(async move {
+        let mut eps = Vec::new();
+        while let Ok(ep) = listener.accept().await {
+            eps.push(ep); // keep server-side endpoints alive
+        }
+    });
+    let cli_rt = ucr::UcrRuntime::new(&world.ib, NodeId(1));
+    let cli2 = cli_rt.clone();
+    sim.block_on(async move {
+        let timeout = SimDuration::from_millis(250);
+        let ep = cli2
+            .connect(NodeId(0), PORT, timeout)
+            .await
+            .expect("connect");
+        assert!(
+            value_size > cli2.eager_threshold(),
+            "workload must ride the rendezvous path"
+        );
+        let buf = vec![9u8; value_size];
+        for _ in 0..sends {
+            let ctr = cli2.counter();
+            ep.send_message(
+                MSG,
+                b"",
+                &buf,
+                ucr::SendOptions {
+                    completion: Some(ctr.clone()),
+                    ..Default::default()
+                },
+            )
+            .await
+            .expect("send");
+            ctr.wait_for(1, timeout)
+                .await
+                .expect("rendezvous completes");
+        }
+        let st = cli2.stats();
+        (st.mr_cache_hits.get(), st.mr_cache_misses.get())
+    })
+}
+
+// ---------------------------------------------------------------------
 // Bottleneck analysis (what saturates in Figure 6)
 // ---------------------------------------------------------------------
 

@@ -12,7 +12,7 @@
 //!   `TCP_NODELAY` set as the paper's benchmarks do.
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::pin::Pin;
 use std::rc::Rc;
 
@@ -26,7 +26,7 @@ use simnet::sync::timeout;
 use simnet::trace::{Layer, Track};
 use simnet::{NodeId, Sim, SimDuration, Stack, Tracer};
 use socksim::{DgramSocket, SockError, Socket, SocketAddr};
-use ucr::{AmData, Endpoint, FnHandler, SendOptions, UcrRuntime};
+use ucr::{AmData, Counter, Endpoint, FnHandler, SendOptions, UcrRuntime};
 
 use crate::am_wire::{
     decode_mget_entries, McOp, ReqHeader, RespHeader, RespStatus, MSG_MC_REQ, MSG_MC_RESP,
@@ -151,6 +151,13 @@ pub struct McClientConfig {
     pub binary_protocol: bool,
     /// Key hash function (libmemcached's `MEMCACHED_BEHAVIOR_HASH`).
     pub key_hash: KeyHash,
+    /// Maximum outstanding requests per connection for the batch APIs
+    /// ([`get_many`](McClient::get_many) / [`set_many`](McClient::set_many)).
+    /// Depth 1 reproduces the classic synchronous one-op-at-a-time client;
+    /// deeper pipelines keep up to this many requests in flight, the
+    /// per-connection analogue of the paper's add-more-clients scaling
+    /// (Fig. 6). Single-op calls (`get`/`set`/…) are unaffected.
+    pub pipeline_depth: usize,
 }
 
 impl McClientConfig {
@@ -165,6 +172,7 @@ impl McClientConfig {
             distribution: Distribution::Modula,
             binary_protocol: false,
             key_hash: KeyHash::default(),
+            pipeline_depth: 1,
         }
     }
 }
@@ -229,7 +237,16 @@ pub fn one_at_a_time(key: &[u8]) -> u32 {
 }
 
 /// Responses parked by the UCR handler until their request wakes up.
+/// This is the per-connection in-flight table: entries are keyed by
+/// request id, so responses arriving out of issue order are matched to
+/// the right waiter regardless of pipeline depth.
 type PendingResponses = Rc<RefCell<HashMap<u64, (RespHeader, Vec<u8>)>>>;
+
+/// One UCR request issued (AM 1 handed to the HCA) but not yet completed.
+struct UcrInFlight {
+    req_id: u64,
+    ctr: Counter,
+}
 
 /// Shared slot holding the (optional) latency-attribution sink, so the
 /// UCR response handler closure can see spans attached after setup.
@@ -541,6 +558,248 @@ impl McClient {
                             }
                         }
                         _ => return Err(McError::Protocol),
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Issues a get without waiting for the response (UCR transports
+    /// only): the request is handed to the HCA and the returned handle
+    /// claims the response later. Responses are correlated by request id
+    /// in the in-flight table, so several issued gets may complete in any
+    /// order. Returns [`McError::Protocol`] on socket transports, which
+    /// have no out-of-order wire correlation.
+    pub async fn issue_get(&self, key: &[u8]) -> Result<InFlightGet, McError> {
+        let inner = &self.inner;
+        inner.ops.set(inner.ops.get() + 1);
+        let conn = inner.conn(inner.route(key)).await?;
+        let Conn::Ucr(ep) = &*conn else {
+            return Err(McError::Protocol);
+        };
+        let op = inner
+            .ucr_issue(
+                ep,
+                |req_id, ctr| ReqHeader::new(McOp::Get, req_id, ctr, key.to_vec()),
+                Vec::new(),
+            )
+            .await?;
+        Ok(InFlightGet {
+            cli: self.inner.clone(),
+            op,
+        })
+    }
+
+    /// Issues an unconditional store without waiting for the response
+    /// (UCR transports only); see [`issue_get`](McClient::issue_get).
+    pub async fn issue_set(
+        &self,
+        key: &[u8],
+        value: &[u8],
+        flags: u32,
+        exptime: u32,
+    ) -> Result<InFlightSet, McError> {
+        let inner = &self.inner;
+        inner.ops.set(inner.ops.get() + 1);
+        let conn = inner.conn(inner.route(key)).await?;
+        let Conn::Ucr(ep) = &*conn else {
+            return Err(McError::Protocol);
+        };
+        let op = inner
+            .ucr_issue(
+                ep,
+                |req_id, ctr| {
+                    let mut h = ReqHeader::new(McOp::Set, req_id, ctr, key.to_vec());
+                    h.flags = flags;
+                    h.exptime = exptime;
+                    h
+                },
+                value.to_vec(),
+            )
+            .await?;
+        Ok(InFlightSet {
+            cli: self.inner.clone(),
+            op,
+        })
+    }
+
+    /// Pipelined multi-get: fetches every key while keeping up to
+    /// `pipeline_depth` requests outstanding per connection. The result
+    /// is in key order (`None` = miss); keys spanning servers are grouped
+    /// per server like [`mget`](McClient::mget). On UCR transports the
+    /// responses may arrive out of issue order (request-id correlation);
+    /// on ASCII socket transports up to `depth` commands are written
+    /// ahead of the FIFO reads; binary-protocol and UDP transports fall
+    /// back to one-at-a-time.
+    pub async fn get_many(&self, keys: &[&[u8]]) -> Result<Vec<Option<Value>>, McError> {
+        let inner = &self.inner;
+        inner.ops.set(inner.ops.get() + keys.len() as u64);
+        let depth = inner.cfg.pipeline_depth.max(1);
+        let mut out: Vec<Option<Value>> = Vec::new();
+        out.resize_with(keys.len(), || None);
+        for (sidx, idxs) in group_by_server(inner, keys.iter().copied()) {
+            let conn = inner.conn(sidx).await?;
+            match &*conn {
+                Conn::Ucr(ep) => {
+                    let mut window: VecDeque<(usize, UcrInFlight)> = VecDeque::new();
+                    for i in idxs {
+                        if window.len() == depth {
+                            let (j, op) = window.pop_front().expect("window nonempty");
+                            out[j] = decode_get_resp(inner.ucr_complete(op).await?)?;
+                        }
+                        let key = keys[i];
+                        let op = inner
+                            .ucr_issue(
+                                ep,
+                                |req_id, ctr| ReqHeader::new(McOp::Get, req_id, ctr, key.to_vec()),
+                                Vec::new(),
+                            )
+                            .await?;
+                        window.push_back((i, op));
+                    }
+                    while let Some((j, op)) = window.pop_front() {
+                        out[j] = decode_get_resp(inner.ucr_complete(op).await?)?;
+                    }
+                }
+                Conn::Sock(sock) if !inner.cfg.binary_protocol => {
+                    let cmds: Vec<Command> = idxs
+                        .iter()
+                        .map(|&i| Command::Gets {
+                            keys: vec![keys[i].to_vec()],
+                        })
+                        .collect();
+                    let resps = inner.sock_pipeline(sock, &cmds, depth).await?;
+                    for (&j, resp) in idxs.iter().zip(resps) {
+                        match resp {
+                            Response::Values(mut vs) => {
+                                out[j] = vs.pop().map(|v| Value {
+                                    data: v.data,
+                                    flags: v.flags,
+                                    cas: v.cas.unwrap_or(0),
+                                });
+                            }
+                            _ => return Err(McError::Protocol),
+                        }
+                    }
+                }
+                c @ (Conn::Sock(_) | Conn::Udp { .. }) => {
+                    for i in idxs {
+                        let cmd = Command::Gets {
+                            keys: vec![keys[i].to_vec()],
+                        };
+                        match inner.sock_round_trip(c, &cmd).await? {
+                            Response::Values(mut vs) => {
+                                out[i] = vs.pop().map(|v| Value {
+                                    data: v.data,
+                                    flags: v.flags,
+                                    cas: v.cas.unwrap_or(0),
+                                });
+                            }
+                            _ => return Err(McError::Protocol),
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Pipelined multi-set: stores every `(key, value)` pair while
+    /// keeping up to `pipeline_depth` requests outstanding per
+    /// connection (transport handling as in
+    /// [`get_many`](McClient::get_many)). The outer error is a transport
+    /// failure; the inner vector carries each item's own outcome in
+    /// input order.
+    #[allow(clippy::type_complexity)]
+    pub async fn set_many(
+        &self,
+        items: &[(&[u8], &[u8])],
+        flags: u32,
+        exptime: u32,
+    ) -> Result<Vec<Result<(), McError>>, McError> {
+        let inner = &self.inner;
+        inner.ops.set(inner.ops.get() + items.len() as u64);
+        let depth = inner.cfg.pipeline_depth.max(1);
+        let mut out: Vec<Result<(), McError>> = Vec::new();
+        out.resize_with(items.len(), || Ok(()));
+        for (sidx, idxs) in group_by_server(inner, items.iter().map(|(k, _)| *k)) {
+            let conn = inner.conn(sidx).await?;
+            match &*conn {
+                Conn::Ucr(ep) => {
+                    let mut window: VecDeque<(usize, UcrInFlight)> = VecDeque::new();
+                    for i in idxs {
+                        if window.len() == depth {
+                            let (j, op) = window.pop_front().expect("window nonempty");
+                            let (resp, _) = inner.ucr_complete(op).await?;
+                            out[j] = status_to_result(resp.status);
+                        }
+                        let (key, value) = items[i];
+                        let op = inner
+                            .ucr_issue(
+                                ep,
+                                |req_id, ctr| {
+                                    let mut h =
+                                        ReqHeader::new(McOp::Set, req_id, ctr, key.to_vec());
+                                    h.flags = flags;
+                                    h.exptime = exptime;
+                                    h
+                                },
+                                value.to_vec(),
+                            )
+                            .await?;
+                        window.push_back((i, op));
+                    }
+                    while let Some((j, op)) = window.pop_front() {
+                        let (resp, _) = inner.ucr_complete(op).await?;
+                        out[j] = status_to_result(resp.status);
+                    }
+                }
+                Conn::Sock(sock) if !inner.cfg.binary_protocol => {
+                    let cmds: Vec<Command> = idxs
+                        .iter()
+                        .map(|&i| Command::Store {
+                            verb: StoreVerb::Set,
+                            key: items[i].0.to_vec(),
+                            flags,
+                            exptime,
+                            data: items[i].1.to_vec(),
+                            noreply: false,
+                        })
+                        .collect();
+                    let resps = inner.sock_pipeline(sock, &cmds, depth).await?;
+                    for (&j, resp) in idxs.iter().zip(resps) {
+                        out[j] = match resp {
+                            Response::Stored => Ok(()),
+                            Response::NotStored => Err(McError::NotStored),
+                            Response::ServerError(m) if m.contains("too large") => {
+                                Err(McError::TooLarge)
+                            }
+                            Response::ServerError(_) => Err(McError::OutOfMemory),
+                            _ => Err(McError::Protocol),
+                        };
+                    }
+                }
+                c @ (Conn::Sock(_) | Conn::Udp { .. }) => {
+                    for i in idxs {
+                        let (key, value) = items[i];
+                        let cmd = Command::Store {
+                            verb: StoreVerb::Set,
+                            key: key.to_vec(),
+                            flags,
+                            exptime,
+                            data: value.to_vec(),
+                            noreply: false,
+                        };
+                        out[i] = match inner.sock_round_trip(c, &cmd).await? {
+                            Response::Stored => Ok(()),
+                            Response::NotStored => Err(McError::NotStored),
+                            Response::ServerError(m) if m.contains("too large") => {
+                                Err(McError::TooLarge)
+                            }
+                            Response::ServerError(_) => Err(McError::OutOfMemory),
+                            _ => Err(McError::Protocol),
+                        };
                     }
                 }
             }
@@ -861,6 +1120,85 @@ fn status_to_result(s: RespStatus) -> Result<(), McError> {
     }
 }
 
+/// Decodes a get response into the `Option<Value>` shape.
+fn decode_get_resp((resp, data): (RespHeader, Vec<u8>)) -> Result<Option<Value>, McError> {
+    match resp.status {
+        RespStatus::Hit => Ok(Some(Value {
+            data,
+            flags: resp.flags,
+            cas: resp.cas,
+        })),
+        RespStatus::Miss => Ok(None),
+        _ => Err(McError::Protocol),
+    }
+}
+
+/// Groups item indices by target server, preserving input order within
+/// each group; groups come out in server-index order (deterministic).
+fn group_by_server<'a>(
+    inner: &CliInner,
+    keys: impl Iterator<Item = &'a [u8]>,
+) -> Vec<(usize, Vec<usize>)> {
+    let mut by_server: HashMap<usize, Vec<usize>> = HashMap::new();
+    for (i, k) in keys.enumerate() {
+        by_server.entry(inner.route(k)).or_default().push(i);
+    }
+    let mut groups: Vec<_> = by_server.into_iter().collect();
+    groups.sort_by_key(|(s, _)| *s);
+    groups
+}
+
+/// A get issued but not yet completed — the handle half of the
+/// issue/complete split (UCR transports).
+pub struct InFlightGet {
+    cli: Rc<CliInner>,
+    op: UcrInFlight,
+}
+
+impl InFlightGet {
+    /// True once the response has landed in the in-flight table, i.e.
+    /// [`complete`](InFlightGet::complete) will not block.
+    pub fn is_ready(&self) -> bool {
+        self.cli.ucr_ready(self.op.req_id)
+    }
+
+    /// The request id this get travels under (diagnostics/tests).
+    pub fn req_id(&self) -> u64 {
+        self.op.req_id
+    }
+
+    /// Waits for the response and decodes it.
+    pub async fn complete(self) -> Result<Option<Value>, McError> {
+        decode_get_resp(self.cli.ucr_complete(self.op).await?)
+    }
+}
+
+/// A store issued but not yet completed — the handle half of the
+/// issue/complete split (UCR transports).
+pub struct InFlightSet {
+    cli: Rc<CliInner>,
+    op: UcrInFlight,
+}
+
+impl InFlightSet {
+    /// True once the response has landed in the in-flight table, i.e.
+    /// [`complete`](InFlightSet::complete) will not block.
+    pub fn is_ready(&self) -> bool {
+        self.cli.ucr_ready(self.op.req_id)
+    }
+
+    /// The request id this store travels under (diagnostics/tests).
+    pub fn req_id(&self) -> u64 {
+        self.op.req_id
+    }
+
+    /// Waits for the response and decodes it.
+    pub async fn complete(self) -> Result<(), McError> {
+        let (resp, _) = self.cli.ucr_complete(self.op).await?;
+        status_to_result(resp.status)
+    }
+}
+
 impl CliInner {
     fn route(&self, key: &[u8]) -> usize {
         let n = self.cfg.servers.len();
@@ -941,12 +1279,29 @@ impl CliInner {
     }
 
     /// Sends AM 1 and blocks on the counter until AM 2 lands (§V-B).
+    /// Issue and completion are split so the batch APIs can keep several
+    /// requests in flight; depth-1 callers go through both halves
+    /// back-to-back, which is the exact classic sequence.
     async fn ucr_round_trip(
         &self,
         ep: &Endpoint,
         build: impl FnOnce(u64, u64) -> ReqHeader,
         data: Vec<u8>,
     ) -> Result<(RespHeader, Vec<u8>), McError> {
+        let op = self.ucr_issue(ep, build, data).await?;
+        self.ucr_complete(op).await
+    }
+
+    /// Issue half: allocates a request id + completion counter, sends
+    /// AM 1, and returns the in-flight handle. Resolves when the staged
+    /// request is handed to the HCA — everything up to that point is
+    /// client-side serialization.
+    async fn ucr_issue(
+        &self,
+        ep: &Endpoint,
+        build: impl FnOnce(u64, u64) -> ReqHeader,
+        data: Vec<u8>,
+    ) -> Result<UcrInFlight, McError> {
         let rt = self.ucr.as_ref().expect("UCR transport");
         let req_id = self.next_req.get();
         self.next_req.set(req_id + 1);
@@ -962,47 +1317,60 @@ impl CliInner {
             data.len() as u64,
             self.sim.now(),
         );
-        let end_op = |bytes: u64| {
-            self.tracer.end(
-                Layer::Core,
-                "client_op",
-                self.node,
-                Track::Main,
-                req_id,
-                bytes,
-                self.sim.now(),
-            );
-        };
         let sent = ep
-            .send_message(MSG_MC_REQ, &req.encode(), &data, SendOptions::default())
+            .send_message_owned(MSG_MC_REQ, &req.encode(), data, SendOptions::default())
             .await;
         if sent.is_err() {
             self.span(|sp| sp.discard(req_id));
-            end_op(0);
+            self.end_op(req_id, 0);
             return Err(McError::Disconnected);
         }
-        // `send_message` resolves when the staged request is handed to
-        // the HCA — everything up to here is client-side serialization.
         self.span(|sp| sp.mark(req_id, Stage::ClientSerialize, self.sim.now()));
-        if ctr.wait_for(1, self.cfg.op_timeout).await.is_err() {
+        Ok(UcrInFlight { req_id, ctr })
+    }
+
+    /// Completion half: waits on the request's counter (responses for
+    /// *other* in-flight requests may land first — the handler parks them
+    /// in the table by request id) and claims the parked response.
+    async fn ucr_complete(&self, op: UcrInFlight) -> Result<(RespHeader, Vec<u8>), McError> {
+        if op.ctr.wait_for(1, self.cfg.op_timeout).await.is_err() {
             // Server presumed dead: the corrective action of §IV-A.
-            self.span(|sp| sp.discard(req_id));
-            end_op(0);
+            self.span(|sp| sp.discard(op.req_id));
+            self.end_op(op.req_id, 0);
             return Err(McError::Timeout);
         }
-        let resp = self.pending.borrow_mut().remove(&req_id);
+        let resp = self.pending.borrow_mut().remove(&op.req_id);
         match resp {
             Some(resp) => {
-                self.span(|sp| sp.finish(req_id, self.sim.now()));
-                end_op(resp.1.len() as u64);
+                self.span(|sp| sp.finish(op.req_id, self.sim.now()));
+                self.end_op(op.req_id, resp.1.len() as u64);
                 Ok(resp)
             }
             None => {
-                self.span(|sp| sp.discard(req_id));
-                end_op(0);
+                self.span(|sp| sp.discard(op.req_id));
+                self.end_op(op.req_id, 0);
                 Err(McError::Protocol)
             }
         }
+    }
+
+    /// True once the response for an issued request is parked in the
+    /// in-flight table, i.e. completing it will not block.
+    fn ucr_ready(&self, req_id: u64) -> bool {
+        self.pending.borrow().contains_key(&req_id)
+    }
+
+    /// Closes the `client_op` trace span for a request.
+    fn end_op(&self, req_id: u64, bytes: u64) {
+        self.tracer.end(
+            Layer::Core,
+            "client_op",
+            self.node,
+            Track::Main,
+            req_id,
+            bytes,
+            self.sim.now(),
+        );
     }
 
     /// Runs `f` against the attached span sink, if any.
@@ -1077,6 +1445,61 @@ impl CliInner {
         } else {
             self.span(|sp| sp.discard(span_id));
         }
+    }
+
+    /// Pipelined ASCII round trips: writes up to `depth` commands ahead
+    /// of the reads and parses the FIFO responses with a persistent
+    /// buffer (one read may deliver the tail of response N glued to the
+    /// head of response N+1). Per-op latency spans are not recorded —
+    /// overlapping requests have no single wire residence to attribute.
+    async fn sock_pipeline(
+        &self,
+        sock: &Rc<Socket>,
+        cmds: &[Command],
+        depth: usize,
+    ) -> Result<Vec<Response>, McError> {
+        let mut out = Vec::with_capacity(cmds.len());
+        let mut buf: Vec<u8> = Vec::new();
+        let mut sent = 0usize;
+        while out.len() < cmds.len() {
+            while sent < cmds.len() && sent - out.len() < depth {
+                let wire = encode_command(&cmds[sent]);
+                if sock.write_all(&wire).await.is_err() {
+                    return Err(McError::Disconnected);
+                }
+                sent += 1;
+            }
+            let sock2 = sock.clone();
+            let carried = std::mem::take(&mut buf);
+            type RespFut<'a> = Pin<
+                Box<dyn std::future::Future<Output = Result<(Response, Vec<u8>), McError>> + 'a>,
+            >;
+            let fut: RespFut<'_> = Box::pin(async move {
+                let mut buf = carried;
+                loop {
+                    match parse_response(&buf) {
+                        Ok(Some((resp, used))) => {
+                            buf.drain(..used);
+                            return Ok((resp, buf));
+                        }
+                        Ok(None) => match sock2.read(64 * 1024).await {
+                            Ok(bytes) => buf.extend_from_slice(&bytes),
+                            Err(_) => return Err(McError::Disconnected),
+                        },
+                        Err(_) => return Err(McError::Protocol),
+                    }
+                }
+            });
+            match timeout(&self.sim, self.cfg.op_timeout, fut).await {
+                Ok(Ok((resp, rest))) => {
+                    buf = rest;
+                    out.push(resp);
+                }
+                Ok(Err(e)) => return Err(e),
+                Err(_) => return Err(McError::Timeout),
+            }
+        }
+        Ok(out)
     }
 }
 

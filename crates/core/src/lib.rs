@@ -41,8 +41,8 @@ pub use am_wire::{
     MSG_MC_RESP,
 };
 pub use client::{
-    crc32, fnv1a_32, one_at_a_time, Distribution, KeyHash, McClient, McClientConfig, McError,
-    Transport,
+    crc32, fnv1a_32, one_at_a_time, Distribution, InFlightGet, InFlightSet, KeyHash, McClient,
+    McClientConfig, McError, Transport,
 };
 pub use server::{McServer, McServerConfig, SrvStats, BASE_UNIX_TIME, SERVER_VERSION};
 pub use world::World;

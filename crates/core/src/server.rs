@@ -25,7 +25,7 @@ use mcproto::{
     GetValue, Response, StoreVerb, UdpFrame, MAGIC_REQUEST,
 };
 use mcstore::{NumericError, SetOutcome, Store, StoreConfig};
-use simnet::metrics::{Histogram, LatencySpans, Stage};
+use simnet::metrics::{Histogram, LatencySpans, Metrics, Stage};
 use simnet::sync::{self, Receiver, Sender};
 use simnet::trace::{Layer, Track};
 use simnet::{NodeId, Sim, SimDuration, Stack, Tracer};
@@ -129,6 +129,9 @@ struct SrvInner {
     spans: RefCell<Option<Rc<LatencySpans>>>,
     /// Cross-layer event tracer (cluster-wide; adds no virtual time).
     tracer: Rc<Tracer>,
+    /// Cluster metrics registry: per-worker queue-depth gauges and
+    /// batch-drain counters land here (adds no virtual time).
+    metrics: Rc<Metrics>,
     /// Per-operation worker service-time histograms, keyed by
     /// [`McOp::label`]; surfaced through `stats`.
     op_hist: RefCell<HashMap<&'static str, Rc<Histogram>>>,
@@ -207,6 +210,7 @@ impl McServer {
             roce: RefCell::new(None),
             spans: RefCell::new(None),
             tracer: world.cluster.tracer().clone(),
+            metrics: world.cluster.metrics().clone(),
             op_hist: RefCell::new(HashMap::new()),
         });
 
@@ -423,21 +427,50 @@ fn trace_stat_lines(srv: &SrvInner) -> Vec<(String, String)> {
 }
 
 async fn worker_loop(srv: Weak<SrvInner>, rx: Receiver<WorkItem>, widx: u32) {
-    while let Ok(item) = rx.recv().await {
-        let Some(inner) = srv.upgrade() else { break };
-        if !inner.running.get() {
-            break;
+    // Per-worker queue instruments: the gauge holds the number of ready
+    // requests each wake found (the batch it drained); the counters give
+    // mean batch size over the run. Metrics writes cost no virtual time.
+    let (depth_gauge, wakes, batched) = match srv.upgrade() {
+        Some(inner) => {
+            let prefix = format!("mc.node{}.worker{}", inner.node.0, widx);
+            (
+                inner.metrics.gauge(&format!("{prefix}.queue_depth")),
+                inner.metrics.counter(&format!("{prefix}.wakes")),
+                inner.metrics.counter(&format!("{prefix}.batch_items")),
+            )
         }
-        match item {
-            WorkItem::Ucr { ep, req, data } => serve_ucr(&inner, ep, req, data, widx).await,
-            WorkItem::Sock { sock, cmd } => serve_sock(&inner, sock, cmd).await,
-            WorkItem::SockBin { sock, frame } => serve_sock_bin(&inner, sock, frame).await,
-            WorkItem::SockUdp {
-                sock,
-                src,
-                request_id,
-                cmd,
-            } => serve_sock_udp(&inner, sock, src, request_id, cmd).await,
+        None => return,
+    };
+    loop {
+        let Ok(first) = rx.recv().await else { break };
+        // Drain everything already queued so one wake services all ready
+        // requests. `try_recv` pops without suspending and `recv` on a
+        // non-empty queue completes on its first poll, so the service
+        // order and virtual-time schedule are identical to the classic
+        // item-at-a-time loop — the batch is pure accounting.
+        let mut batch = vec![first];
+        while let Some(item) = rx.try_recv() {
+            batch.push(item);
+        }
+        depth_gauge.set(batch.len() as f64);
+        wakes.inc();
+        batched.add(batch.len() as u64);
+        for item in batch {
+            let Some(inner) = srv.upgrade() else { return };
+            if !inner.running.get() {
+                return;
+            }
+            match item {
+                WorkItem::Ucr { ep, req, data } => serve_ucr(&inner, ep, req, data, widx).await,
+                WorkItem::Sock { sock, cmd } => serve_sock(&inner, sock, cmd).await,
+                WorkItem::SockBin { sock, frame } => serve_sock_bin(&inner, sock, frame).await,
+                WorkItem::SockUdp {
+                    sock,
+                    src,
+                    request_id,
+                    cmd,
+                } => serve_sock_udp(&inner, sock, src, request_id, cmd).await,
+            }
         }
     }
 }

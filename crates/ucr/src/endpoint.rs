@@ -11,7 +11,7 @@ use std::rc::{Rc, Weak};
 
 use simnet::trace::{Layer, Track};
 use simnet::NodeId;
-use verbs::{Access, QueuePair, SendOp, SendWr};
+use verbs::{QueuePair, SendOp, SendWr};
 
 use crate::counter::Counter;
 use crate::runtime::{Pending, RtInner};
@@ -32,6 +32,45 @@ pub struct SendOptions {
     pub target_ctr: u64,
     /// Bumped locally when the target's completion handler has finished.
     pub completion: Option<Counter>,
+}
+
+/// Borrowed-or-owned payload for one send. Owned payloads are moved all
+/// the way down — into the HCA's gather list (eager) or into the MR
+/// (rendezvous) — with no staging copy; borrowed payloads are staged
+/// exactly as before.
+enum SendBuf<'a> {
+    Borrowed(&'a [u8]),
+    Owned(Vec<u8>),
+}
+
+impl SendBuf<'_> {
+    fn len(&self) -> usize {
+        match self {
+            SendBuf::Borrowed(s) => s.len(),
+            SendBuf::Owned(v) => v.len(),
+        }
+    }
+
+    /// Source-buffer identity `(address, length)` — the registration-cache
+    /// key. For borrowed sends this is the caller's buffer, so reusing the
+    /// same buffer across sends hits the cache.
+    fn ident(&self) -> (usize, usize) {
+        match self {
+            SendBuf::Borrowed(s) => (s.as_ptr() as usize, s.len()),
+            SendBuf::Owned(v) => (v.as_ptr() as usize, v.len()),
+        }
+    }
+
+    fn is_owned(&self) -> bool {
+        matches!(self, SendBuf::Owned(_))
+    }
+
+    fn into_vec(self) -> Vec<u8> {
+        match self {
+            SendBuf::Borrowed(s) => s.to_vec(),
+            SendBuf::Owned(v) => v,
+        }
+    }
 }
 
 pub(crate) struct EpInner {
@@ -88,6 +127,33 @@ impl Endpoint {
         data: &[u8],
         opts: SendOptions,
     ) -> Result<(), UcrError> {
+        self.send_impl(msg_id, hdr, SendBuf::Borrowed(data), opts)
+            .await
+    }
+
+    /// Like [`send_message`](Self::send_message), but takes ownership of
+    /// `data`, eliminating the per-send payload copy: eager sends hand the
+    /// buffer to the HCA as a gather entry, and rendezvous sends register
+    /// it in place (or refresh a cached registration). Saved bytes are
+    /// counted in the runtime's [`RtStats`](crate::RtStats).
+    pub async fn send_message_owned(
+        &self,
+        msg_id: u16,
+        hdr: &[u8],
+        data: Vec<u8>,
+        opts: SendOptions,
+    ) -> Result<(), UcrError> {
+        self.send_impl(msg_id, hdr, SendBuf::Owned(data), opts)
+            .await
+    }
+
+    async fn send_impl(
+        &self,
+        msg_id: u16,
+        hdr: &[u8],
+        data: SendBuf<'_>,
+        opts: SendOptions,
+    ) -> Result<(), UcrError> {
         let inner = &self.inner;
         if inner.failed.get() {
             return Err(UcrError::EndpointFailed);
@@ -118,18 +184,21 @@ impl Endpoint {
                 return Err(UcrError::MessageTooLarge);
             }
             sim.sleep(rt.stage_cost(data.len())).await;
-            let mut buf = Vec::with_capacity(total);
-            buf.extend_from_slice(&pkt.encode());
-            buf.extend_from_slice(hdr);
-            buf.extend_from_slice(data);
+            let mut head = Vec::with_capacity(PACKET_HEADER_BYTES + hdr.len());
+            head.extend_from_slice(&pkt.encode());
+            head.extend_from_slice(hdr);
+            if data.is_owned() {
+                rt.stats.eager_copy_saved_bytes.add(data.len() as u64);
+            }
             let wr_id = rt.alloc_wr(Pending::EagerSend {
                 origin: opts.origin,
                 ep: Rc::downgrade(inner),
             });
             let mut wr = SendWr::new(
                 wr_id,
-                SendOp::SendInline {
-                    data: buf,
+                SendOp::SendGather {
+                    head,
+                    data: data.into_vec(),
                     imm: None,
                 },
             );
@@ -154,11 +223,15 @@ impl Endpoint {
         if payload <= rt.eager_threshold.get() {
             // Eager: stage header+data into a communication buffer (one
             // copy at this end, one at the target), single transaction.
+            // Owned payloads skip the staging copy: the buffer rides the
+            // HCA's gather list as-is.
             sim.sleep(rt.stage_cost(data.len())).await;
-            let mut buf = Vec::with_capacity(total);
-            buf.extend_from_slice(&pkt.encode());
-            buf.extend_from_slice(hdr);
-            buf.extend_from_slice(data);
+            let mut head = Vec::with_capacity(PACKET_HEADER_BYTES + hdr.len());
+            head.extend_from_slice(&pkt.encode());
+            head.extend_from_slice(hdr);
+            if data.is_owned() {
+                rt.stats.eager_copy_saved_bytes.add(data.len() as u64);
+            }
             let wr_id = rt.alloc_wr(Pending::EagerSend {
                 origin: opts.origin,
                 ep: Rc::downgrade(inner),
@@ -167,8 +240,9 @@ impl Endpoint {
                 .qp
                 .post_send(SendWr::new(
                     wr_id,
-                    SendOp::SendInline {
-                        data: buf,
+                    SendOp::SendGather {
+                        head,
+                        data: data.into_vec(),
                         imm: None,
                     },
                 ))
@@ -186,9 +260,12 @@ impl Endpoint {
             // Fin arrives; its id already travels in the packet header.
         } else {
             // Rendezvous: register (cache) the source buffer and advertise
-            // it; the target pulls with RDMA read — zero copy.
+            // it; the target pulls with RDMA read — zero copy. Repeat
+            // sends from the same buffer reuse the cached registration.
             pkt.kind = PacketKind::RndvReq;
-            let mr = rt.pd.register_with(data.to_vec(), Access::REMOTE_READ);
+            let ident = data.ident();
+            let owned = data.is_owned();
+            let mr = rt.rndv_mr_for(inner.id, ident, data.into_vec(), owned);
             pkt.rkey = mr.rkey();
             pkt.offset = 0;
             pkt.token = rt.stash_rndv_src(mr);
@@ -214,7 +291,7 @@ impl Endpoint {
                 rt.node,
                 Track::Endpoint(inner.id),
                 wr_id,
-                data.len() as u64,
+                ident.1 as u64,
                 sim.now(),
             );
         }
@@ -228,7 +305,7 @@ impl Endpoint {
         let ep = self.clone();
         if let Some(rt) = self.inner.rt.upgrade() {
             rt.sim.clone().spawn(async move {
-                let _ = ep.send_message(msg_id, &hdr, &data, opts).await;
+                let _ = ep.send_message_owned(msg_id, &hdr, data, opts).await;
             });
         }
     }

@@ -28,6 +28,10 @@ use crate::UcrError;
 /// Number of 8 KB network buffers kept posted on the SRQ.
 const RECV_POOL_DEPTH: usize = 128;
 
+/// Default capacity of the rendezvous registration cache (entries per
+/// runtime, across all endpoints).
+const MR_CACHE_CAPACITY: usize = 64;
+
 /// Runtime statistics (diagnostics and tests), built on the
 /// [`simnet::metrics`] counter primitive so they surface verbatim in
 /// `stats`-style reports.
@@ -45,6 +49,24 @@ pub struct RtStats {
     pub unknown_msg_dropped: simnet::metrics::Counter,
     /// Send-side failures observed (endpoint faults).
     pub send_failures: simnet::metrics::Counter,
+    /// Rendezvous registration-cache hits: the source buffer's MR was
+    /// reused instead of registered afresh.
+    pub mr_cache_hits: simnet::metrics::Counter,
+    /// Rendezvous registration-cache misses (fresh registration).
+    pub mr_cache_misses: simnet::metrics::Counter,
+    /// Payload bytes moved into the HCA's gather list on the owned eager
+    /// send path instead of being staged through an extra copy.
+    pub eager_copy_saved_bytes: simnet::metrics::Counter,
+    /// Payload bytes registered in place (buffer moved into the MR) on
+    /// the owned rendezvous send path instead of being copied.
+    pub rndv_copy_saved_bytes: simnet::metrics::Counter,
+    /// Eager receive buffers recycled from the free list instead of
+    /// freshly registered.
+    pub recv_bufs_recycled: simnet::metrics::Counter,
+    /// Progress-engine wakeups; each services a whole CQ backlog batch.
+    pub progress_wakes: simnet::metrics::Counter,
+    /// Completions serviced by the progress engine across all wakeups.
+    pub progress_completions: simnet::metrics::Counter,
 }
 
 impl RtStats {
@@ -57,6 +79,19 @@ impl RtStats {
             ("ucr_fins_sent", self.fins_sent.get()),
             ("ucr_unknown_msg_dropped", self.unknown_msg_dropped.get()),
             ("ucr_send_failures", self.send_failures.get()),
+            ("ucr_mr_cache_hits", self.mr_cache_hits.get()),
+            ("ucr_mr_cache_misses", self.mr_cache_misses.get()),
+            (
+                "ucr_eager_copy_saved_bytes",
+                self.eager_copy_saved_bytes.get(),
+            ),
+            (
+                "ucr_rndv_copy_saved_bytes",
+                self.rndv_copy_saved_bytes.get(),
+            ),
+            ("ucr_recv_bufs_recycled", self.recv_bufs_recycled.get()),
+            ("ucr_progress_wakes", self.progress_wakes.get()),
+            ("ucr_progress_completions", self.progress_completions.get()),
         ]
         .into_iter()
         .map(|(k, v)| (k.to_string(), v.to_string()))
@@ -90,6 +125,12 @@ pub(crate) enum RndvDest {
     Discard(Mr),
 }
 
+/// One rendezvous registration-cache entry: the region plus an LRU tick.
+struct MrCacheEntry {
+    mr: Rc<Mr>,
+    last_use: u64,
+}
+
 pub(crate) struct RtInner {
     pub node: NodeId,
     pub sim: Sim,
@@ -103,9 +144,18 @@ pub(crate) struct RtInner {
     counters: RefCell<HashMap<u64, Weak<CtrInner>>>,
     eps: RefCell<HashMap<u32, Rc<EpInner>>>,
     pending: RefCell<HashMap<u64, Pending>>,
-    rndv_src: RefCell<HashMap<u64, Mr>>,
+    rndv_src: RefCell<HashMap<u64, Rc<Mr>>>,
     onesided_src: RefCell<HashMap<u64, Mr>>,
     recv_bufs: RefCell<HashMap<u64, Mr>>,
+    /// Rendezvous registration cache: MRs keyed by `(endpoint, source
+    /// buffer address, length)`, bounded LRU (the MPICH2-lineage pin-down
+    /// cache; see [`RtInner::rndv_mr_for`]).
+    mr_cache: RefCell<HashMap<(u64, usize, usize), MrCacheEntry>>,
+    mr_cache_cap: Cell<usize>,
+    mr_cache_tick: Cell<u64>,
+    /// Retired eager receive buffers awaiting re-posting (registration
+    /// reuse instead of a fresh MR per message).
+    recv_free: RefCell<Vec<Mr>>,
     ud_qp: RefCell<Option<QueuePair>>,
     ud_eps: RefCell<HashMap<(u32, u32), Rc<EpInner>>>,
     next_wr: Cell<u64>,
@@ -162,6 +212,10 @@ impl UcrRuntime {
             rndv_src: RefCell::new(HashMap::new()),
             onesided_src: RefCell::new(HashMap::new()),
             recv_bufs: RefCell::new(HashMap::new()),
+            mr_cache: RefCell::new(HashMap::new()),
+            mr_cache_cap: Cell::new(MR_CACHE_CAPACITY),
+            mr_cache_tick: Cell::new(0),
+            recv_free: RefCell::new(Vec::new()),
             ud_qp: RefCell::new(None),
             ud_eps: RefCell::new(HashMap::new()),
             next_wr: Cell::new(1),
@@ -186,7 +240,20 @@ impl UcrRuntime {
                 if rt.shutdown.get() {
                     break;
                 }
+                // One wakeup drains the whole CQ backlog before the
+                // engine re-arms: every already-reaped completion is
+                // serviced in this batch. `Cq::next` on a non-empty queue
+                // returns immediately (still charging the same
+                // per-completion poll overhead), so batching changes
+                // accounting, not virtual time.
+                rt.stats.progress_wakes.inc();
+                rt.stats.progress_completions.inc();
                 rt.handle_completion(wc).await;
+                while !rt.shutdown.get() && rt.cq.backlog() > 0 {
+                    let wc = rt.cq.next().await;
+                    rt.stats.progress_completions.inc();
+                    rt.handle_completion(wc).await;
+                }
             }
         });
         UcrRuntime { inner }
@@ -342,6 +409,27 @@ impl UcrRuntime {
         &self.inner.stats
     }
 
+    /// Adjusts the rendezvous registration-cache capacity (entries per
+    /// runtime; 0 disables caching — the ablation baseline). Shrinking
+    /// evicts least-recently-used entries immediately.
+    pub fn set_mr_cache_capacity(&self, cap: usize) {
+        self.inner.mr_cache_cap.set(cap);
+        let mut cache = self.inner.mr_cache.borrow_mut();
+        while cache.len() > cap {
+            let oldest = cache
+                .iter()
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(k, _)| *k);
+            let Some(k) = oldest else { break };
+            cache.remove(&k);
+        }
+    }
+
+    /// Current number of cached rendezvous registrations.
+    pub fn mr_cache_len(&self) -> usize {
+        self.inner.mr_cache.borrow().len()
+    }
+
     /// Number of live endpoints.
     pub fn endpoints(&self) -> usize {
         self.inner.eps.borrow().len()
@@ -386,15 +474,77 @@ impl RtInner {
         id
     }
 
-    pub(crate) fn stash_rndv_src(&self, mr: Mr) -> u64 {
+    pub(crate) fn stash_rndv_src(&self, mr: Rc<Mr>) -> u64 {
         let token = self.next_token.get();
         self.next_token.set(token + 1);
         self.rndv_src.borrow_mut().insert(token, mr);
         token
     }
 
+    /// Looks up (or registers) the rendezvous source MR for a buffer
+    /// advertised to endpoint `ep_id`. The cache key is the source
+    /// buffer's identity (`ident` = address + length) per destination —
+    /// the MPICH2-lineage registration cache the paper's UCR derives
+    /// from. On a hit the region's contents are refreshed from `data`,
+    /// so address reuse after a free is harmless; on a miss a fresh MR
+    /// is registered (`data` is moved in — zero copy) and the least
+    /// recently used entry beyond capacity is evicted. Cached MRs stay
+    /// registered across the Fin that releases the per-send token; only
+    /// eviction (or endpoint teardown) deregisters them.
+    pub(crate) fn rndv_mr_for(
+        &self,
+        ep_id: u64,
+        ident: (usize, usize),
+        data: Vec<u8>,
+        owned: bool,
+    ) -> Rc<Mr> {
+        let cap = self.mr_cache_cap.get();
+        let tick = self.mr_cache_tick.get() + 1;
+        self.mr_cache_tick.set(tick);
+        let key = (ep_id, ident.0, ident.1);
+        if cap > 0 {
+            if let Some(entry) = self.mr_cache.borrow_mut().get_mut(&key) {
+                entry.mr.write_at(0, &data);
+                entry.last_use = tick;
+                self.stats.mr_cache_hits.inc();
+                return entry.mr.clone();
+            }
+        }
+        self.stats.mr_cache_misses.inc();
+        if owned {
+            self.stats.rndv_copy_saved_bytes.add(data.len() as u64);
+        }
+        let mr = Rc::new(self.pd.register_with(data, Access::REMOTE_READ));
+        if cap > 0 {
+            let mut cache = self.mr_cache.borrow_mut();
+            cache.insert(
+                key,
+                MrCacheEntry {
+                    mr: mr.clone(),
+                    last_use: tick,
+                },
+            );
+            while cache.len() > cap {
+                let oldest = cache
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_use)
+                    .map(|(k, _)| *k);
+                let Some(k) = oldest else { break };
+                cache.remove(&k);
+            }
+        }
+        mr
+    }
+
     pub(crate) fn drop_endpoint(&self, qpn: u32) {
-        self.eps.borrow_mut().remove(&qpn);
+        let ep = self.eps.borrow_mut().remove(&qpn);
+        if let Some(ep) = ep {
+            // Pinned registrations advertised to this endpoint are no
+            // longer reachable; release them.
+            self.mr_cache
+                .borrow_mut()
+                .retain(|(id, _, _), _| *id != ep.id);
+        }
     }
 
     /// Largest UD payload (UCR packet header + app header + data) that
@@ -452,14 +602,32 @@ impl RtInner {
     }
 
     fn post_recv_buffer(&self) {
-        let mr = self.pd.register(
-            PACKET_HEADER_BYTES + UCR_EAGER_THRESHOLD,
-            Access::LOCAL_WRITE,
-        );
+        // Recycle a retired buffer when one is available: the
+        // registration (and rkey) is reused instead of paid per message.
+        let recycled = self.recv_free.borrow_mut().pop();
+        let mr = match recycled {
+            Some(mr) => {
+                self.stats.recv_bufs_recycled.inc();
+                mr
+            }
+            None => self.pd.register(
+                PACKET_HEADER_BYTES + UCR_EAGER_THRESHOLD,
+                Access::LOCAL_WRITE,
+            ),
+        };
         let wr_id = self.next_wr.get();
         self.next_wr.set(wr_id + 1);
         self.srq.post_recv(wr_id, mr.full());
         self.recv_bufs.borrow_mut().insert(wr_id, mr);
+    }
+
+    /// Returns a consumed eager receive buffer to the free list, bounded
+    /// by the pool depth (overflow is dropped, i.e. deregistered).
+    fn retire_recv_buffer(&self, mr: Mr) {
+        let mut free = self.recv_free.borrow_mut();
+        if free.len() < RECV_POOL_DEPTH {
+            free.push(mr);
+        }
     }
 
     fn bump_counter(&self, id: u64) {
@@ -496,10 +664,13 @@ impl RtInner {
         self.post_recv_buffer();
         let Some(buf) = buf else { return };
         if !wc.status.is_ok() {
+            self.retire_recv_buffer(buf);
             return;
         }
-        let bytes = buf.read_at(0, wc.byte_len as usize);
-        let Some(pkt) = PacketHeader::decode(&bytes) else {
+        let len = wc.byte_len as usize;
+        let head = buf.read_at(0, PACKET_HEADER_BYTES.min(len));
+        let Some(pkt) = PacketHeader::decode(&head) else {
+            self.retire_recv_buffer(buf);
             return;
         };
         let ud_qpn = self.ud_qp.borrow().as_ref().map(|q| q.qpn());
@@ -507,12 +678,16 @@ impl RtInner {
             // Arrived on the shared UD QP: the endpoint is identified by
             // the datagram's source address handle.
             let Some((src_node, src_qpn)) = wc.src else {
+                self.retire_recv_buffer(buf);
                 return;
             };
             self.ud_endpoint_for(src_node, src_qpn)
         } else {
             let ep = self.eps.borrow().get(&wc.qp_num).cloned();
-            let Some(ep) = ep else { return };
+            let Some(ep) = ep else {
+                self.retire_recv_buffer(buf);
+                return;
+            };
             Endpoint { inner: ep }
         };
 
@@ -520,18 +695,19 @@ impl RtInner {
             PacketKind::Eager => {
                 let hdr_end = PACKET_HEADER_BYTES + pkt.hdr_len as usize;
                 let data_end = hdr_end + pkt.data_len as usize;
-                if bytes.len() < data_end {
+                if len < data_end {
+                    self.retire_recv_buffer(buf);
                     return;
                 }
                 // Dispatch + copy off the network buffer.
                 self.sim
                     .sleep(self.profile.host.am_dispatch + self.stage_cost(pkt.data_len as usize))
                     .await;
-                let hdr = &bytes[PACKET_HEADER_BYTES..hdr_end];
-                let data = &bytes[hdr_end..data_end];
+                let hdr = buf.read_at(PACKET_HEADER_BYTES, pkt.hdr_len as usize);
                 let handler = self.handlers.borrow().get(&pkt.msg_id).cloned();
                 let Some(handler) = handler else {
                     self.stats.unknown_msg_dropped.inc();
+                    self.retire_recv_buffer(buf);
                     return;
                 };
                 let track = Track::Endpoint(ep.id());
@@ -544,7 +720,7 @@ impl RtInner {
                     pkt.data_len,
                     self.sim.now(),
                 );
-                let dest = handler.on_header(&ep, hdr, data.len());
+                let dest = handler.on_header(&ep, &hdr, pkt.data_len as usize);
                 self.tracer.end(
                     Layer::Ucr,
                     "header_handler",
@@ -555,15 +731,20 @@ impl RtInner {
                     self.sim.now(),
                 );
                 let am_data = match dest {
-                    AmDest::Pool => AmData::Pool(data.to_vec()),
+                    // Single copy: the payload moves straight off the
+                    // network buffer into its owned destination
+                    // (previously the whole packet was read into a
+                    // scratch Vec and the data range copied out again).
+                    AmDest::Pool => AmData::Pool(buf.read_at(hdr_end, pkt.data_len as usize)),
                     AmDest::Buffer(slice) => {
-                        let n = data.len().min(slice.len());
+                        let n = (pkt.data_len as usize).min(slice.len());
                         // Copy into the caller's registered destination.
-                        let _ = slice_write(&slice, &data[..n]);
+                        let _ = slice_write(&slice, &buf.read_at(hdr_end, n));
                         AmData::Placed(n)
                     }
                     AmDest::Discard => AmData::Discarded,
                 };
+                self.retire_recv_buffer(buf);
                 self.tracer.begin(
                     Layer::Ucr,
                     "completion_handler",
@@ -573,7 +754,7 @@ impl RtInner {
                     pkt.data_len,
                     self.sim.now(),
                 );
-                handler.on_complete(&ep, hdr, am_data);
+                handler.on_complete(&ep, &hdr, am_data);
                 self.tracer.end(
                     Layer::Ucr,
                     "completion_handler",
@@ -594,14 +775,17 @@ impl RtInner {
                     // RDMA read needs a connection; a rendezvous header on
                     // UD is a protocol violation — drop it.
                     self.stats.unknown_msg_dropped.inc();
+                    self.retire_recv_buffer(buf);
                     return;
                 }
                 self.sim.sleep(self.profile.host.am_dispatch).await;
                 let hdr_end = PACKET_HEADER_BYTES + pkt.hdr_len as usize;
-                if bytes.len() < hdr_end {
+                if len < hdr_end {
+                    self.retire_recv_buffer(buf);
                     return;
                 }
-                let hdr = bytes[PACKET_HEADER_BYTES..hdr_end].to_vec();
+                let hdr = buf.read_at(PACKET_HEADER_BYTES, pkt.hdr_len as usize);
+                self.retire_recv_buffer(buf);
                 let handler = self.handlers.borrow().get(&pkt.msg_id).cloned();
                 let Some(handler) = handler else {
                     self.stats.unknown_msg_dropped.inc();
@@ -685,6 +869,7 @@ impl RtInner {
                 }
             }
             PacketKind::Fin => {
+                self.retire_recv_buffer(buf);
                 self.bump_counter(pkt.origin_ctr);
                 self.bump_counter(pkt.completion_ctr);
                 if pkt.token != 0 {

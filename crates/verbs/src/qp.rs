@@ -123,6 +123,18 @@ pub enum SendOp {
         /// Optional immediate word.
         imm: Option<u32>,
     },
+    /// Two-sided send of a two-entry gather list: `head` then `data` on
+    /// the wire, concatenated by the HCA's DMA engine (a scatter/gather
+    /// post). Lets callers hand over an owned payload without staging it
+    /// into a contiguous buffer first.
+    SendGather {
+        /// Control/header bytes transmitted first.
+        head: Vec<u8>,
+        /// Payload transmitted after `head`, moved from the caller.
+        data: Vec<u8>,
+        /// Optional immediate word.
+        imm: Option<u32>,
+    },
     /// One-sided write into remote memory.
     RdmaWrite {
         /// Local source window.
@@ -317,6 +329,7 @@ impl QueuePair {
         let (ev_name, ev_bytes) = match &wr.op {
             SendOp::Send { local, .. } => ("send", local.len() as u64),
             SendOp::SendInline { data, .. } => ("send", data.len() as u64),
+            SendOp::SendGather { head, data, .. } => ("send", (head.len() + data.len()) as u64),
             SendOp::RdmaWrite { local, .. } => ("rdma_write", local.len() as u64),
             SendOp::RdmaRead { local, .. } => ("rdma_read", local.len() as u64),
         };
@@ -350,7 +363,7 @@ impl QueuePair {
             SendOp::Send { local, .. }
             | SendOp::RdmaWrite { local, .. }
             | SendOp::RdmaRead { local, .. } => Some(local.inner.pd_id),
-            SendOp::SendInline { .. } => None,
+            SendOp::SendInline { .. } | SendOp::SendGather { .. } => None,
         };
         if let Some(pd) = local_pd {
             if pd != self.inner.pd_id {
@@ -374,6 +387,16 @@ impl QueuePair {
             }
             SendOp::SendInline { data, imm } => {
                 self.launch_two_sided(hca, wr.wr_id, data, imm, t_hca, src, dst, dqpn)
+            }
+            SendOp::SendGather {
+                mut head,
+                data,
+                imm,
+            } => {
+                // The gather happens at the DMA engine; on the wire the
+                // two entries are one contiguous message.
+                head.extend_from_slice(&data);
+                self.launch_two_sided(hca, wr.wr_id, head, imm, t_hca, src, dst, dqpn)
             }
             SendOp::RdmaWrite { local, remote, imm } => {
                 if remote.node != dst {
@@ -615,6 +638,14 @@ impl QueuePair {
         let data = match wr.op {
             SendOp::Send { local, imm } => (local.dma_read(), imm),
             SendOp::SendInline { data, imm } => (data, imm),
+            SendOp::SendGather {
+                mut head,
+                data,
+                imm,
+            } => {
+                head.extend_from_slice(&data);
+                (head, imm)
+            }
             _ => return Err(VerbsError::InvalidState("UD supports only SEND")),
         };
         let (payload, imm) = data;

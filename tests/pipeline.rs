@@ -1,0 +1,252 @@
+//! Acceptance tests for the pipelined request engine: out-of-order
+//! response correlation on one connection, the batch APIs over both
+//! transport families (including rendezvous-size values mid-pipeline),
+//! the UCR rendezvous registration cache's hit/miss accounting, and the
+//! invariants the engine must preserve — tracing still costs zero
+//! virtual time and equal seeds give equal clocks.
+
+use rdma_memcached::rmc::{McClient, McClientConfig, McServer, McServerConfig, Transport, World};
+use rdma_memcached::simnet::{EventRecorder, NodeId, SimDuration, Stack};
+use rdma_memcached::ucr;
+
+fn ucr_world(seed: u64, depth: usize) -> (World, McServer, McClient) {
+    let world = World::cluster_b(seed, 4);
+    let server = McServer::start(&world, NodeId(0), McServerConfig::default());
+    let mut cfg = McClientConfig::single(Transport::Ucr, NodeId(0));
+    cfg.pipeline_depth = depth;
+    let client = McClient::new(&world, NodeId(1), cfg);
+    (world, server, client)
+}
+
+/// Two gets issued back-to-back on one UCR connection complete out of
+/// order: the first names a 64 KB value whose response rides the
+/// rendezvous path (an extra advertise + RDMA-read round trip), the
+/// second a 4 B value answered eagerly. The small response lands while
+/// the large one is still being pulled, and the in-flight table keyed by
+/// request id hands each completion to the right caller.
+#[test]
+fn responses_correlate_out_of_order() {
+    let (world, _server, client) = ucr_world(71, 2);
+    let sim = world.sim().clone();
+    sim.block_on(async move {
+        let big = vec![0xb0u8; 64 * 1024];
+        client.set(b"big", &big, 0, 0).await.unwrap();
+        client.set(b"small", b"tiny", 0, 0).await.unwrap();
+
+        let in_big = client.issue_get(b"big").await.unwrap();
+        let in_small = client.issue_get(b"small").await.unwrap();
+        assert_ne!(in_big.req_id(), in_small.req_id());
+
+        // The second-issued op completes first; the first is still in
+        // flight (its response has not landed) at that moment.
+        let small = in_small.complete().await.unwrap().expect("hit");
+        assert_eq!(small.data, b"tiny");
+        assert!(
+            !in_big.is_ready(),
+            "the rendezvous response must still be in flight when the eager one lands"
+        );
+        let got_big = in_big.complete().await.unwrap().expect("hit");
+        assert_eq!(got_big.data, big);
+    });
+}
+
+/// The batch APIs at depth 4 with value sizes straddling the eager
+/// threshold: sets and gets that mix eager and rendezvous transfers in
+/// one pipeline window all land on the right keys.
+#[test]
+fn pipelined_batches_mix_eager_and_rendezvous() {
+    let (world, _server, client) = ucr_world(72, 4);
+    let sim = world.sim().clone();
+    sim.block_on(async move {
+        let sizes = [4usize, 16 * 1024, 64, 32 * 1024, 512, 9000, 8, 20 * 1024];
+        let keys: Vec<String> = (0..sizes.len()).map(|i| format!("mix-{i}")).collect();
+        let values: Vec<Vec<u8>> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| vec![i as u8 + 1; s])
+            .collect();
+
+        let items: Vec<(&[u8], &[u8])> = keys
+            .iter()
+            .zip(&values)
+            .map(|(k, v)| (k.as_bytes(), v.as_slice()))
+            .collect();
+        let stored = client.set_many(&items, 0, 0).await.unwrap();
+        assert_eq!(stored.len(), sizes.len());
+        assert!(
+            stored.iter().all(Result::is_ok),
+            "every pipelined set lands"
+        );
+
+        let mut lookups: Vec<&[u8]> = keys.iter().map(|k| k.as_bytes()).collect();
+        lookups.push(b"absent");
+        let got = client.get_many(&lookups).await.unwrap();
+        assert_eq!(got.len(), sizes.len() + 1);
+        for (i, v) in values.iter().enumerate() {
+            assert_eq!(&got[i].as_ref().expect("hit").data, v, "key mix-{i}");
+        }
+        assert!(got[sizes.len()].is_none(), "missing key reports a miss");
+    });
+}
+
+/// The same batch APIs over the ASCII sockets transport: commands are
+/// written ahead and responses read back in FIFO order from a shared
+/// parse buffer.
+#[test]
+fn pipelined_batches_work_over_sockets() {
+    let world = World::cluster_b(73, 4);
+    let _server = McServer::start(&world, NodeId(0), McServerConfig::default());
+    let mut cfg = McClientConfig::single(Transport::Sockets(Stack::Sdp), NodeId(0));
+    cfg.pipeline_depth = 8;
+    let client = McClient::new(&world, NodeId(1), cfg);
+    let sim = world.sim().clone();
+    sim.block_on(async move {
+        let items: Vec<(Vec<u8>, Vec<u8>)> = (0..32)
+            .map(|i| {
+                (
+                    format!("sock-{i}").into_bytes(),
+                    vec![i as u8; 16 + 17 * i as usize],
+                )
+            })
+            .collect();
+        let borrowed: Vec<(&[u8], &[u8])> = items
+            .iter()
+            .map(|(k, v)| (k.as_slice(), v.as_slice()))
+            .collect();
+        let stored = client.set_many(&borrowed, 0, 0).await.unwrap();
+        assert!(stored.iter().all(Result::is_ok));
+        let keys: Vec<&[u8]> = items.iter().map(|(k, _)| k.as_slice()).collect();
+        let got = client.get_many(&keys).await.unwrap();
+        for (i, (_, v)) in items.iter().enumerate() {
+            assert_eq!(&got[i].as_ref().expect("hit").data, v);
+        }
+    });
+}
+
+/// Rendezvous registration-cache accounting, driven at the UCR layer:
+/// repeated large sends from one source buffer register once and hit
+/// thereafter; with the cache disabled every send is a fresh miss.
+#[test]
+fn registration_cache_counts_hits_and_misses() {
+    let run = |cache_capacity: usize, sends: u32| {
+        const MSG: u16 = 7;
+        const PORT: u16 = 9099;
+        let world = World::cluster_b(74, 2);
+        let sim = world.sim().clone();
+        let srv = ucr::UcrRuntime::new(&world.ib, NodeId(0));
+        srv.register_handler(
+            MSG,
+            ucr::FnHandler(|_: &ucr::Endpoint, _: &[u8], _: ucr::AmData| {}),
+        );
+        let listener = srv.listen(PORT).unwrap();
+        sim.spawn(async move {
+            let mut eps = Vec::new();
+            while let Ok(ep) = listener.accept().await {
+                eps.push(ep);
+            }
+        });
+        let cli = ucr::UcrRuntime::new(&world.ib, NodeId(1));
+        cli.set_mr_cache_capacity(cache_capacity);
+        let cli2 = cli.clone();
+        sim.block_on(async move {
+            let timeout = SimDuration::from_millis(250);
+            let ep = cli2.connect(NodeId(0), PORT, timeout).await.unwrap();
+            let buf = vec![5u8; 64 * 1024];
+            assert!(buf.len() > cli2.eager_threshold());
+            for _ in 0..sends {
+                let ctr = cli2.counter();
+                ep.send_message(
+                    MSG,
+                    b"",
+                    &buf,
+                    ucr::SendOptions {
+                        completion: Some(ctr.clone()),
+                        ..Default::default()
+                    },
+                )
+                .await
+                .unwrap();
+                ctr.wait_for(1, timeout).await.unwrap();
+            }
+            let st = cli2.stats();
+            (st.mr_cache_hits.get(), st.mr_cache_misses.get())
+        })
+    };
+
+    // One registration, then pure hits, from the same buffer.
+    assert_eq!(run(64, 16), (15, 1));
+    // Capacity 0 disables the cache: every send registers afresh.
+    assert_eq!(run(0, 16), (0, 16));
+}
+
+/// Tracing must not move the virtual clock on the new pipelined paths
+/// either: a depth-8 batched workload mixing eager and rendezvous sizes
+/// reaches the same end time traced and untraced.
+#[test]
+fn tracing_adds_no_virtual_time_to_pipelined_paths() {
+    let run = |traced: bool| {
+        let (world, _server, client) = ucr_world(75, 8);
+        let recorder = EventRecorder::new();
+        if traced {
+            world.cluster.tracer().add_sink(recorder.clone());
+        }
+        let sim = world.sim().clone();
+        let sim2 = sim.clone();
+        let end = sim.block_on(async move {
+            let keys: Vec<String> = (0..24).map(|i| format!("t-{i}")).collect();
+            let values: Vec<Vec<u8>> = (0..24)
+                .map(|i| vec![i as u8; if i % 5 == 0 { 16 * 1024 } else { 64 }])
+                .collect();
+            let items: Vec<(&[u8], &[u8])> = keys
+                .iter()
+                .zip(&values)
+                .map(|(k, v)| (k.as_bytes(), v.as_slice()))
+                .collect();
+            client.set_many(&items, 0, 0).await.unwrap();
+            let lookups: Vec<&[u8]> = keys.iter().map(|k| k.as_bytes()).collect();
+            for _ in 0..4 {
+                let got = client.get_many(&lookups).await.unwrap();
+                assert!(got.iter().all(Option::is_some));
+            }
+            sim2.now().as_nanos()
+        });
+        (end, recorder.len())
+    };
+    let (untraced_end, _) = run(false);
+    let (traced_end, recorded) = run(true);
+    assert!(recorded > 0, "the traced run actually recorded events");
+    assert_eq!(
+        untraced_end, traced_end,
+        "tracing must not move the virtual clock"
+    );
+}
+
+/// Equal seeds give bit-equal clocks: the pipelined engine (in-flight
+/// table, registration cache, recv-buffer pool, batched worker drain) is
+/// fully deterministic.
+#[test]
+fn pipelined_runs_are_deterministic() {
+    let run = || {
+        let (world, _server, client) = ucr_world(76, 8);
+        let sim = world.sim().clone();
+        let sim2 = sim.clone();
+        sim.block_on(async move {
+            let keys: Vec<String> = (0..32).map(|i| format!("d-{i}")).collect();
+            let values: Vec<Vec<u8>> = (0..32)
+                .map(|i| vec![i as u8; if i % 7 == 0 { 32 * 1024 } else { 128 }])
+                .collect();
+            let items: Vec<(&[u8], &[u8])> = keys
+                .iter()
+                .zip(&values)
+                .map(|(k, v)| (k.as_bytes(), v.as_slice()))
+                .collect();
+            client.set_many(&items, 0, 0).await.unwrap();
+            let lookups: Vec<&[u8]> = keys.iter().map(|k| k.as_bytes()).collect();
+            for _ in 0..3 {
+                client.get_many(&lookups).await.unwrap();
+            }
+            sim2.now().as_nanos()
+        })
+    };
+    assert_eq!(run(), run(), "same seed, same virtual end time");
+}
