@@ -12,7 +12,7 @@
 //!   `TCP_NODELAY` set as the paper's benchmarks do.
 
 use std::cell::{Cell, RefCell};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::pin::Pin;
 use std::rc::Rc;
 
@@ -242,10 +242,39 @@ pub fn one_at_a_time(key: &[u8]) -> u32 {
 /// the right waiter regardless of pipeline depth.
 type PendingResponses = Rc<RefCell<HashMap<u64, (RespHeader, Vec<u8>)>>>;
 
+/// Request ids abandoned before their response arrived (dropped in-flight
+/// handles, timed-out waits). The response handler drops a late response
+/// whose id is flagged here instead of parking it forever.
+type CancelledIds = Rc<RefCell<HashSet<u64>>>;
+
 /// One UCR request issued (AM 1 handed to the HCA) but not yet completed.
+/// Dropping the handle without completing it (a batch aborting on an
+/// earlier op's error, a caller discarding an issued get) scrubs the
+/// request from the in-flight table so abandoned ops cannot grow it
+/// without bound.
 struct UcrInFlight {
     req_id: u64,
     ctr: Counter,
+    cli: Rc<CliInner>,
+    /// Set once `ucr_complete` has taken over the op's lifecycle; the
+    /// `Drop` cleanup then has nothing left to do.
+    completed: bool,
+}
+
+impl Drop for UcrInFlight {
+    fn drop(&mut self) {
+        if self.completed {
+            return;
+        }
+        // Abandoned mid-flight: claim the parked response if it already
+        // landed, otherwise flag the id so the handler drops the response
+        // on arrival, and close the op's latency span and trace span.
+        if self.cli.pending.borrow_mut().remove(&self.req_id).is_none() {
+            self.cli.cancelled.borrow_mut().insert(self.req_id);
+        }
+        self.cli.span(|sp| sp.discard(self.req_id));
+        self.cli.end_op(self.req_id, 0);
+    }
 }
 
 /// Shared slot holding the (optional) latency-attribution sink, so the
@@ -269,6 +298,7 @@ struct CliInner {
     ucr: Option<UcrRuntime>,
     conns: RefCell<HashMap<usize, Rc<Conn>>>,
     pending: PendingResponses,
+    cancelled: CancelledIds,
     next_req: Cell<u64>,
     ring: Vec<(u32, usize)>,
     /// Operations issued (diagnostics).
@@ -291,6 +321,7 @@ impl McClient {
     pub fn new(world: &World, node: NodeId, cfg: McClientConfig) -> McClient {
         assert!(!cfg.servers.is_empty(), "client needs at least one server");
         let pending: PendingResponses = Rc::new(RefCell::new(HashMap::new()));
+        let cancelled: CancelledIds = Rc::new(RefCell::new(HashSet::new()));
         let spans: SpanSlot = Rc::new(RefCell::new(None));
         let ucr = match cfg.transport {
             Transport::Ucr | Transport::UcrRoce => {
@@ -304,12 +335,19 @@ impl McClient {
                 };
                 let rt = UcrRuntime::new(fabric, node);
                 let pending2 = pending.clone();
+                let cancelled2 = cancelled.clone();
                 let spans2 = spans.clone();
                 let sim2 = world.sim().clone();
                 rt.register_handler(
                     MSG_MC_RESP,
                     FnHandler(move |_ep: &Endpoint, hdr: &[u8], data: AmData| {
                         if let Some(resp) = RespHeader::decode(hdr) {
+                            if cancelled2.borrow_mut().remove(&resp.req_id) {
+                                // The op was abandoned (dropped handle or
+                                // timed-out wait); drop the late response
+                                // instead of parking it forever.
+                                return;
+                            }
                             if let Some(sp) = spans2.borrow().as_ref() {
                                 // Response landed: wire time ends here.
                                 sp.mark(resp.req_id, Stage::ReplyWire, sim2.now());
@@ -343,6 +381,7 @@ impl McClient {
                 ucr,
                 conns: RefCell::new(HashMap::new()),
                 pending,
+                cancelled,
                 next_req: Cell::new(1),
                 ring,
                 ops: Cell::new(0),
@@ -375,6 +414,13 @@ impl McClient {
         self.inner.ops.get()
     }
 
+    /// Number of responses currently parked in the in-flight table
+    /// awaiting their waiter (diagnostics/tests). Abandoned ops are
+    /// scrubbed, so this stays bounded by the pipeline depth.
+    pub fn pending_responses(&self) -> usize {
+        self.inner.pending.borrow().len()
+    }
+
     /// The client's UCR runtime, when using the UCR transport (ablation
     /// hooks and statistics).
     pub fn ucr_runtime(&self) -> Option<UcrRuntime> {
@@ -391,6 +437,9 @@ impl McClient {
                 Conn::Udp { .. } => {} // the socket unbinds on drop
             }
         }
+        // Closed endpoints can no longer deliver, so cancellation flags
+        // for their outstanding responses will never be consulted again.
+        self.inner.cancelled.borrow_mut().clear();
     }
 
     /// Stores `value` under `key` unconditionally.
@@ -585,10 +634,7 @@ impl McClient {
                 Vec::new(),
             )
             .await?;
-        Ok(InFlightGet {
-            cli: self.inner.clone(),
-            op,
-        })
+        Ok(InFlightGet { op })
     }
 
     /// Issues an unconditional store without waiting for the response
@@ -618,10 +664,7 @@ impl McClient {
                 value.to_vec(),
             )
             .await?;
-        Ok(InFlightSet {
-            cli: self.inner.clone(),
-            op,
-        })
+        Ok(InFlightSet { op })
     }
 
     /// Pipelined multi-get: fetches every key while keeping up to
@@ -1149,9 +1192,10 @@ fn group_by_server<'a>(
 }
 
 /// A get issued but not yet completed — the handle half of the
-/// issue/complete split (UCR transports).
+/// issue/complete split (UCR transports). Dropping it abandons the op
+/// and scrubs its response from the in-flight table (on arrival if need
+/// be).
 pub struct InFlightGet {
-    cli: Rc<CliInner>,
     op: UcrInFlight,
 }
 
@@ -1159,7 +1203,7 @@ impl InFlightGet {
     /// True once the response has landed in the in-flight table, i.e.
     /// [`complete`](InFlightGet::complete) will not block.
     pub fn is_ready(&self) -> bool {
-        self.cli.ucr_ready(self.op.req_id)
+        self.op.cli.ucr_ready(self.op.req_id)
     }
 
     /// The request id this get travels under (diagnostics/tests).
@@ -1169,14 +1213,16 @@ impl InFlightGet {
 
     /// Waits for the response and decodes it.
     pub async fn complete(self) -> Result<Option<Value>, McError> {
-        decode_get_resp(self.cli.ucr_complete(self.op).await?)
+        let cli = self.op.cli.clone();
+        decode_get_resp(cli.ucr_complete(self.op).await?)
     }
 }
 
 /// A store issued but not yet completed — the handle half of the
-/// issue/complete split (UCR transports).
+/// issue/complete split (UCR transports). Dropping it abandons the op
+/// and scrubs its response from the in-flight table (on arrival if need
+/// be).
 pub struct InFlightSet {
-    cli: Rc<CliInner>,
     op: UcrInFlight,
 }
 
@@ -1184,7 +1230,7 @@ impl InFlightSet {
     /// True once the response has landed in the in-flight table, i.e.
     /// [`complete`](InFlightSet::complete) will not block.
     pub fn is_ready(&self) -> bool {
-        self.cli.ucr_ready(self.op.req_id)
+        self.op.cli.ucr_ready(self.op.req_id)
     }
 
     /// The request id this store travels under (diagnostics/tests).
@@ -1194,7 +1240,8 @@ impl InFlightSet {
 
     /// Waits for the response and decodes it.
     pub async fn complete(self) -> Result<(), McError> {
-        let (resp, _) = self.cli.ucr_complete(self.op).await?;
+        let cli = self.op.cli.clone();
+        let (resp, _) = cli.ucr_complete(self.op).await?;
         status_to_result(resp.status)
     }
 }
@@ -1283,7 +1330,7 @@ impl CliInner {
     /// requests in flight; depth-1 callers go through both halves
     /// back-to-back, which is the exact classic sequence.
     async fn ucr_round_trip(
-        &self,
+        self: &Rc<Self>,
         ep: &Endpoint,
         build: impl FnOnce(u64, u64) -> ReqHeader,
         data: Vec<u8>,
@@ -1297,7 +1344,7 @@ impl CliInner {
     /// request is handed to the HCA — everything up to that point is
     /// client-side serialization.
     async fn ucr_issue(
-        &self,
+        self: &Rc<Self>,
         ep: &Endpoint,
         build: impl FnOnce(u64, u64) -> ReqHeader,
         data: Vec<u8>,
@@ -1326,19 +1373,25 @@ impl CliInner {
             return Err(McError::Disconnected);
         }
         self.span(|sp| sp.mark(req_id, Stage::ClientSerialize, self.sim.now()));
-        Ok(UcrInFlight { req_id, ctr })
+        Ok(UcrInFlight {
+            req_id,
+            ctr,
+            cli: self.clone(),
+            completed: false,
+        })
     }
 
     /// Completion half: waits on the request's counter (responses for
     /// *other* in-flight requests may land first — the handler parks them
     /// in the table by request id) and claims the parked response.
-    async fn ucr_complete(&self, op: UcrInFlight) -> Result<(RespHeader, Vec<u8>), McError> {
+    async fn ucr_complete(&self, mut op: UcrInFlight) -> Result<(RespHeader, Vec<u8>), McError> {
         if op.ctr.wait_for(1, self.cfg.op_timeout).await.is_err() {
-            // Server presumed dead: the corrective action of §IV-A.
-            self.span(|sp| sp.discard(op.req_id));
-            self.end_op(op.req_id, 0);
+            // Server presumed dead: the corrective action of §IV-A. The
+            // op's `Drop` discards its spans and flags the request id so
+            // a late-arriving response is dropped, not parked forever.
             return Err(McError::Timeout);
         }
+        op.completed = true;
         let resp = self.pending.borrow_mut().remove(&op.req_id);
         match resp {
             Some(resp) => {
@@ -1447,11 +1500,25 @@ impl CliInner {
         }
     }
 
+    /// Evicts a stream connection from the cache and closes it. A
+    /// pipelined batch that fails partway leaves up to `depth - 1`
+    /// responses unread on the socket; a later op reusing the connection
+    /// would parse those stale responses as its own, so the socket must
+    /// be forced through a reconnect instead.
+    fn evict_sock(&self, sock: &Rc<Socket>) {
+        sock.close();
+        self.conns
+            .borrow_mut()
+            .retain(|_, c| !matches!(&**c, Conn::Sock(s) if Rc::ptr_eq(s, sock)));
+    }
+
     /// Pipelined ASCII round trips: writes up to `depth` commands ahead
     /// of the reads and parses the FIFO responses with a persistent
     /// buffer (one read may deliver the tail of response N glued to the
     /// head of response N+1). Per-op latency spans are not recorded —
     /// overlapping requests have no single wire residence to attribute.
+    /// Every failure evicts the connection: the response stream is out of
+    /// sync with the writes, so it cannot be reused.
     async fn sock_pipeline(
         &self,
         sock: &Rc<Socket>,
@@ -1465,6 +1532,7 @@ impl CliInner {
             while sent < cmds.len() && sent - out.len() < depth {
                 let wire = encode_command(&cmds[sent]);
                 if sock.write_all(&wire).await.is_err() {
+                    self.evict_sock(sock);
                     return Err(McError::Disconnected);
                 }
                 sent += 1;
@@ -1495,8 +1563,14 @@ impl CliInner {
                     buf = rest;
                     out.push(resp);
                 }
-                Ok(Err(e)) => return Err(e),
-                Err(_) => return Err(McError::Timeout),
+                Ok(Err(e)) => {
+                    self.evict_sock(sock);
+                    return Err(e);
+                }
+                Err(_) => {
+                    self.evict_sock(sock);
+                    return Err(McError::Timeout);
+                }
             }
         }
         Ok(out)

@@ -53,7 +53,9 @@ impl SendBuf<'_> {
 
     /// Source-buffer identity `(address, length)` — the registration-cache
     /// key. For borrowed sends this is the caller's buffer, so reusing the
-    /// same buffer across sends hits the cache.
+    /// same buffer across sends hits the cache. Owned sends never cache
+    /// (their address dies with the MR), so their identity is only used
+    /// for tracing.
     fn ident(&self) -> (usize, usize) {
         match self {
             SendBuf::Borrowed(s) => (s.as_ptr() as usize, s.len()),
@@ -134,8 +136,10 @@ impl Endpoint {
     /// Like [`send_message`](Self::send_message), but takes ownership of
     /// `data`, eliminating the per-send payload copy: eager sends hand the
     /// buffer to the HCA as a gather entry, and rendezvous sends register
-    /// it in place (or refresh a cached registration). Saved bytes are
-    /// counted in the runtime's [`RtStats`](crate::RtStats).
+    /// it in place (always a fresh registration — only borrowed buffers,
+    /// whose addresses are stable, participate in the registration
+    /// cache). Saved bytes are counted in the runtime's
+    /// [`RtStats`](crate::RtStats).
     pub async fn send_message_owned(
         &self,
         msg_id: u16,
@@ -259,9 +263,10 @@ impl Endpoint {
             // The completion counter (if any) is bumped when the target's
             // Fin arrives; its id already travels in the packet header.
         } else {
-            // Rendezvous: register (cache) the source buffer and advertise
-            // it; the target pulls with RDMA read — zero copy. Repeat
-            // sends from the same buffer reuse the cached registration.
+            // Rendezvous: register the source buffer and advertise it; the
+            // target pulls with RDMA read — zero copy. Repeat borrowed
+            // sends from the same buffer reuse the cached registration
+            // when it is idle; owned buffers register afresh every time.
             pkt.kind = PacketKind::RndvReq;
             let ident = data.ident();
             let owned = data.is_owned();

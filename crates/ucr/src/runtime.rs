@@ -485,9 +485,21 @@ impl RtInner {
     /// advertised to endpoint `ep_id`. The cache key is the source
     /// buffer's identity (`ident` = address + length) per destination —
     /// the MPICH2-lineage registration cache the paper's UCR derives
-    /// from. On a hit the region's contents are refreshed from `data`,
-    /// so address reuse after a free is harmless; on a miss a fresh MR
-    /// is registered (`data` is moved in — zero copy) and the least
+    /// from. Only *borrowed* sends participate: the caller keeps the
+    /// buffer alive, so its address is a stable identity. Owned payloads
+    /// free their heap allocation when the MR drops, so keying on their
+    /// address would track host-allocator reuse (nondeterministic across
+    /// machines and runs), not the simulation — they always register
+    /// afresh, with the buffer moved in (zero copy).
+    ///
+    /// On a hit the region's contents are refreshed from `data` — but
+    /// only when the registration is idle. A strong count above the
+    /// cache's own reference means a previous send from this buffer
+    /// still holds its advertise token (the target's RDMA read may be
+    /// in flight), and rewriting the region would corrupt that
+    /// transfer's payload; such busy entries are replaced by a fresh
+    /// registration (counted as a miss), while the displaced MR lives on
+    /// via its token until the Fin drops it. On a miss the least
     /// recently used entry beyond capacity is evicted. Cached MRs stay
     /// registered across the Fin that releases the per-send token; only
     /// eviction (or endpoint teardown) deregisters them.
@@ -501,13 +513,16 @@ impl RtInner {
         let cap = self.mr_cache_cap.get();
         let tick = self.mr_cache_tick.get() + 1;
         self.mr_cache_tick.set(tick);
+        let cacheable = cap > 0 && !owned;
         let key = (ep_id, ident.0, ident.1);
-        if cap > 0 {
+        if cacheable {
             if let Some(entry) = self.mr_cache.borrow_mut().get_mut(&key) {
-                entry.mr.write_at(0, &data);
-                entry.last_use = tick;
-                self.stats.mr_cache_hits.inc();
-                return entry.mr.clone();
+                if Rc::strong_count(&entry.mr) == 1 {
+                    entry.mr.write_at(0, &data);
+                    entry.last_use = tick;
+                    self.stats.mr_cache_hits.inc();
+                    return entry.mr.clone();
+                }
             }
         }
         self.stats.mr_cache_misses.inc();
@@ -515,7 +530,7 @@ impl RtInner {
             self.stats.rndv_copy_saved_bytes.add(data.len() as u64);
         }
         let mr = Rc::new(self.pd.register_with(data, Access::REMOTE_READ));
-        if cap > 0 {
+        if cacheable {
             let mut cache = self.mr_cache.borrow_mut();
             cache.insert(
                 key,

@@ -179,6 +179,152 @@ fn registration_cache_counts_hits_and_misses() {
     assert_eq!(run(0, 16), (0, 16));
 }
 
+/// Overlapping rendezvous sends from one borrowed buffer must not share
+/// one registration: the first transfer's advertise token is still
+/// outstanding when the second send rewrites the source buffer, so the
+/// cache must fall back to a fresh registration instead of rewriting the
+/// region the target is about to RDMA-read. Each message arrives with
+/// the payload it was sent with, and only an idle registration counts as
+/// a hit.
+#[test]
+fn busy_cached_registration_is_not_rewritten() {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    const MSG: u16 = 7;
+    const PORT: u16 = 9099;
+    let world = World::cluster_b(77, 2);
+    let sim = world.sim().clone();
+    let srv = ucr::UcrRuntime::new(&world.ib, NodeId(0));
+    let received: Rc<RefCell<Vec<Vec<u8>>>> = Rc::new(RefCell::new(Vec::new()));
+    let received2 = received.clone();
+    srv.register_handler(
+        MSG,
+        ucr::FnHandler(move |_: &ucr::Endpoint, _: &[u8], data: ucr::AmData| {
+            received2
+                .borrow_mut()
+                .push(data.into_vec().unwrap_or_default());
+        }),
+    );
+    let listener = srv.listen(PORT).unwrap();
+    sim.spawn(async move {
+        let mut eps = Vec::new();
+        while let Ok(ep) = listener.accept().await {
+            eps.push(ep);
+        }
+    });
+    let cli = ucr::UcrRuntime::new(&world.ib, NodeId(1));
+    let cli2 = cli.clone();
+    sim.block_on(async move {
+        let timeout = SimDuration::from_millis(250);
+        let ep = cli2.connect(NodeId(0), PORT, timeout).await.unwrap();
+        let mut buf = vec![1u8; 64 * 1024];
+        assert!(buf.len() > cli2.eager_threshold());
+
+        let c1 = cli2.counter();
+        ep.send_message(
+            MSG,
+            b"",
+            &buf,
+            ucr::SendOptions {
+                completion: Some(c1.clone()),
+                ..Default::default()
+            },
+        )
+        .await
+        .unwrap();
+        // The first transfer is only advertised so far; rewrite the
+        // source buffer and send again from the same address while its
+        // token is still outstanding.
+        buf.iter_mut().for_each(|b| *b = 2);
+        let c2 = cli2.counter();
+        ep.send_message(
+            MSG,
+            b"",
+            &buf,
+            ucr::SendOptions {
+                completion: Some(c2.clone()),
+                ..Default::default()
+            },
+        )
+        .await
+        .unwrap();
+        c1.wait_for(1, timeout).await.unwrap();
+        c2.wait_for(1, timeout).await.unwrap();
+
+        {
+            let got = received.borrow();
+            assert_eq!(got.len(), 2);
+            assert!(
+                got[0].iter().all(|&b| b == 1),
+                "first transfer must deliver the payload it advertised"
+            );
+            assert!(got[1].iter().all(|&b| b == 2));
+        }
+
+        // Both sends registered afresh: the second found the cached
+        // registration busy. A third send from the now-idle buffer hits.
+        let st = cli2.stats();
+        assert_eq!((st.mr_cache_hits.get(), st.mr_cache_misses.get()), (0, 2));
+        let c3 = cli2.counter();
+        ep.send_message(
+            MSG,
+            b"",
+            &buf,
+            ucr::SendOptions {
+                completion: Some(c3.clone()),
+                ..Default::default()
+            },
+        )
+        .await
+        .unwrap();
+        c3.wait_for(1, timeout).await.unwrap();
+        assert_eq!((st.mr_cache_hits.get(), st.mr_cache_misses.get()), (1, 2));
+    });
+}
+
+/// Abandoned in-flight handles must not leak parked responses: dropping
+/// an issued get before its response arrives flags the request id so
+/// the handler discards the late response, and dropping one after the
+/// response landed removes the parked entry — either way the in-flight
+/// table drains to empty and the connection keeps working.
+#[test]
+fn dropped_in_flight_handles_leave_no_parked_responses() {
+    let (world, _server, client) = ucr_world(78, 2);
+    let sim = world.sim().clone();
+    let sim2 = sim.clone();
+    sim.block_on(async move {
+        client.set(b"k", b"value", 0, 0).await.unwrap();
+
+        // Dropped before the response arrives.
+        let handle = client.issue_get(b"k").await.unwrap();
+        drop(handle);
+        sim2.sleep(SimDuration::from_millis(50)).await;
+        assert_eq!(
+            client.pending_responses(),
+            0,
+            "a late response for an abandoned op must be discarded"
+        );
+
+        // Dropped after the response arrives.
+        let handle = client.issue_get(b"k").await.unwrap();
+        while !handle.is_ready() {
+            sim2.sleep(SimDuration::from_millis(1)).await;
+        }
+        assert_eq!(client.pending_responses(), 1);
+        drop(handle);
+        assert_eq!(
+            client.pending_responses(),
+            0,
+            "dropping a ready handle must scrub its parked response"
+        );
+
+        // The connection is unaffected by the abandoned ops.
+        let v = client.get(b"k").await.unwrap().expect("hit");
+        assert_eq!(v.data, b"value");
+    });
+}
+
 /// Tracing must not move the virtual clock on the new pipelined paths
 /// either: a depth-8 batched workload mixing eager and rendezvous sizes
 /// reaches the same end time traced and untraced.
