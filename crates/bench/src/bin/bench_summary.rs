@@ -1,0 +1,96 @@
+//! Merges every benchmark result document under `results/` into one
+//! machine-readable digest, `results/bench_summary.json`: one record per
+//! bench file carrying its record count, the distinct `op` kinds it
+//! sweeps, and the min/max of every numeric field. CI publishes the
+//! digest as an artifact so a regression scan needs one download, not
+//! sixteen.
+//!
+//! Deterministic by construction: files are visited in sorted name
+//! order, fields are aggregated in sorted key order, and nothing reads
+//! the wall clock. Chrome-trace exports (`*.trace.json`) and a previous
+//! digest are skipped — they are not bench result documents.
+
+use std::collections::BTreeMap;
+
+use simnet::trace_export::{parse_json, Json};
+
+fn main() {
+    let dir = std::path::Path::new("results");
+    let mut names: Vec<String> = match std::fs::read_dir(dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| {
+                n.ends_with(".json") && !n.ends_with(".trace.json") && n != "bench_summary.json"
+            })
+            .collect(),
+        Err(e) => {
+            eprintln!("no results/ directory to summarize: {e}");
+            return;
+        }
+    };
+    names.sort_unstable();
+
+    println!("Benchmark result digest ({} documents)", names.len());
+    println!("{:>26} {:>9}  ops", "bench", "records");
+    let mut rows = Vec::new();
+    for name in &names {
+        let path = dir.join(name);
+        let doc = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("skipping {}: {e}", path.display());
+                continue;
+            }
+        };
+        let parsed = match parse_json(&doc) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("skipping {}: invalid JSON ({e})", path.display());
+                continue;
+            }
+        };
+        let bench = parsed
+            .get("bench")
+            .and_then(|b| b.as_str())
+            .unwrap_or(name.trim_end_matches(".json"))
+            .to_string();
+        let records = parsed
+            .get("records")
+            .and_then(|r| r.as_arr())
+            .unwrap_or(&[]);
+        // Aggregate every numeric field to (min, max); collect the
+        // distinct `op` kinds the bench sweeps.
+        let mut ranges: BTreeMap<String, (f64, f64)> = BTreeMap::new();
+        let mut ops: Vec<String> = Vec::new();
+        for rec in records {
+            if let Json::Obj(fields) = rec {
+                for (k, v) in fields {
+                    if let Some(n) = v.as_f64() {
+                        let e = ranges.entry(k.clone()).or_insert((n, n));
+                        e.0 = e.0.min(n);
+                        e.1 = e.1.max(n);
+                    }
+                }
+            }
+            if let Some(op) = rec.get("op").and_then(|o| o.as_str()) {
+                if !ops.iter().any(|o| o == op) {
+                    ops.push(op.to_string());
+                }
+            }
+        }
+        println!("{:>26} {:>9}  {}", bench, records.len(), ops.join(","));
+        let mut row = rmc_bench::json_out::Record::new()
+            .str("bench", bench)
+            .str("source", name.as_str())
+            .int("records", records.len() as u64)
+            .str("ops", ops.join(","));
+        for (k, (lo, hi)) in ranges {
+            row = row
+                .num(&format!("{k}.min"), lo)
+                .num(&format!("{k}.max"), hi);
+        }
+        rows.push(row);
+    }
+    rmc_bench::json_out::write("bench_summary", &rows);
+}

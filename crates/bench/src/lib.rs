@@ -652,14 +652,41 @@ pub fn measure_pipeline_throughput(
     ops: u32,
     seed: u64,
 ) -> f64 {
+    measure_pipeline_run(cluster, transport, depth, value_size, ops, seed).0
+}
+
+/// Like [`measure_pipeline_throughput`], but also returns the virtual
+/// clock at the end of the run. `ext_observatory` compares this clock
+/// against a sampled run's to prove sampling costs zero virtual time.
+pub fn measure_pipeline_run(
+    cluster: ClusterKind,
+    transport: Transport,
+    depth: usize,
+    value_size: usize,
+    ops: u32,
+    seed: u64,
+) -> (f64, simnet::SimTime) {
     let world = cluster.world(seed, 4);
-    let _server = McServer::start(&world, NodeId(0), McServerConfig::default());
+    run_pipeline_gets(&world, transport, depth, value_size, ops)
+}
+
+/// The pipelined-get workload itself, shared by the bare measurements
+/// above and the sampled [`measure_observatory`] so both run the
+/// identical code path (and therefore the identical virtual timeline).
+fn run_pipeline_gets(
+    world: &World,
+    transport: Transport,
+    depth: usize,
+    value_size: usize,
+    ops: u32,
+) -> (f64, simnet::SimTime) {
+    let _server = McServer::start(world, NodeId(0), McServerConfig::default());
     let mut cfg = McClientConfig::single(transport, NodeId(0));
     cfg.pipeline_depth = depth;
-    let client = McClient::new(&world, NodeId(1), cfg);
+    let client = McClient::new(world, NodeId(1), cfg);
     let sim = world.sim().clone();
     let sim2 = sim.clone();
-    sim.block_on(async move {
+    let tps = sim.block_on(async move {
         const KEYS: usize = 64;
         let value = vec![0x42u8; value_size];
         let names: Vec<String> = (0..KEYS).map(|i| format!("pipe-{i}")).collect();
@@ -683,7 +710,87 @@ pub fn measure_pipeline_throughput(
         assert!(got.iter().all(Option::is_some), "every pipelined get hits");
         let elapsed = (sim2.now() - t0).as_secs_f64();
         ops as f64 / elapsed
-    })
+    });
+    (tps, sim.now())
+}
+
+/// What one sampled observatory run measured (`ext_observatory`).
+pub struct ObservatoryRun {
+    /// Throughput, bit-identical to [`measure_pipeline_throughput`] on
+    /// the same parameters (sampling adds no virtual time).
+    pub tps: f64,
+    /// Virtual clock at the end of the run (zero-cost sampling check).
+    pub end_clock: simnet::SimTime,
+    /// Sampler snapshots taken during the run.
+    pub ticks: u64,
+    /// Client-observed throughput series (ops/sec per sampling interval).
+    pub tput_series: Vec<f64>,
+    /// In-flight window occupancy high watermark (client side).
+    pub inflight_high: f64,
+    /// Worker queue-depth high watermark across the server's workers.
+    pub queue_high: f64,
+    /// The run monitor's final state.
+    pub health: simnet::Health,
+    /// Health transitions recorded during the run.
+    pub transitions: usize,
+    /// The cluster's Prometheus exposition at the end of the run.
+    pub prom: String,
+}
+
+/// The pipelined-get workload of [`measure_pipeline_throughput`] run with
+/// a metrics [`Sampler`](simnet::Sampler) and
+/// [`HealthMonitor`](simnet::HealthMonitor) attached: the sampler
+/// snapshots the cluster registry every 100 µs of virtual time and feeds
+/// the monitor the client's completion rate and in-flight occupancy.
+/// Everything observed is pure host-side accounting, so `tps` matches the
+/// bare measurement bit for bit.
+pub fn measure_observatory(
+    cluster: ClusterKind,
+    transport: Transport,
+    depth: usize,
+    value_size: usize,
+    ops: u32,
+    seed: u64,
+) -> ObservatoryRun {
+    use simnet::{HealthMonitor, HealthRules, MonitorBinding, Sampler, SamplerConfig};
+    let world = cluster.world(seed, 4);
+    let sampler = Sampler::new(
+        world.sim(),
+        world.cluster.metrics(),
+        SamplerConfig::default(),
+    );
+    let monitor = HealthMonitor::new(HealthRules::default(), NodeId(1));
+    monitor.set_tracer(Some(world.cluster.tracer().clone()));
+    sampler.bind_monitor(MonitorBinding {
+        monitor: monitor.clone(),
+        throughput_counter: "client.node1.ops_completed".into(),
+        queue_gauge: "client.node1.inflight".into(),
+        latency_hist: None,
+        error_counter: None,
+    });
+    sampler.start();
+    let (tps, end_clock) = run_pipeline_gets(&world, transport, depth, value_size, ops);
+    sampler.stop();
+    let metrics = world.cluster.metrics();
+    let inflight_high = metrics.gauge("client.node1.inflight").high();
+    let queue_high = (0..McServerConfig::default().workers)
+        .map(|w| {
+            metrics
+                .gauge(&format!("mc.node0.worker{w}.queue_depth"))
+                .high()
+        })
+        .fold(0.0, f64::max);
+    ObservatoryRun {
+        tps,
+        end_clock,
+        ticks: sampler.ticks(),
+        tput_series: sampler.values("client.node1.ops_completed.rate"),
+        inflight_high,
+        queue_high,
+        health: monitor.state(),
+        transitions: monitor.transitions().len(),
+        prom: world.cluster.export_prometheus(),
+    }
 }
 
 /// Registration-cache statistics for a repeated-buffer rendezvous

@@ -307,6 +307,19 @@ struct CliInner {
     spans: SpanSlot,
     /// Cross-layer event tracer (cluster-wide; adds no virtual time).
     tracer: Rc<Tracer>,
+    /// Live pipelined-window occupancy (`client.nodeN.inflight`); the
+    /// gauge's high watermark records the deepest window reached.
+    inflight_gauge: Rc<simnet::metrics::Gauge>,
+    /// Completed operations (`client.nodeN.ops_completed`): the counter a
+    /// time-series sampler turns into client-observed throughput.
+    ops_completed: Rc<simnet::metrics::Counter>,
+}
+
+impl CliInner {
+    /// Accounts one completed operation (any transport).
+    fn op_done(&self) {
+        self.ops_completed.inc();
+    }
 }
 
 /// A Memcached client bound to one node of the simulated cluster.
@@ -387,6 +400,14 @@ impl McClient {
                 ops: Cell::new(0),
                 spans,
                 tracer: world.cluster.tracer().clone(),
+                inflight_gauge: world
+                    .cluster
+                    .metrics()
+                    .gauge(&format!("client.node{}.inflight", node.0)),
+                ops_completed: world
+                    .cluster
+                    .metrics()
+                    .counter(&format!("client.node{}.ops_completed", node.0)),
             }),
         }
     }
@@ -689,7 +710,9 @@ impl McClient {
                     for i in idxs {
                         if window.len() == depth {
                             let (j, op) = window.pop_front().expect("window nonempty");
+                            inner.inflight_gauge.set(window.len() as f64);
                             out[j] = decode_get_resp(inner.ucr_complete(op).await?)?;
+                            inner.op_done();
                         }
                         let key = keys[i];
                         let op = inner
@@ -700,9 +723,12 @@ impl McClient {
                             )
                             .await?;
                         window.push_back((i, op));
+                        inner.inflight_gauge.set(window.len() as f64);
                     }
                     while let Some((j, op)) = window.pop_front() {
+                        inner.inflight_gauge.set(window.len() as f64);
                         out[j] = decode_get_resp(inner.ucr_complete(op).await?)?;
+                        inner.op_done();
                     }
                 }
                 Conn::Sock(sock) if !inner.cfg.binary_protocol => {
@@ -721,6 +747,7 @@ impl McClient {
                                     flags: v.flags,
                                     cas: v.cas.unwrap_or(0),
                                 });
+                                inner.op_done();
                             }
                             _ => return Err(McError::Protocol),
                         }
@@ -738,6 +765,7 @@ impl McClient {
                                     flags: v.flags,
                                     cas: v.cas.unwrap_or(0),
                                 });
+                                inner.op_done();
                             }
                             _ => return Err(McError::Protocol),
                         }
@@ -774,8 +802,10 @@ impl McClient {
                     for i in idxs {
                         if window.len() == depth {
                             let (j, op) = window.pop_front().expect("window nonempty");
+                            inner.inflight_gauge.set(window.len() as f64);
                             let (resp, _) = inner.ucr_complete(op).await?;
                             out[j] = status_to_result(resp.status);
+                            inner.op_done();
                         }
                         let (key, value) = items[i];
                         let op = inner
@@ -792,10 +822,13 @@ impl McClient {
                             )
                             .await?;
                         window.push_back((i, op));
+                        inner.inflight_gauge.set(window.len() as f64);
                     }
                     while let Some((j, op)) = window.pop_front() {
+                        inner.inflight_gauge.set(window.len() as f64);
                         let (resp, _) = inner.ucr_complete(op).await?;
                         out[j] = status_to_result(resp.status);
+                        inner.op_done();
                     }
                 }
                 Conn::Sock(sock) if !inner.cfg.binary_protocol => {
@@ -821,6 +854,7 @@ impl McClient {
                             Response::ServerError(_) => Err(McError::OutOfMemory),
                             _ => Err(McError::Protocol),
                         };
+                        inner.op_done();
                     }
                 }
                 c @ (Conn::Sock(_) | Conn::Udp { .. }) => {
@@ -843,6 +877,7 @@ impl McClient {
                             Response::ServerError(_) => Err(McError::OutOfMemory),
                             _ => Err(McError::Protocol),
                         };
+                        inner.op_done();
                     }
                 }
             }

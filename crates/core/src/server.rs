@@ -135,6 +135,21 @@ struct SrvInner {
     /// Per-operation worker service-time histograms, keyed by
     /// [`McOp::label`]; surfaced through `stats`.
     op_hist: RefCell<HashMap<&'static str, Rc<Histogram>>>,
+    /// Cached handles for the per-slab-class occupancy/eviction gauges,
+    /// created lazily for populated classes only (a default store has
+    /// dozens of classes, most never touched).
+    slab_gauges: RefCell<HashMap<usize, ClassGauges>>,
+    /// Store-level occupancy gauges (`mc.nodeN.store.*`).
+    items_gauge: Rc<simnet::metrics::Gauge>,
+    bytes_gauge: Rc<simnet::metrics::Gauge>,
+}
+
+/// Gauge handles for one slab class (`mc.nodeN.slab.classC.*`).
+struct ClassGauges {
+    used: Rc<simnet::metrics::Gauge>,
+    free: Rc<simnet::metrics::Gauge>,
+    occupancy: Rc<simnet::metrics::Gauge>,
+    evictions: Rc<simnet::metrics::Gauge>,
 }
 
 /// A running Memcached server.
@@ -212,6 +227,15 @@ impl McServer {
             tracer: world.cluster.tracer().clone(),
             metrics: world.cluster.metrics().clone(),
             op_hist: RefCell::new(HashMap::new()),
+            slab_gauges: RefCell::new(HashMap::new()),
+            items_gauge: world
+                .cluster
+                .metrics()
+                .gauge(&format!("mc.node{}.store.curr_items", node.0)),
+            bytes_gauge: world
+                .cluster
+                .metrics()
+                .gauge(&format!("mc.node{}.store.bytes", node.0)),
         });
 
         for (widx, rx) in worker_rxs.into_iter().enumerate() {
@@ -401,6 +425,98 @@ impl SrvInner {
             .or_insert_with(|| Rc::new(Histogram::new()))
             .clone()
     }
+
+    /// Publishes storage-engine occupancy into the cluster gauges:
+    /// store-level item/byte counts plus per-slab-class used/free chunks,
+    /// occupancy ratio, and eviction totals. Gauge watermarks give the
+    /// high-water occupancy for free. Pure host-side accounting — costs
+    /// no virtual time.
+    fn publish_store_gauges(&self, store: &Store) {
+        self.items_gauge.set(store.curr_items() as f64);
+        self.bytes_gauge.set(store.bytes_stored() as f64);
+        let slabs = store.slabs();
+        let evictions = store.class_evictions();
+        let mut gauges = self.slab_gauges.borrow_mut();
+        for c in 0..slabs.class_count() {
+            let st = slabs.class_stats(mcstore::ClassId(c as u8));
+            let evicted = evictions.get(c).copied().unwrap_or(0);
+            if st.pages == 0 && evicted == 0 {
+                continue; // class never touched: keep the registry lean
+            }
+            let g = gauges.entry(c).or_insert_with(|| {
+                let prefix = format!("mc.node{}.slab.class{}", self.node.0, c);
+                ClassGauges {
+                    used: self.metrics.gauge(&format!("{prefix}.used_chunks")),
+                    free: self.metrics.gauge(&format!("{prefix}.free_chunks")),
+                    occupancy: self.metrics.gauge(&format!("{prefix}.occupancy")),
+                    evictions: self.metrics.gauge(&format!("{prefix}.evictions")),
+                }
+            });
+            g.used.set(st.used as f64);
+            g.free.set(st.free as f64);
+            let chunks = st.used + st.free;
+            g.occupancy.set(if chunks == 0 {
+                0.0
+            } else {
+                st.used as f64 / chunks as f64
+            });
+            g.evictions.set(evicted as f64);
+        }
+    }
+
+    /// Brings every live gauge up to date immediately before a metrics
+    /// export (`stats prom`): store occupancy plus the UCR runtime gauges
+    /// that are otherwise refreshed on progress-engine wakes.
+    fn refresh_observability_gauges(&self, store: &Store) {
+        self.publish_store_gauges(store);
+        if let Some(rt) = self.ucr.borrow().as_ref() {
+            rt.publish_gauges();
+        }
+        if let Some(rt) = self.roce.borrow().as_ref() {
+            rt.publish_gauges();
+        }
+    }
+
+    /// `stats reset` (memcached parity): zeroes every counter and
+    /// histogram — server request counters, storage-engine statistics,
+    /// per-op service histograms, UCR runtime counters on both fabrics,
+    /// and the cluster registry's counters/histograms — while preserving
+    /// gauges and their watermarks (levels describe *current* state; a
+    /// reset must not forge them).
+    fn reset_all_stats(&self, store: &mut Store) {
+        self.stats.ucr_requests.set(0);
+        self.stats.sock_requests.set(0);
+        store.reset_stats();
+        for h in self.op_hist.borrow().values() {
+            h.reset();
+        }
+        if let Some(rt) = self.ucr.borrow().as_ref() {
+            rt.stats().reset();
+        }
+        if let Some(rt) = self.roce.borrow().as_ref() {
+            rt.stats().reset();
+        }
+        self.metrics.reset_counters_and_histograms();
+    }
+}
+
+/// The `stats prom` sub-report: the cluster's Prometheus exposition,
+/// carried over the stats plumbing as `(first-token, rest-of-line)`
+/// pairs. Each exposition line has exactly one space after its first
+/// token (`#` for comment lines, the series name otherwise), so clients
+/// reconstruct the text losslessly by rejoining `"{k} {v}"`.
+fn prom_stat_lines(srv: &SrvInner, store: &Store) -> Vec<(String, String)> {
+    srv.refresh_observability_gauges(store);
+    simnet::timeseries::prometheus_text(&srv.metrics)
+        .lines()
+        .map(|l| {
+            let mut it = l.splitn(2, ' ');
+            (
+                it.next().unwrap_or_default().to_string(),
+                it.next().unwrap_or_default().to_string(),
+            )
+        })
+        .collect()
 }
 
 /// The `stats trace` sub-report: per-layer event counts plus the state of
@@ -470,6 +586,13 @@ async fn worker_loop(srv: Weak<SrvInner>, rx: Receiver<WorkItem>, widx: u32) {
                     request_id,
                     cmd,
                 } => serve_sock_udp(&inner, sock, src, request_id, cmd).await,
+            }
+        }
+        // Batch drained: refresh the storage-occupancy gauges so a
+        // concurrently running time-series sampler sees live slab state.
+        if let Some(inner) = srv.upgrade() {
+            if let Ok(store) = inner.store.try_borrow() {
+                inner.publish_store_gauges(&store);
             }
         }
     }
@@ -584,6 +707,11 @@ async fn serve_ucr(srv: &Rc<SrvInner>, ep: Endpoint, req: ReqHeader, data: Vec<u
                 b"slabs" => stat_pairs_to_text(&store.slab_stat_lines()),
                 b"items" => stat_pairs_to_text(&store.item_stat_lines()),
                 b"trace" => stat_pairs_to_text(&trace_stat_lines(srv)),
+                b"prom" => stat_pairs_to_text(&prom_stat_lines(srv, &store)),
+                b"reset" => {
+                    srv.reset_all_stats(&mut store);
+                    "reset ok\n".to_string()
+                }
                 b"" => render_stats(srv, &store),
                 _ => String::new(),
             }
@@ -860,6 +988,11 @@ fn execute_ascii(
                 Some(b"slabs") => store.slab_stat_lines(),
                 Some(b"items") => store.item_stat_lines(),
                 Some(b"trace") => trace_stat_lines(srv),
+                Some(b"prom") => prom_stat_lines(srv, store),
+                Some(b"reset") => {
+                    srv.reset_all_stats(store);
+                    vec![("reset".to_string(), "ok".to_string())]
+                }
                 Some(_) => Vec::new(), // unknown sub-report: bare END
                 None => render_stats(srv, store)
                     .lines()

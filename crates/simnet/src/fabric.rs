@@ -359,6 +359,14 @@ impl Cluster {
         }
     }
 
+    /// The whole metrics registry rendered in Prometheus text exposition
+    /// format (`# TYPE`/`# HELP` lines, `node`/`worker`/`layer` labels
+    /// recovered from the dotted names). See
+    /// [`timeseries::prometheus_text`](crate::timeseries::prometheus_text).
+    pub fn export_prometheus(&self) -> String {
+        crate::timeseries::prometheus_text(&self.metrics)
+    }
+
     /// Publishes each node's shared-resource occupancy into the metrics
     /// registry as gauges (`nodeN.hca.utilization`, `nodeN.kernel.
     /// utilization`) and counters-as-gauges for completed jobs, measured

@@ -44,6 +44,7 @@ mod resource;
 mod rng;
 pub mod sync;
 mod time;
+pub mod timeseries;
 pub mod trace;
 pub mod trace_export;
 
@@ -56,4 +57,8 @@ pub use profiles::{ClusterProfile, NetKind, Stack};
 pub use resource::FifoResource;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
+pub use timeseries::{
+    Health, HealthInput, HealthMonitor, HealthRules, MonitorBinding, SamplePoint, Sampler,
+    SamplerConfig,
+};
 pub use trace::{Event, EventRecorder, EventSink, Layer, Phase, Tracer, Track};

@@ -78,9 +78,20 @@ impl std::fmt::Debug for Counter {
 }
 
 /// A point-in-time measurement (utilization, occupancy, queue depth).
+///
+/// Every [`set`](Gauge::set) also folds the value into running high/low
+/// watermarks, so a sampler that only observes the gauge between events
+/// still sees the extremes reached *between* its samples (e.g. the peak
+/// worker queue depth inside one sampling interval). Watermarks survive
+/// [`Metrics::reset_counters_and_histograms`] (the `stats reset` path)
+/// and are cleared only by [`reset_watermarks`](Gauge::reset_watermarks)
+/// or a full [`Gauge::reset`].
 #[derive(Default)]
 pub struct Gauge {
     value: Cell<f64>,
+    high: Cell<f64>,
+    low: Cell<f64>,
+    touched: Cell<bool>,
 }
 
 impl Gauge {
@@ -89,14 +100,52 @@ impl Gauge {
         Gauge::default()
     }
 
-    /// Overwrites the value.
+    /// Overwrites the value and folds it into the watermarks.
     pub fn set(&self, v: f64) {
         self.value.set(v);
+        if self.touched.replace(true) {
+            if v > self.high.get() {
+                self.high.set(v);
+            }
+            if v < self.low.get() {
+                self.low.set(v);
+            }
+        } else {
+            self.high.set(v);
+            self.low.set(v);
+        }
     }
 
     /// Current value.
     pub fn get(&self) -> f64 {
         self.value.get()
+    }
+
+    /// Highest value ever set (the current value if set once; zero if
+    /// never set).
+    pub fn high(&self) -> f64 {
+        self.high.get()
+    }
+
+    /// Lowest value ever set (the current value if set once; zero if
+    /// never set).
+    pub fn low(&self) -> f64 {
+        self.low.get()
+    }
+
+    /// Collapses both watermarks onto the current value, starting a new
+    /// observation window.
+    pub fn reset_watermarks(&self) {
+        self.high.set(self.value.get());
+        self.low.set(self.value.get());
+    }
+
+    /// Zeroes the value and the watermarks (full reset, as if fresh).
+    pub fn reset(&self) {
+        self.value.set(0.0);
+        self.high.set(0.0);
+        self.low.set(0.0);
+        self.touched.set(false);
     }
 }
 
@@ -327,11 +376,51 @@ impl Metrics {
             c.reset();
         }
         for g in self.gauges.borrow().values() {
-            g.set(0.0);
+            g.reset();
         }
         for h in self.histograms.borrow().values() {
             h.reset();
         }
+    }
+
+    /// Zeroes counters and histograms but leaves gauges — values *and*
+    /// high/low watermarks — untouched. This is the `stats reset`
+    /// semantics: event counts restart, while level measurements (slab
+    /// occupancy, queue depth) keep describing the live system.
+    pub fn reset_counters_and_histograms(&self) {
+        for c in self.counters.borrow().values() {
+            c.reset();
+        }
+        for h in self.histograms.borrow().values() {
+            h.reset();
+        }
+    }
+
+    /// Snapshot of every registered counter, sorted by name.
+    pub fn counters(&self) -> Vec<(String, Rc<Counter>)> {
+        self.counters
+            .borrow()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Snapshot of every registered gauge, sorted by name.
+    pub fn gauges(&self) -> Vec<(String, Rc<Gauge>)> {
+        self.gauges
+            .borrow()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Snapshot of every registered histogram, sorted by name.
+    pub fn histograms(&self) -> Vec<(String, Rc<Histogram>)> {
+        self.histograms
+            .borrow()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
     }
 }
 
@@ -694,6 +783,67 @@ mod tests {
         let g = Gauge::new();
         g.set(0.75);
         assert!((g.get() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gauge_watermarks_track_extremes() {
+        let g = Gauge::new();
+        // Untouched: everything reads zero.
+        assert_eq!(g.high(), 0.0);
+        assert_eq!(g.low(), 0.0);
+        // First set seeds both watermarks (low must not stick at 0.0 for
+        // a gauge that never goes below its first positive value).
+        g.set(5.0);
+        assert_eq!(g.high(), 5.0);
+        assert_eq!(g.low(), 5.0);
+        g.set(9.0);
+        g.set(2.0);
+        g.set(4.0);
+        assert_eq!(g.get(), 4.0);
+        assert_eq!(g.high(), 9.0);
+        assert_eq!(g.low(), 2.0);
+    }
+
+    #[test]
+    fn gauge_watermark_reset_collapses_to_current_value() {
+        let g = Gauge::new();
+        g.set(10.0);
+        g.set(1.0);
+        g.set(6.0);
+        g.reset_watermarks();
+        // New window starts at the live value, not at zero.
+        assert_eq!(g.high(), 6.0);
+        assert_eq!(g.low(), 6.0);
+        g.set(7.0);
+        g.set(5.0);
+        assert_eq!(g.high(), 7.0);
+        assert_eq!(g.low(), 5.0);
+        // Full reset behaves like a fresh instrument.
+        g.reset();
+        assert_eq!(g.get(), 0.0);
+        g.set(-3.0);
+        assert_eq!(g.high(), -3.0);
+        assert_eq!(g.low(), -3.0);
+    }
+
+    #[test]
+    fn selective_reset_preserves_gauges_and_watermarks() {
+        let m = Metrics::new();
+        m.counter("reqs").add(11);
+        m.histogram("lat").record(SimDuration::from_micros(4));
+        let g = m.gauge("depth");
+        g.set(8.0);
+        g.set(3.0);
+        m.reset_counters_and_histograms();
+        assert_eq!(m.counter_value("reqs"), 0);
+        assert_eq!(m.histogram("lat").count(), 0);
+        assert_eq!(g.get(), 3.0);
+        assert_eq!(g.high(), 8.0);
+        assert_eq!(g.low(), 3.0);
+        // The full reset still clears gauges too.
+        m.reset();
+        assert_eq!(g.get(), 0.0);
+        assert_eq!(g.high(), 0.0);
     }
 
     #[test]

@@ -168,6 +168,7 @@ pub struct Store {
     bytes_stored: u64,
     config: StoreConfig,
     stats: StoreStats,
+    evictions_by_class: Vec<u64>,
 }
 
 impl Store {
@@ -191,6 +192,7 @@ impl Store {
             bytes_stored: 0,
             config,
             stats: StoreStats::default(),
+            evictions_by_class: vec![0; classes],
         }
     }
 
@@ -341,6 +343,20 @@ impl Store {
         self.stats
     }
 
+    /// Items evicted live from each slab class, indexed by class id (the
+    /// per-class split of [`StoreStats::evictions`]).
+    pub fn class_evictions(&self) -> &[u64] {
+        &self.evictions_by_class
+    }
+
+    /// Zeroes the operation counters (`stats reset` semantics). Level
+    /// state — stored items, slab pages, LRU order — is untouched: only
+    /// the accounting restarts.
+    pub fn reset_stats(&mut self) {
+        self.stats = StoreStats::default();
+        self.evictions_by_class.iter_mut().for_each(|e| *e = 0);
+    }
+
     /// Live item count (may include not-yet-reclaimed expired items).
     pub fn curr_items(&self) -> u64 {
         self.item_count
@@ -395,6 +411,10 @@ impl Store {
                 continue;
             }
             out.push((format!("items:{c}:number"), used.to_string()));
+            out.push((
+                format!("items:{c}:evicted"),
+                self.evictions_by_class[c].to_string(),
+            ));
         }
         out
     }
@@ -566,6 +586,7 @@ impl Store {
                 self.stats.reclaimed += 1;
             } else {
                 self.stats.evictions += 1;
+                self.evictions_by_class[class.0 as usize] += 1;
             }
             self.remove_item(tail);
             if let Some(loc) = self.slabs.alloc(class) {

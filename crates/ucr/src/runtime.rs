@@ -97,6 +97,24 @@ impl RtStats {
         .map(|(k, v)| (k.to_string(), v.to_string()))
         .collect()
     }
+
+    /// Zeroes every counter (the server's `stats reset` path). Purely an
+    /// accounting restart: runtime behaviour does not read these.
+    pub fn reset(&self) {
+        self.messages_sent.reset();
+        self.eager_delivered.reset();
+        self.rndv_delivered.reset();
+        self.fins_sent.reset();
+        self.unknown_msg_dropped.reset();
+        self.send_failures.reset();
+        self.mr_cache_hits.reset();
+        self.mr_cache_misses.reset();
+        self.eager_copy_saved_bytes.reset();
+        self.rndv_copy_saved_bytes.reset();
+        self.recv_bufs_recycled.reset();
+        self.progress_wakes.reset();
+        self.progress_completions.reset();
+    }
 }
 
 pub(crate) enum Pending {
@@ -129,6 +147,30 @@ pub(crate) enum RndvDest {
 struct MrCacheEntry {
     mr: Rc<Mr>,
     last_use: u64,
+}
+
+/// Live gauge handles in the cluster registry mirroring the hottest
+/// [`RtStats`] signals (`ucr.<net>.nodeN.*`). Pre-created so the progress
+/// engine can publish after every wake batch without name formatting;
+/// samplers and `stats prom` then see runtime health *during* a run, not
+/// just at its end.
+struct RtGauges {
+    mr_cache_hit_rate: Rc<simnet::metrics::Gauge>,
+    recv_bufs_recycled: Rc<simnet::metrics::Gauge>,
+    progress_wakes: Rc<simnet::metrics::Gauge>,
+    progress_completions: Rc<simnet::metrics::Gauge>,
+}
+
+impl RtGauges {
+    fn new(metrics: &simnet::Metrics, net: &str, node: NodeId) -> RtGauges {
+        let gauge = |name: &str| metrics.gauge(&format!("ucr.{net}.{node}.{name}"));
+        RtGauges {
+            mr_cache_hit_rate: gauge("mr_cache_hit_rate"),
+            recv_bufs_recycled: gauge("recv_bufs_recycled"),
+            progress_wakes: gauge("progress_wakes"),
+            progress_completions: gauge("progress_completions"),
+        }
+    }
 }
 
 pub(crate) struct RtInner {
@@ -165,6 +207,7 @@ pub(crate) struct RtInner {
     shutdown: Cell<bool>,
     pub stats: RtStats,
     pub(crate) tracer: Rc<Tracer>,
+    gauges: RtGauges,
 }
 
 /// The Unified Communication Runtime for one node.
@@ -196,6 +239,12 @@ impl UcrRuntime {
         let sim = hca.sim();
         let profile = fabric.cluster().profile().clone();
         let tracer = fabric.cluster().tracer().clone();
+        let net = match fabric.kind() {
+            simnet::NetKind::Ib => "ib",
+            simnet::NetKind::TenGigE => "roce",
+            simnet::NetKind::OneGigE => "gige",
+        };
+        let gauges = RtGauges::new(fabric.cluster().metrics(), net, node);
         let inner = Rc::new(RtInner {
             node,
             sim: sim.clone(),
@@ -225,6 +274,7 @@ impl UcrRuntime {
             shutdown: Cell::new(false),
             stats: RtStats::default(),
             tracer,
+            gauges,
         });
         for _ in 0..RECV_POOL_DEPTH {
             inner.post_recv_buffer();
@@ -254,6 +304,7 @@ impl UcrRuntime {
                     rt.stats.progress_completions.inc();
                     rt.handle_completion(wc).await;
                 }
+                rt.publish_gauges();
             }
         });
         UcrRuntime { inner }
@@ -409,6 +460,13 @@ impl UcrRuntime {
         &self.inner.stats
     }
 
+    /// Refreshes the live `ucr.<net>.nodeN.*` gauges from the current
+    /// [`RtStats`] right now, rather than waiting for the next progress
+    /// wake (used by `stats prom` so an export reflects the latest state).
+    pub fn publish_gauges(&self) {
+        self.inner.publish_gauges();
+    }
+
     /// Adjusts the rendezvous registration-cache capacity (entries per
     /// runtime; 0 disables caching — the ablation baseline). Shrinking
     /// evicts least-recently-used entries immediately.
@@ -467,6 +525,29 @@ impl EpListener {
 }
 
 impl RtInner {
+    /// Refreshes the live `ucr.<net>.nodeN.*` gauges from [`RtStats`].
+    /// Called by the progress engine after each wake batch; pure host-side
+    /// work (no virtual time).
+    pub(crate) fn publish_gauges(&self) {
+        let hits = self.stats.mr_cache_hits.get();
+        let misses = self.stats.mr_cache_misses.get();
+        let lookups = hits + misses;
+        self.gauges.mr_cache_hit_rate.set(if lookups == 0 {
+            0.0
+        } else {
+            hits as f64 / lookups as f64
+        });
+        self.gauges
+            .recv_bufs_recycled
+            .set(self.stats.recv_bufs_recycled.get() as f64);
+        self.gauges
+            .progress_wakes
+            .set(self.stats.progress_wakes.get() as f64);
+        self.gauges
+            .progress_completions
+            .set(self.stats.progress_completions.get() as f64);
+    }
+
     pub(crate) fn alloc_wr(&self, p: Pending) -> u64 {
         let id = self.next_wr.get();
         self.next_wr.set(id + 1);

@@ -131,6 +131,12 @@ impl IbFabric {
     pub fn cluster(&self) -> &Rc<Cluster> {
         &self.inner.cluster
     }
+
+    /// The physical network this fabric view runs over ([`NetKind::Ib`]
+    /// native, or converged Ethernet for RoCE).
+    pub fn kind(&self) -> NetKind {
+        self.inner.net_kind
+    }
 }
 
 impl IbFabricInner {
