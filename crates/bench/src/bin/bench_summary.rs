@@ -7,8 +7,16 @@
 //!
 //! Deterministic by construction: files are visited in sorted name
 //! order, fields are aggregated in sorted key order, and nothing reads
-//! the wall clock. Chrome-trace exports (`*.trace.json`) and a previous
-//! digest are skipped — they are not bench result documents.
+//! the wall clock. Chrome-trace exports (`*.trace.json`), the metric
+//! manifest, and a previous digest are skipped — they are not bench
+//! result documents.
+//!
+//! As a final step the digest cross-checks `results/metric_manifest.json`
+//! (rmc-lint's inventory of every registered metric) against the series
+//! the observatory actually exposed (`results/ext_observatory.prom`):
+//! every backticked registry name in a HELP line must match a manifest
+//! pattern of the same instrument kind, so a renamed or typo'd metric
+//! fails CI here instead of silently forking a series.
 
 use std::collections::BTreeMap;
 
@@ -21,7 +29,10 @@ fn main() {
             .filter_map(|e| e.ok())
             .filter_map(|e| e.file_name().into_string().ok())
             .filter(|n| {
-                n.ends_with(".json") && !n.ends_with(".trace.json") && n != "bench_summary.json"
+                n.ends_with(".json")
+                    && !n.ends_with(".trace.json")
+                    && n != "bench_summary.json"
+                    && n != "metric_manifest.json"
             })
             .collect(),
         Err(e) => {
@@ -93,4 +104,103 @@ fn main() {
         rows.push(row);
     }
     rmc_bench::json_out::write("bench_summary", &rows);
+
+    if let Err(msg) = cross_check_manifest(dir) {
+        eprintln!("bench_summary: metric-manifest cross-check FAILED:\n{msg}");
+        std::process::exit(1);
+    }
+}
+
+/// Validates the exposed Prometheus series against the committed metric
+/// manifest. Exposition HELP lines carry the original dotted registry
+/// name in backticks and the instrument kind in their wording ("Event
+/// count" = counter, "Level"/"watermark" = gauge, "summary" =
+/// histogram); each must match a manifest pattern of that kind.
+fn cross_check_manifest(dir: &std::path::Path) -> Result<(), String> {
+    let manifest_path = dir.join("metric_manifest.json");
+    let manifest = std::fs::read_to_string(&manifest_path).map_err(|e| {
+        format!(
+            "{} unreadable ({e}); run `cargo run -p rmc-lint -- --write-manifest`",
+            manifest_path.display()
+        )
+    })?;
+    let parsed = parse_json(&manifest)
+        .map_err(|e| format!("{} is not valid JSON: {e}", manifest_path.display()))?;
+    let entries = parsed
+        .get("metrics")
+        .and_then(|m| m.as_arr())
+        .ok_or_else(|| format!("{} has no `metrics` array", manifest_path.display()))?;
+    let patterns: Vec<(String, String)> = entries
+        .iter()
+        .filter_map(|e| {
+            let name = e.get("name").and_then(|n| n.as_str())?;
+            let kind = e.get("kind").and_then(|k| k.as_str())?;
+            Some((name.to_string(), kind.to_string()))
+        })
+        .collect();
+    if patterns.is_empty() {
+        return Err(format!("{} lists no metrics", manifest_path.display()));
+    }
+
+    let prom_path = dir.join("ext_observatory.prom");
+    let prom = match std::fs::read_to_string(&prom_path) {
+        Ok(s) => s,
+        Err(_) => {
+            eprintln!(
+                "bench_summary: {} absent, skipping exposition cross-check \
+                 (run ext_observatory first)",
+                prom_path.display()
+            );
+            return Ok(());
+        }
+    };
+
+    let mut checked = 0usize;
+    let mut failures = Vec::new();
+    for line in prom.lines() {
+        let Some(help) = line.strip_prefix("# HELP ") else {
+            continue;
+        };
+        let Some(name) = help.split('`').nth(1) else {
+            continue; // HELP line without a registry-name backquote
+        };
+        let kind = if help.contains("Event count") {
+            "counter"
+        } else if help.contains("Level") || help.contains("watermark") {
+            "gauge"
+        } else if help.contains("summary") || help.contains("histogram") {
+            "histogram"
+        } else {
+            failures.push(format!(
+                "  {name}: unrecognized HELP wording {help:?} (cannot infer instrument kind)"
+            ));
+            continue;
+        };
+        checked += 1;
+        let known = patterns
+            .iter()
+            .any(|(p, k)| k == kind && rmc_lint::rules::pattern_matches(p, name));
+        if !known {
+            failures.push(format!(
+                "  {name} ({kind}): exposed by the observatory but matches no \
+                 manifest pattern of that kind"
+            ));
+        }
+    }
+    if checked == 0 {
+        return Err(format!(
+            "{} exposes no registry-backed series to check",
+            prom_path.display()
+        ));
+    }
+    if failures.is_empty() {
+        eprintln!(
+            "bench_summary: metric-manifest cross-check ok ({checked} exposed series \
+             against {} manifest patterns)",
+            patterns.len()
+        );
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
 }

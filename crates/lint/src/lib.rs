@@ -1,0 +1,169 @@
+//! `rmc-lint` — in-tree invariant analyzer for the rmc workspace.
+//!
+//! The reproduction's headline property is bit-identical virtual-time
+//! results; that property rests on source-level conventions no compiler
+//! checks. This crate checks them statically: a hand-rolled Rust
+//! tokenizer ([`lexer`]), five rules ([`rules`], R1–R5), a waiver
+//! comment syntax, a committed ratcheting baseline for grandfathered
+//! violations, and JSON / `file:line` reports ([`report`]). No external
+//! dependencies — the build container is offline.
+//!
+//! Library entry points: [`analyze_workspace`] walks the real tree;
+//! [`analyze_sources`] runs the same pipeline over in-memory
+//! `(path, text)` pairs (how the fixture tests seed violations).
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use std::collections::BTreeSet;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use report::Baseline;
+pub use rules::Violation;
+
+/// Path prefixes never scanned: build output, the dependency shims
+/// (host-side by design: the criterion shim legitimately reads host
+/// time), and the lint's own deliberately-violating fixtures.
+pub const IGNORE_PREFIXES: [&str; 4] = [
+    "target/",
+    "shims/",
+    "crates/lint/tests/fixtures/",
+    "results/",
+];
+
+/// Files never scanned even if a future walk widens beyond `*.rs`:
+/// prose documents quote violating code on purpose.
+pub const IGNORE_FILES: [&str; 3] = ["ISSUE.md", "REVIEW.md", "CHANGES.md"];
+
+/// Result of a full analysis pass.
+pub struct Analysis {
+    /// Files lexed and scanned.
+    pub files_scanned: usize,
+    /// Violations surviving waiver application, sorted by (file, line, rule).
+    pub violations: Vec<Violation>,
+    /// Violations suppressed by `// lint:allow(...)` waivers.
+    pub waived: usize,
+    /// The metric manifest derived from every R2 registration site —
+    /// the committed `results/metric_manifest.json` must byte-match it.
+    pub manifest: String,
+}
+
+/// The workspace root when running via `cargo run -p rmc-lint`
+/// (compile-time crate dir, two levels up).
+pub fn default_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+fn ignored(rel: &str) -> bool {
+    IGNORE_PREFIXES.iter().any(|p| rel.starts_with(p))
+        || IGNORE_FILES
+            .iter()
+            .any(|f| rel == *f || rel.ends_with(&format!("/{f}")))
+        || rel.ends_with(".md")
+}
+
+fn walk(dir: &Path, root: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let rel = match path.strip_prefix(root) {
+            Ok(r) => r.to_string_lossy().replace('\\', "/"),
+            Err(_) => continue,
+        };
+        if ignored(&rel) {
+            continue;
+        }
+        if path.is_dir() {
+            walk(&path, root, out)?;
+        } else if rel.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Collects every scannable `*.rs` path (workspace-relative, `/`
+/// separators, sorted) under the source roots.
+pub fn collect_files(root: &Path) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    for top in ["crates", "src", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, root, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Runs the full pipeline over in-memory `(relative path, source)`
+/// pairs: lex, per-file rules, global metric-read validation, waiver
+/// application, manifest derivation.
+pub fn analyze_sources(files: &[(String, String)]) -> Analysis {
+    let mut all_violations: Vec<Violation> = Vec::new();
+    let mut sites = Vec::new();
+    let mut reads = Vec::new();
+    // Waiver coverage: (file, line) pairs per rule, for the violating
+    // line itself and (from standalone comment lines) the line below.
+    let mut waiver_at: BTreeSet<(String, u32, String)> = BTreeSet::new();
+    for (path, text) in files {
+        let lexed = lexer::lex(text);
+        for w in &lexed.waivers {
+            for r in &w.rules {
+                waiver_at.insert((path.clone(), w.line, r.clone()));
+                if w.standalone {
+                    waiver_at.insert((path.clone(), w.line + 1, r.clone()));
+                }
+            }
+        }
+        let scan = rules::scan_file(path, &lexed);
+        all_violations.extend(scan.violations);
+        sites.extend(scan.sites);
+        reads.extend(scan.reads);
+    }
+    all_violations.extend(rules::check_reads(&sites, &reads));
+    let before = all_violations.len();
+    all_violations.retain(|v| !waiver_at.contains(&(v.file.clone(), v.line, v.rule.to_string())));
+    let waived = before - all_violations.len();
+    all_violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Analysis {
+        files_scanned: files.len(),
+        violations: all_violations,
+        waived,
+        manifest: report::write_manifest(&sites),
+    }
+}
+
+/// Walks the workspace at `root` and analyzes every collected file.
+pub fn analyze_workspace(root: &Path) -> io::Result<Analysis> {
+    let mut files = Vec::new();
+    for rel in collect_files(root)? {
+        let text = std::fs::read_to_string(root.join(&rel))?;
+        files.push((rel, text));
+    }
+    Ok(analyze_sources(&files))
+}
+
+/// (rule, file, found, grandfathered) for every group exceeding its
+/// baseline allowance — the check fails iff this is non-empty.
+pub fn failing_groups(
+    violations: &[Violation],
+    baseline: &Baseline,
+) -> Vec<(String, String, u64, u64)> {
+    let counts = report::count_by_rule_file(violations);
+    let mut out = Vec::new();
+    for (rule, files) in &counts {
+        for (file, &found) in files {
+            let allowed = baseline
+                .get(rule)
+                .and_then(|f| f.get(file))
+                .copied()
+                .unwrap_or(0);
+            if found > allowed {
+                out.push((rule.clone(), file.clone(), found, allowed));
+            }
+        }
+    }
+    out
+}

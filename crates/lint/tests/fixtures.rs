@@ -1,0 +1,171 @@
+//! Fixture-based end-to-end tests: each rule gets a deliberately
+//! violating source file under `tests/fixtures/` (excluded from the
+//! real workspace walk), fed through the full pipeline under a virtual
+//! path inside the rule's scope, and every hit is asserted by exact
+//! `file:line`.
+
+use rmc_lint::analyze_sources;
+
+fn hits(files: &[(&str, &str)]) -> (Vec<(String, u32, &'static str)>, usize, String) {
+    let owned: Vec<(String, String)> = files
+        .iter()
+        .map(|(p, t)| (p.to_string(), t.to_string()))
+        .collect();
+    let analysis = analyze_sources(&owned);
+    (
+        analysis
+            .violations
+            .iter()
+            .map(|v| (v.file.clone(), v.line, v.rule))
+            .collect(),
+        analysis.waived,
+        analysis.manifest,
+    )
+}
+
+#[test]
+fn r1_fixture_exact_lines() {
+    let (v, _, _) = hits(&[(
+        "crates/simnet/src/fixture_r1.rs",
+        include_str!("fixtures/r1.rs"),
+    )]);
+    let expect: Vec<(String, u32, &str)> = [4, 7, 8, 9, 10, 11]
+        .iter()
+        .map(|&l| ("crates/simnet/src/fixture_r1.rs".to_string(), l, "R1"))
+        .collect();
+    assert_eq!(v, expect);
+}
+
+#[test]
+fn r2_fixture_exact_lines() {
+    let (v, _, manifest) = hits(&[(
+        "crates/core/src/fixture_r2.rs",
+        include_str!("fixtures/r2.rs"),
+    )]);
+    // 5–8: grammar violations; 9: reserved `.high` suffix; 12: read of
+    // an unregistered name. 10 registers cleanly, 11 reads it back.
+    let expect: Vec<(String, u32, &str)> = [5, 6, 7, 8, 9, 12]
+        .iter()
+        .map(|&l| ("crates/core/src/fixture_r2.rs".to_string(), l, "R2"))
+        .collect();
+    assert_eq!(v, expect);
+    assert!(manifest.contains("\"name\": \"mc.node*.ops\""));
+    assert!(manifest.contains("\"kind\": \"counter\""));
+    assert!(manifest.contains("\"layer\": \"mc\""));
+}
+
+#[test]
+fn r3_fixture_exact_lines() {
+    let (v, _, _) = hits(&[(
+        "crates/ucr/src/fixture_r3.rs",
+        include_str!("fixtures/r3.rs"),
+    )]);
+    // 5: begin without end; 8: end without begin; 9: literal-0 span key.
+    let expect: Vec<(String, u32, &str)> = [5, 8, 9]
+        .iter()
+        .map(|&l| ("crates/ucr/src/fixture_r3.rs".to_string(), l, "R3"))
+        .collect();
+    assert_eq!(v, expect);
+}
+
+#[test]
+fn r4_fixture_exact_lines() {
+    let (v, _, _) = hits(&[(
+        "crates/verbs/src/fixture_r4.rs",
+        include_str!("fixtures/r4.rs"),
+    )]);
+    let expect: Vec<(String, u32, &str)> = [5, 6, 8]
+        .iter()
+        .map(|&l| ("crates/verbs/src/fixture_r4.rs".to_string(), l, "R4"))
+        .collect();
+    assert_eq!(v, expect);
+}
+
+#[test]
+fn r5_fixture_exact_lines() {
+    let (v, _, _) = hits(&[(
+        "crates/ucr/src/fixture_r5.rs",
+        include_str!("fixtures/r5.rs"),
+    )]);
+    let expect: Vec<(String, u32, &str)> = [5, 6]
+        .iter()
+        .map(|&l| ("crates/ucr/src/fixture_r5.rs".to_string(), l, "R5"))
+        .collect();
+    assert_eq!(v, expect);
+}
+
+#[test]
+fn waiver_fixture_suppresses_covered_lines_only() {
+    let (v, waived, _) = hits(&[(
+        "crates/verbs/src/fixture_waiver.rs",
+        include_str!("fixtures/waiver.rs"),
+    )]);
+    // Line 5 is waived inline, line 7 by the standalone comment on 6;
+    // line 8 has no waiver and must survive.
+    assert_eq!(waived, 2);
+    assert_eq!(
+        v,
+        vec![("crates/verbs/src/fixture_waiver.rs".to_string(), 8, "R4")]
+    );
+}
+
+#[test]
+fn all_fixtures_together_stay_disjoint() {
+    let (v, waived, _) = hits(&[
+        (
+            "crates/simnet/src/fixture_r1.rs",
+            include_str!("fixtures/r1.rs"),
+        ),
+        (
+            "crates/core/src/fixture_r2.rs",
+            include_str!("fixtures/r2.rs"),
+        ),
+        (
+            "crates/ucr/src/fixture_r3.rs",
+            include_str!("fixtures/r3.rs"),
+        ),
+        (
+            "crates/verbs/src/fixture_r4.rs",
+            include_str!("fixtures/r4.rs"),
+        ),
+        (
+            "crates/ucr/src/fixture_r5.rs",
+            include_str!("fixtures/r5.rs"),
+        ),
+        (
+            "crates/verbs/src/fixture_waiver.rs",
+            include_str!("fixtures/waiver.rs"),
+        ),
+    ]);
+    assert_eq!(v.len(), 6 + 6 + 3 + 3 + 2 + 1);
+    assert_eq!(waived, 2);
+    for rule in ["R1", "R2", "R3", "R4", "R5"] {
+        assert!(v.iter().any(|(_, _, r)| *r == rule), "missing {rule} hits");
+    }
+}
+
+#[test]
+fn out_of_scope_placement_is_ignored() {
+    // The same violating sources outside their rules' scopes: R4/R5
+    // don't apply to simnet, R1 doesn't apply to the lint crate itself,
+    // and files under tests/ are test code wholesale.
+    let (v, _, _) = hits(&[
+        (
+            "crates/simnet/src/fixture_r4.rs",
+            include_str!("fixtures/r4.rs"),
+        ),
+        (
+            "crates/simnet/src/fixture_r5.rs",
+            include_str!("fixtures/r5.rs"),
+        ),
+        (
+            "crates/lint/src/fixture_r1.rs",
+            include_str!("fixtures/r1.rs"),
+        ),
+        (
+            "crates/ucr/tests/fixture_r4.rs",
+            include_str!("fixtures/r4.rs"),
+        ),
+    ]);
+    assert_eq!(v, vec![]);
+}

@@ -1,0 +1,27 @@
+//! Fixture: R1 virtual-time purity. Scanned by the integration test as
+//! `crates/simnet/src/fixture_r1.rs` (inside R1 scope).
+
+use std::time::Instant;
+
+pub fn naughty() -> u64 {
+    let t = Instant::now();
+    std::thread::sleep(core::time::Duration::from_millis(1));
+    let pid = std::process::id();
+    let lucky: u8 = rand::random();
+    let mut rng = rand::thread_rng();
+    let _ = (t, lucky, &mut rng);
+    pid as u64
+}
+
+pub fn fine(sim: &Sim) -> SimTime {
+    // Virtual time and seeded randomness are the sanctioned sources.
+    sim.now()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn wall_clock_is_fine_in_tests() {
+        let _t = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,13 @@
+//! Fixture: R2 metric-name discipline. Scanned by the integration test
+//! as `crates/core/src/fixture_r2.rs`.
+
+pub fn register(m: &Metrics, shard: usize) {
+    m.counter("Uppercase.Bad").inc();
+    m.gauge("double..dot").set(1.0);
+    m.histogram("trailing.").observe(1);
+    m.counter("has-dash").inc();
+    m.gauge("queue.depth.high").set(0.0);
+    m.counter(&format!("mc.node{shard}.ops")).inc();
+    let _known = m.counter_value("mc.node3.ops");
+    let _typo = m.counter_value("mc.node3.opps");
+}

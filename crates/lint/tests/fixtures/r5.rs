@@ -1,0 +1,11 @@
+//! Fixture: R5 counter monotonicity. Scanned by the integration test as
+//! `crates/ucr/src/fixture_r5.rs` (inside R5 scope, not counter.rs).
+
+pub fn tamper(c: &CtrInner) {
+    c.value.set(c.value.get() + 1);
+    c.notify.notify_all();
+}
+
+pub fn sanctioned(c: &CtrInner) {
+    c.bump();
+}

@@ -1,0 +1,10 @@
+//! Fixture: waiver semantics. Scanned by the integration test as
+//! `crates/verbs/src/fixture_waiver.rs`.
+
+pub fn waived(x: Option<u8>) -> u8 {
+    let a = x.unwrap(); // lint:allow(R4) fixture: invariant documented here
+    // lint:allow(R4) standalone waiver covers the next line
+    let b = x.unwrap();
+    let c = x.unwrap();
+    a + b + c
+}

@@ -1,0 +1,61 @@
+//! The analyzer must pass on the workspace itself: running the real
+//! walk in-process makes `cargo test` a lint gate too, not just the
+//! dedicated CI step.
+
+#[test]
+fn workspace_is_clean_with_committed_baseline() {
+    let root = rmc_lint::default_root();
+    let analysis = rmc_lint::analyze_workspace(&root).expect("workspace walk");
+    let text = std::fs::read_to_string(root.join("crates/lint/baseline.json"))
+        .expect("crates/lint/baseline.json must be committed");
+    let baseline = rmc_lint::report::parse_baseline(&text).expect("baseline parses");
+    let failing = rmc_lint::failing_groups(&analysis.violations, &baseline);
+    assert!(
+        failing.is_empty(),
+        "non-baselined lint violations (rule, file, found, baselined): {failing:?}\n\
+         run `cargo run -p rmc-lint -- --list` for details"
+    );
+}
+
+#[test]
+fn committed_metric_manifest_is_current() {
+    let root = rmc_lint::default_root();
+    let analysis = rmc_lint::analyze_workspace(&root).expect("workspace walk");
+    let on_disk = std::fs::read_to_string(root.join("results/metric_manifest.json"))
+        .expect("results/metric_manifest.json must be committed");
+    assert_eq!(
+        on_disk, analysis.manifest,
+        "results/metric_manifest.json is stale; \
+         run `cargo run -p rmc-lint -- --write-manifest` and commit"
+    );
+}
+
+#[test]
+fn committed_baseline_is_not_stale() {
+    // The ratchet: every baselined count must still be *reached* —
+    // fixing violations without shrinking the baseline leaves slack a
+    // future regression could hide in.
+    let root = rmc_lint::default_root();
+    let analysis = rmc_lint::analyze_workspace(&root).expect("workspace walk");
+    let text =
+        std::fs::read_to_string(root.join("crates/lint/baseline.json")).expect("baseline readable");
+    let baseline = rmc_lint::report::parse_baseline(&text).expect("baseline parses");
+    let counts = rmc_lint::report::count_by_rule_file(&analysis.violations);
+    let mut slack = Vec::new();
+    for (rule, files) in &baseline {
+        for (file, &allowed) in files {
+            let found = counts
+                .get(rule)
+                .and_then(|f| f.get(file))
+                .copied()
+                .unwrap_or(0);
+            if found < allowed {
+                slack.push((rule.clone(), file.clone(), found, allowed));
+            }
+        }
+    }
+    assert!(
+        slack.is_empty(),
+        "stale baseline entries (rule, file, found, baselined) — shrink them: {slack:?}"
+    );
+}

@@ -32,6 +32,16 @@ pub(crate) struct CtrInner {
     pub notify: Rc<Notify>,
 }
 
+impl CtrInner {
+    /// The one sanctioned mutation: increment, then wake waiters. All
+    /// bump paths (local and remote, see `Runtime::bump_counter`) must
+    /// go through here so the monotonic value/notify ordering holds.
+    pub(crate) fn bump(&self) {
+        self.value.set(self.value.get() + 1);
+        self.notify.notify_all();
+    }
+}
+
 /// A monotonically increasing progress counter.
 #[derive(Clone)]
 pub struct Counter {
@@ -66,7 +76,7 @@ impl Counter {
     }
 
     pub(crate) fn bump(&self) {
-        self.inner.value.set(self.inner.value.get() + 1);
+        self.inner.bump();
         self.tracer.instant(
             Layer::Ucr,
             "counter_bump",
@@ -76,7 +86,6 @@ impl Counter {
             0,
             self.sim.now(),
         );
-        self.inner.notify.notify_all();
     }
 
     /// Waits until the counter reaches at least `target`, or until

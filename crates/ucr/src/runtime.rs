@@ -405,18 +405,7 @@ impl UcrRuntime {
     /// memory-scaling property the paper's SVII future work targets
     /// (versus one RC QP per client).
     pub fn ud_bind(&self) -> u32 {
-        if let Some(qp) = self.inner.ud_qp.borrow().as_ref() {
-            return qp.qpn();
-        }
-        let qp = self.inner.pd.create_qp(
-            QpType::Ud,
-            &self.inner.cq,
-            &self.inner.cq,
-            Some(&self.inner.srq),
-        );
-        let qpn = qp.qpn();
-        *self.inner.ud_qp.borrow_mut() = Some(qp);
-        qpn
+        self.inner.ud_bound_qp().qpn()
     }
 
     /// The bound UD QP number, if [`ud_bind`](Self::ud_bind) has run.
@@ -514,7 +503,15 @@ impl EpListener {
             .accept(&self.rt.pd, &self.rt.cq, &self.rt.cq, Some(&self.rt.srq))
             .await
             .map_err(|_| UcrError::ConnectionRefused)?;
-        let peer = qp.remote().expect("accepted QP has a peer").0;
+        let Some((peer, _)) = qp.remote() else {
+            // A QP handed back by accept() should always carry its peer;
+            // if it does not, the connection state is torn — report it
+            // through the endpoint-failure model rather than aborting.
+            self.rt
+                .tracer
+                .fault("accepted QP has no peer address; refusing connection");
+            return Err(UcrError::ConnectionRefused);
+        };
         Ok(self.rt.make_endpoint(qp, peer))
     }
 
@@ -650,15 +647,27 @@ impl RtInner {
         self.hca.net_mtu() as usize
     }
 
+    /// The shared UD queue pair, binding it on first use. Idempotent:
+    /// repeated calls return the same QP.
+    fn ud_bound_qp(&self) -> QueuePair {
+        if let Some(qp) = self.ud_qp.borrow().as_ref() {
+            return qp.clone();
+        }
+        let qp = self
+            .pd
+            .create_qp(QpType::Ud, &self.cq, &self.cq, Some(&self.srq));
+        *self.ud_qp.borrow_mut() = Some(qp.clone());
+        qp
+    }
+
     fn ud_endpoint_for(self: &Rc<Self>, node: NodeId, qpn: u32) -> Endpoint {
         if let Some(ep) = self.ud_eps.borrow().get(&(node.0, qpn)) {
             return Endpoint { inner: ep.clone() };
         }
-        let qp = self
-            .ud_qp
-            .borrow()
-            .clone()
-            .expect("ud_bind before creating UD endpoints");
+        // Binding is lazy: every live caller has already bound (the
+        // public path via ud_endpoint(), the recv path by matching the
+        // bound QPN), so this never creates in practice.
+        let qp = self.ud_bound_qp();
         let id = self.next_ep.get();
         self.next_ep.set(id + 1);
         let inner = Rc::new(EpInner {
@@ -732,7 +741,7 @@ impl RtInner {
         }
         let ctr = self.counters.borrow().get(&id).and_then(Weak::upgrade);
         if let Some(c) = ctr {
-            c.value.set(c.value.get() + 1);
+            c.bump();
             self.tracer.instant(
                 Layer::Ucr,
                 "counter_bump",
@@ -742,7 +751,6 @@ impl RtInner {
                 0,
                 self.sim.now(),
             );
-            c.notify.notify_all();
         }
     }
 

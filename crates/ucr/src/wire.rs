@@ -104,20 +104,30 @@ impl PacketHeader {
             return None;
         }
         let kind = PacketKind::from_u8(b[0])?;
-        let le16 = |r: &[u8]| u16::from_le_bytes(r.try_into().expect("2 bytes"));
-        let le32 = |r: &[u8]| u32::from_le_bytes(r.try_into().expect("4 bytes"));
-        let le64 = |r: &[u8]| u64::from_le_bytes(r.try_into().expect("8 bytes"));
+        // Length is pre-checked above; fixed-offset reads below are in
+        // bounds by construction, no fallible conversion needed.
+        let le16 = |at: usize| u16::from_le_bytes([b[at], b[at + 1]]);
+        let le32 = |at: usize| {
+            let mut w = [0u8; 4];
+            w.copy_from_slice(&b[at..at + 4]);
+            u32::from_le_bytes(w)
+        };
+        let le64 = |at: usize| {
+            let mut w = [0u8; 8];
+            w.copy_from_slice(&b[at..at + 8]);
+            u64::from_le_bytes(w)
+        };
         Some(PacketHeader {
             kind,
-            msg_id: le16(&b[2..4]),
-            hdr_len: le32(&b[4..8]),
-            data_len: le64(&b[8..16]),
-            target_ctr: le64(&b[16..24]),
-            origin_ctr: le64(&b[24..32]),
-            completion_ctr: le64(&b[32..40]),
-            rkey: le32(&b[40..44]),
-            offset: le64(&b[44..52]),
-            token: le64(&b[52..60]),
+            msg_id: le16(2),
+            hdr_len: le32(4),
+            data_len: le64(8),
+            target_ctr: le64(16),
+            origin_ctr: le64(24),
+            completion_ctr: le64(32),
+            rkey: le32(40),
+            offset: le64(44),
+            token: le64(52),
         })
     }
 }

@@ -725,13 +725,17 @@ impl QpInner {
     }
 
     fn match_pending(self: &Rc<Self>) {
-        while !self.pending_inbound.borrow().is_empty() && self.has_recv_available() {
-            let msg = self
-                .pending_inbound
-                .borrow_mut()
-                .pop_front()
-                .expect("nonempty");
-            let rwr = self.pop_recv().expect("available");
+        loop {
+            let Some(msg) = self.pending_inbound.borrow_mut().pop_front() else {
+                break;
+            };
+            let Some(rwr) = self.pop_recv() else {
+                // No receive posted after all (an SRQ sibling may have
+                // drained it between the check and the pop): re-park the
+                // message at the front and wait for the next post.
+                self.pending_inbound.borrow_mut().push_front(msg);
+                break;
+            };
             self.complete_recv(rwr, msg);
         }
     }
