@@ -936,3 +936,148 @@ pub fn measure_bottlenecks(
         }
     })
 }
+
+// ---------------------------------------------------------------------
+// Server-CPU-bypass GET (ext_bypass_get)
+// ---------------------------------------------------------------------
+
+/// One bypass-vs-AM comparison cell: the latency distribution and
+/// throughput of a read-heavy zipfian phase, plus the accounting that
+/// attributes the work — one-sided read counters on the client runtime
+/// and server worker wakes during the timed window.
+#[derive(Clone, Debug)]
+pub struct BypassRun {
+    /// Per-get latency distribution over the timed pure-read phase.
+    pub dist: LatencyDistribution,
+    /// Gets per second over the timed pure-read phase.
+    pub tps: f64,
+    /// One-sided reads completed during the whole run.
+    pub bypass_reads: u64,
+    /// Version-skew retries during the whole run.
+    pub bypass_retries: u64,
+    /// Fallbacks to the AM get path during the whole run.
+    pub bypass_fallbacks: u64,
+    /// Server worker wakes during the timed pure-read phase only. With
+    /// the bypass on this must be zero: a bypassed GET never costs
+    /// server CPU.
+    pub read_phase_worker_wakes: u64,
+}
+
+/// Sum of the server's per-worker wake counters.
+fn worker_wakes(world: &World, node: NodeId, workers: usize) -> u64 {
+    (0..workers)
+        .map(|w| {
+            world
+                .cluster
+                .metrics()
+                .counter_value(&format!("mc.node{}.worker{w}.wakes", node.0))
+        })
+        .sum()
+}
+
+/// Runs the bypass-GET study: preload a key space, then a timed
+/// pure-read zipfian phase (the paper-style latency/throughput numbers
+/// plus the zero-worker-wake proof), then a mixed 10%-set phase that
+/// exercises the seqlock retry path under concurrent writers. With
+/// `bypass` off the same schedule runs over the ordinary two-sided AM
+/// get, so the pair isolates exactly the server-CPU-bypass effect.
+pub fn measure_bypass_get(
+    cluster: ClusterKind,
+    bypass: bool,
+    value_size: usize,
+    ops: u32,
+    seed: u64,
+) -> BypassRun {
+    const KEY_SPACE: usize = 256;
+    const ZIPF_SKEW: f64 = 0.99;
+    let server_cfg = McServerConfig::default();
+    let workers = server_cfg.workers;
+    let world = cluster.world(seed, 4);
+    let _server = McServer::start(&world, NodeId(0), server_cfg);
+    let client = McClient::new(
+        &world,
+        NodeId(1),
+        McClientConfig {
+            bypass_get: bypass,
+            ..McClientConfig::single(Transport::Ucr, NodeId(0))
+        },
+    );
+    let sim = world.sim().clone();
+    let sim2 = sim.clone();
+    sim.block_on(async move {
+        let value = vec![0x5au8; value_size];
+        for k in 0..KEY_SPACE {
+            let key = format!("bp-{k}");
+            client
+                .set(key.as_bytes(), &value, 0, 0)
+                .await
+                .expect("load");
+        }
+        // One warm read per key so cold descriptor lookups don't skew
+        // the timed phase (the AM variant warms its connection the same
+        // way, keeping the comparison honest).
+        for k in 0..KEY_SPACE {
+            let key = format!("bp-{k}");
+            client
+                .get(key.as_bytes())
+                .await
+                .expect("warm")
+                .expect("hit");
+        }
+        // The load/warm phases keep workers busy; let them drain fully
+        // before the wake snapshot.
+        sim2.sleep(SimDuration::from_millis(10)).await;
+        let wakes0 = worker_wakes(&world, NodeId(0), workers);
+
+        // Timed pure-read zipfian phase.
+        let hist = world
+            .cluster
+            .metrics()
+            .histogram("bench.bypass_get_latency");
+        let t0 = sim2.now();
+        for _ in 0..ops {
+            let key_idx = sim2.with_rng(|r| r.gen_zipf(KEY_SPACE, ZIPF_SKEW));
+            let key = format!("bp-{key_idx}");
+            let op0 = sim2.now();
+            client.get(key.as_bytes()).await.expect("get").expect("hit");
+            hist.record(sim2.now() - op0);
+        }
+        let elapsed = sim2.now() - t0;
+        sim2.sleep(SimDuration::from_millis(10)).await;
+        let read_phase_worker_wakes = worker_wakes(&world, NodeId(0), workers) - wakes0;
+
+        // Mixed phase: concurrent writers force version-skew retries.
+        for i in 0..ops / 2 {
+            let key_idx = sim2.with_rng(|r| r.gen_zipf(KEY_SPACE, ZIPF_SKEW));
+            let key = format!("bp-{key_idx}");
+            if i % 10 == 0 {
+                match client.set(key.as_bytes(), &value, 0, 0).await {
+                    Ok(()) | Err(McError::OutOfMemory) => {}
+                    Err(e) => panic!("set failed: {e}"),
+                }
+            } else {
+                client.get(key.as_bytes()).await.expect("get").expect("hit");
+            }
+        }
+
+        let (bypass_reads, bypass_retries, bypass_fallbacks) = client
+            .ucr_runtime()
+            .map(|rt| {
+                let st = rt.stats();
+                (
+                    st.bypass_reads.get(),
+                    st.bypass_retries.get(),
+                    st.bypass_fallbacks.get(),
+                )
+            })
+            .unwrap_or((0, 0, 0));
+        BypassRun {
+            dist: LatencyDistribution::from_histogram(&hist),
+            tps: ops as f64 / elapsed.as_secs_f64(),
+            bypass_reads,
+            bypass_retries,
+            bypass_fallbacks,
+            read_phase_worker_wakes,
+        }
+    })
+}

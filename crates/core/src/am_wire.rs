@@ -11,6 +11,17 @@
 pub const MSG_MC_REQ: u16 = 0x10;
 /// Active-message id for server→client responses.
 pub const MSG_MC_RESP: u16 = 0x11;
+/// Active-message id for client→server item-directory lookups (bypass
+/// get): "where does this key live in slab memory right now?".
+pub const MSG_MC_DIR_REQ: u16 = 0x12;
+/// Active-message id for server→client item-directory answers.
+pub const MSG_MC_DIR_RESP: u16 = 0x13;
+
+/// Width of the seqlock version word a bypass descriptor's window ends
+/// with: the server mirrors each slab chunk with the item's version in
+/// the chunk's last 8 bytes, so one RDMA read returns value bytes *and*
+/// the version to validate them against.
+pub const BYPASS_VERSION_BYTES: usize = 8;
 
 /// Memcached operation codes.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -286,6 +297,138 @@ impl RespHeader {
     }
 }
 
+/// An item-directory request (bypass get): resolve `key` to a location
+/// descriptor. Served inline by the server's AM handler — no worker
+/// dispatch — so descriptor fetches never wake the server's CPU path.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DirReq {
+    /// Client-chosen request id, echoed in the response.
+    pub req_id: u64,
+    /// Client counter the server must target in its response.
+    pub ctr_id: u64,
+    /// The key to resolve.
+    pub key: Vec<u8>,
+}
+
+impl DirReq {
+    /// Serializes to the AM header layout.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(18 + self.key.len());
+        out.extend_from_slice(&self.req_id.to_le_bytes());
+        out.extend_from_slice(&self.ctr_id.to_le_bytes());
+        out.extend_from_slice(&(self.key.len() as u16).to_le_bytes());
+        out.extend_from_slice(&self.key);
+        out
+    }
+
+    /// Deserializes; `None` on malformed input.
+    pub fn decode(b: &[u8]) -> Option<DirReq> {
+        if b.len() < 18 {
+            return None;
+        }
+        let req_id = u64::from_le_bytes(b[..8].try_into().ok()?);
+        let ctr_id = u64::from_le_bytes(b[8..16].try_into().ok()?);
+        let klen = u16::from_le_bytes(b[16..18].try_into().ok()?) as usize;
+        if b.len() < 18 + klen {
+            return None;
+        }
+        Some(DirReq {
+            req_id,
+            ctr_id,
+            key: b[18..18 + klen].to_vec(),
+        })
+    }
+}
+
+/// An item-directory answer: the RFP-style location descriptor. `found`
+/// false means the key is absent (or dead) — the client should fall back
+/// to the AM get path. The advertised window covers
+/// `[chunk_base + klen, chunk_base + chunk_size)` of the server's mirror
+/// page: the value is its first `vlen` bytes and the chunk's seqlock
+/// version word is its trailing 8 bytes, so one RDMA read fetches both.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DirResp {
+    /// Echo of the request id.
+    pub req_id: u64,
+    /// Whether the key resolved to a live item.
+    pub found: bool,
+    /// Server node owning the mirror page.
+    pub node: u32,
+    /// rkey of the registered mirror page.
+    pub rkey: u32,
+    /// Window start within the mirror region.
+    pub offset: u64,
+    /// Window length (value + slack + trailing version word).
+    pub len: u64,
+    /// Value length: the window's first `vlen` bytes.
+    pub vlen: u32,
+    /// Item flags.
+    pub flags: u32,
+    /// CAS token at lookup time.
+    pub cas: u64,
+    /// Absolute expiry (unix seconds); 0 = never. The client re-checks
+    /// this locally before every bypass read.
+    pub exp: u32,
+    /// Chunk seqlock version the read must match.
+    pub version: u64,
+}
+
+impl DirResp {
+    /// A "not found" answer for `req_id`.
+    pub fn miss(req_id: u64) -> DirResp {
+        DirResp {
+            req_id,
+            found: false,
+            node: 0,
+            rkey: 0,
+            offset: 0,
+            len: 0,
+            vlen: 0,
+            flags: 0,
+            cas: 0,
+            exp: 0,
+            version: 0,
+        }
+    }
+
+    /// Serializes to the AM header layout.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(61);
+        out.push(self.found as u8);
+        out.extend_from_slice(&self.req_id.to_le_bytes());
+        out.extend_from_slice(&self.node.to_le_bytes());
+        out.extend_from_slice(&self.rkey.to_le_bytes());
+        out.extend_from_slice(&self.offset.to_le_bytes());
+        out.extend_from_slice(&self.len.to_le_bytes());
+        out.extend_from_slice(&self.vlen.to_le_bytes());
+        out.extend_from_slice(&self.flags.to_le_bytes());
+        out.extend_from_slice(&self.cas.to_le_bytes());
+        out.extend_from_slice(&self.exp.to_le_bytes());
+        out.extend_from_slice(&self.version.to_le_bytes());
+        out
+    }
+
+    /// Deserializes; `None` on malformed input.
+    pub fn decode(b: &[u8]) -> Option<DirResp> {
+        if b.len() < 61 {
+            return None;
+        }
+        Some(DirResp {
+            found: b[0] != 0,
+            req_id: u64::from_le_bytes(b[1..9].try_into().ok()?),
+            node: u32::from_le_bytes(b[9..13].try_into().ok()?),
+            rkey: u32::from_le_bytes(b[13..17].try_into().ok()?),
+            offset: u64::from_le_bytes(b[17..25].try_into().ok()?),
+            len: u64::from_le_bytes(b[25..33].try_into().ok()?),
+            vlen: u32::from_le_bytes(b[33..37].try_into().ok()?),
+            flags: u32::from_le_bytes(b[37..41].try_into().ok()?),
+            cas: u64::from_le_bytes(b[41..49].try_into().ok()?),
+            exp: u32::from_le_bytes(b[49..53].try_into().ok()?),
+            version: u64::from_le_bytes(b[53..61].try_into().ok()?),
+        })
+    }
+}
+
 /// One entry in a multi-get payload: `[klen u16][key][flags u32][cas u64]
 /// [vlen u32][value]`.
 pub fn encode_mget_entry(out: &mut Vec<u8>, key: &[u8], flags: u32, cas: u64, value: &[u8]) {
@@ -368,6 +511,39 @@ mod tests {
         // Truncated key list.
         let good = ReqHeader::new(McOp::Get, 1, 2, b"long-key-name".to_vec()).encode();
         assert_eq!(ReqHeader::decode(&good[..good.len() - 3]), None);
+    }
+
+    #[test]
+    fn dir_req_round_trip() {
+        let r = DirReq {
+            req_id: 42,
+            ctr_id: 7,
+            key: b"bypass-me".to_vec(),
+        };
+        assert_eq!(DirReq::decode(&r.encode()), Some(r.clone()));
+        assert_eq!(DirReq::decode(&r.encode()[..10]), None);
+    }
+
+    #[test]
+    fn dir_resp_round_trip() {
+        let r = DirResp {
+            req_id: 9,
+            found: true,
+            node: 3,
+            rkey: 0xfeed_beef,
+            offset: 1 << 30,
+            len: 4096,
+            vlen: 4000,
+            flags: 0xa5,
+            cas: u64::MAX - 1,
+            exp: 1_300_003_600,
+            version: 17,
+        };
+        assert_eq!(DirResp::decode(&r.encode()), Some(r));
+        assert_eq!(DirResp::decode(&r.encode()[..40]), None);
+        let m = DirResp::miss(5);
+        assert!(!m.found);
+        assert_eq!(DirResp::decode(&m.encode()), Some(m));
     }
 
     #[test]

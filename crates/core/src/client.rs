@@ -26,11 +26,15 @@ use simnet::sync::timeout;
 use simnet::trace::{Layer, Track};
 use simnet::{NodeId, Sim, SimDuration, Stack, Tracer};
 use socksim::{DgramSocket, SockError, Socket, SocketAddr};
-use ucr::{AmData, Counter, Endpoint, FnHandler, SendOptions, UcrRuntime};
+use ucr::{
+    AmData, Counter, Endpoint, FnHandler, MemoryDescriptor, SendOptions, UcrMemory, UcrRuntime,
+};
 
 use crate::am_wire::{
-    decode_mget_entries, McOp, ReqHeader, RespHeader, RespStatus, MSG_MC_REQ, MSG_MC_RESP,
+    decode_mget_entries, DirReq, DirResp, McOp, ReqHeader, RespHeader, RespStatus,
+    BYPASS_VERSION_BYTES, MSG_MC_DIR_REQ, MSG_MC_DIR_RESP, MSG_MC_REQ, MSG_MC_RESP,
 };
+use crate::server::BASE_UNIX_TIME;
 use crate::world::World;
 
 /// Which transport family the client uses.
@@ -158,6 +162,17 @@ pub struct McClientConfig {
     /// per-connection analogue of the paper's add-more-clients scaling
     /// (Fig. 6). Single-op calls (`get`/`set`/…) are unaffected.
     pub pipeline_depth: usize,
+    /// Serve [`get`](McClient::get) with a client-direct RDMA read of the
+    /// server's slab memory when possible (UCR transports only): the
+    /// client resolves the key to an RDMA window through the item
+    /// directory, caches the descriptor, and reads value + seqlock
+    /// version with a one-sided get — zero server CPU on the hot path.
+    /// Version skew (a concurrent writer) retries with a fresh
+    /// descriptor; persistent trouble falls back to the AM get.
+    pub bypass_get: bool,
+    /// Bound on the client-side descriptor cache for the bypass path
+    /// (entries; FIFO eviction).
+    pub bypass_cache_cap: usize,
 }
 
 impl McClientConfig {
@@ -173,6 +188,8 @@ impl McClientConfig {
             binary_protocol: false,
             key_hash: KeyHash::default(),
             pipeline_depth: 1,
+            bypass_get: false,
+            bypass_cache_cap: 1024,
         }
     }
 }
@@ -247,6 +264,37 @@ type PendingResponses = Rc<RefCell<HashMap<u64, (RespHeader, Vec<u8>)>>>;
 /// whose id is flagged here instead of parking it forever.
 type CancelledIds = Rc<RefCell<HashSet<u64>>>;
 
+/// Directory answers parked by the bypass handler until their waiter
+/// claims them (same request-id discipline as [`PendingResponses`]).
+type PendingDirResponses = Rc<RefCell<HashMap<u64, DirResp>>>;
+
+/// One cached item descriptor for the bypass-GET path: the RDMA window
+/// plus everything needed to validate a one-sided read of it.
+#[derive(Clone, Copy)]
+struct CachedDescriptor {
+    remote: MemoryDescriptor,
+    vlen: u32,
+    flags: u32,
+    cas: u64,
+    exp: u32,
+    version: u64,
+}
+
+/// How many times a bypass get chases version skew (descriptor refetch +
+/// re-read) before falling back to the AM path.
+const BYPASS_RETRIES: u32 = 3;
+
+/// How a single one-sided bypass read ended.
+enum BypassRead {
+    /// Value bytes landed and the trailing version word matched.
+    Ok(Vec<u8>),
+    /// The version word moved: a writer raced the read.
+    Skew,
+    /// The read faulted (deregistered rkey after a slab-page retirement,
+    /// endpoint failure) or timed out.
+    Failed,
+}
+
 /// One UCR request issued (AM 1 handed to the HCA) but not yet completed.
 /// Dropping the handle without completing it (a batch aborting on an
 /// earlier op's error, a caller discarding an issued get) scrubs the
@@ -313,6 +361,26 @@ struct CliInner {
     /// Completed operations (`client.nodeN.ops_completed`): the counter a
     /// time-series sampler turns into client-observed throughput.
     ops_completed: Rc<simnet::metrics::Counter>,
+    /// Cluster metrics registry (lazy counter creation).
+    metrics: Rc<simnet::metrics::Metrics>,
+    /// Batch ops that silently degraded to sequential round trips
+    /// (`client.nodeN.batch_fallback_ops`), created on first degrade:
+    /// binary-protocol and UDP connections have no pipelined batch path,
+    /// so `get_many`/`set_many` fall back to one-at-a-time there.
+    batch_fallback: RefCell<Option<Rc<simnet::metrics::Counter>>>,
+    /// Directory answers awaiting their bypass-get waiter.
+    dir_pending: PendingDirResponses,
+    /// Cached item descriptors, keyed by (server index, key).
+    bypass_cache: RefCell<HashMap<(usize, Vec<u8>), CachedDescriptor>>,
+    /// Insertion order of `bypass_cache` keys (FIFO bound).
+    bypass_order: RefCell<VecDeque<(usize, Vec<u8>)>>,
+    /// Dedicated endpoints for one-sided reads, one per server. A failed
+    /// one-sided op poisons its endpoint, so the bypass path dials its
+    /// own connection and re-dials after a fault instead of poisoning
+    /// the AM connection.
+    bypass_eps: RefCell<HashMap<usize, Endpoint>>,
+    /// Scratch region one-sided reads land in (grown on demand).
+    bypass_buf: RefCell<Option<Rc<UcrMemory>>>,
 }
 
 impl CliInner {
@@ -335,6 +403,7 @@ impl McClient {
         assert!(!cfg.servers.is_empty(), "client needs at least one server");
         let pending: PendingResponses = Rc::new(RefCell::new(HashMap::new()));
         let cancelled: CancelledIds = Rc::new(RefCell::new(HashSet::new()));
+        let dir_pending: PendingDirResponses = Rc::new(RefCell::new(HashMap::new()));
         let spans: SpanSlot = Rc::new(RefCell::new(None));
         let ucr = match cfg.transport {
             Transport::Ucr | Transport::UcrRoce => {
@@ -367,6 +436,19 @@ impl McClient {
                             }
                             let payload = data.into_vec().unwrap_or_default();
                             pending2.borrow_mut().insert(resp.req_id, (resp, payload));
+                        }
+                    }),
+                );
+                let dir2 = dir_pending.clone();
+                let cancelled3 = cancelled.clone();
+                rt.register_handler(
+                    MSG_MC_DIR_RESP,
+                    FnHandler(move |_ep: &Endpoint, hdr: &[u8], _data: AmData| {
+                        if let Some(resp) = DirResp::decode(hdr) {
+                            if cancelled3.borrow_mut().remove(&resp.req_id) {
+                                return; // abandoned lookup: drop it
+                            }
+                            dir2.borrow_mut().insert(resp.req_id, resp);
                         }
                     }),
                 );
@@ -408,6 +490,13 @@ impl McClient {
                     .cluster
                     .metrics()
                     .counter(&format!("client.node{}.ops_completed", node.0)),
+                metrics: world.cluster.metrics().clone(),
+                batch_fallback: RefCell::new(None),
+                dir_pending,
+                bypass_cache: RefCell::new(HashMap::new()),
+                bypass_order: RefCell::new(VecDeque::new()),
+                bypass_eps: RefCell::new(HashMap::new()),
+                bypass_buf: RefCell::new(None),
             }),
         }
     }
@@ -458,6 +547,12 @@ impl McClient {
                 Conn::Udp { .. } => {} // the socket unbinds on drop
             }
         }
+        for (_, ep) in self.inner.bypass_eps.borrow_mut().drain() {
+            ep.close();
+        }
+        // Descriptors name the dead server's memory: forget them.
+        self.inner.bypass_cache.borrow_mut().clear();
+        self.inner.bypass_order.borrow_mut().clear();
         // Closed endpoints can no longer deliver, so cancellation flags
         // for their outstanding responses will never be consulted again.
         self.inner.cancelled.borrow_mut().clear();
@@ -530,6 +625,13 @@ impl McClient {
         let conn = inner.conn(sidx).await?;
         match &*conn {
             Conn::Ucr(ep) => {
+                if inner.cfg.bypass_get {
+                    if let Some(done) = inner.bypass_get(sidx, ep, key).await {
+                        return done;
+                    }
+                    // Bypass gave up (descriptor trouble, retry budget):
+                    // fall through to the classic AM round trip.
+                }
                 let (resp, data) = inner
                     .ucr_round_trip(
                         ep,
@@ -695,7 +797,8 @@ impl McClient {
     /// responses may arrive out of issue order (request-id correlation);
     /// on ASCII socket transports up to `depth` commands are written
     /// ahead of the FIFO reads; binary-protocol and UDP transports fall
-    /// back to one-at-a-time.
+    /// back to one-at-a-time sequential round trips — a silent degrade
+    /// accounted in the `client.nodeN.batch_fallback_ops` counter.
     pub async fn get_many(&self, keys: &[&[u8]]) -> Result<Vec<Option<Value>>, McError> {
         let inner = &self.inner;
         inner.ops.set(inner.ops.get() + keys.len() as u64);
@@ -754,6 +857,10 @@ impl McClient {
                     }
                 }
                 c @ (Conn::Sock(_) | Conn::Udp { .. }) => {
+                    // Binary-protocol and UDP connections have no
+                    // pipelined batch path: each op is a full sequential
+                    // round trip, accounted in `batch_fallback_ops`.
+                    inner.count_batch_fallback(idxs.len() as u64);
                     for i in idxs {
                         let cmd = Command::Gets {
                             keys: vec![keys[i].to_vec()],
@@ -858,6 +965,9 @@ impl McClient {
                     }
                 }
                 c @ (Conn::Sock(_) | Conn::Udp { .. }) => {
+                    // Sequential degrade (no pipelined batch path here);
+                    // see `batch_fallback_ops`.
+                    inner.count_batch_fallback(idxs.len() as u64);
                     for i in idxs {
                         let (key, value) = items[i];
                         let cmd = Command::Store {
@@ -1446,6 +1556,284 @@ impl CliInner {
     /// in-flight table, i.e. completing it will not block.
     fn ucr_ready(&self, req_id: u64) -> bool {
         self.pending.borrow().contains_key(&req_id)
+    }
+
+    // -----------------------------------------------------------------
+    // Bypass-GET path: client-direct RDMA read of server slab memory
+    // -----------------------------------------------------------------
+
+    /// The store's unix clock as this client sees it (same epoch and
+    /// virtual time as the server), for local expiry checks on cached
+    /// descriptors — lazy expiration never bumps an item's version word,
+    /// so the clock is the only staleness signal for expired items.
+    fn now_secs(&self) -> u32 {
+        BASE_UNIX_TIME + self.sim.now().as_secs_f64() as u32
+    }
+
+    /// Attempts a bypass get. `Some(result)` means the one-sided path
+    /// settled the operation (hit or authoritative miss); `None` means
+    /// the caller should fall back to the AM round trip.
+    async fn bypass_get(
+        &self,
+        sidx: usize,
+        am_ep: &Endpoint,
+        key: &[u8],
+    ) -> Option<Result<Option<Value>, McError>> {
+        let rt = self.ucr.as_ref()?.clone();
+        let span_id = self.next_req.get();
+        self.next_req.set(span_id + 1);
+        self.tracer.begin(
+            Layer::Core,
+            "bypass_get",
+            self.node,
+            Track::Main,
+            span_id,
+            key.len() as u64,
+            self.sim.now(),
+        );
+        let out = self.bypass_get_inner(&rt, sidx, am_ep, key).await;
+        if out.is_none() {
+            rt.stats().bypass_fallbacks.inc();
+        }
+        self.tracer.end(
+            Layer::Core,
+            "bypass_get",
+            self.node,
+            Track::Main,
+            span_id,
+            out.is_some() as u64,
+            self.sim.now(),
+        );
+        out
+    }
+
+    async fn bypass_get_inner(
+        &self,
+        rt: &UcrRuntime,
+        sidx: usize,
+        am_ep: &Endpoint,
+        key: &[u8],
+    ) -> Option<Result<Option<Value>, McError>> {
+        let ckey = (sidx, key.to_vec());
+        for _attempt in 0..=BYPASS_RETRIES {
+            // Resolve a descriptor: cached if present, else one
+            // directory round trip (which also primes the cache).
+            let cached = self.bypass_cache.borrow().get(&ckey).copied();
+            let desc = match cached {
+                Some(d) => d,
+                None => match self.dir_lookup(rt, am_ep, key).await {
+                    Ok(Some(d)) => {
+                        self.cache_descriptor(ckey.clone(), d);
+                        d
+                    }
+                    Ok(None) => return Some(Ok(None)), // authoritative miss
+                    Err(_) => return None,             // directory unreachable
+                },
+            };
+            if desc.exp != 0 && desc.exp <= self.now_secs() {
+                // Expired under us: drop the descriptor and re-resolve —
+                // the directory answers miss once the item is dead.
+                self.uncache_descriptor(&ckey);
+                continue;
+            }
+            match self.bypass_read(rt, sidx, &desc).await {
+                BypassRead::Ok(data) => {
+                    rt.stats().bypass_reads.inc();
+                    return Some(Ok(Some(Value {
+                        data,
+                        flags: desc.flags,
+                        cas: desc.cas,
+                    })));
+                }
+                BypassRead::Skew => {
+                    // A writer raced the read: refetch and retry.
+                    rt.stats().bypass_retries.inc();
+                    self.uncache_descriptor(&ckey);
+                }
+                BypassRead::Failed => {
+                    // Stale rkey (the server retired the mirror page) or
+                    // endpoint fault: only the AM path is trustworthy now.
+                    self.uncache_descriptor(&ckey);
+                    return None;
+                }
+            }
+        }
+        self.uncache_descriptor(&ckey);
+        None
+    }
+
+    /// One item-directory round trip over the AM connection. The server
+    /// answers inline from its progress engine — no worker is woken.
+    /// `Ok(None)` is an authoritative miss.
+    async fn dir_lookup(
+        &self,
+        rt: &UcrRuntime,
+        ep: &Endpoint,
+        key: &[u8],
+    ) -> Result<Option<CachedDescriptor>, McError> {
+        let req_id = self.next_req.get();
+        self.next_req.set(req_id + 1);
+        let ctr = rt.counter();
+        let req = DirReq {
+            req_id,
+            ctr_id: ctr.id(),
+            key: key.to_vec(),
+        };
+        if ep
+            .send_message_owned(
+                MSG_MC_DIR_REQ,
+                &req.encode(),
+                Vec::new(),
+                SendOptions::default(),
+            )
+            .await
+            .is_err()
+        {
+            return Err(McError::Disconnected);
+        }
+        if ctr.wait_for(1, self.cfg.op_timeout).await.is_err() {
+            // Flag the id so a late answer is dropped, not parked forever.
+            self.cancelled.borrow_mut().insert(req_id);
+            return Err(McError::Timeout);
+        }
+        let Some(resp) = self.dir_pending.borrow_mut().remove(&req_id) else {
+            return Err(McError::Protocol);
+        };
+        if !resp.found {
+            return Ok(None);
+        }
+        Ok(Some(CachedDescriptor {
+            remote: MemoryDescriptor {
+                node: NodeId(resp.node),
+                rkey: resp.rkey,
+                offset: resp.offset,
+                len: resp.len,
+            },
+            vlen: resp.vlen,
+            flags: resp.flags,
+            cas: resp.cas,
+            exp: resp.exp,
+            version: resp.version,
+        }))
+    }
+
+    /// Posts one one-sided RDMA read of the descriptor's window and
+    /// validates the trailing seqlock version word.
+    async fn bypass_read(
+        &self,
+        rt: &UcrRuntime,
+        sidx: usize,
+        desc: &CachedDescriptor,
+    ) -> BypassRead {
+        let len = desc.remote.len as usize;
+        if len < BYPASS_VERSION_BYTES || desc.vlen as usize > len - BYPASS_VERSION_BYTES {
+            return BypassRead::Failed; // malformed window
+        }
+        let buf = self.bypass_scratch(rt, len);
+        let Some(ep) = self.bypass_ep(sidx).await else {
+            return BypassRead::Failed;
+        };
+        let ctr = rt.counter();
+        if ep.get(&buf, 0, desc.remote, Some(ctr.clone())).is_err() {
+            self.drop_bypass_ep(sidx);
+            return BypassRead::Failed;
+        }
+        // A faulted read (deregistered rkey after a mirror-page
+        // retirement) never bumps the counter — it poisons the endpoint
+        // at completion time. Wait one transfer-scaled slice first so the
+        // fault is caught when it lands instead of after the full
+        // operation timeout.
+        let slice = SimDuration::from_micros(200 + len as u64 / 100).min(self.cfg.op_timeout);
+        if ctr.wait_for(1, slice).await.is_err() {
+            if ep.is_failed() {
+                self.drop_bypass_ep(sidx);
+                return BypassRead::Failed;
+            }
+            let rest = self.cfg.op_timeout.saturating_sub(slice);
+            if ctr.wait_for(1, rest).await.is_err() {
+                self.drop_bypass_ep(sidx);
+                return BypassRead::Failed;
+            }
+        }
+        let bytes = buf.read(0, len);
+        let mut word = [0u8; BYPASS_VERSION_BYTES];
+        word.copy_from_slice(&bytes[len - BYPASS_VERSION_BYTES..]);
+        if u64::from_le_bytes(word) != desc.version {
+            return BypassRead::Skew;
+        }
+        BypassRead::Ok(bytes[..desc.vlen as usize].to_vec())
+    }
+
+    /// Scratch landing region of at least `len` bytes, grown by
+    /// power-of-two doubling (the old region's MR drops with it).
+    fn bypass_scratch(&self, rt: &UcrRuntime, len: usize) -> Rc<UcrMemory> {
+        let mut slot = self.bypass_buf.borrow_mut();
+        if let Some(m) = slot.as_ref() {
+            if m.len() >= len {
+                return m.clone();
+            }
+        }
+        let m = Rc::new(rt.register_memory(len.next_power_of_two().max(4096)));
+        *slot = Some(m.clone());
+        m
+    }
+
+    /// The dedicated one-sided endpoint for server `sidx`, dialed on
+    /// first use and re-dialed after a fault dropped it. Kept separate
+    /// from the AM connection because a failed one-sided op poisons its
+    /// endpoint.
+    async fn bypass_ep(&self, sidx: usize) -> Option<Endpoint> {
+        if let Some(ep) = self.bypass_eps.borrow().get(&sidx) {
+            if !ep.is_failed() {
+                return Some(ep.clone());
+            }
+        }
+        let server = *self.cfg.servers.get(sidx)?;
+        let rt = self.ucr.as_ref()?;
+        let ep = rt
+            .connect(server, self.cfg.port, self.cfg.op_timeout)
+            .await
+            .ok()?;
+        self.bypass_eps.borrow_mut().insert(sidx, ep.clone());
+        Some(ep)
+    }
+
+    /// Forgets (and closes) the one-sided endpoint for `sidx`.
+    fn drop_bypass_ep(&self, sidx: usize) {
+        if let Some(ep) = self.bypass_eps.borrow_mut().remove(&sidx) {
+            ep.close();
+        }
+    }
+
+    /// Caches a descriptor under the FIFO bound.
+    fn cache_descriptor(&self, key: (usize, Vec<u8>), d: CachedDescriptor) {
+        let mut cache = self.bypass_cache.borrow_mut();
+        let mut order = self.bypass_order.borrow_mut();
+        if cache.insert(key.clone(), d).is_none() {
+            order.push_back(key);
+            while cache.len() > self.cfg.bypass_cache_cap.max(1) {
+                let Some(old) = order.pop_front() else { break };
+                cache.remove(&old);
+            }
+        }
+    }
+
+    /// Drops a cached descriptor (miss, version skew, read fault).
+    fn uncache_descriptor(&self, key: &(usize, Vec<u8>)) {
+        self.bypass_cache.borrow_mut().remove(key);
+    }
+
+    /// Accounts `n` batch ops that silently degraded to sequential round
+    /// trips (binary-protocol and UDP connections have no pipelined batch
+    /// path). The `client.nodeN.batch_fallback_ops` counter is created on
+    /// first degrade so non-degraded runs keep the registry unchanged.
+    fn count_batch_fallback(&self, n: u64) {
+        let mut slot = self.batch_fallback.borrow_mut();
+        let ctr = slot.get_or_insert_with(|| {
+            self.metrics
+                .counter(&format!("client.node{}.batch_fallback_ops", self.node.0))
+        });
+        ctr.add(n);
     }
 
     /// Closes the `client_op` trace span for a request.

@@ -17,24 +17,25 @@
 //! time of a request, which is what caps server throughput in Figure 6.
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::rc::{Rc, Weak};
 
 use mcproto::{
     encode_response, parse_command, udp_fragment, BinFrame, BinOpcode, BinStatus, Command,
     GetValue, Response, StoreVerb, UdpFrame, MAGIC_REQUEST,
 };
-use mcstore::{NumericError, SetOutcome, Store, StoreConfig};
+use mcstore::{ClassId, NumericError, SetOutcome, SlabAllocator, SlabEvent, Store, StoreConfig};
 use simnet::metrics::{Histogram, LatencySpans, Metrics, Stage};
 use simnet::sync::{self, Receiver, Sender};
 use simnet::trace::{Layer, Track};
 use simnet::{NodeId, Sim, SimDuration, Stack, Tracer};
 use socksim::DgramSocket;
 use socksim::Socket;
-use ucr::{AmData, AmHandler, Endpoint, SendOptions, UcrRuntime};
+use ucr::{AmData, AmHandler, Endpoint, SendOptions, UcrMemory, UcrRuntime};
 
 use crate::am_wire::{
-    encode_mget_entry, McOp, ReqHeader, RespHeader, RespStatus, MSG_MC_REQ, MSG_MC_RESP,
+    encode_mget_entry, DirReq, DirResp, McOp, ReqHeader, RespHeader, RespStatus,
+    BYPASS_VERSION_BYTES, MSG_MC_DIR_REQ, MSG_MC_DIR_RESP, MSG_MC_REQ, MSG_MC_RESP,
 };
 use crate::world::World;
 
@@ -142,6 +143,13 @@ struct SrvInner {
     /// Store-level occupancy gauges (`mc.nodeN.store.*`).
     items_gauge: Rc<simnet::metrics::Gauge>,
     bytes_gauge: Rc<simnet::metrics::Gauge>,
+    /// Item-directory mirrors for the bypass-GET path, one per RDMA
+    /// fabric (`[ib, roce]`). Empty until a client's first
+    /// `MSG_MC_DIR_REQ` lands on that fabric.
+    mirrors: [Rc<BypassDir>; 2],
+    /// Set once any directory request has been served; gates the store's
+    /// slab-event tracking and the post-op mirror sync.
+    bypass_on: Cell<bool>,
 }
 
 /// Gauge handles for one slab class (`mc.nodeN.slab.classC.*`).
@@ -198,6 +206,185 @@ impl AmHandler for ReqDispatch {
     }
 }
 
+/// Which RDMA fabric a directory handler serves (index into
+/// `SrvInner::mirrors`).
+#[derive(Clone, Copy)]
+enum FabricSide {
+    Ib = 0,
+    Roce = 1,
+}
+
+/// Per-fabric mirror directory for the server-CPU-bypass GET path
+/// (the paper's one-sided §IV-B primitive applied to `get`).
+///
+/// The store's slab pages are plain host memory, invisible to the HCA, so
+/// clients cannot RDMA-read them directly. A `BypassDir` keeps an
+/// RDMA-registered **mirror** of every slab page holding at least one
+/// item a client requested a descriptor for. A mirror page lays chunks
+/// out at the slab page's offsets; the last 8 bytes of each chunk-sized
+/// slot (slack the 48-byte modeled item header guarantees) carry the
+/// item's seqlock version word, so a single RDMA read fetches value
+/// bytes and version together and the client can detect a concurrent
+/// writer without a second round trip.
+#[derive(Default)]
+struct BypassDir {
+    pages: RefCell<HashMap<(u8, u32), MirrorPage>>,
+}
+
+/// One RDMA-registered mirror of a slab page.
+struct MirrorPage {
+    mem: UcrMemory,
+    chunk_size: usize,
+    /// Chunks clients may hold descriptors for: added when a descriptor
+    /// is served or the chunk is rewritten while mirrored, removed when
+    /// the item dies. When this empties the page is retired — dropping
+    /// the `MirrorPage` deregisters its MR, so a stale cached descriptor
+    /// faults (`AccessViolation`) instead of silently reading memory the
+    /// allocator has reassigned. That hard fault is the server half of
+    /// the pin-down-cache fix.
+    published: HashSet<u32>,
+}
+
+impl MirrorPage {
+    /// Copies one chunk's raw bytes and current version word from the
+    /// slab page into the mirror.
+    fn sync_chunk(&self, slabs: &SlabAllocator, class: ClassId, page: u32, chunk: u32) {
+        let raw = slabs.chunk_raw(class, page, chunk);
+        let base = chunk as usize * self.chunk_size;
+        self.mem
+            .write(base, &raw[..self.chunk_size - BYPASS_VERSION_BYTES]);
+        self.mem.write(
+            base + self.chunk_size - BYPASS_VERSION_BYTES,
+            &slabs.version_at(class, page, chunk).to_le_bytes(),
+        );
+    }
+}
+
+impl BypassDir {
+    /// Serves one directory lookup. The key resolves read-only — no LRU
+    /// bump, no stats — and the whole call runs inline in the UCR
+    /// progress engine: a bypassed GET never wakes a worker thread.
+    fn serve(&self, srv: &SrvInner, rt: &UcrRuntime, req: &DirReq) -> DirResp {
+        if !srv.bypass_on.get() {
+            srv.bypass_on.set(true);
+            srv.store.borrow_mut().set_event_tracking(true);
+        }
+        let now = srv.now_secs();
+        let store = srv.store.borrow();
+        let Some(item) = store.locate(&req.key, now) else {
+            return DirResp::miss(req.req_id);
+        };
+        let slabs = store.slabs();
+        let (class, pidx, chunk) = (item.loc.class, item.loc.page(), item.loc.chunk());
+        let chunk_size = slabs.chunk_size(class);
+        let mut pages = self.pages.borrow_mut();
+        let page = pages.entry((class.0, pidx)).or_insert_with(|| {
+            let per_page = slabs.chunks_per_page(class);
+            MirrorPage {
+                mem: rt.register_memory(per_page as usize * chunk_size),
+                chunk_size,
+                published: HashSet::new(),
+            }
+        });
+        // Snapshot (or defensively re-sync) the served chunk; every later
+        // store mutation reaches the mirror through the slab-event drain.
+        page.sync_chunk(slabs, class, pidx, chunk);
+        page.published.insert(chunk);
+        let base = chunk as usize * chunk_size;
+        let window = page
+            .mem
+            .descriptor(base + item.klen as usize, chunk_size - item.klen as usize);
+        DirResp {
+            req_id: req.req_id,
+            found: true,
+            node: window.node.0,
+            rkey: window.rkey,
+            offset: window.offset,
+            len: window.len,
+            vlen: item.vlen,
+            flags: item.flags,
+            cas: item.cas,
+            exp: item.exp,
+            version: item.version,
+        }
+    }
+
+    /// Applies a batch of slab events to the mirrored pages. `Written`
+    /// refreshes chunk bytes and version; `Invalidated` bumps only the
+    /// version word so an in-flight client read observes the mismatch.
+    /// Pages whose published set empties are retired (MR deregistered).
+    fn apply(&self, store: &Store, events: &[SlabEvent]) {
+        let slabs = store.slabs();
+        let mut pages = self.pages.borrow_mut();
+        for ev in events {
+            let loc = ev.loc();
+            let Some(page) = pages.get_mut(&(loc.class.0, loc.page())) else {
+                continue;
+            };
+            match ev {
+                SlabEvent::Written { .. } => {
+                    page.sync_chunk(slabs, loc.class, loc.page(), loc.chunk());
+                    page.published.insert(loc.chunk());
+                }
+                SlabEvent::Invalidated { version, .. } => {
+                    let base = loc.chunk() as usize * page.chunk_size;
+                    page.mem.write(
+                        base + page.chunk_size - BYPASS_VERSION_BYTES,
+                        &version.to_le_bytes(),
+                    );
+                    page.published.remove(&loc.chunk());
+                }
+            }
+        }
+        pages.retain(|_, p| !p.published.is_empty());
+    }
+}
+
+/// Inline handler for `MSG_MC_DIR_REQ`: answers item-directory lookups
+/// from the progress engine without involving any worker thread.
+struct DirDispatch {
+    srv: Weak<SrvInner>,
+    side: FabricSide,
+}
+
+impl AmHandler for DirDispatch {
+    fn on_complete(&self, ep: &Endpoint, hdr: &[u8], _data: AmData) {
+        let Some(srv) = self.srv.upgrade() else {
+            return;
+        };
+        if !srv.running.get() {
+            return;
+        }
+        let Some(req) = DirReq::decode(hdr) else {
+            return;
+        };
+        let rt = match self.side {
+            FabricSide::Ib => srv.ucr.borrow().clone(),
+            FabricSide::Roce => srv.roce.borrow().clone(),
+        };
+        let Some(rt) = rt else { return };
+        let resp = srv.mirrors[self.side as usize].serve(&srv, &rt, &req);
+        srv.tracer.instant(
+            Layer::Core,
+            "dir_lookup",
+            srv.node,
+            Track::Main,
+            req.req_id,
+            resp.found as u64,
+            srv.sim.now(),
+        );
+        ep.post_message(
+            MSG_MC_DIR_RESP,
+            resp.encode(),
+            Vec::new(),
+            SendOptions {
+                target_ctr: req.ctr_id,
+                ..Default::default()
+            },
+        );
+    }
+}
+
 impl McServer {
     /// Starts a server on `node` of `world`.
     pub fn start(world: &World, node: NodeId, config: McServerConfig) -> McServer {
@@ -236,6 +423,8 @@ impl McServer {
                 .cluster
                 .metrics()
                 .gauge(&format!("mc.node{}.store.bytes", node.0)),
+            mirrors: [Rc::default(), Rc::default()],
+            bypass_on: Cell::new(false),
         });
 
         for (widx, rx) in worker_rxs.into_iter().enumerate() {
@@ -244,12 +433,13 @@ impl McServer {
         }
 
         if config.enable_ucr {
-            let rt = start_ucr_listener(&sim, &inner, &world.ib, node, config.port);
+            let rt = start_ucr_listener(&sim, &inner, &world.ib, node, config.port, FabricSide::Ib);
             *inner.ucr.borrow_mut() = Some(rt);
         }
         if config.enable_roce {
             if let Some(roce) = &world.roce {
-                let rt = start_ucr_listener(&sim, &inner, roce, node, config.port);
+                let rt =
+                    start_ucr_listener(&sim, &inner, roce, node, config.port, FabricSide::Roce);
                 *inner.roce.borrow_mut() = Some(rt);
             }
         }
@@ -355,12 +545,20 @@ fn start_ucr_listener(
     fabric: &verbs::IbFabric,
     node: NodeId,
     port: u16,
+    side: FabricSide,
 ) -> UcrRuntime {
     let rt = UcrRuntime::new(fabric, node);
     rt.register_handler(
         MSG_MC_REQ,
         ReqDispatch {
             srv: Rc::downgrade(inner),
+        },
+    );
+    rt.register_handler(
+        MSG_MC_DIR_REQ,
+        DirDispatch {
+            srv: Rc::downgrade(inner),
+            side,
         },
     );
     let listener = rt.listen(port).expect("UCR port free");
@@ -461,6 +659,27 @@ impl SrvInner {
                 st.used as f64 / chunks as f64
             });
             g.evictions.set(evicted as f64);
+        }
+    }
+
+    /// Propagates store mutations to the bypass mirrors: drains the slab
+    /// events the just-finished operation emitted and applies them to
+    /// every fabric's mirror pages. Called synchronously after each
+    /// store-touching request (no await between the mutation and the
+    /// drain), so a client's RDMA read can never observe a mirror that
+    /// lags the store across a scheduling point. No-op until the first
+    /// directory request turns event tracking on.
+    fn sync_mirrors(&self) {
+        if !self.bypass_on.get() {
+            return;
+        }
+        let events = self.store.borrow_mut().take_slab_events();
+        if events.is_empty() {
+            return;
+        }
+        let store = self.store.borrow();
+        for dir in &self.mirrors {
+            dir.apply(&store, &events);
         }
     }
 
@@ -719,6 +938,7 @@ async fn serve_ucr(srv: &Rc<SrvInner>, ep: Endpoint, req: ReqHeader, data: Vec<u
         }
     }
     drop(store);
+    srv.sync_mirrors();
     // Store work done; from here the response is on its way back.
     let service_end = srv.sim.now();
     srv.span(|sp| sp.mark(req.req_id, Stage::WorkerService, service_end));
@@ -898,6 +1118,7 @@ async fn serve_sock(srv: &Rc<SrvInner>, sock: Rc<Socket>, cmd: Command) {
         let mut store = srv.store.borrow_mut();
         execute_ascii(srv, &mut store, cmd, now)
     };
+    srv.sync_mirrors();
     srv.span(|sp| sp.mark_open(Stage::WorkerService, srv.sim.now()));
     if !noreply {
         let _ = sock.write_all(&encode_response(&resp)).await;
@@ -1221,6 +1442,7 @@ async fn serve_sock_bin(srv: &Rc<SrvInner>, sock: Rc<Socket>, frame: BinFrame) {
         BinOpcode::Quit => return,
     }
     drop(store);
+    srv.sync_mirrors();
     if !quiet_suppress {
         replies.push(resp);
         reply_bin(&sock, srv, replies).await;
@@ -1303,6 +1525,7 @@ async fn serve_sock_udp(
         let mut store = srv.store.borrow_mut();
         execute_ascii(srv, &mut store, cmd, now)
     };
+    srv.sync_mirrors();
     if noreply {
         return;
     }

@@ -1,0 +1,297 @@
+//! Acceptance tests for the server-CPU-bypass GET path: client-direct
+//! RDMA reads of the server's item memory, seqlock version validation,
+//! descriptor invalidation on every mutation path (set / delete /
+//! expiry / `flush_all` / slab migration), and the accounting that
+//! proves a bypassed read never woke a server worker.
+
+use rmc::{McClient, McClientConfig, McError, McServer, McServerConfig, Transport, World};
+use simnet::{NodeId, SimDuration, Stack};
+
+const SRV: NodeId = NodeId(0);
+const CLI: NodeId = NodeId(1);
+
+fn worlds() -> Vec<(&'static str, World)> {
+    vec![
+        ("cluster_a", World::cluster_a(77, 8)),
+        ("cluster_b", World::cluster_b(77, 8)),
+    ]
+}
+
+fn bypass_client(world: &World) -> McClient {
+    McClient::new(
+        world,
+        CLI,
+        McClientConfig {
+            bypass_get: true,
+            ..McClientConfig::single(Transport::Ucr, SRV)
+        },
+    )
+}
+
+/// Total progress-engine wakes across the server's worker pool.
+fn worker_wakes(world: &World) -> u64 {
+    (0..4)
+        .map(|w| {
+            world
+                .cluster
+                .metrics()
+                .counter_value(&format!("mc.node{}.worker{w}.wakes", SRV.0))
+        })
+        .sum()
+}
+
+#[test]
+fn bypass_get_reads_without_waking_workers() {
+    for (name, world) in worlds() {
+        let _server = McServer::start(&world, SRV, McServerConfig::default());
+        let c = bypass_client(&world);
+        let sim = world.sim().clone();
+        sim.block_on(async move {
+            for i in 0..8u32 {
+                let key = format!("k{i}");
+                let val = format!("value-{i}");
+                c.set(key.as_bytes(), val.as_bytes(), i, 0).await.unwrap();
+            }
+            // Let the worker pool drain completely before snapshotting.
+            world.sim().sleep(SimDuration::from_millis(10)).await;
+            let wakes_before = worker_wakes(&world);
+
+            let rt = c.ucr_runtime().unwrap();
+            let reads_before = rt.stats().bypass_reads.get();
+            for round in 0..3 {
+                for i in 0..8u32 {
+                    let key = format!("k{i}");
+                    let v = c.get(key.as_bytes()).await.unwrap().unwrap();
+                    assert_eq!(v.data, format!("value-{i}").as_bytes(), "{name} r{round}");
+                    assert_eq!(v.flags, i, "{name}");
+                }
+            }
+            // Every one of the 24 gets travelled the one-sided path…
+            assert_eq!(
+                rt.stats().bypass_reads.get() - reads_before,
+                24,
+                "{name}: all gets bypassed"
+            );
+            assert_eq!(rt.stats().bypass_fallbacks.get(), 0, "{name}");
+            // …and not a single server worker woke up for them.
+            assert_eq!(
+                worker_wakes(&world),
+                wakes_before,
+                "{name}: bypassed reads must not wake workers"
+            );
+        });
+    }
+}
+
+#[test]
+fn concurrent_set_forces_version_skew_retry() {
+    for (name, world) in worlds() {
+        let _server = McServer::start(&world, SRV, McServerConfig::default());
+        let c = bypass_client(&world);
+        world.sim().block_on(async move {
+            c.set(b"race", b"old-value", 0, 0).await.unwrap();
+            // Prime the descriptor cache with the old chunk + version.
+            assert_eq!(c.get(b"race").await.unwrap().unwrap().data, b"old-value");
+
+            let rt = c.ucr_runtime().unwrap();
+            let retries_before = rt.stats().bypass_retries.get();
+
+            // The "concurrent" writer: by the time the client issues its
+            // next one-sided read from the cached descriptor, the item has
+            // been rewritten and the chunk's seqlock version bumped.
+            c.set(b"race", b"new-value", 0, 0).await.unwrap();
+            let v = c.get(b"race").await.unwrap().unwrap();
+            assert_eq!(
+                v.data, b"new-value",
+                "{name}: skew retry returns fresh value"
+            );
+            assert!(
+                rt.stats().bypass_retries.get() > retries_before
+                    || rt.stats().bypass_fallbacks.get() > 0,
+                "{name}: the stale descriptor was detected, not silently trusted"
+            );
+        });
+    }
+}
+
+#[test]
+fn delete_invalidates_descriptor_and_read_misses() {
+    for (name, world) in worlds() {
+        let _server = McServer::start(&world, SRV, McServerConfig::default());
+        let c = bypass_client(&world);
+        world.sim().block_on(async move {
+            c.set(b"gone", b"short-lived", 0, 0).await.unwrap();
+            assert!(c.get(b"gone").await.unwrap().is_some());
+
+            assert!(c.delete(b"gone").await.unwrap());
+            // The cached descriptor now names retired (deregistered)
+            // mirror memory; the one-sided read must fault — never return
+            // the old bytes — and the AM fallback reports the miss.
+            assert_eq!(c.get(b"gone").await.unwrap(), None, "{name}");
+
+            // The client recovers fully: store again, bypass again.
+            c.set(b"gone", b"back", 0, 0).await.unwrap();
+            let rt = c.ucr_runtime().unwrap();
+            let reads_before = rt.stats().bypass_reads.get();
+            assert_eq!(c.get(b"gone").await.unwrap().unwrap().data, b"back");
+            assert!(
+                rt.stats().bypass_reads.get() > reads_before,
+                "{name}: bypass path healthy again after the fault"
+            );
+        });
+    }
+}
+
+#[test]
+fn expiry_is_honored_without_trusting_cached_descriptors() {
+    let world = World::cluster_b(77, 8);
+    let _server = McServer::start(&world, SRV, McServerConfig::default());
+    let c = bypass_client(&world);
+    let sim = world.sim().clone();
+    sim.block_on(async move {
+        c.set(b"ttl", b"soon-gone", 0, 1).await.unwrap();
+        assert!(c.get(b"ttl").await.unwrap().is_some());
+
+        // Lazy expiry never bumps the chunk version, so the client must
+        // apply the expiry clock check locally before trusting the cache.
+        world.sim().sleep(SimDuration::from_secs(2)).await;
+        assert_eq!(c.get(b"ttl").await.unwrap(), None);
+    });
+}
+
+#[test]
+fn flush_all_invalidates_every_published_descriptor() {
+    let world = World::cluster_b(77, 8);
+    let _server = McServer::start(&world, SRV, McServerConfig::default());
+    let c = bypass_client(&world);
+    let sim = world.sim().clone();
+    sim.block_on(async move {
+        c.set(b"f1", b"alpha", 0, 0).await.unwrap();
+        c.set(b"f2", b"beta", 0, 0).await.unwrap();
+        assert!(c.get(b"f1").await.unwrap().is_some());
+        assert!(c.get(b"f2").await.unwrap().is_some());
+
+        // flush_all only invalidates items stored in strictly earlier
+        // seconds; cross the boundary first.
+        world.sim().sleep(SimDuration::from_secs(2)).await;
+        c.flush_all().await.unwrap();
+
+        assert_eq!(c.get(b"f1").await.unwrap(), None, "flushed via bypass path");
+        assert_eq!(c.get(b"f2").await.unwrap(), None, "flushed via bypass path");
+    });
+}
+
+#[test]
+fn slab_migration_falls_back_then_republishes() {
+    for (name, world) in worlds() {
+        let _server = McServer::start(&world, SRV, McServerConfig::default());
+        let c = bypass_client(&world);
+        world.sim().block_on(async move {
+            c.set(b"mover", b"tiny", 0, 0).await.unwrap();
+            assert_eq!(c.get(b"mover").await.unwrap().unwrap().data, b"tiny");
+
+            // Rewrite into a different slab class: the old chunk (and with
+            // it the cached descriptor's page) is retired.
+            let big = vec![0x5au8; 8 * 1024];
+            c.set(b"mover", &big, 0, 0).await.unwrap();
+            let v = c.get(b"mover").await.unwrap().unwrap();
+            assert_eq!(v.data, big, "{name}: correct value after the move");
+
+            // And the item is served one-sided again from its new home.
+            let rt = c.ucr_runtime().unwrap();
+            let reads_before = rt.stats().bypass_reads.get();
+            assert_eq!(c.get(b"mover").await.unwrap().unwrap().data, big);
+            assert!(
+                rt.stats().bypass_reads.get() > reads_before,
+                "{name}: new location republished for bypass"
+            );
+        });
+    }
+}
+
+#[test]
+fn bypass_disabled_client_is_unaffected() {
+    // Control: the same workload with `bypass_get: false` never touches
+    // the one-sided counters and still sees identical values.
+    let world = World::cluster_b(77, 8);
+    let _server = McServer::start(&world, SRV, McServerConfig::default());
+    let c = McClient::new(&world, CLI, McClientConfig::single(Transport::Ucr, SRV));
+    world.sim().block_on(async move {
+        c.set(b"plain", b"value", 0, 0).await.unwrap();
+        assert_eq!(c.get(b"plain").await.unwrap().unwrap().data, b"value");
+        let rt = c.ucr_runtime().unwrap();
+        assert_eq!(rt.stats().bypass_reads.get(), 0);
+        assert_eq!(rt.stats().bypass_retries.get(), 0);
+        assert_eq!(rt.stats().bypass_fallbacks.get(), 0);
+    });
+}
+
+#[test]
+fn batch_degrade_is_accounted_per_client() {
+    // get_many / set_many on a binary-protocol (or UDP) connection
+    // silently degrade to sequential round trips; that degrade must be
+    // visible in the `client.nodeN.batch_fallback_ops` counter.
+    let world = World::cluster_a(77, 8);
+    let _server = McServer::start(&world, SRV, McServerConfig::default());
+    let sock = McClient::new(
+        &world,
+        CLI,
+        McClientConfig {
+            binary_protocol: true,
+            ..McClientConfig::single(Transport::Sockets(Stack::Sdp), SRV)
+        },
+    );
+    let ucr = McClient::new(
+        &world,
+        NodeId(2),
+        McClientConfig::single(Transport::Ucr, SRV),
+    );
+    let sim = world.sim().clone();
+    sim.block_on(async move {
+        sock.set_many(&[(b"b1".as_ref(), b"v1".as_ref()), (b"b2", b"v2")], 0, 0)
+            .await
+            .unwrap();
+        let got = sock.get_many(&[b"b1", b"b2", b"nope"]).await.unwrap();
+        assert_eq!(got.iter().flatten().count(), 2);
+        assert_eq!(
+            world
+                .cluster
+                .metrics()
+                .counter_value(&format!("client.node{}.batch_fallback_ops", CLI.0)),
+            5,
+            "2 sets + 3 gets degraded sequentially"
+        );
+
+        // The UCR client batches natively: no fallback counter at all.
+        ucr.set_many(&[(b"u1".as_ref(), b"v1".as_ref())], 0, 0)
+            .await
+            .unwrap();
+        ucr.get_many(&[b"u1"]).await.unwrap();
+        assert_eq!(
+            world
+                .cluster
+                .metrics()
+                .counter_value("client.node2.batch_fallback_ops"),
+            0
+        );
+    });
+}
+
+#[test]
+fn fallback_after_server_crash_reports_error_not_stale_value() {
+    // Hard-fault path: the server dies between the directory lookup and
+    // the next read. The bypass path must not fabricate a hit.
+    let world = World::cluster_b(77, 8);
+    let _server = McServer::start(&world, SRV, McServerConfig::default());
+    let c = bypass_client(&world);
+    let sim = world.sim().clone();
+    sim.block_on(async move {
+        c.set(b"k", b"v", 0, 0).await.unwrap();
+        assert!(c.get(b"k").await.unwrap().is_some());
+        world.crash_node(SRV);
+        match c.get(b"k").await {
+            Err(McError::Timeout) | Err(McError::Disconnected) => {}
+            other => panic!("crashed server must surface an error, got {other:?}"),
+        }
+    });
+}

@@ -11,8 +11,9 @@ use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
+use simnet::profiles::SocketStackProfile;
 use simnet::sync::{self, timeout};
-use simnet::{Cluster, NodeId, SimDuration, Stack};
+use simnet::{Cluster, Network, NodeId, SimDuration, Stack};
 
 use crate::dgram::{DgramInbox, DgramSocket};
 use crate::stream::{RecvBuf, SockError, Socket, SocketAddr};
@@ -111,16 +112,7 @@ impl SockFabric {
             // deployments always separate clients and servers.
             return Err(SockError::ConnectionRefused);
         }
-        let profile = *inner
-            .cluster
-            .profile()
-            .socket_stack(stack)
-            .expect("checked above");
-        let net = inner
-            .cluster
-            .network(stack.net())
-            .expect("stack implies network")
-            .clone();
+        let (profile, net) = inner.stack_env(stack)?;
 
         let client_rx = RecvBuf::new();
         let (reply_tx, reply_rx) = sync::oneshot();
@@ -213,19 +205,8 @@ impl SockFabric {
             notify: Rc::new(simnet::sync::Notify::new()),
             dropped: Cell::new(0),
         });
+        let (profile, net) = self.inner.stack_env(stack)?;
         socks.insert(key, inbox.clone());
-        let profile = *self
-            .inner
-            .cluster
-            .profile()
-            .socket_stack(stack)
-            .expect("checked above");
-        let net = self
-            .inner
-            .cluster
-            .network(stack.net())
-            .expect("stack implies network")
-            .clone();
         Ok(DgramSocket {
             fabric: self.inner.clone(),
             stack,
@@ -279,6 +260,21 @@ impl SockFabricInner {
         self.dead.borrow().contains(&node)
     }
 
+    /// Stack profile + physical network for `stack`. Callers have already
+    /// validated the stack (`check_stack`, or a live listener/socket that
+    /// could only exist for a configured stack), but the lookup stays
+    /// fallible so racing a profile away can surface as a socket error
+    /// instead of a panic.
+    fn stack_env(&self, stack: Stack) -> Result<(SocketStackProfile, Rc<Network>), SockError> {
+        let Some(profile) = self.cluster.profile().socket_stack(stack) else {
+            return Err(SockError::StackUnavailable(stack));
+        };
+        let Some(net) = self.cluster.network(stack.net()) else {
+            return Err(SockError::StackUnavailable(stack));
+        };
+        Ok((*profile, net.clone()))
+    }
+
     fn register(self: &Rc<Self>, node: NodeId, rx: Rc<RecvBuf>, peer_rx: Rc<RecvBuf>) -> u64 {
         let id = self.next_sock.get();
         self.next_sock.set(id + 1);
@@ -326,16 +322,7 @@ impl Listener {
         let req = self.rx.recv().await.map_err(|_| SockError::Closed)?;
         let inner = &self.fabric;
         let sim = inner.cluster.sim().clone();
-        let profile = *inner
-            .cluster
-            .profile()
-            .socket_stack(self.stack)
-            .expect("listener implies stack");
-        let net = inner
-            .cluster
-            .network(self.stack.net())
-            .expect("stack implies network")
-            .clone();
+        let (profile, net) = inner.stack_env(self.stack)?;
 
         // Server-side accept cost + SYN-ACK back to the client.
         sim.sleep(profile.app_recv).await;

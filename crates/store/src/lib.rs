@@ -29,6 +29,6 @@ mod store;
 pub use sharded::ShardedStore;
 pub use slab::{ClassId, ClassStats, SlabAllocator, SlabConfig, SlabLoc};
 pub use store::{
-    hash_key, normalize_exptime, NumericError, SetOutcome, Store, StoreConfig, StoreStats, Value,
-    ITEM_HEADER_SIZE, MAX_KEY_LEN, REALTIME_MAXDELTA,
+    hash_key, normalize_exptime, ItemLocation, NumericError, SetOutcome, SlabEvent, Store,
+    StoreConfig, StoreStats, Value, ITEM_HEADER_SIZE, MAX_KEY_LEN, REALTIME_MAXDELTA,
 };

@@ -40,6 +40,16 @@ impl SlabLoc {
             chunk: 0,
         }
     }
+
+    /// Page index within the owning class.
+    pub fn page(&self) -> u32 {
+        self.page
+    }
+
+    /// Chunk index within the page.
+    pub fn chunk(&self) -> u32 {
+        self.chunk
+    }
 }
 
 struct SlabClass {
@@ -55,6 +65,11 @@ struct SlabClass {
     used: u32,
     /// Total allocation requests.
     alloc_count: u64,
+    /// Per-chunk seqlock-style versions, indexed `page * per_page + chunk`.
+    /// A version changes exactly when the chunk's contents (or liveness)
+    /// change, which is what lets a remote reader detect that a directly
+    /// read chunk raced with a writer (RFP-style bypass gets).
+    versions: Vec<u64>,
 }
 
 /// Configuration for the allocator.
@@ -120,6 +135,7 @@ impl SlabAllocator {
                 free: Vec::new(),
                 used: 0,
                 alloc_count: 0,
+                versions: Vec::new(),
             });
             size = ((aligned as f64) * config.growth_factor).ceil() as usize;
         }
@@ -131,6 +147,7 @@ impl SlabAllocator {
             free: Vec::new(),
             used: 0,
             alloc_count: 0,
+            versions: Vec::new(),
         });
         SlabAllocator {
             classes,
@@ -178,6 +195,7 @@ impl SlabAllocator {
         // Grab a fresh page and carve it.
         let page_idx = c.pages.len() as u32;
         c.pages.push(vec![0u8; page_size].into_boxed_slice());
+        c.versions.resize(c.versions.len() + c.per_page as usize, 0);
         self.mem_allocated += page_size;
         for chunk in (1..c.per_page).rev() {
             c.free.push(SlabLoc {
@@ -219,6 +237,49 @@ impl SlabAllocator {
         assert!(offset + len <= chunk_size, "read outside chunk");
         let base = loc.chunk as usize * chunk_size;
         &c.pages[loc.page as usize][base + offset..base + offset + len]
+    }
+
+    /// Current seqlock version of the chunk at `loc`.
+    pub fn version(&self, loc: SlabLoc) -> u64 {
+        let c = &self.classes[loc.class.0 as usize];
+        c.versions[(loc.page * c.per_page + loc.chunk) as usize]
+    }
+
+    /// Bumps the chunk's version and returns the new value. The store
+    /// calls this on every mutation that changes the chunk's contents or
+    /// liveness (set / in-place arithmetic / touch / delete / eviction /
+    /// flush), so a remote bypass reader comparing versions observes any
+    /// concurrent write as a mismatch.
+    pub fn bump_version(&mut self, loc: SlabLoc) -> u64 {
+        let c = &mut self.classes[loc.class.0 as usize];
+        let v = &mut c.versions[(loc.page * c.per_page + loc.chunk) as usize];
+        *v += 1;
+        *v
+    }
+
+    /// Chunks per page of a class.
+    pub fn chunks_per_page(&self, class: ClassId) -> u32 {
+        self.classes[class.0 as usize].per_page
+    }
+
+    /// Pages currently assigned to a class.
+    pub fn page_count(&self, class: ClassId) -> u32 {
+        self.classes[class.0 as usize].pages.len() as u32
+    }
+
+    /// Raw bytes of one whole chunk addressed by indices (no `SlabLoc`
+    /// needed): used by the server's bypass mirror to snapshot a page.
+    pub fn chunk_raw(&self, class: ClassId, page: u32, chunk: u32) -> &[u8] {
+        let c = &self.classes[class.0 as usize];
+        let chunk_size = c.chunk_size as usize;
+        let base = chunk as usize * chunk_size;
+        &c.pages[page as usize][base..base + chunk_size]
+    }
+
+    /// Version of the chunk addressed by indices.
+    pub fn version_at(&self, class: ClassId, page: u32, chunk: u32) -> u64 {
+        let c = &self.classes[class.0 as usize];
+        c.versions[(page * c.per_page + chunk) as usize]
     }
 
     /// Total bytes of pages grabbed from the OS.

@@ -82,6 +82,60 @@ pub struct Value {
     pub cas: u64,
 }
 
+/// A chunk-level change notification for the bypass-get mirror (only
+/// collected while [`Store::set_event_tracking`] is on). The version is
+/// the chunk's seqlock version *after* the change; events are emitted in
+/// mutation order, so replaying them keeps an external mirror exactly in
+/// step with the slab contents.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SlabEvent {
+    /// The chunk holds a (new or updated) live item.
+    Written {
+        /// Chunk that changed.
+        loc: SlabLoc,
+        /// Seqlock version after the write.
+        version: u64,
+    },
+    /// The chunk's item died (delete / eviction / expiry / flush) or its
+    /// chunk was reassigned; only the version word is meaningful now.
+    Invalidated {
+        /// Chunk that changed.
+        loc: SlabLoc,
+        /// Seqlock version after the invalidation.
+        version: u64,
+    },
+}
+
+impl SlabEvent {
+    /// The chunk the event refers to.
+    pub fn loc(&self) -> SlabLoc {
+        match self {
+            SlabEvent::Written { loc, .. } | SlabEvent::Invalidated { loc, .. } => *loc,
+        }
+    }
+}
+
+/// Where a live item sits in slab memory — the source of a bypass-get
+/// location descriptor (`{rkey, offset, len, version}` once the server
+/// maps it onto a registered mirror page).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ItemLocation {
+    /// Slab chunk holding `[key][value]`.
+    pub loc: SlabLoc,
+    /// Key length in bytes.
+    pub klen: u16,
+    /// Value length in bytes.
+    pub vlen: u32,
+    /// Client-opaque flags.
+    pub flags: u32,
+    /// CAS token at lookup time.
+    pub cas: u64,
+    /// Absolute expiry (unix seconds); 0 = never.
+    pub exp: u32,
+    /// Chunk seqlock version at lookup time.
+    pub version: u64,
+}
+
 /// Counters mirroring `stats` fields of interest.
 #[derive(Clone, Copy, Default, Debug)]
 pub struct StoreStats {
@@ -169,6 +223,10 @@ pub struct Store {
     config: StoreConfig,
     stats: StoreStats,
     evictions_by_class: Vec<u64>,
+    /// Chunk-change events for the bypass mirror; only filled while
+    /// `track_events` is on (i.e. a bypass client exists).
+    events: Vec<SlabEvent>,
+    track_events: bool,
 }
 
 impl Store {
@@ -193,6 +251,8 @@ impl Store {
             config,
             stats: StoreStats::default(),
             evictions_by_class: vec![0; classes],
+            events: Vec::new(),
+            track_events: false,
         }
     }
 
@@ -327,6 +387,11 @@ impl Store {
             Some(id) => {
                 self.items[id as usize].exp = exp;
                 self.lru_bump(id);
+                // The item's descriptor (which carries the expiry) is now
+                // stale: advance the version so bypass readers refetch.
+                let loc = self.items[id as usize].loc;
+                let version = self.slabs.bump_version(loc);
+                self.emit(SlabEvent::Written { loc, version });
                 true
             }
             None => false,
@@ -336,6 +401,19 @@ impl Store {
     /// Invalidates everything stored strictly before `now`.
     pub fn flush_all(&mut self, now: u32) {
         self.oldest_live = now;
+        if self.track_events {
+            // Reclamation stays lazy, but bypass readers must stop trusting
+            // cached descriptors immediately: bump every flushed item's
+            // chunk version so direct reads observe the skew.
+            for id in 0..self.items.len() {
+                let it = &self.items[id];
+                if it.in_use && it.stored_at < now {
+                    let loc = it.loc;
+                    let version = self.slabs.bump_version(loc);
+                    self.emit(SlabEvent::Invalidated { loc, version });
+                }
+            }
+        }
     }
 
     /// Counter snapshot.
@@ -380,6 +458,49 @@ impl Store {
     /// The slab allocator (stats inspection).
     pub fn slabs(&self) -> &SlabAllocator {
         &self.slabs
+    }
+
+    /// Enables (or disables) chunk-change event collection for the bypass
+    /// mirror. Off by default; the server flips it on when the first
+    /// bypass client asks for a location descriptor.
+    pub fn set_event_tracking(&mut self, on: bool) {
+        self.track_events = on;
+        if !on {
+            self.events.clear();
+        }
+    }
+
+    /// Drains the chunk-change events accumulated since the last call.
+    pub fn take_slab_events(&mut self) -> Vec<SlabEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Read-only item lookup for the bypass directory: where a live item
+    /// sits in slab memory plus its current seqlock version. Unlike
+    /// [`get`](Store::get) this neither bumps the LRU nor reclaims expired
+    /// items nor counts a hit/miss — serving a descriptor is not a cache
+    /// access, and the directory handler runs outside the worker path.
+    pub fn locate(&self, key: &[u8], now: u32) -> Option<ItemLocation> {
+        let id = self.lookup(key)?;
+        if self.is_dead(id, now) {
+            return None;
+        }
+        let it = &self.items[id as usize];
+        Some(ItemLocation {
+            loc: it.loc,
+            klen: it.klen,
+            vlen: it.vlen,
+            flags: it.flags,
+            cas: it.cas,
+            exp: it.exp,
+            version: self.slabs.version(it.loc),
+        })
+    }
+
+    fn emit(&mut self, ev: SlabEvent) {
+        if self.track_events {
+            self.events.push(ev);
+        }
     }
 
     /// `stats slabs`-style lines: one `(name, value)` pair per populated
@@ -496,6 +617,8 @@ impl Store {
         self.bytes_stored += (key.len() + value.len()) as u64;
         self.stats.sets += 1;
         self.stats.total_items += 1;
+        let version = self.slabs.bump_version(loc);
+        self.emit(SlabEvent::Written { loc, version });
         SetOutcome::Stored
     }
 
@@ -554,6 +677,8 @@ impl Store {
             self.bytes_stored -= (old_vlen - text.len()) as u64;
             it.vlen = text.len() as u32;
             it.cas = self.cas_counter;
+            let version = self.slabs.bump_version(loc);
+            self.emit(SlabEvent::Written { loc, version });
             Ok(newv)
         } else {
             match self.store_item(key, text.as_bytes(), flags, exp_abs, now, StorePolicy::Set) {
@@ -628,6 +753,8 @@ impl Store {
         self.item_count -= 1;
         self.bytes_stored -= (it.klen as u64) + (it.vlen as u64);
         let loc = it.loc;
+        let version = self.slabs.bump_version(loc);
+        self.emit(SlabEvent::Invalidated { loc, version });
         self.slabs.free(loc);
         self.free_items.push(id);
     }

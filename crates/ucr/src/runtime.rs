@@ -67,6 +67,19 @@ pub struct RtStats {
     pub progress_wakes: simnet::metrics::Counter,
     /// Completions serviced by the progress engine across all wakeups.
     pub progress_completions: simnet::metrics::Counter,
+    /// Bypass gets served by a client-direct RDMA read of server slab
+    /// memory (zero remote CPU involvement).
+    pub bypass_reads: simnet::metrics::Counter,
+    /// Bypass reads that observed a seqlock version skew (a concurrent
+    /// writer) and were retried with a fresh descriptor.
+    pub bypass_retries: simnet::metrics::Counter,
+    /// Bypass gets that gave up on the one-sided path and fell back to
+    /// the AM get (descriptor miss, retry budget exhausted, read error).
+    pub bypass_fallbacks: simnet::metrics::Counter,
+    /// Rendezvous registrations evicted through
+    /// [`UcrRuntime::invalidate_registration`] (the pin-down-cache
+    /// munmap/free hook).
+    pub mr_cache_invalidations: simnet::metrics::Counter,
 }
 
 impl RtStats {
@@ -92,6 +105,13 @@ impl RtStats {
             ("ucr_recv_bufs_recycled", self.recv_bufs_recycled.get()),
             ("ucr_progress_wakes", self.progress_wakes.get()),
             ("ucr_progress_completions", self.progress_completions.get()),
+            ("ucr_bypass_reads", self.bypass_reads.get()),
+            ("ucr_bypass_retries", self.bypass_retries.get()),
+            ("ucr_bypass_fallbacks", self.bypass_fallbacks.get()),
+            (
+                "ucr_mr_cache_invalidations",
+                self.mr_cache_invalidations.get(),
+            ),
         ]
         .into_iter()
         .map(|(k, v)| (k.to_string(), v.to_string()))
@@ -114,6 +134,10 @@ impl RtStats {
         self.recv_bufs_recycled.reset();
         self.progress_wakes.reset();
         self.progress_completions.reset();
+        self.bypass_reads.reset();
+        self.bypass_retries.reset();
+        self.bypass_fallbacks.reset();
+        self.mr_cache_invalidations.reset();
     }
 }
 
@@ -159,17 +183,47 @@ struct RtGauges {
     recv_bufs_recycled: Rc<simnet::metrics::Gauge>,
     progress_wakes: Rc<simnet::metrics::Gauge>,
     progress_completions: Rc<simnet::metrics::Gauge>,
+    /// Registry handle + name parts for gauges created on first use.
+    metrics: Rc<simnet::Metrics>,
+    net: String,
+    node: NodeId,
+    /// `ucr.<net>.nodeN.bypass_{reads,retries,fallbacks}` — created only
+    /// once bypass activity exists, so runs that never use the bypass
+    /// path export exactly the same registry as before it was added.
+    bypass: RefCell<Option<[Rc<simnet::metrics::Gauge>; 3]>>,
 }
 
 impl RtGauges {
-    fn new(metrics: &simnet::Metrics, net: &str, node: NodeId) -> RtGauges {
+    fn new(metrics: &Rc<simnet::Metrics>, net: &str, node: NodeId) -> RtGauges {
         let gauge = |name: &str| metrics.gauge(&format!("ucr.{net}.{node}.{name}"));
         RtGauges {
             mr_cache_hit_rate: gauge("mr_cache_hit_rate"),
             recv_bufs_recycled: gauge("recv_bufs_recycled"),
             progress_wakes: gauge("progress_wakes"),
             progress_completions: gauge("progress_completions"),
+            metrics: metrics.clone(),
+            net: net.to_string(),
+            node,
+            bypass: RefCell::new(None),
         }
+    }
+
+    /// The bypass gauge trio, created on first call.
+    fn bypass(&self) -> [Rc<simnet::metrics::Gauge>; 3] {
+        self.bypass
+            .borrow_mut()
+            .get_or_insert_with(|| {
+                let g = |name: &str| {
+                    self.metrics
+                        .gauge(&format!("ucr.{}.{}.{name}", self.net, self.node))
+                };
+                [
+                    g("bypass_reads"),
+                    g("bypass_retries"),
+                    g("bypass_fallbacks"),
+                ]
+            })
+            .clone()
     }
 }
 
@@ -477,6 +531,34 @@ impl UcrRuntime {
         self.inner.mr_cache.borrow().len()
     }
 
+    /// Buffer-free / `munmap` hook for the rendezvous registration cache
+    /// (the classic pin-down-cache invalidation problem): evicts — and
+    /// thereby deregisters — every cached MR covering the buffer identity
+    /// `(addr, len)`, across all endpoints. An application that frees or
+    /// unmaps a buffer it previously sent from MUST call this before the
+    /// address can be reused, otherwise a peer holding the stale rkey
+    /// would keep reading the old pinned pages. Returns the number of
+    /// registrations dropped.
+    pub fn invalidate_registration(&self, addr: usize, len: usize) -> usize {
+        let mut cache = self.inner.mr_cache.borrow_mut();
+        let before = cache.len();
+        cache.retain(|(_, a, l), _| !(*a == addr && *l == len));
+        let dropped = before - cache.len();
+        if dropped > 0 {
+            self.inner.stats.mr_cache_invalidations.add(dropped as u64);
+            self.inner.tracer.instant(
+                simnet::trace::Layer::Ucr,
+                "mr_cache_invalidate",
+                self.inner.node,
+                simnet::trace::Track::Main,
+                addr as u64,
+                dropped as u64,
+                self.inner.sim.now(),
+            );
+        }
+        dropped
+    }
+
     /// Number of live endpoints.
     pub fn endpoints(&self) -> usize {
         self.inner.eps.borrow().len()
@@ -543,6 +625,17 @@ impl RtInner {
         self.gauges
             .progress_completions
             .set(self.stats.progress_completions.get() as f64);
+        // Bypass gauges materialize only once the path is exercised, so
+        // non-bypass runs keep a byte-identical registry export.
+        let reads = self.stats.bypass_reads.get();
+        let retries = self.stats.bypass_retries.get();
+        let fallbacks = self.stats.bypass_fallbacks.get();
+        if reads + retries + fallbacks > 0 {
+            let [g_reads, g_retries, g_fallbacks] = self.gauges.bypass();
+            g_reads.set(reads as f64);
+            g_retries.set(retries as f64);
+            g_fallbacks.set(fallbacks as f64);
+        }
     }
 
     pub(crate) fn alloc_wr(&self, p: Pending) -> u64 {

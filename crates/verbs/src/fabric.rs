@@ -24,6 +24,11 @@ use crate::types::VerbsError;
 pub(crate) struct IbFabricInner {
     pub cluster: Rc<Cluster>,
     pub net_kind: NetKind,
+    /// The physical network, resolved once at fabric creation so `open`
+    /// never has to re-derive it fallibly.
+    pub net: Rc<Network>,
+    /// The RDMA cost model for that network, resolved likewise.
+    pub verbs: VerbsProfile,
     pub hcas: RefCell<HashMap<NodeId, Rc<HcaInner>>>,
 }
 
@@ -61,21 +66,36 @@ pub struct Hca {
 }
 
 impl IbFabric {
-    /// Creates the fabric view over a cluster's native IB network.
+    /// Creates the fabric view over a cluster's native IB network. Native
+    /// IB is unconditionally modeled (the verbs profile and the IB
+    /// network exist in every cluster), so unlike [`new_on`](IbFabric::new_on)
+    /// this cannot fail.
     pub fn new(cluster: Rc<Cluster>) -> IbFabric {
-        IbFabric::new_on(cluster, NetKind::Ib).expect("IB is always present")
+        let verbs = cluster.profile().verbs;
+        let net = cluster.ib().clone();
+        IbFabric {
+            inner: Rc::new(IbFabricInner {
+                cluster,
+                net_kind: NetKind::Ib,
+                net,
+                verbs,
+                hcas: RefCell::new(HashMap::new()),
+            }),
+        }
     }
 
     /// Creates a verbs fabric over an arbitrary physical network — RoCE
     /// when pointed at converged Ethernet adapters (paper SVII). `None`
     /// when the cluster's adapters on that network have no RDMA engine.
     pub fn new_on(cluster: Rc<Cluster>, net: NetKind) -> Option<IbFabric> {
-        cluster.profile().verbs_for(net)?;
-        cluster.network(net)?;
+        let verbs = cluster.profile().verbs_for(net)?;
+        let network = cluster.network(net)?.clone();
         Some(IbFabric {
             inner: Rc::new(IbFabricInner {
                 cluster,
                 net_kind: net,
+                net: network,
+                verbs,
                 hcas: RefCell::new(HashMap::new()),
             }),
         })
@@ -95,19 +115,12 @@ impl IbFabric {
             "node {node} outside cluster of {} nodes",
             cluster.len()
         );
-        let net_kind = self.inner.net_kind;
         let inner = Rc::new(HcaInner {
             node,
             sim: cluster.sim().clone(),
-            net: cluster
-                .network(net_kind)
-                .expect("checked at fabric creation")
-                .clone(),
+            net: self.inner.net.clone(),
             hw: cluster.node(node).clone(),
-            profile: cluster
-                .profile()
-                .verbs_for(net_kind)
-                .expect("checked at fabric creation"),
+            profile: self.inner.verbs,
             fabric: Rc::downgrade(&self.inner),
             mrs: RefCell::new(HashMap::new()),
             qps: RefCell::new(HashMap::new()),
@@ -198,7 +211,7 @@ impl Hca {
         Pd {
             node: self.inner.node,
             pd_id: id,
-            hca: Rc::downgrade(&self.inner),
+            hca: self.inner.clone(),
         }
     }
 

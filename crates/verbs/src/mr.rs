@@ -22,10 +22,14 @@ pub(crate) struct MrInner {
 
 /// A protection domain: the allocation scope for memory regions and queue
 /// pairs. Regions registered in one PD are usable by QPs of the same PD.
+/// Holds its HCA strongly — a PD is an explicit adapter resource, so the
+/// adapter state outlives it by construction (no fallible upgrade on the
+/// registration path). The HCA only holds PDs' *products* weakly (MRs) or
+/// without back-references, so this creates no cycle.
 pub struct Pd {
     pub(crate) node: NodeId,
     pub(crate) pd_id: u32,
-    pub(crate) hca: Weak<crate::fabric::HcaInner>,
+    pub(crate) hca: Rc<crate::fabric::HcaInner>,
 }
 
 /// A registered memory region.
@@ -52,7 +56,7 @@ impl Pd {
 
     /// Registers a region initialized with `data`.
     pub fn register_with(&self, data: Vec<u8>, access: Access) -> Mr {
-        let hca = self.hca.upgrade().expect("HCA outlives its PDs");
+        let hca = &self.hca;
         let rkey = hca.next_key();
         let inner = Rc::new(MrInner {
             rkey,
@@ -64,7 +68,7 @@ impl Pd {
         Mr {
             inner,
             node: self.node,
-            hca: self.hca.clone(),
+            hca: Rc::downgrade(hca),
         }
     }
 }

@@ -179,6 +179,10 @@ pub(crate) struct QpInner {
     pub qpn: u32,
     pub qp_type: QpType,
     pub pd_id: u32,
+    /// Owning node, copied out of the HCA at creation so it stays
+    /// readable even after the adapter is torn down.
+    pub node: NodeId,
+    /// Weak by necessity: the HCA's QP table holds `Rc<QpInner>`.
     pub hca: Weak<HcaInner>,
     pub send_cq: Cq,
     pub recv_cq: Cq,
@@ -206,13 +210,14 @@ impl Pd {
         recv_cq: &Cq,
         srq: Option<&Srq>,
     ) -> QueuePair {
-        let hca = self.hca.upgrade().expect("HCA outlives its PDs");
+        let hca = &self.hca;
         let qpn = hca.next_qpn();
         let inner = Rc::new(QpInner {
             qpn,
             qp_type,
             pd_id: self.pd_id,
-            hca: self.hca.clone(),
+            node: hca.node,
+            hca: Rc::downgrade(hca),
             send_cq: send_cq.clone(),
             recv_cq: recv_cq.clone(),
             srq: srq.cloned(),
@@ -243,7 +248,7 @@ impl QueuePair {
 
     /// The node this QP lives on.
     pub fn node(&self) -> NodeId {
-        self.inner.hca.upgrade().expect("HCA alive").node
+        self.inner.node
     }
 
     /// Transitions an RC QP to ready-to-send against `(node, qpn)` —

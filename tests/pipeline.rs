@@ -179,6 +179,83 @@ fn registration_cache_counts_hits_and_misses() {
     assert_eq!(run(0, 16), (0, 16));
 }
 
+/// Pin-down regression: once a buffer is "freed" (its registration
+/// invalidated through the buffer-free hook), the cached MR must be
+/// deregistered and evicted — a later send from reused memory at the
+/// same address must register afresh instead of reading through the
+/// stale cached MR.
+#[test]
+fn invalidated_registration_is_never_reused() {
+    const MSG: u16 = 7;
+    const PORT: u16 = 9099;
+    let world = World::cluster_b(75, 2);
+    let sim = world.sim().clone();
+    let srv = ucr::UcrRuntime::new(&world.ib, NodeId(0));
+    srv.register_handler(
+        MSG,
+        ucr::FnHandler(|_: &ucr::Endpoint, _: &[u8], _: ucr::AmData| {}),
+    );
+    let listener = srv.listen(PORT).unwrap();
+    sim.spawn(async move {
+        let mut eps = Vec::new();
+        while let Ok(ep) = listener.accept().await {
+            eps.push(ep);
+        }
+    });
+    let cli = ucr::UcrRuntime::new(&world.ib, NodeId(1));
+    cli.set_mr_cache_capacity(64);
+    let cli2 = cli.clone();
+    sim.block_on(async move {
+        let timeout = SimDuration::from_millis(250);
+        let ep = cli2.connect(NodeId(0), PORT, timeout).await.unwrap();
+        let buf = vec![5u8; 64 * 1024];
+        assert!(buf.len() > cli2.eager_threshold());
+        // One send from `buf`, completion-awaited, so the registration is
+        // idle (reusable) when the next send looks it up.
+        macro_rules! send_buf {
+            () => {{
+                let ctr = cli2.counter();
+                ep.send_message(
+                    MSG,
+                    b"",
+                    &buf,
+                    ucr::SendOptions {
+                        completion: Some(ctr.clone()),
+                        ..Default::default()
+                    },
+                )
+                .await
+                .unwrap();
+                ctr.wait_for(1, timeout).await.unwrap();
+            }};
+        }
+
+        // Populate the cache, then hit it.
+        send_buf!();
+        send_buf!();
+        let st = cli2.stats();
+        assert_eq!((st.mr_cache_hits.get(), st.mr_cache_misses.get()), (1, 1));
+        assert_eq!(cli2.mr_cache_len(), 1);
+
+        // The application frees the buffer: the hook must deregister and
+        // evict the cached MR immediately.
+        let evicted = cli2.invalidate_registration(buf.as_ptr() as usize, buf.len());
+        assert_eq!(evicted, 1, "exactly the freed buffer's MR evicted");
+        assert_eq!(cli2.mr_cache_len(), 0);
+        assert_eq!(st.mr_cache_invalidations.get(), 1);
+
+        // Memory reused at the same address must not resolve to the
+        // stale registration: the next send is a fresh miss.
+        send_buf!();
+        assert_eq!((st.mr_cache_hits.get(), st.mr_cache_misses.get()), (1, 2));
+        assert_eq!(cli2.mr_cache_len(), 1);
+
+        // Invalidating an address the cache has never seen is a no-op.
+        assert_eq!(cli2.invalidate_registration(0xdead_0000, 4096), 0);
+        assert_eq!(st.mr_cache_invalidations.get(), 1);
+    });
+}
+
 /// Overlapping rendezvous sends from one borrowed buffer must not share
 /// one registration: the first transfer's advertise token is still
 /// outstanding when the second send rewrites the source buffer, so the

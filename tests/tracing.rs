@@ -137,6 +137,49 @@ fn tracing_adds_no_virtual_time() {
 }
 
 #[test]
+fn bypass_tracing_adds_no_virtual_time() {
+    // The clock-equality guarantee extends to the server-CPU-bypass GET
+    // path: descriptor lookups, one-sided reads, and their spans must
+    // cost zero virtual time when a sink is attached.
+    let run = |traced: bool| {
+        let world = World::cluster_b(64, 4);
+        let _server = McServer::start(&world, NodeId(0), McServerConfig::default());
+        let client = McClient::new(
+            &world,
+            NodeId(1),
+            McClientConfig {
+                bypass_get: true,
+                ..McClientConfig::single(Transport::Ucr, NodeId(0))
+            },
+        );
+        let recorder = EventRecorder::new();
+        if traced {
+            world.cluster.tracer().add_sink(recorder.clone());
+            world.cluster.tracer().set_flight_capacity(8);
+        }
+        let sim = world.sim().clone();
+        let sim2 = sim.clone();
+        let end = sim.block_on(async move {
+            client.set(b"k", &vec![7u8; 4096], 0, 0).await.unwrap();
+            for _ in 0..20 {
+                client.get(b"k").await.unwrap().unwrap();
+            }
+            let bypassed = client.ucr_runtime().unwrap().stats().bypass_reads.get();
+            assert_eq!(bypassed, 20, "every get rode the one-sided path");
+            sim2.now().as_nanos()
+        });
+        (end, recorder.len())
+    };
+    let (untraced_end, _) = run(false);
+    let (traced_end, recorded) = run(true);
+    assert!(recorded > 0, "the traced run actually recorded events");
+    assert_eq!(
+        untraced_end, traced_end,
+        "tracing must not move the virtual clock on the bypass path"
+    );
+}
+
+#[test]
 fn flight_recorder_captures_failed_send_tail() {
     let (world, _server, client) = ucr_world(63);
     let sim = world.sim().clone();
