@@ -17,12 +17,21 @@
 //! every backticked registry name in a HELP line must match a manifest
 //! pattern of the same instrument kind, so a renamed or typo'd metric
 //! fails CI here instead of silently forking a series.
+//!
+//! The digest also guards the benchmark trajectory: headline figures
+//! (best throughput, best latency per bench document) are compared
+//! against the committed `results/bench_baseline.json`. A figure more
+//! than 15% worse than its baseline fails the run with a delta table;
+//! `--write-baseline` re-distills the baseline from the current results
+//! (run it when a change legitimately moves a figure, and commit the
+//! diff).
 
 use std::collections::BTreeMap;
 
 use simnet::trace_export::{parse_json, Json};
 
 fn main() {
+    let write_baseline = std::env::args().any(|a| a == "--write-baseline");
     let dir = std::path::Path::new("results");
     let mut names: Vec<String> = match std::fs::read_dir(dir) {
         Ok(entries) => entries
@@ -33,6 +42,7 @@ fn main() {
                     && !n.ends_with(".trace.json")
                     && n != "bench_summary.json"
                     && n != "metric_manifest.json"
+                    && n != "bench_baseline.json"
             })
             .collect(),
         Err(e) => {
@@ -45,6 +55,7 @@ fn main() {
     println!("Benchmark result digest ({} documents)", names.len());
     println!("{:>26} {:>9}  ops", "bench", "records");
     let mut rows = Vec::new();
+    let mut figures: Vec<Figure> = Vec::new();
     for name in &names {
         let path = dir.join(name);
         let doc = match std::fs::read_to_string(&path) {
@@ -91,6 +102,22 @@ fn main() {
             }
         }
         println!("{:>26} {:>9}  {}", bench, records.len(), ops.join(","));
+        // Distill the headline figures the trajectory guard tracks: the
+        // best throughput and the best latencies this bench measured.
+        for (field, pick_max, higher_better) in [
+            ("tps", true, true),
+            ("mean_us", false, false),
+            ("p50_us", false, false),
+            ("p99_us", false, false),
+        ] {
+            if let Some(&(lo, hi)) = ranges.get(field) {
+                figures.push(Figure {
+                    name: format!("{bench}.{field}.{}", if pick_max { "max" } else { "min" }),
+                    value: if pick_max { hi } else { lo },
+                    higher_better,
+                });
+            }
+        }
         let mut row = rmc_bench::json_out::Record::new()
             .str("bench", bench)
             .str("source", name.as_str())
@@ -108,6 +135,143 @@ fn main() {
     if let Err(msg) = cross_check_manifest(dir) {
         eprintln!("bench_summary: metric-manifest cross-check FAILED:\n{msg}");
         std::process::exit(1);
+    }
+
+    if write_baseline {
+        write_baseline_file(dir, &figures);
+    } else if let Err(msg) = check_baseline(dir, &figures) {
+        eprintln!("bench_summary: trajectory guard FAILED:\n{msg}");
+        std::process::exit(1);
+    }
+}
+
+/// One tracked headline figure of a bench document.
+struct Figure {
+    name: String,
+    value: f64,
+    higher_better: bool,
+}
+
+/// Figures a regression larger than this fraction fails on.
+const REGRESSION_TOLERANCE: f64 = 0.15;
+
+fn write_baseline_file(dir: &std::path::Path, figures: &[Figure]) {
+    let records: Vec<_> = figures
+        .iter()
+        .map(|f| {
+            rmc_bench::json_out::Record::new()
+                .str("name", f.name.as_str())
+                .num("value", f.value)
+                .str("better", if f.higher_better { "higher" } else { "lower" })
+        })
+        .collect();
+    let doc = rmc_bench::json_out::render("bench_baseline", &records);
+    let path = dir.join("bench_baseline.json");
+    match std::fs::write(&path, doc) {
+        Ok(()) => eprintln!(
+            "bench_summary: wrote {} ({} figures)",
+            path.display(),
+            figures.len()
+        ),
+        Err(e) => {
+            eprintln!("bench_summary: could not write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Compares the current figures against the committed baseline and
+/// prints the delta table. Worse-than-tolerance figures fail; improved
+/// figures just print (refresh the baseline with `--write-baseline` to
+/// ratchet them in).
+fn check_baseline(dir: &std::path::Path, figures: &[Figure]) -> Result<(), String> {
+    let path = dir.join("bench_baseline.json");
+    let doc = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(_) => {
+            eprintln!(
+                "bench_summary: {} absent, skipping trajectory guard \
+                 (write one with --write-baseline)",
+                path.display()
+            );
+            return Ok(());
+        }
+    };
+    let parsed =
+        parse_json(&doc).map_err(|e| format!("{} is not valid JSON: {e}", path.display()))?;
+    let baseline = parsed
+        .get("records")
+        .and_then(|r| r.as_arr())
+        .ok_or_else(|| format!("{} has no records", path.display()))?;
+    let current: BTreeMap<&str, &Figure> = figures.iter().map(|f| (f.name.as_str(), f)).collect();
+    println!(
+        "\nTrajectory vs baseline (tolerance {:.0}%)",
+        REGRESSION_TOLERANCE * 100.0
+    );
+    println!(
+        "{:>44} {:>14} {:>14} {:>8}",
+        "figure", "baseline", "current", "delta"
+    );
+    let mut failures = Vec::new();
+    let mut compared = 0usize;
+    for rec in baseline {
+        let (Some(name), Some(base), Some(better)) = (
+            rec.get("name").and_then(|v| v.as_str()),
+            rec.get("value").and_then(|v| v.as_f64()),
+            rec.get("better").and_then(|v| v.as_str()),
+        ) else {
+            return Err(format!("malformed baseline record in {}", path.display()));
+        };
+        let Some(fig) = current.get(name) else {
+            failures.push(format!(
+                "  {name}: in the baseline but absent from results/ — \
+                 rerun its bench or refresh the baseline"
+            ));
+            continue;
+        };
+        compared += 1;
+        // Signed change in the direction of "better": positive = improved.
+        // A zero baseline has no meaningful relative delta: any move off
+        // it counts as a full-scale change in the move's direction.
+        let raw = if better == "higher" {
+            fig.value - base
+        } else {
+            base - fig.value
+        };
+        let gain = if base != 0.0 {
+            raw / base.abs()
+        } else if raw == 0.0 {
+            0.0
+        } else {
+            raw.signum()
+        };
+        let flag = if gain < -REGRESSION_TOLERANCE {
+            "FAIL"
+        } else {
+            ""
+        };
+        println!(
+            "{name:>44} {base:>14.3} {:>14.3} {:>7.1}% {flag}",
+            fig.value,
+            gain * 100.0
+        );
+        if gain < -REGRESSION_TOLERANCE {
+            failures.push(format!(
+                "  {name}: {:.3} is {:.1}% worse than baseline {:.3}",
+                fig.value,
+                -gain * 100.0,
+                base
+            ));
+        }
+    }
+    if compared == 0 {
+        return Err(format!("{} tracks no comparable figures", path.display()));
+    }
+    if failures.is_empty() {
+        eprintln!("bench_summary: trajectory guard ok ({compared} figures within tolerance)");
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
     }
 }
 

@@ -65,6 +65,7 @@ fn sweep_inputs(runs: &[(usize, f64, f64)]) -> Vec<HealthInput> {
             queue_depth: inflight,
             p99_us: 0.0,
             errors_per_sec: 0.0,
+            budget_burn: 0.0,
         })
         .collect()
 }

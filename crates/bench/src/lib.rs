@@ -767,6 +767,7 @@ pub fn measure_observatory(
         queue_gauge: "client.node1.inflight".into(),
         latency_hist: None,
         error_counter: None,
+        slos: Vec::new(),
     });
     sampler.start();
     let (tps, end_clock) = run_pipeline_gets(&world, transport, depth, value_size, ops);

@@ -812,10 +812,11 @@ impl McClient {
                     let mut window: VecDeque<(usize, UcrInFlight)> = VecDeque::new();
                     for i in idxs {
                         if window.len() == depth {
-                            let (j, op) = window.pop_front().expect("window nonempty");
-                            inner.inflight_gauge.set(window.len() as f64);
-                            out[j] = decode_get_resp(inner.ucr_complete(op).await?)?;
-                            inner.op_done();
+                            if let Some((j, op)) = window.pop_front() {
+                                inner.inflight_gauge.set(window.len() as f64);
+                                out[j] = decode_get_resp(inner.ucr_complete(op).await?)?;
+                                inner.op_done();
+                            }
                         }
                         let key = keys[i];
                         let op = inner
@@ -908,11 +909,12 @@ impl McClient {
                     let mut window: VecDeque<(usize, UcrInFlight)> = VecDeque::new();
                     for i in idxs {
                         if window.len() == depth {
-                            let (j, op) = window.pop_front().expect("window nonempty");
-                            inner.inflight_gauge.set(window.len() as f64);
-                            let (resp, _) = inner.ucr_complete(op).await?;
-                            out[j] = status_to_result(resp.status);
-                            inner.op_done();
+                            if let Some((j, op)) = window.pop_front() {
+                                inner.inflight_gauge.set(window.len() as f64);
+                                let (resp, _) = inner.ucr_complete(op).await?;
+                                out[j] = status_to_result(resp.status);
+                                inner.op_done();
+                            }
                         }
                         let (key, value) = items[i];
                         let op = inner
@@ -1415,7 +1417,7 @@ impl CliInner {
         let server = *self.cfg.servers.get(sidx).ok_or(McError::NoServers)?;
         let conn = match self.cfg.transport {
             Transport::Ucr | Transport::UcrRoce => {
-                let rt = self.ucr.as_ref().expect("UCR transport has a runtime");
+                let rt = self.ucr.as_ref().ok_or(McError::Disconnected)?;
                 let ep = rt
                     .connect(server, self.cfg.port, self.cfg.op_timeout)
                     .await
@@ -1494,7 +1496,7 @@ impl CliInner {
         build: impl FnOnce(u64, u64) -> ReqHeader,
         data: Vec<u8>,
     ) -> Result<UcrInFlight, McError> {
-        let rt = self.ucr.as_ref().expect("UCR transport");
+        let rt = self.ucr.as_ref().ok_or(McError::Disconnected)?;
         let req_id = self.next_req.get();
         self.next_req.set(req_id + 1);
         let ctr = rt.counter();
@@ -2011,7 +2013,10 @@ impl CliInner {
         cmd: &Command,
     ) -> Result<Response, McError> {
         let frames = command_to_frames(cmd);
-        let terminal_opaque = frames.last().expect("nonempty").opaque;
+        let Some(terminal) = frames.last() else {
+            return Err(McError::Protocol);
+        };
+        let terminal_opaque = terminal.opaque;
         let mut wire = Vec::new();
         for f in &frames {
             wire.extend_from_slice(&f.encode());

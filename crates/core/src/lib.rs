@@ -33,6 +33,7 @@
 
 mod am_wire;
 mod client;
+mod observatory;
 mod server;
 mod world;
 
@@ -44,6 +45,7 @@ pub use client::{
     crc32, fnv1a_32, one_at_a_time, Distribution, InFlightGet, InFlightSet, KeyHash, McClient,
     McClientConfig, McError, Transport,
 };
+pub use observatory::{ObservatoryConfig, SloObjective, WorkloadObservatory};
 pub use server::{McServer, McServerConfig, SrvStats, BASE_UNIX_TIME, SERVER_VERSION};
 pub use world::World;
 

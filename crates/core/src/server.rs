@@ -37,6 +37,7 @@ use crate::am_wire::{
     encode_mget_entry, DirReq, DirResp, McOp, ReqHeader, RespHeader, RespStatus,
     BYPASS_VERSION_BYTES, MSG_MC_DIR_REQ, MSG_MC_DIR_RESP, MSG_MC_REQ, MSG_MC_RESP,
 };
+use crate::observatory::{ObservatoryConfig, WorkloadObservatory};
 use crate::world::World;
 
 /// Simulated epoch: the store's unix clock starts here (spring 2011).
@@ -64,6 +65,11 @@ pub struct McServerConfig {
     /// Also serve the memcached UDP protocol on the same stacks (the
     /// SIII Facebook baseline: connection-less gets).
     pub enable_udp: bool,
+    /// Attach a workload observatory (hot-key sketch, tail exemplars,
+    /// SLO tracking; surfaced via `stats hot`/`stats slo`/
+    /// `stats exemplars`). `None` — the default — registers nothing and
+    /// keeps every stats surface byte-identical to an unobserved server.
+    pub observatory: Option<ObservatoryConfig>,
 }
 
 impl Default for McServerConfig {
@@ -76,6 +82,7 @@ impl Default for McServerConfig {
             enable_roce: true,
             socket_stacks: vec![Stack::Sdp, Stack::Ipoib, Stack::TenGigEToe, Stack::OneGigE],
             enable_udp: true,
+            observatory: None,
         }
     }
 }
@@ -150,6 +157,8 @@ struct SrvInner {
     /// Set once any directory request has been served; gates the store's
     /// slab-event tracking and the post-op mirror sync.
     bypass_on: Cell<bool>,
+    /// Workload observatory (hot keys, exemplars, SLOs), when attached.
+    observatory: Option<Rc<WorkloadObservatory>>,
 }
 
 /// Gauge handles for one slab class (`mc.nodeN.slab.classC.*`).
@@ -364,6 +373,11 @@ impl AmHandler for DirDispatch {
         };
         let Some(rt) = rt else { return };
         let resp = srv.mirrors[self.side as usize].serve(&srv, &rt, &req);
+        // A directory request is a client-direct read of this key: the
+        // hot-key sketch must see it even though no worker ever will.
+        if let Some(obs) = srv.observatory.as_ref() {
+            obs.observe_key(&req.key, false, None);
+        }
         srv.tracer.instant(
             Layer::Core,
             "dir_lookup",
@@ -425,6 +439,10 @@ impl McServer {
                 .gauge(&format!("mc.node{}.store.bytes", node.0)),
             mirrors: [Rc::default(), Rc::default()],
             bypass_on: Cell::new(false),
+            observatory: config
+                .observatory
+                .as_ref()
+                .map(|cfg| WorkloadObservatory::new(cfg, node.0, world.cluster.metrics())),
         });
 
         for (widx, rx) in worker_rxs.into_iter().enumerate() {
@@ -514,6 +532,13 @@ impl McServer {
     /// The server's RoCE-side UCR runtime, when running.
     pub fn roce_runtime(&self) -> Option<UcrRuntime> {
         self.inner.roce.borrow().clone()
+    }
+
+    /// The workload observatory, when one was configured (bind its SLO
+    /// trackers into a sampler, share its exemplar ring with a health
+    /// monitor).
+    pub fn observatory(&self) -> Option<Rc<WorkloadObservatory>> {
+        self.inner.observatory.clone()
     }
 
     /// Attaches (or clears) a latency-attribution sink. Use the same sink
@@ -694,6 +719,9 @@ impl SrvInner {
         if let Some(rt) = self.roce.borrow().as_ref() {
             rt.publish_gauges();
         }
+        if let Some(obs) = self.observatory.as_ref() {
+            obs.refresh_gauges();
+        }
     }
 
     /// `stats reset` (memcached parity): zeroes every counter and
@@ -715,6 +743,9 @@ impl SrvInner {
         if let Some(rt) = self.roce.borrow().as_ref() {
             rt.stats().reset();
         }
+        if let Some(obs) = self.observatory.as_ref() {
+            obs.reset();
+        }
         self.metrics.reset_counters_and_histograms();
     }
 }
@@ -726,8 +757,13 @@ impl SrvInner {
 /// reconstruct the text losslessly by rejoining `"{k} {v}"`.
 fn prom_stat_lines(srv: &SrvInner, store: &Store) -> Vec<(String, String)> {
     srv.refresh_observability_gauges(store);
-    simnet::timeseries::prometheus_text(&srv.metrics)
-        .lines()
+    let text = match srv.observatory.as_ref() {
+        Some(obs) => {
+            simnet::timeseries::prometheus_text_with_exemplars(&srv.metrics, &obs.ring().snapshot())
+        }
+        None => simnet::timeseries::prometheus_text(&srv.metrics),
+    };
+    text.lines()
         .map(|l| {
             let mut it = l.splitn(2, ' ');
             (
@@ -736,6 +772,34 @@ fn prom_stat_lines(srv: &SrvInner, store: &Store) -> Vec<(String, String)> {
             )
         })
         .collect()
+}
+
+/// The `stats hot` sub-report: the workload observatory's hot-key table
+/// (a disabled observatory answers with a single `observatory off` line,
+/// as do the other observatory verbs).
+fn hot_stat_lines(srv: &SrvInner) -> Vec<(String, String)> {
+    match srv.observatory.as_ref() {
+        Some(obs) => obs.hot_stat_lines(srv.sim.now()),
+        None => vec![("observatory".to_string(), "off".to_string())],
+    }
+}
+
+/// The `stats slo` sub-report: per-op objectives with rolling compliance
+/// and error-budget burn.
+fn slo_stat_lines(srv: &SrvInner) -> Vec<(String, String)> {
+    match srv.observatory.as_ref() {
+        Some(obs) => obs.slo_stat_lines(srv.sim.now()),
+        None => vec![("observatory".to_string(), "off".to_string())],
+    }
+}
+
+/// The `stats exemplars` sub-report: gate counters plus the captured
+/// tail records.
+fn exemplar_stat_lines(srv: &SrvInner) -> Vec<(String, String)> {
+    match srv.observatory.as_ref() {
+        Some(obs) => obs.exemplar_stat_lines(),
+        None => vec![("observatory".to_string(), "off".to_string())],
+    }
 }
 
 /// The `stats trace` sub-report: per-layer event counts plus the state of
@@ -927,6 +991,9 @@ async fn serve_ucr(srv: &Rc<SrvInner>, ep: Endpoint, req: ReqHeader, data: Vec<u
                 b"items" => stat_pairs_to_text(&store.item_stat_lines()),
                 b"trace" => stat_pairs_to_text(&trace_stat_lines(srv)),
                 b"prom" => stat_pairs_to_text(&prom_stat_lines(srv, &store)),
+                b"hot" => stat_pairs_to_text(&hot_stat_lines(srv)),
+                b"slo" => stat_pairs_to_text(&slo_stat_lines(srv)),
+                b"exemplars" => stat_pairs_to_text(&exemplar_stat_lines(srv)),
                 b"reset" => {
                     srv.reset_all_stats(&mut store);
                     "reset ok\n".to_string()
@@ -937,6 +1004,28 @@ async fn serve_ucr(srv: &Rc<SrvInner>, ep: Endpoint, req: ReqHeader, data: Vec<u
             .into_bytes();
         }
     }
+    if let Some(obs) = srv.observatory.as_ref() {
+        match req.op {
+            McOp::Get => {
+                let class = (resp.status == RespStatus::Hit)
+                    .then(|| store.class_of(key.len(), payload.len()))
+                    .flatten();
+                obs.observe_key(&key, false, class);
+            }
+            McOp::Mget => {
+                for k in &req.keys {
+                    obs.observe_key(k, false, None);
+                }
+            }
+            McOp::Set | McOp::Add | McOp::Replace | McOp::Append | McOp::Prepend | McOp::Cas => {
+                obs.observe_key(&key, true, store.class_of(key.len(), data.len()));
+            }
+            McOp::Delete | McOp::Incr | McOp::Decr | McOp::Touch => {
+                obs.observe_key(&key, true, None);
+            }
+            _ => {}
+        }
+    }
     drop(store);
     srv.sync_mirrors();
     // Store work done; from here the response is on its way back.
@@ -944,6 +1033,16 @@ async fn serve_ucr(srv: &Rc<SrvInner>, ep: Endpoint, req: ReqHeader, data: Vec<u
     srv.span(|sp| sp.mark(req.req_id, Stage::WorkerService, service_end));
     srv.op_histogram(req.op)
         .record(service_end.saturating_since(service_start));
+    if let Some(obs) = srv.observatory.as_ref() {
+        obs.observe_service(
+            req.op.label(),
+            &key,
+            data.len().max(payload.len()) as u64,
+            service_end.saturating_since(service_start),
+            req.req_id,
+            service_end,
+        );
+    }
     srv.tracer.end(
         Layer::Core,
         "worker_service",
@@ -1149,6 +1248,9 @@ fn execute_ascii(
                 StoreVerb::Append => store.append(&key, &data, now),
                 StoreVerb::Prepend => store.prepend(&key, &data, now),
             };
+            if let Some(obs) = srv.observatory.as_ref() {
+                obs.observe_key(&key, true, store.class_of(key.len(), data.len()));
+            }
             (store_response(outcome), noreply)
         }
         Command::Cas {
@@ -1164,10 +1266,12 @@ fn execute_ascii(
         ),
         Command::Get { keys } => {
             let values = fetch_values(store, &keys, now, false);
+            observe_ascii_reads(srv, store, &keys, &values);
             (Response::Values(values), false)
         }
         Command::Gets { keys } => {
             let values = fetch_values(store, &keys, now, true);
+            observe_ascii_reads(srv, store, &keys, &values);
             (Response::Values(values), false)
         }
         Command::Delete { key, noreply } => {
@@ -1210,6 +1314,9 @@ fn execute_ascii(
                 Some(b"items") => store.item_stat_lines(),
                 Some(b"trace") => trace_stat_lines(srv),
                 Some(b"prom") => prom_stat_lines(srv, store),
+                Some(b"hot") => hot_stat_lines(srv),
+                Some(b"slo") => slo_stat_lines(srv),
+                Some(b"exemplars") => exemplar_stat_lines(srv),
                 Some(b"reset") => {
                     srv.reset_all_stats(store);
                     vec![("reset".to_string(), "ok".to_string())]
@@ -1241,6 +1348,21 @@ fn store_response(o: SetOutcome) -> Response {
         SetOutcome::NotFound => Response::NotFound,
         SetOutcome::TooLarge => Response::ServerError("object too large for cache".into()),
         SetOutcome::OutOfMemory => Response::ServerError("out of memory storing object".into()),
+    }
+}
+
+/// Feeds ASCII-path GET keys into the observatory: hits carry the slab
+/// class their value occupies, misses carry none.
+fn observe_ascii_reads(srv: &SrvInner, store: &Store, keys: &[Vec<u8>], values: &[GetValue]) {
+    let Some(obs) = srv.observatory.as_ref() else {
+        return;
+    };
+    for k in keys {
+        let class = values
+            .iter()
+            .find(|v| &v.key == k)
+            .and_then(|v| store.class_of(k.len(), v.data.len()));
+        obs.observe_key(k, false, class);
     }
 }
 
@@ -1335,6 +1457,12 @@ async fn serve_sock_bin(srv: &Rc<SrvInner>, sock: Rc<Socket>, frame: BinFrame) {
                     }
                 }
             }
+            if let Some(obs) = srv.observatory.as_ref() {
+                let class = (!resp.value.is_empty())
+                    .then(|| store.class_of(frame.key.len(), resp.value.len()))
+                    .flatten();
+                obs.observe_key(&frame.key, false, class);
+            }
         }
         BinOpcode::Set | BinOpcode::Add | BinOpcode::Replace => {
             let Some((flags, exptime)) = mcproto::parse_store_extras(&frame.extras) else {
@@ -1358,6 +1486,13 @@ async fn serve_sock_bin(srv: &Rc<SrvInner>, sock: Rc<Socket>, frame: BinFrame) {
                 if let Some(v) = store.get(&frame.key, now) {
                     resp.cas = v.cas;
                 }
+            }
+            if let Some(obs) = srv.observatory.as_ref() {
+                obs.observe_key(
+                    &frame.key,
+                    true,
+                    store.class_of(frame.key.len(), frame.value.len()),
+                );
             }
         }
         BinOpcode::Append | BinOpcode::Prepend => {
@@ -1416,11 +1551,14 @@ async fn serve_sock_bin(srv: &Rc<SrvInner>, sock: Rc<Socket>, frame: BinFrame) {
             }
         }
         BinOpcode::Flush => {
-            let delay = if frame.extras.len() == 4 {
-                u32::from_be_bytes(frame.extras.as_slice().try_into().expect("4 bytes"))
-            } else {
-                0
-            };
+            // Extras carry the optional delay; anything but exactly 4
+            // bytes means "now".
+            let delay = frame
+                .extras
+                .as_slice()
+                .try_into()
+                .map(u32::from_be_bytes)
+                .unwrap_or(0);
             store.flush_all(now + delay);
         }
         BinOpcode::Noop => {}

@@ -238,7 +238,9 @@ impl BinFrame {
             return Ok(None);
         }
         let opaque = u32::from_be_bytes([buf[12], buf[13], buf[14], buf[15]]);
-        let cas = u64::from_be_bytes(buf[16..24].try_into().expect("8 bytes"));
+        let cas = u64::from_be_bytes([
+            buf[16], buf[17], buf[18], buf[19], buf[20], buf[21], buf[22], buf[23],
+        ]);
         let body = &buf[BIN_HEADER_BYTES..frame_len];
         Ok(Some((
             BinFrame {

@@ -37,11 +37,13 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod exemplar;
 mod fabric;
 pub mod metrics;
 pub mod profiles;
 mod resource;
 mod rng;
+pub mod sketch;
 pub mod sync;
 mod time;
 pub mod timeseries;
@@ -49,6 +51,7 @@ pub mod trace;
 pub mod trace_export;
 
 pub use engine::{JoinHandle, Sim, TaskId};
+pub use exemplar::{Exemplar, ExemplarConfig, ExemplarRing};
 pub use fabric::{Cluster, Network, Node, NodeId, Transfer};
 pub use metrics::{
     LatencySpans, Metrics, Stage, TraceEvent, TraceKind, TraceRecorder, TraceSubscriber,
@@ -56,9 +59,10 @@ pub use metrics::{
 pub use profiles::{ClusterProfile, NetKind, Stack};
 pub use resource::FifoResource;
 pub use rng::SimRng;
+pub use sketch::{CountMin, HotKey, SketchConfig, TopK, WorkloadSketch};
 pub use time::{SimDuration, SimTime};
 pub use timeseries::{
     Health, HealthInput, HealthMonitor, HealthRules, MonitorBinding, SamplePoint, Sampler,
-    SamplerConfig,
+    SamplerConfig, SloSpec, SloTracker,
 };
 pub use trace::{Event, EventRecorder, EventSink, Layer, Phase, Tracer, Track};

@@ -214,6 +214,13 @@ impl Histogram {
         SimDuration::from_nanos(self.sum().as_nanos() / n)
     }
 
+    /// Samples strictly above `threshold` (the SLO-violation count of
+    /// an objective with that latency target).
+    pub fn count_over(&self, threshold: SimDuration) -> u64 {
+        let t = threshold.as_nanos();
+        self.samples.borrow().iter().filter(|&&s| s > t).count() as u64
+    }
+
     /// The `q`-quantile (`q` in `[0, 1]`, nearest-rank); zero when empty.
     pub fn percentile(&self, q: f64) -> SimDuration {
         let mut s = self.samples.borrow().clone();
@@ -498,6 +505,7 @@ pub struct LatencySpans {
     stages: [Histogram; STAGE_COUNT],
     end_to_end: Histogram,
     subscriber: RefCell<Option<Rc<dyn TraceSubscriber>>>,
+    exemplars: RefCell<Option<Rc<crate::exemplar::ExemplarRing>>>,
 }
 
 impl LatencySpans {
@@ -509,6 +517,14 @@ impl LatencySpans {
     /// Forwards every stage crossing as a [`TraceEvent`] too.
     pub fn set_subscriber(&self, sub: Option<Rc<dyn TraceSubscriber>>) {
         *self.subscriber.borrow_mut() = sub;
+    }
+
+    /// Attaches a tail-latency exemplar ring: every finished span whose
+    /// end-to-end latency clears the ring's quantile gate is captured
+    /// with its full per-stage breakdown and the operation id as span
+    /// correlation key.
+    pub fn set_exemplars(&self, ring: Option<Rc<crate::exemplar::ExemplarRing>>) {
+        *self.exemplars.borrow_mut() = ring;
     }
 
     /// Opens the span for operation `op` at `now`.
@@ -562,7 +578,21 @@ impl LatencySpans {
         for (i, h) in self.stages.iter().enumerate() {
             h.record(span.stages[i]);
         }
-        self.end_to_end.record(now.saturating_since(span.started));
+        let e2e = now.saturating_since(span.started);
+        self.end_to_end.record(e2e);
+        if let Some(ring) = self.exemplars.borrow().as_ref() {
+            ring.offer(
+                &self.end_to_end,
+                "latency.end_to_end",
+                "e2e",
+                0,
+                0,
+                e2e,
+                op,
+                span.stages,
+                now,
+            );
+        }
         self.emit_stage(op, Stage::ClientComplete, now);
     }
 

@@ -1,0 +1,449 @@
+//! Space-bounded workload sketches: count-min frequency estimation plus a
+//! space-saving top-K heavy-hitter tracker.
+//!
+//! The paper's evaluation drives zipfian key popularity (§VI), and both of
+//! the roadmap's open items — multi-node sharding and SLO-driven
+//! self-tuning — need to know *which* keys carry the traffic without
+//! storing a counter per key. This module provides that in O(width ×
+//! depth + K) memory, independent of key-space size:
+//!
+//! * [`CountMin`] — the classic Cormode/Muthukrishnan sketch. An estimate
+//!   never under-counts, and over-counts by at most `ε·N` (`ε = e/width`,
+//!   `N` = total observations) with probability `1 − e^-depth`.
+//! * [`TopK`] — Metwally's space-saving algorithm: at most `K` tracked
+//!   entries; a tracked key's true count lies in `[count − err, count]`.
+//! * [`WorkloadSketch`] — both of the above fed together, plus exact
+//!   per-hash-slot load counters (the future-shard imbalance signal) and
+//!   a read/write split per entry.
+//!
+//! Everything is pure host-side arithmetic: feeding a sketch costs zero
+//! virtual time, and iteration orders are deterministic (sorted by
+//! estimated count, ties by key bytes), so reports are replayable.
+
+use std::collections::HashMap;
+
+/// FNV-1a, the deterministic 64-bit key hash used throughout the sketch
+/// layer (same family the store's hash table uses — stable across runs
+/// and platforms).
+pub fn hash_key(key: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// SplitMix64 finalizer: decorrelates the per-row hash functions of the
+/// count-min sketch from one 64-bit key hash.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Count-min sketch: `depth` rows of `width` counters.
+pub struct CountMin {
+    width: usize,
+    depth: usize,
+    rows: Vec<u64>,
+    total: u64,
+}
+
+impl CountMin {
+    /// A zeroed sketch. `width`/`depth` are clamped to at least 1.
+    pub fn new(width: usize, depth: usize) -> CountMin {
+        let width = width.max(1);
+        let depth = depth.max(1);
+        CountMin {
+            width,
+            depth,
+            rows: vec![0; width * depth],
+            total: 0,
+        }
+    }
+
+    fn cell(&self, row: usize, hash: u64) -> usize {
+        row * self.width + (mix(hash ^ (row as u64 + 1)) % self.width as u64) as usize
+    }
+
+    /// Counts one occurrence of the key with hash `hash`.
+    pub fn observe(&mut self, hash: u64) {
+        for r in 0..self.depth {
+            let c = self.cell(r, hash);
+            self.rows[c] += 1;
+        }
+        self.total += 1;
+    }
+
+    /// Estimated count for `hash`: never below the true count, above it
+    /// by at most [`error_bound`](CountMin::error_bound) with high
+    /// probability.
+    pub fn estimate(&self, hash: u64) -> u64 {
+        (0..self.depth)
+            .map(|r| self.rows[self.cell(r, hash)])
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Total observations folded in.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The `ε·N` over-count bound (`ε = e/width`), rounded up. Holds for
+    /// any single estimate with probability `1 − e^-depth`.
+    pub fn error_bound(&self) -> u64 {
+        (std::f64::consts::E / self.width as f64 * self.total as f64).ceil() as u64
+    }
+
+    /// Zeroes every counter.
+    pub fn reset(&mut self) {
+        self.rows.iter_mut().for_each(|c| *c = 0);
+        self.total = 0;
+    }
+}
+
+/// One tracked heavy hitter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HotKey {
+    /// The key bytes.
+    pub key: Vec<u8>,
+    /// Estimated total count (space-saving guarantee: the true count is
+    /// in `[count − err, count]`).
+    pub count: u64,
+    /// Maximum over-count inherited from the entry this one evicted.
+    pub err: u64,
+    /// Read observations attributed to this entry.
+    pub reads: u64,
+    /// Write observations attributed to this entry.
+    pub writes: u64,
+}
+
+struct TopEntry {
+    count: u64,
+    err: u64,
+    reads: u64,
+    writes: u64,
+}
+
+/// Space-saving top-K tracker.
+pub struct TopK {
+    capacity: usize,
+    entries: HashMap<Vec<u8>, TopEntry>,
+}
+
+impl TopK {
+    /// An empty tracker holding at most `capacity` keys (clamped ≥ 1).
+    pub fn new(capacity: usize) -> TopK {
+        TopK {
+            capacity: capacity.max(1),
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Counts one occurrence of `key` (`is_write` splits the mix).
+    pub fn observe(&mut self, key: &[u8], is_write: bool) {
+        if let Some(e) = self.entries.get_mut(key) {
+            e.count += 1;
+            if is_write {
+                e.writes += 1;
+            } else {
+                e.reads += 1;
+            }
+            return;
+        }
+        let (count, err) = if self.entries.len() < self.capacity {
+            (1, 0)
+        } else {
+            // Evict the minimum-count entry (ties broken by smallest key
+            // bytes so the choice is deterministic); the newcomer
+            // inherits its count as both estimate and error.
+            let victim = self
+                .entries
+                .iter()
+                .min_by(|a, b| a.1.count.cmp(&b.1.count).then_with(|| a.0.cmp(b.0)))
+                .map(|(k, e)| (k.clone(), e.count));
+            match victim {
+                Some((k, min_count)) => {
+                    self.entries.remove(&k);
+                    (min_count + 1, min_count)
+                }
+                None => (1, 0),
+            }
+        };
+        self.entries.insert(
+            key.to_vec(),
+            TopEntry {
+                count,
+                err,
+                reads: if is_write { 0 } else { 1 },
+                writes: if is_write { 1 } else { 0 },
+            },
+        );
+    }
+
+    /// The tracked entries, highest estimated count first (ties by key
+    /// bytes). At most `capacity` long.
+    pub fn entries(&self) -> Vec<HotKey> {
+        let mut out: Vec<HotKey> = self
+            .entries
+            .iter()
+            .map(|(k, e)| HotKey {
+                key: k.clone(),
+                count: e.count,
+                err: e.err,
+                reads: e.reads,
+                writes: e.writes,
+            })
+            .collect();
+        out.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.key.cmp(&b.key)));
+        out
+    }
+
+    /// Forgets every tracked key.
+    pub fn reset(&mut self) {
+        self.entries.clear();
+    }
+}
+
+/// Workload-sketch tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct SketchConfig {
+    /// Count-min row width (`ε = e/width`).
+    pub width: usize,
+    /// Count-min rows (confidence `1 − e^-depth`).
+    pub depth: usize,
+    /// Heavy hitters tracked by the space-saving pass.
+    pub top_k: usize,
+    /// Exact hash-slot counters (the future-shard load map).
+    pub slots: usize,
+}
+
+impl Default for SketchConfig {
+    fn default() -> SketchConfig {
+        SketchConfig {
+            width: 256,
+            depth: 4,
+            top_k: 16,
+            slots: 64,
+        }
+    }
+}
+
+/// The combined per-node workload sketch: count-min + top-K + exact
+/// hash-slot load counters + read/write totals.
+pub struct WorkloadSketch {
+    cms: CountMin,
+    top: TopK,
+    slots: Vec<u64>,
+    reads: u64,
+    writes: u64,
+}
+
+impl WorkloadSketch {
+    /// An empty sketch with the given bounds.
+    pub fn new(cfg: SketchConfig) -> WorkloadSketch {
+        WorkloadSketch {
+            cms: CountMin::new(cfg.width, cfg.depth),
+            top: TopK::new(cfg.top_k),
+            slots: vec![0; cfg.slots.max(1)],
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Feeds one key access. Returns the key's hash (so callers can
+    /// reuse it for exemplar records without re-hashing).
+    pub fn observe(&mut self, key: &[u8], is_write: bool) -> u64 {
+        let h = hash_key(key);
+        self.cms.observe(h);
+        self.top.observe(key, is_write);
+        let slot = (h % self.slots.len() as u64) as usize;
+        self.slots[slot] += 1;
+        if is_write {
+            self.writes += 1;
+        } else {
+            self.reads += 1;
+        }
+        h
+    }
+
+    /// Count-min estimate for `key`.
+    pub fn estimate(&self, key: &[u8]) -> u64 {
+        self.cms.estimate(hash_key(key))
+    }
+
+    /// The count-min over-count bound at the current total.
+    pub fn error_bound(&self) -> u64 {
+        self.cms.error_bound()
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.cms.total()
+    }
+
+    /// Read observations.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Write observations.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// The tracked heavy hitters, hottest first.
+    pub fn hot(&self) -> Vec<HotKey> {
+        self.top.entries()
+    }
+
+    /// Exact per-hash-slot access counts.
+    pub fn slot_counts(&self) -> &[u64] {
+        &self.slots
+    }
+
+    /// Load-imbalance factor across hash slots: the hottest slot's count
+    /// over the mean (1.0 = perfectly balanced; 0.0 before any traffic).
+    /// This is the skew a future sharded deployment would inherit with
+    /// `slots` shards.
+    pub fn slot_imbalance(&self) -> f64 {
+        let total: u64 = self.slots.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let max = self.slots.iter().copied().max().unwrap_or(0);
+        let mean = total as f64 / self.slots.len() as f64;
+        max as f64 / mean
+    }
+
+    /// Hash slots that have seen at least one access.
+    pub fn slots_active(&self) -> usize {
+        self.slots.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Fraction of all observations landing on the tracked heavy
+    /// hitters (how representative the hot table is).
+    pub fn hot_coverage(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let hot: u64 = self
+            .hot()
+            .iter()
+            .map(|h| h.count.saturating_sub(h.err))
+            .sum();
+        (hot as f64 / total as f64).min(1.0)
+    }
+
+    /// Zeroes every structure (a `stats reset`).
+    pub fn reset(&mut self) {
+        self.cms.reset();
+        self.top.reset();
+        self.slots.iter_mut().for_each(|s| *s = 0);
+        self.reads = 0;
+        self.writes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_min_never_undercounts_and_respects_bound() {
+        let mut cms = CountMin::new(128, 4);
+        // 64 keys, key i observed i+1 times.
+        for i in 0u64..64 {
+            for _ in 0..=i {
+                cms.observe(hash_key(format!("k{i}").as_bytes()));
+            }
+        }
+        let bound = cms.error_bound();
+        for i in 0u64..64 {
+            let exact = i + 1;
+            let est = cms.estimate(hash_key(format!("k{i}").as_bytes()));
+            assert!(est >= exact, "undercount on k{i}: {est} < {exact}");
+            assert!(
+                est <= exact + bound,
+                "k{i}: estimate {est} above exact {exact} + bound {bound}"
+            );
+        }
+        assert_eq!(cms.total(), (1..=64).sum::<u64>());
+    }
+
+    #[test]
+    fn top_k_finds_heavy_hitters_on_skew() {
+        let mut top = TopK::new(8);
+        // Two heavy keys among 50 singletons churning the low slots.
+        for i in 0..50 {
+            if i % 2 == 0 {
+                top.observe(b"hot-a", false);
+                top.observe(b"hot-a", true);
+            } else {
+                top.observe(b"hot-b", false);
+            }
+            top.observe(format!("cold-{i}").as_bytes(), false);
+        }
+        let entries = top.entries();
+        assert_eq!(entries.len(), 8);
+        assert_eq!(entries[0].key, b"hot-a");
+        assert_eq!(entries[1].key, b"hot-b");
+        // Space-saving guarantee: exact count within [count - err, count].
+        let a = &entries[0];
+        assert!(a.count - a.err <= 50 && 50 <= a.count, "{a:?}");
+        assert_eq!(a.reads + a.writes, a.count);
+        assert!(a.writes >= 25 - a.err);
+        let b = &entries[1];
+        assert!(b.count - b.err <= 25 && 25 <= b.count, "{b:?}");
+    }
+
+    #[test]
+    fn workload_sketch_tracks_slots_and_mix() {
+        let mut w = WorkloadSketch::new(SketchConfig {
+            width: 64,
+            depth: 3,
+            top_k: 4,
+            slots: 8,
+        });
+        for i in 0..100 {
+            w.observe(b"hot", i % 10 == 0);
+        }
+        for i in 0..20 {
+            w.observe(format!("k{i}").as_bytes(), false);
+        }
+        assert_eq!(w.total(), 120);
+        assert_eq!(w.writes(), 10);
+        assert_eq!(w.reads(), 110);
+        assert!(w.estimate(b"hot") >= 100);
+        assert_eq!(w.hot()[0].key, b"hot");
+        // One key dominating forces slot imbalance well above balanced.
+        assert!(w.slot_imbalance() > 2.0, "{}", w.slot_imbalance());
+        assert_eq!(w.slot_counts().iter().sum::<u64>(), 120);
+        assert!(w.slots_active() >= 2);
+        assert!(w.hot_coverage() > 0.5);
+        w.reset();
+        assert_eq!(w.total(), 0);
+        assert_eq!(w.slot_imbalance(), 0.0);
+        assert!(w.hot().is_empty());
+        assert_eq!(w.slots_active(), 0);
+    }
+
+    #[test]
+    fn deterministic_reports() {
+        let feed = |w: &mut WorkloadSketch| {
+            for i in 0..200 {
+                w.observe(format!("key-{}", i % 17).as_bytes(), i % 3 == 0);
+            }
+        };
+        let mut a = WorkloadSketch::new(SketchConfig::default());
+        let mut b = WorkloadSketch::new(SketchConfig::default());
+        feed(&mut a);
+        feed(&mut b);
+        assert_eq!(a.hot(), b.hot());
+        assert_eq!(a.slot_counts(), b.slot_counts());
+    }
+}

@@ -35,6 +35,7 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::rc::Rc;
 
 use crate::engine::Sim;
+use crate::exemplar::{Exemplar, ExemplarRing};
 use crate::fabric::NodeId;
 use crate::metrics::Metrics;
 use crate::time::{SimDuration, SimTime};
@@ -85,6 +86,10 @@ pub struct MonitorBinding {
     pub latency_hist: Option<String>,
     /// Counter whose rate is the error/timeout signal, if any.
     pub error_counter: Option<String>,
+    /// SLO trackers sampled each tick: compliance and burn-rate series
+    /// are pushed per tracker, and the *worst* burn rate becomes the
+    /// [`HealthInput::budget_burn`] signal.
+    pub slos: Vec<Rc<SloTracker>>,
 }
 
 struct Ring {
@@ -264,6 +269,14 @@ impl SamplerInner {
                     .and_then(|n| rates.get(n).copied())
                     .unwrap_or(0.0)
             };
+            let mut worst_burn = 0.0f64;
+            for slo in &b.slos {
+                let compliance = slo.compliance(now);
+                let burn = slo.burn_rate(now);
+                inner.push(&format!("{}.compliance", slo.spec().name), now, compliance);
+                inner.push(&format!("{}.burn", slo.spec().name), now, burn);
+                worst_burn = worst_burn.max(burn);
+            }
             let input = HealthInput {
                 at: now,
                 throughput: rates.get(&b.throughput_counter).copied().unwrap_or(0.0),
@@ -274,6 +287,7 @@ impl SamplerInner {
                     .map(|n| inner.metrics.histogram(n).percentile(0.99).as_micros_f64())
                     .unwrap_or(0.0),
                 errors_per_sec: rate_of(&b.error_counter),
+                budget_burn: worst_burn,
             };
             b.monitor.observe(input);
         }
@@ -370,6 +384,16 @@ fn add_line(
 /// summaries in microseconds (`quantile` label plus `_sum`/`_count`).
 /// Output is fully deterministic: families and series sorted by name.
 pub fn prometheus_text(metrics: &Metrics) -> String {
+    prometheus_text_with_exemplars(metrics, &[])
+}
+
+/// [`prometheus_text`] plus Prometheus-style exemplar annotations: each
+/// [`Exemplar`] is rendered as a `# EXEMPLAR` comment line attached to
+/// the summary family of the histogram it was captured from, carrying the
+/// correlating span id, op, key hash, and the latency/threshold pair.
+/// With an empty slice the output is byte-identical to
+/// [`prometheus_text`].
+pub fn prometheus_text_with_exemplars(metrics: &Metrics, exemplars: &[Exemplar]) -> String {
     let mut families: BTreeMap<String, Family> = BTreeMap::new();
     for (name, c) in metrics.counters() {
         let (family, labels) = family_and_labels(&name);
@@ -438,6 +462,24 @@ pub fn prometheus_text(metrics: &Metrics) -> String {
         }
     }
 
+    // Exemplar annotations keyed by the summary family they exemplify
+    // (in ring order — capture order is already deterministic).
+    let mut notes: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for e in exemplars {
+        let family = format!("{}_us", family_and_labels(&e.hist).0);
+        notes.entry(family.clone()).or_default().push(format!(
+            "# EXEMPLAR {family} span=\"{}\" op=\"{}\" key=\"0x{:016x}\" bytes=\"{}\" \
+             value_us={} threshold_us={} at_us={}",
+            e.span_id,
+            e.op,
+            e.key_hash,
+            e.bytes,
+            e.latency.as_micros_f64(),
+            e.threshold.as_micros_f64(),
+            e.at.as_micros_f64(),
+        ));
+    }
+
     let mut out = String::new();
     for (family, f) in &mut families {
         out.push_str(&format!("# HELP {family} {}\n", f.help));
@@ -447,8 +489,171 @@ pub fn prometheus_text(metrics: &Metrics) -> String {
             out.push_str(line);
             out.push('\n');
         }
+        if let Some(lines) = notes.get(family) {
+            for line in lines {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
     }
     out
+}
+
+// ---------------------------------------------------------------------
+// SLO / error-budget tracking
+// ---------------------------------------------------------------------
+
+/// Virtual-time buckets per rolling SLO window (compliance is evaluated
+/// over the last `SLO_BUCKETS` buckets, so window resolution is
+/// `window / SLO_BUCKETS`).
+pub const SLO_BUCKETS: u64 = 16;
+
+/// A per-op service-level objective: "`objective` of ops complete within
+/// `latency_target`, judged over a rolling `window` of virtual time".
+#[derive(Clone, Debug)]
+pub struct SloSpec {
+    /// Series-name stem for sampler output (e.g. `"slo.node1.get"`);
+    /// the sampler derives `<name>.compliance` / `<name>.burn` from it.
+    pub name: String,
+    /// An op is *good* when its latency is ≤ this target.
+    pub latency_target: SimDuration,
+    /// Required good fraction (e.g. `0.99`); `1 - objective` is the
+    /// error budget.
+    pub objective: f64,
+    /// Rolling window over which compliance is judged.
+    pub window: SimDuration,
+}
+
+impl Default for SloSpec {
+    fn default() -> SloSpec {
+        SloSpec {
+            name: "slo.op".to_string(),
+            latency_target: SimDuration::from_micros(100),
+            objective: 0.99,
+            window: SimDuration::from_millis(10),
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct SloBucket {
+    idx: u64,
+    good: u64,
+    bad: u64,
+}
+
+/// Event-driven rolling compliance and burn rate for one [`SloSpec`].
+///
+/// Completed ops are fed via [`record`](SloTracker::record); samples land
+/// in `SLO_BUCKETS` virtual-time buckets spanning the spec's window, so
+/// memory is O(1) regardless of rate. *Burn rate* is the classic
+/// error-budget multiplier: the observed bad fraction over the window
+/// divided by the budget (`1 - objective`) — `1.0` means the budget is
+/// being spent exactly as provisioned, `10.0` means ten times too fast.
+pub struct SloTracker {
+    spec: SloSpec,
+    bucket_width: SimDuration,
+    buckets: RefCell<VecDeque<SloBucket>>,
+    total_good: Cell<u64>,
+    total_bad: Cell<u64>,
+}
+
+impl SloTracker {
+    /// A fresh tracker (compliance `1.0`, burn `0.0`).
+    pub fn new(spec: SloSpec) -> Rc<SloTracker> {
+        let width = SimDuration::from_nanos((spec.window.as_nanos() / SLO_BUCKETS).max(1));
+        Rc::new(SloTracker {
+            spec,
+            bucket_width: width,
+            buckets: RefCell::new(VecDeque::new()),
+            total_good: Cell::new(0),
+            total_bad: Cell::new(0),
+        })
+    }
+
+    /// The objective this tracker judges against.
+    pub fn spec(&self) -> &SloSpec {
+        &self.spec
+    }
+
+    fn bucket_idx(&self, at: SimTime) -> u64 {
+        at.as_nanos() / self.bucket_width.as_nanos().max(1)
+    }
+
+    fn prune(&self, now_idx: u64) {
+        let mut b = self.buckets.borrow_mut();
+        let oldest_kept = now_idx.saturating_sub(SLO_BUCKETS - 1);
+        while b.front().is_some_and(|f| f.idx < oldest_kept) {
+            b.pop_front();
+        }
+    }
+
+    /// Feeds one completed op observed at virtual time `at`.
+    pub fn record(&self, latency: SimDuration, at: SimTime) {
+        let good = latency <= self.spec.latency_target;
+        if good {
+            self.total_good.set(self.total_good.get() + 1);
+        } else {
+            self.total_bad.set(self.total_bad.get() + 1);
+        }
+        let idx = self.bucket_idx(at);
+        self.prune(idx);
+        let mut b = self.buckets.borrow_mut();
+        match b.back_mut() {
+            Some(back) if back.idx == idx => {
+                if good {
+                    back.good += 1;
+                } else {
+                    back.bad += 1;
+                }
+            }
+            _ => b.push_back(SloBucket {
+                idx,
+                good: good as u64,
+                bad: !good as u64,
+            }),
+        }
+    }
+
+    fn window_counts(&self, now: SimTime) -> (u64, u64) {
+        self.prune(self.bucket_idx(now));
+        let b = self.buckets.borrow();
+        b.iter()
+            .fold((0, 0), |(g, e), bk| (g + bk.good, e + bk.bad))
+    }
+
+    /// Good fraction over the rolling window (`1.0` when idle).
+    pub fn compliance(&self, now: SimTime) -> f64 {
+        let (good, bad) = self.window_counts(now);
+        if good + bad == 0 {
+            return 1.0;
+        }
+        good as f64 / (good + bad) as f64
+    }
+
+    /// Error-budget burn multiplier over the rolling window.
+    pub fn burn_rate(&self, now: SimTime) -> f64 {
+        let bad_fraction = 1.0 - self.compliance(now);
+        let budget = (1.0 - self.spec.objective).max(1e-9);
+        bad_fraction / budget
+    }
+
+    /// Ops judged good since construction or the last reset.
+    pub fn good(&self) -> u64 {
+        self.total_good.get()
+    }
+
+    /// Ops judged bad since construction or the last reset.
+    pub fn bad(&self) -> u64 {
+        self.total_bad.get()
+    }
+
+    /// Clears the rolling window and lifetime totals (a `stats reset`).
+    pub fn reset(&self) {
+        self.buckets.borrow_mut().clear();
+        self.total_good.set(0);
+        self.total_bad.set(0);
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -508,6 +713,10 @@ pub struct HealthRules {
     /// Mean windowed error rate (per second) above this ⇒
     /// [`Health::Degraded`].
     pub max_error_rate: f64,
+    /// Mean windowed error-budget burn multiplier above this ⇒
+    /// [`Health::Degraded`] (the SLO is being violated fast enough to
+    /// exhaust its budget `max_budget_burn`× too early).
+    pub max_budget_burn: f64,
 }
 
 impl Default for HealthRules {
@@ -519,6 +728,7 @@ impl Default for HealthRules {
             min_throughput_gain: 0.15,
             queue_growth: 0.0,
             max_error_rate: 1.0,
+            max_budget_burn: 8.0,
         }
     }
 }
@@ -538,6 +748,9 @@ pub struct HealthInput {
     pub p99_us: f64,
     /// Error/timeout rate signal (per second).
     pub errors_per_sec: f64,
+    /// Worst SLO error-budget burn multiplier across bound trackers
+    /// (0 = no SLO bound or budget untouched).
+    pub budget_burn: f64,
 }
 
 /// One recorded state change.
@@ -565,6 +778,8 @@ pub struct HealthMonitor {
     rules: HealthRules,
     node: NodeId,
     tracer: RefCell<Option<Rc<Tracer>>>,
+    exemplars: RefCell<Option<Rc<ExemplarRing>>>,
+    exemplar_dumps: RefCell<Vec<String>>,
     state: Cell<Health>,
     window: RefCell<VecDeque<HealthInput>>,
     baseline_sum: Cell<f64>,
@@ -579,6 +794,8 @@ impl HealthMonitor {
             rules,
             node,
             tracer: RefCell::new(None),
+            exemplars: RefCell::new(None),
+            exemplar_dumps: RefCell::new(Vec::new()),
             state: Cell::new(Health::Healthy),
             window: RefCell::new(VecDeque::new()),
             baseline_sum: Cell::new(0.0),
@@ -591,6 +808,20 @@ impl HealthMonitor {
     /// dumps.
     pub fn set_tracer(&self, tracer: Option<Rc<Tracer>>) {
         *self.tracer.borrow_mut() = tracer;
+    }
+
+    /// Attaches an exemplar ring whose contents are dumped (rendered and
+    /// stored, see [`exemplar_dumps`](HealthMonitor::exemplar_dumps)) on
+    /// every transition *to* [`Health::Degraded`] — the tail records that
+    /// explain the failure, frozen next to the flight-recorder dump.
+    pub fn set_exemplars(&self, ring: Option<Rc<ExemplarRing>>) {
+        *self.exemplars.borrow_mut() = ring;
+    }
+
+    /// Exemplar dumps captured so far, one rendered block per Degraded
+    /// episode, oldest first.
+    pub fn exemplar_dumps(&self) -> Vec<String> {
+        self.exemplar_dumps.borrow().clone()
     }
 
     /// Current state.
@@ -642,6 +873,11 @@ impl HealthMonitor {
                     tracer.fault(&format!("health degraded: {reason}"));
                 }
             }
+            if next == Health::Degraded {
+                if let Some(ring) = self.exemplars.borrow().as_ref() {
+                    self.exemplar_dumps.borrow_mut().push(ring.render());
+                }
+            }
         }
         next
     }
@@ -660,6 +896,16 @@ impl HealthMonitor {
                 format!(
                     "error rate {err_rate:.1}/s over window exceeds {:.1}/s",
                     self.rules.max_error_rate
+                ),
+            );
+        }
+        let burn = mean(|i| i.budget_burn);
+        if burn > self.rules.max_budget_burn {
+            return (
+                Health::Degraded,
+                format!(
+                    "error-budget burn {burn:.1}x over window exceeds {:.1}x",
+                    self.rules.max_budget_burn
                 ),
             );
         }
@@ -720,6 +966,7 @@ impl HealthMonitor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exemplar::ExemplarConfig;
     use crate::trace::EventRecorder;
 
     fn t(us: u64) -> SimTime {
@@ -873,6 +1120,7 @@ mod tests {
             queue_depth: queue,
             p99_us: 0.0,
             errors_per_sec: 0.0,
+            budget_burn: 0.0,
         }
     }
 
@@ -919,6 +1167,7 @@ mod tests {
             queue_depth: 1.0,
             p99_us: p99,
             errors_per_sec: 0.0,
+            budget_burn: 0.0,
         };
         assert_eq!(m.observe(lat(0, 10.0)), Health::Healthy);
         assert_eq!(m.observe(lat(10, 12.0)), Health::Healthy); // baseline = 11
@@ -948,6 +1197,7 @@ mod tests {
             queue_depth: 1.0,
             p99_us: 0.0,
             errors_per_sec: eps,
+            budget_burn: 0.0,
         };
         assert_eq!(m.observe(err(0, 0.0)), Health::Healthy);
         assert_eq!(m.observe(err(10, 20.0)), Health::Degraded);
@@ -964,6 +1214,178 @@ mod tests {
         assert_eq!(ev.op, Health::Degraded.code());
         assert_eq!(ev.bytes, Health::Healthy.code());
         assert_eq!(ev.node, Some(NodeId(3)));
+    }
+
+    #[test]
+    fn slo_tracker_windows_compliance_and_burn() {
+        let slo = SloTracker::new(SloSpec {
+            name: "slo.get".to_string(),
+            latency_target: SimDuration::from_micros(50),
+            objective: 0.9,
+            window: SimDuration::from_micros(160), // bucket width 10us
+        });
+        assert_eq!(slo.compliance(t(0)), 1.0, "idle tracker is compliant");
+        assert_eq!(slo.burn_rate(t(0)), 0.0);
+        // 8 good + 2 bad inside one window: compliance 0.8, and with a
+        // 10% budget the 20% bad fraction burns 2x.
+        for i in 0..8 {
+            slo.record(SimDuration::from_micros(10), t(i));
+        }
+        slo.record(SimDuration::from_micros(500), t(8));
+        slo.record(SimDuration::from_micros(500), t(9));
+        assert!((slo.compliance(t(10)) - 0.8).abs() < 1e-9);
+        assert!((slo.burn_rate(t(10)) - 2.0).abs() < 1e-9);
+        assert_eq!(slo.good(), 8);
+        assert_eq!(slo.bad(), 2);
+        // The bad samples age out of the rolling window; lifetime totals
+        // keep them.
+        for i in 0..16 {
+            slo.record(SimDuration::from_micros(10), t(200 + i * 10));
+        }
+        assert_eq!(slo.compliance(t(360)), 1.0);
+        assert_eq!(slo.burn_rate(t(360)), 0.0);
+        assert_eq!(slo.bad(), 2);
+        slo.reset();
+        assert_eq!(slo.good() + slo.bad(), 0);
+        assert_eq!(slo.compliance(t(360)), 1.0);
+    }
+
+    #[test]
+    fn budget_burn_degrades_then_recovers_with_exemplar_dump_per_episode() {
+        let tracer = Tracer::new();
+        let m = HealthMonitor::new(
+            HealthRules {
+                window: 2,
+                max_budget_burn: 4.0,
+                ..HealthRules::default()
+            },
+            NodeId(1),
+        );
+        m.set_tracer(Some(tracer.clone()));
+        let ring = ExemplarRing::new(ExemplarConfig {
+            min_samples: 0,
+            ..ExemplarConfig::default()
+        });
+        m.set_exemplars(Some(ring.clone()));
+        ring.push(Exemplar {
+            op: "get",
+            key_hash: 0xabc,
+            bytes: 64,
+            latency: SimDuration::from_micros(900),
+            threshold: SimDuration::from_micros(100),
+            at: t(5),
+            span_id: 41,
+            stages: Default::default(),
+            hist: "mc.node0.op_get".to_string(),
+        });
+        let burn = |at_us: u64, b: f64| HealthInput {
+            at: t(at_us),
+            throughput: 100.0,
+            queue_depth: 1.0,
+            p99_us: 0.0,
+            errors_per_sec: 0.0,
+            budget_burn: b,
+        };
+        // First episode.
+        assert_eq!(m.observe(burn(0, 0.0)), Health::Healthy);
+        assert_eq!(m.observe(burn(10, 20.0)), Health::Degraded);
+        assert_eq!(tracer.fault_count(), 1);
+        assert_eq!(m.exemplar_dumps().len(), 1);
+        assert!(m.exemplar_dumps()[0].contains("span=41"));
+        assert!(m.transitions()[0].reason.contains("error-budget burn"));
+        // Burn clears: recovery to Healthy.
+        assert_eq!(m.observe(burn(20, 0.0)), Health::Degraded);
+        assert_eq!(m.observe(burn(30, 0.0)), Health::Healthy);
+        // Second episode triggers a second fault and a second dump.
+        assert_eq!(m.observe(burn(40, 30.0)), Health::Degraded);
+        assert_eq!(tracer.fault_count(), 2);
+        assert_eq!(m.exemplar_dumps().len(), 2);
+        assert_eq!(m.transitions().len(), 3);
+    }
+
+    #[test]
+    fn sampler_pushes_slo_series_and_feeds_budget_burn() {
+        let sim = Sim::new(1);
+        let metrics = Rc::new(Metrics::new());
+        metrics.counter("ops");
+        metrics.gauge("depth");
+        let slo = SloTracker::new(SloSpec {
+            name: "slo.node0.get".to_string(),
+            latency_target: SimDuration::from_micros(10),
+            objective: 0.5,
+            window: SimDuration::from_millis(10),
+        });
+        let monitor = HealthMonitor::new(
+            HealthRules {
+                window: 2,
+                max_budget_burn: 1.5,
+                ..HealthRules::default()
+            },
+            NodeId(0),
+        );
+        let sampler = Sampler::new(&sim, &metrics, SamplerConfig::default());
+        sampler.bind_monitor(MonitorBinding {
+            monitor: monitor.clone(),
+            throughput_counter: "ops".to_string(),
+            queue_gauge: "depth".to_string(),
+            latency_hist: None,
+            error_counter: None,
+            slos: vec![slo.clone()],
+        });
+        // All ops violate the target: compliance 0, burn 1/0.5 = 2x.
+        slo.record(SimDuration::from_micros(100), SimTime::ZERO);
+        slo.record(SimDuration::from_micros(100), SimTime::ZERO);
+        sampler.sample_now();
+        let s = sim.clone();
+        sim.block_on(async move { s.sleep(SimDuration::from_micros(10)).await });
+        sampler.sample_now();
+        assert_eq!(sampler.values("slo.node0.get.compliance"), vec![0.0, 0.0]);
+        assert_eq!(sampler.values("slo.node0.get.burn"), vec![2.0, 2.0]);
+        assert_eq!(monitor.state(), Health::Degraded);
+        assert!(monitor.transitions()[0].reason.contains("error-budget"));
+    }
+
+    #[test]
+    fn prometheus_exemplar_annotations_attach_to_their_family() {
+        let metrics = Metrics::new();
+        metrics
+            .histogram("mc.node0.op_get")
+            .record(SimDuration::from_micros(7));
+        metrics.counter("mc.node0.cmd_get").add(1);
+        let bare = prometheus_text(&metrics);
+        assert_eq!(
+            bare,
+            prometheus_text_with_exemplars(&metrics, &[]),
+            "no exemplars must render byte-identically"
+        );
+        let e = Exemplar {
+            op: "get",
+            key_hash: 0x1f,
+            bytes: 128,
+            latency: SimDuration::from_micros(420),
+            threshold: SimDuration::from_micros(100),
+            at: t(9),
+            span_id: 77,
+            stages: Default::default(),
+            hist: "mc.node0.op_get".to_string(),
+        };
+        let text = prometheus_text_with_exemplars(&metrics, &[e]);
+        let note = text
+            .lines()
+            .find(|l| l.starts_with("# EXEMPLAR"))
+            .expect("annotation rendered");
+        assert!(note.contains("rmc_op_get_us"), "{note}");
+        assert!(note.contains("span=\"77\""));
+        assert!(note.contains("key=\"0x000000000000001f\""));
+        assert!(note.contains("value_us=420"));
+        // The annotation lands inside the op_get family block, right
+        // after its series lines.
+        let lines: Vec<&str> = text.lines().collect();
+        let idx = lines
+            .iter()
+            .position(|l| l.starts_with("# EXEMPLAR"))
+            .expect("present");
+        assert!(lines[idx - 1].starts_with("rmc_op_get_us"));
     }
 
     #[test]

@@ -460,6 +460,14 @@ impl Store {
         &self.slabs
     }
 
+    /// The slab class an item of this shape lands in, using the same
+    /// sizing formula as [`store_item`](Store::store_item) — lets
+    /// observers (the workload observatory's per-class read/write mix)
+    /// classify traffic exactly as the allocator would place it.
+    pub fn class_of(&self, key_len: usize, value_len: usize) -> Option<ClassId> {
+        self.slabs.class_for(ITEM_HEADER_SIZE + key_len + value_len)
+    }
+
     /// Enables (or disables) chunk-change event collection for the bypass
     /// mirror. Off by default; the server flips it on when the first
     /// bypass client asks for a location descriptor.
