@@ -1,72 +1,229 @@
-//! Ablation: worker-thread count.
+//! Ablation: worker threads × store lock model.
 //!
 //! The paper makes the number of worker threads a runtime parameter
-//! (§V-A) but evaluates a fixed setting. This study sweeps workers against
-//! aggregate get throughput with 16 UCR clients: once the HCA message rate
-//! is the ceiling (Figure 6's regime), adding workers stops helping; with
-//! one worker the CPU serializes first.
+//! (§V-A) but evaluates a fixed setting, and upstream memcached of the
+//! era serialized every cache access behind one global `cache_lock`.
+//! This study sweeps workers {1..16} under the simulator's three store
+//! models — `Idealized` (lock-free accounting, the historical default),
+//! `GlobalLock` (one virtual-time lock, the upstream behavior), and
+//! `Sharded(16)` (hash-routed store segments with shard-affine
+//! dispatch) — on both clusters, under a uniform load and a zipf-like
+//! hot-key load.
+//!
+//! The workload is 16-key multigets: per-key hash/item time then
+//! dominates the per-message HCA cost, so the lock ceiling sits well
+//! below the wire ceiling and worker scaling exposes it. GlobalLock
+//! plateaus immediately (the flat curve single-lock memcached shows
+//! under multiget load); Sharded keeps scaling until the fabric takes
+//! over. The hot-shard column reports the busiest segment's share of
+//! sharded lock acquisitions — near 1/16 under uniform load, well above
+//! it under the hot-key skew.
 
-use rmc::{McClient, McClientConfig, McServer, McServerConfig, Transport};
+use rmc::{McClient, McClientConfig, McServer, McServerConfig, StoreModel, Transport};
 use rmc_bench::ClusterKind;
 use simnet::NodeId;
 
-fn measure(cluster: ClusterKind, workers: usize, clients: u32) -> f64 {
-    let world = cluster.world(13, clients + 1);
-    let _server = McServer::start(
+const CLIENTS: u32 = 8;
+const MGETS_PER_CLIENT: u32 = 200;
+const KEYS_PER_MGET: usize = 16;
+const KEYSPACE: u64 = 2048;
+/// Hot set for the skewed load: ~80% of draws land on these keys.
+const HOT_KEYS: u64 = 64;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Load {
+    Uniform,
+    HotKey,
+}
+
+impl Load {
+    fn label(self) -> &'static str {
+        match self {
+            Load::Uniform => "uniform",
+            Load::HotKey => "hotkey",
+        }
+    }
+}
+
+fn model_label(model: StoreModel) -> &'static str {
+    match model {
+        StoreModel::Idealized => "idealized",
+        StoreModel::GlobalLock => "global_lock",
+        StoreModel::Sharded(_) => "sharded16",
+    }
+}
+
+/// Deterministic xorshift stream — the simulation is seeded and results
+/// files must regenerate byte-identically, so no OS entropy anywhere.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+fn key_index(rng: &mut u64, load: Load) -> u64 {
+    match load {
+        Load::Uniform => xorshift(rng) % KEYSPACE,
+        Load::HotKey => {
+            if xorshift(rng) % 10 < 8 {
+                xorshift(rng) % HOT_KEYS
+            } else {
+                xorshift(rng) % KEYSPACE
+            }
+        }
+    }
+}
+
+struct RunResult {
+    keys_per_sec: f64,
+    lock_acquires: u64,
+    lock_contended: u64,
+    lock_wait_us: f64,
+    lock_hold_us: f64,
+    /// Busiest shard's share of lock acquisitions (1.0 for the global
+    /// lock, 0.0 when no locks exist; skew indicator for sharded runs).
+    hot_shard_share: f64,
+}
+
+fn measure(cluster: ClusterKind, model: StoreModel, workers: usize, load: Load) -> RunResult {
+    let world = cluster.world(41, CLIENTS + 1);
+    let server = McServer::start(
         &world,
         NodeId(0),
         McServerConfig {
             workers,
+            store_model: model,
             ..McServerConfig::default()
         },
     );
     let sim = world.sim().clone();
-    let ops = 1_000u32;
+
+    // Preload the whole keyspace so the measured phase is pure hits.
+    let loader = McClient::new(
+        &world,
+        NodeId(1),
+        McClientConfig {
+            pipeline_depth: 32,
+            ..McClientConfig::single(Transport::Ucr, NodeId(0))
+        },
+    );
+    sim.block_on(async move {
+        let keys: Vec<String> = (0..KEYSPACE).map(|i| format!("k{i:04}")).collect();
+        let items: Vec<(&[u8], &[u8])> = keys
+            .iter()
+            .map(|k| (k.as_bytes(), &b"0123456789abcdef"[..]))
+            .collect();
+        for r in loader.set_many(&items, 0, 0).await.expect("preload") {
+            r.expect("preload set");
+        }
+    });
+
+    let t0 = sim.now();
     let mut joins = Vec::new();
-    for c in 0..clients {
+    for c in 0..CLIENTS {
         let client = McClient::new(
             &world,
             NodeId(1 + c),
             McClientConfig::single(Transport::Ucr, NodeId(0)),
         );
         joins.push(sim.spawn(async move {
-            let key = format!("c{c}");
-            client.set(key.as_bytes(), &[9u8; 64], 0, 0).await.unwrap();
-            for _ in 0..ops {
-                client.get(key.as_bytes()).await.unwrap().unwrap();
+            let mut rng = 0x9e37_79b9_7f4a_7c15u64 ^ (u64::from(c) + 1);
+            for _ in 0..MGETS_PER_CLIENT {
+                let keys: Vec<String> = (0..KEYS_PER_MGET)
+                    .map(|_| format!("k{:04}", key_index(&mut rng, load)))
+                    .collect();
+                let refs: Vec<&[u8]> = keys.iter().map(String::as_bytes).collect();
+                let got = client.mget(&refs).await.expect("mget");
+                assert_eq!(got.len(), KEYS_PER_MGET, "preloaded keys must all hit");
             }
         }));
     }
     let sim2 = sim.clone();
-    sim.block_on(async move {
-        let t0 = sim2.now();
+    let elapsed = sim.block_on(async move {
         for j in joins {
             j.await;
         }
-        (clients as u64 * ops as u64) as f64 / (sim2.now() - t0).as_secs_f64()
-    })
+        (sim2.now() - t0).as_secs_f64()
+    });
+
+    let total_keys = u64::from(CLIENTS) * u64::from(MGETS_PER_CLIENT) * KEYS_PER_MGET as u64;
+    let stats = server.lock_stats();
+    let acquires: u64 = stats.iter().map(|s| s.acquires).sum();
+    let max_acquires = stats.iter().map(|s| s.acquires).max().unwrap_or(0);
+    RunResult {
+        keys_per_sec: total_keys as f64 / elapsed,
+        lock_acquires: acquires,
+        lock_contended: stats.iter().map(|s| s.contended).sum(),
+        lock_wait_us: stats.iter().map(|s| s.wait_total.as_micros_f64()).sum(),
+        lock_hold_us: stats.iter().map(|s| s.hold_total.as_micros_f64()).sum(),
+        hot_shard_share: if acquires == 0 {
+            0.0
+        } else {
+            max_acquires as f64 / acquires as f64
+        },
+    }
 }
 
 fn main() {
-    println!("Ablation: worker threads vs aggregate get TPS, 16 clients, 64-byte values");
-    println!("{:>10}{:>16}{:>16}", "workers", "Cluster A", "Cluster B");
+    const WORKERS: [usize; 5] = [1, 2, 4, 8, 16];
+    const MODELS: [StoreModel; 3] = [
+        StoreModel::Idealized,
+        StoreModel::GlobalLock,
+        StoreModel::Sharded(16),
+    ];
+    println!(
+        "Ablation: workers x store model — {CLIENTS} clients x {MGETS_PER_CLIENT} x \
+         {KEYS_PER_MGET}-key mgets, 16-byte values, aggregate keys/s"
+    );
     let mut records = Vec::new();
-    for workers in [1usize, 2, 4, 8] {
-        let a = measure(ClusterKind::A, workers, 16);
-        let b = measure(ClusterKind::B, workers, 16);
-        println!("{workers:>10}{:>15.1}K{:>15.1}K", a / 1e3, b / 1e3);
-        for (cluster, tps) in [(ClusterKind::A, a), (ClusterKind::B, b)] {
-            records.push(
-                rmc_bench::json_out::Record::new()
-                    .str("op", "get")
-                    .str("transport", "UCR IB")
-                    .str("cluster", cluster.label())
-                    .int("size", 64)
-                    .int("clients", 16)
-                    .int("workers", workers as u64)
-                    .num("tps", tps),
-            );
+    for cluster in [ClusterKind::A, ClusterKind::B] {
+        for load in [Load::Uniform, Load::HotKey] {
+            println!();
+            println!("{} / {} load", cluster.label(), load.label());
+            print!("{:>10}", "workers");
+            for model in MODELS {
+                print!("{:>14}", model_label(model));
+            }
+            println!("{:>12}", "hot-shard");
+            for workers in WORKERS {
+                print!("{workers:>10}");
+                let mut sharded_share = 0.0;
+                for model in MODELS {
+                    let r = measure(cluster, model, workers, load);
+                    print!("{:>13.1}K", r.keys_per_sec / 1e3);
+                    if matches!(model, StoreModel::Sharded(_)) {
+                        sharded_share = r.hot_shard_share;
+                    }
+                    records.push(
+                        rmc_bench::json_out::Record::new()
+                            .str("op", "mget16")
+                            .str("transport", "UCR IB")
+                            .str("cluster", cluster.label())
+                            .str("load", load.label())
+                            .str("model", model_label(model))
+                            .int("workers", workers as u64)
+                            .int("clients", u64::from(CLIENTS))
+                            .num("tps", r.keys_per_sec)
+                            .int("lock_acquires", r.lock_acquires)
+                            .int("lock_contended", r.lock_contended)
+                            .num("lock_wait_us", r.lock_wait_us)
+                            .num("lock_hold_us", r.lock_hold_us)
+                            .num("hot_shard_share", r.hot_shard_share),
+                    );
+                }
+                println!("{sharded_share:>12.3}");
+            }
         }
     }
+    println!();
+    println!(
+        "global_lock plateaus at the serialized per-key item time regardless of\n\
+         workers; sharded16 with shard-affine dispatch keeps scaling until the HCA\n\
+         takes over. hot-shard = busiest segment's share of sharded lock acquires\n\
+         (1/16 = 0.0625 would be perfectly balanced)."
+    );
     rmc_bench::json_out::write("ablation_workers", &records);
 }

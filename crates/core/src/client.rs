@@ -405,16 +405,17 @@ impl McClient {
         let cancelled: CancelledIds = Rc::new(RefCell::new(HashSet::new()));
         let dir_pending: PendingDirResponses = Rc::new(RefCell::new(HashMap::new()));
         let spans: SpanSlot = Rc::new(RefCell::new(None));
-        let ucr = match cfg.transport {
-            Transport::Ucr | Transport::UcrRoce => {
-                let fabric = match cfg.transport {
-                    Transport::Ucr => &world.ib,
-                    Transport::UcrRoce => world
-                        .roce
-                        .as_ref()
-                        .expect("cluster has no RoCE-capable Ethernet adapters"),
-                    Transport::Sockets(_) | Transport::Udp(_) => unreachable!(),
-                };
+        // Resolve the RDMA fabric first: asking for RoCE on a cluster
+        // whose Ethernet adapters lack it leaves `ucr` unset, and every
+        // operation then fails with `McError::Disconnected` — the same
+        // graceful path a vanished server takes — instead of panicking.
+        let fabric = match cfg.transport {
+            Transport::Ucr => Some(&world.ib),
+            Transport::UcrRoce => world.roce.as_ref(),
+            Transport::Sockets(_) | Transport::Udp(_) => None,
+        };
+        let ucr = match (cfg.transport, fabric) {
+            (Transport::Ucr | Transport::UcrRoce, Some(fabric)) => {
                 let rt = UcrRuntime::new(fabric, node);
                 let pending2 = pending.clone();
                 let cancelled2 = cancelled.clone();
@@ -454,7 +455,7 @@ impl McClient {
                 );
                 Some(rt)
             }
-            Transport::Sockets(_) | Transport::Udp(_) => None,
+            _ => None,
         };
         // Ketama ring: 100 virtual points per server.
         let mut ring = Vec::new();

@@ -46,7 +46,7 @@ pub use client::{
     McClientConfig, McError, Transport,
 };
 pub use observatory::{ObservatoryConfig, SloObjective, WorkloadObservatory};
-pub use server::{McServer, McServerConfig, SrvStats, BASE_UNIX_TIME, SERVER_VERSION};
+pub use server::{McServer, McServerConfig, SrvStats, StoreModel, BASE_UNIX_TIME, SERVER_VERSION};
 pub use world::World;
 
 pub use mcstore::Value;

@@ -17,17 +17,21 @@
 //! time of a request, which is what caps server throughput in Figure 6.
 
 use std::cell::{Cell, RefCell};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::rc::{Rc, Weak};
 
 use mcproto::{
     encode_response, parse_command, udp_fragment, BinFrame, BinOpcode, BinStatus, Command,
     GetValue, Response, StoreVerb, UdpFrame, MAGIC_REQUEST,
 };
-use mcstore::{ClassId, NumericError, SetOutcome, SlabAllocator, SlabEvent, Store, StoreConfig};
+use mcstore::{
+    ClassId, NumericError, SegmentedStore, SetOutcome, ShardRouter, SlabAllocator, SlabEvent,
+    Store, StoreConfig,
+};
 use simnet::metrics::{Histogram, LatencySpans, Metrics, Stage};
 use simnet::sync::{self, Receiver, Sender};
 use simnet::trace::{Layer, Track};
+use simnet::vlock::{VLock, VLockGuard, VLockMeters};
 use simnet::{NodeId, Sim, SimDuration, Stack, Tracer};
 use socksim::DgramSocket;
 use socksim::Socket;
@@ -45,6 +49,33 @@ pub const BASE_UNIX_TIME: u32 = 1_300_000_000;
 
 /// Version string the server reports.
 pub const SERVER_VERSION: &str = "1.4.5-rmc";
+
+/// How store access is serialized across workers (paper §V-A).
+///
+/// Upstream memcached wraps the whole cache — hash table, LRU, slab
+/// allocator — in one global `cache_lock`; adding worker threads past the
+/// point where that lock saturates buys nothing (the flat curves of
+/// Figure 6's multi-worker runs). The simulation can model that lock, or
+/// idealize it away, or replace it with hash-routed segments the way
+/// later memcached/scaling work does.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum StoreModel {
+    /// Store access costs CPU time but never contends: the historical
+    /// model every existing experiment was run under. The default —
+    /// schedules are bit-identical to pre-`StoreModel` builds.
+    #[default]
+    Idealized,
+    /// One virtual-time lock serializes the hash/item portion of every
+    /// request's service time across all workers, reproducing upstream
+    /// memcached's flat worker-scaling curve.
+    GlobalLock,
+    /// The store is split into this many hash-routed segments (rounded up
+    /// to a power of two), each with its own lock, slab arena, and stat
+    /// counters. UCR dispatch routes requests to workers by key-hash
+    /// shard affinity so a shard's lock is only ever contended when
+    /// shards outnumber workers.
+    Sharded(usize),
+}
 
 /// Server configuration.
 #[derive(Clone)]
@@ -70,6 +101,10 @@ pub struct McServerConfig {
     /// `stats exemplars`). `None` — the default — registers nothing and
     /// keeps every stats surface byte-identical to an unobserved server.
     pub observatory: Option<ObservatoryConfig>,
+    /// Lock-contention model for store access. [`StoreModel::Idealized`]
+    /// (the default) registers no locks and no shard metrics, keeping
+    /// every schedule and stats surface byte-identical to earlier builds.
+    pub store_model: StoreModel,
 }
 
 impl Default for McServerConfig {
@@ -83,6 +118,7 @@ impl Default for McServerConfig {
             socket_stacks: vec![Stack::Sdp, Stack::Ipoib, Stack::TenGigEToe, Stack::OneGigE],
             enable_udp: true,
             observatory: None,
+            store_model: StoreModel::default(),
         }
     }
 }
@@ -104,6 +140,16 @@ enum WorkItem {
         req: ReqHeader,
         data: Vec<u8>,
     },
+    /// One shard's slice of a multi-shard `Mget`, routed to that shard's
+    /// affine worker. Parts share a [`MgetMerge`]; the last part to finish
+    /// encodes the combined response.
+    UcrMgetPart {
+        ep: Endpoint,
+        merge: Rc<RefCell<MgetMerge>>,
+        shard: usize,
+        /// `(original key index, key)` pairs owned by `shard`.
+        keys: Vec<(usize, Vec<u8>)>,
+    },
     Sock {
         sock: Rc<Socket>,
         cmd: Command,
@@ -120,10 +166,35 @@ enum WorkItem {
     },
 }
 
+/// One resolved `Mget` hit: `(key, flags, cas, data)`.
+type MgetSlot = (Vec<u8>, u32, u64, Vec<u8>);
+
+/// Scatter/gather state for a multi-shard `Mget` split at dispatch.
+///
+/// Slots are indexed by the key's position in the original request so the
+/// merged response lists entries in request order regardless of which
+/// shard finishes last.
+struct MgetMerge {
+    req: ReqHeader,
+    slots: Vec<Option<MgetSlot>>,
+    remaining: usize,
+}
+
 struct SrvInner {
     node: NodeId,
     sim: Sim,
-    store: RefCell<Store>,
+    store: RefCell<SegmentedStore>,
+    /// Lock-contention model this server runs under.
+    model: StoreModel,
+    /// Key→segment policy, cached so dispatch can route without touching
+    /// the store. Has one segment under `Idealized`/`GlobalLock`.
+    router: ShardRouter,
+    /// Virtual-time locks guarding store access: empty under `Idealized`,
+    /// one under `GlobalLock`, one per segment under `Sharded`.
+    locks: Vec<Rc<VLock>>,
+    /// Span keys for socket-path lock spans (sockets carry no `req_id`);
+    /// starts at 1 so no span is keyed by a literal zero.
+    sock_op: Cell<u64>,
     workers: Vec<Sender<WorkItem>>,
     next_worker: Cell<usize>,
     ep_workers: RefCell<HashMap<u64, usize>>,
@@ -203,10 +274,50 @@ impl AmHandler for ReqDispatch {
             data.len() as u64,
             srv.sim.now(),
         );
-        // Every request of a connection is served by the worker the
-        // connection was assigned to (paper §V-A).
-        let widx = srv.worker_for_ep(ep.id());
         srv.stats.ucr_requests.set(srv.stats.ucr_requests.get() + 1);
+        // Under `Sharded`, keyed requests go to the owning shard's affine
+        // worker and multi-shard Mgets are split into per-shard parts.
+        // Everything else keeps the upstream policy: every request of a
+        // connection is served by the worker the connection was assigned
+        // to (paper §V-A).
+        if matches!(srv.model, StoreModel::Sharded(_)) {
+            if req.op == McOp::Mget {
+                let mut groups: BTreeMap<usize, Vec<(usize, Vec<u8>)>> = BTreeMap::new();
+                for (i, k) in req.keys.iter().enumerate() {
+                    groups
+                        .entry(srv.router.index(k))
+                        .or_default()
+                        .push((i, k.clone()));
+                }
+                if groups.len() > 1 {
+                    let merge = Rc::new(RefCell::new(MgetMerge {
+                        slots: vec![None; req.keys.len()],
+                        remaining: groups.len(),
+                        req,
+                    }));
+                    for (shard, keys) in groups {
+                        let _ =
+                            srv.workers[srv.worker_for_shard(shard)].send(WorkItem::UcrMgetPart {
+                                ep: ep.clone(),
+                                merge: merge.clone(),
+                                shard,
+                                keys,
+                            });
+                    }
+                    return;
+                }
+            }
+            if let Some(k) = req.keys.first() {
+                let widx = srv.worker_for_shard(srv.router.index(k));
+                let _ = srv.workers[widx].send(WorkItem::Ucr {
+                    ep: ep.clone(),
+                    req,
+                    data,
+                });
+                return;
+            }
+        }
+        let widx = srv.worker_for_ep(ep.id());
         let _ = srv.workers[widx].send(WorkItem::Ucr {
             ep: ep.clone(),
             req,
@@ -237,7 +348,9 @@ enum FabricSide {
 /// writer without a second round trip.
 #[derive(Default)]
 struct BypassDir {
-    pages: RefCell<HashMap<(u8, u32), MirrorPage>>,
+    /// Mirrored slab pages keyed `(segment, class, page)` — slab page
+    /// indices are per-segment arenas, so the segment disambiguates.
+    pages: RefCell<HashMap<(usize, u8, u32), MirrorPage>>,
 }
 
 /// One RDMA-registered mirror of a slab page.
@@ -280,14 +393,14 @@ impl BypassDir {
         }
         let now = srv.now_secs();
         let store = srv.store.borrow();
-        let Some(item) = store.locate(&req.key, now) else {
+        let Some((seg, item)) = store.locate(&req.key, now) else {
             return DirResp::miss(req.req_id);
         };
-        let slabs = store.slabs();
+        let slabs = store.segment(seg).slabs();
         let (class, pidx, chunk) = (item.loc.class, item.loc.page(), item.loc.chunk());
         let chunk_size = slabs.chunk_size(class);
         let mut pages = self.pages.borrow_mut();
-        let page = pages.entry((class.0, pidx)).or_insert_with(|| {
+        let page = pages.entry((seg, class.0, pidx)).or_insert_with(|| {
             let per_page = slabs.chunks_per_page(class);
             MirrorPage {
                 mem: rt.register_memory(per_page as usize * chunk_size),
@@ -318,16 +431,17 @@ impl BypassDir {
         }
     }
 
-    /// Applies a batch of slab events to the mirrored pages. `Written`
-    /// refreshes chunk bytes and version; `Invalidated` bumps only the
-    /// version word so an in-flight client read observes the mismatch.
-    /// Pages whose published set empties are retired (MR deregistered).
-    fn apply(&self, store: &Store, events: &[SlabEvent]) {
-        let slabs = store.slabs();
+    /// Applies one segment's batch of slab events to the mirrored pages.
+    /// `Written` refreshes chunk bytes and version; `Invalidated` bumps
+    /// only the version word so an in-flight client read observes the
+    /// mismatch. Pages whose published set empties are retired (MR
+    /// deregistered).
+    fn apply(&self, segment: &Store, seg: usize, events: &[SlabEvent]) {
+        let slabs = segment.slabs();
         let mut pages = self.pages.borrow_mut();
         for ev in events {
             let loc = ev.loc();
-            let Some(page) = pages.get_mut(&(loc.class.0, loc.page())) else {
+            let Some(page) = pages.get_mut(&(seg, loc.class.0, loc.page())) else {
                 continue;
             };
             match ev {
@@ -411,10 +525,41 @@ impl McServer {
             worker_txs.push(tx);
             worker_rxs.push(rx);
         }
+        // `Idealized` and `GlobalLock` keep the classic unsharded layout;
+        // `Sharded(n)` splits the arena (memory cap divided losslessly).
+        let shards = match config.store_model {
+            StoreModel::Idealized | StoreModel::GlobalLock => 1,
+            StoreModel::Sharded(n) => n,
+        };
+        let store = SegmentedStore::new(config.store, shards);
+        let router = *store.router();
+        // One lock per serialization domain. `Idealized` has none: lock
+        // setup registers metrics and tracer bindings, and the default
+        // model must leave every observable surface untouched.
+        let locks: Vec<Rc<VLock>> = match config.store_model {
+            StoreModel::Idealized => Vec::new(),
+            StoreModel::GlobalLock => vec![VLock::new(&sim)],
+            StoreModel::Sharded(_) => (0..router.count()).map(|_| VLock::new(&sim)).collect(),
+        };
+        for (s, lock) in locks.iter().enumerate() {
+            let prefix = format!("mc.node{}.shard{}", node.0, s);
+            let metrics = world.cluster.metrics();
+            lock.bind_meters(VLockMeters {
+                ops: metrics.counter(&format!("{prefix}.ops")),
+                lock_wait_ns: metrics.counter(&format!("{prefix}.lock_wait_ns")),
+                lock_hold_ns: metrics.counter(&format!("{prefix}.lock_hold_ns")),
+                contended: metrics.counter(&format!("{prefix}.contended")),
+            });
+            lock.set_tracer(world.cluster.tracer().clone(), node);
+        }
         let inner = Rc::new(SrvInner {
             node,
             sim: sim.clone(),
-            store: RefCell::new(Store::new(config.store)),
+            store: RefCell::new(store),
+            model: config.store_model,
+            router,
+            locks,
+            sock_op: Cell::new(1),
             workers: worker_txs,
             next_worker: Cell::new(0),
             ep_workers: RefCell::new(HashMap::new()),
@@ -523,6 +668,24 @@ impl McServer {
         self.inner.store.borrow().curr_items()
     }
 
+    /// The lock-contention model this server runs under.
+    pub fn store_model(&self) -> StoreModel {
+        self.inner.model
+    }
+
+    /// Number of store segments (1 unless [`StoreModel::Sharded`]).
+    pub fn shard_count(&self) -> usize {
+        self.inner.store.borrow().shard_count()
+    }
+
+    /// Per-lock contention statistics, one entry per serialization
+    /// domain: one for [`StoreModel::GlobalLock`], one per segment for
+    /// [`StoreModel::Sharded`], empty under [`StoreModel::Idealized`]
+    /// (which has no locks).
+    pub fn lock_stats(&self) -> Vec<simnet::vlock::VLockStats> {
+        self.inner.locks.iter().map(|l| l.stats()).collect()
+    }
+
     /// The server's UCR runtime, when UCR is enabled (ablation hooks:
     /// eager-threshold sweeps, runtime statistics).
     pub fn ucr_runtime(&self) -> Option<UcrRuntime> {
@@ -586,7 +749,14 @@ fn start_ucr_listener(
             side,
         },
     );
-    let listener = rt.listen(port).expect("UCR port free");
+    // A taken port means another runtime already owns this fabric's
+    // service port (a misconfigured double-start). Degrade gracefully:
+    // the runtime stays up for outbound use but accepts nothing, and
+    // clients of this fabric fail over to their error paths.
+    let listener = match rt.listen(port) {
+        Ok(l) => l,
+        Err(_) => return rt,
+    };
     let weak = Rc::downgrade(inner);
     sim.spawn(async move {
         while let Ok(ep) = listener.accept().await {
@@ -624,6 +794,49 @@ impl SrvInner {
         w
     }
 
+    /// Shard-affine worker binding: a shard's requests always land on the
+    /// same worker, so its lock only sees cross-worker contention when
+    /// shards outnumber workers (or sockets race the UCR path).
+    fn worker_for_shard(&self, shard: usize) -> usize {
+        shard % self.workers.len()
+    }
+
+    /// Fresh span key for socket-path lock spans (sockets have no
+    /// `req_id`); never zero.
+    fn next_sock_op(&self) -> u64 {
+        let op = self.sock_op.get();
+        self.sock_op.set(op + 1);
+        op
+    }
+
+    /// Acquires the store locks a request touching `shards` needs, in
+    /// ascending order (the deadlock-free total order), then charges the
+    /// per-key hash/item cost *inside* the critical section — that is
+    /// the serialized portion of upstream memcached's `cache_lock`.
+    /// Returns no guards under `Idealized` (callers charge the combined
+    /// [`Self::service_cost`] instead).
+    async fn lock_shards(
+        self: &Rc<Self>,
+        shards: impl IntoIterator<Item = usize>,
+        keys: usize,
+        op: u64,
+        track: Track,
+    ) -> Vec<VLockGuard> {
+        let mut guards = Vec::new();
+        match self.model {
+            StoreModel::Idealized => return guards,
+            StoreModel::GlobalLock => guards.push(self.locks[0].lock(op, track).await),
+            StoreModel::Sharded(_) => {
+                let set: std::collections::BTreeSet<usize> = shards.into_iter().collect();
+                for s in set {
+                    guards.push(self.locks[s].lock(op, track).await);
+                }
+            }
+        }
+        self.sim.sleep(self.hash_lookup * keys.max(1) as u64).await;
+        guards
+    }
+
     fn now_secs(&self) -> u32 {
         BASE_UNIX_TIME + self.sim.now().as_secs_f64() as u32
     }
@@ -654,14 +867,13 @@ impl SrvInner {
     /// occupancy ratio, and eviction totals. Gauge watermarks give the
     /// high-water occupancy for free. Pure host-side accounting — costs
     /// no virtual time.
-    fn publish_store_gauges(&self, store: &Store) {
+    fn publish_store_gauges(&self, store: &SegmentedStore) {
         self.items_gauge.set(store.curr_items() as f64);
         self.bytes_gauge.set(store.bytes_stored() as f64);
-        let slabs = store.slabs();
         let evictions = store.class_evictions();
         let mut gauges = self.slab_gauges.borrow_mut();
-        for c in 0..slabs.class_count() {
-            let st = slabs.class_stats(mcstore::ClassId(c as u8));
+        for c in 0..store.class_count() {
+            let st = store.class_stats(mcstore::ClassId(c as u8));
             let evicted = evictions.get(c).copied().unwrap_or(0);
             if st.pages == 0 && evicted == 0 {
                 continue; // class never touched: keep the registry lean
@@ -698,20 +910,22 @@ impl SrvInner {
         if !self.bypass_on.get() {
             return;
         }
-        let events = self.store.borrow_mut().take_slab_events();
-        if events.is_empty() {
+        let batches = self.store.borrow_mut().take_slab_events();
+        if batches.is_empty() {
             return;
         }
         let store = self.store.borrow();
-        for dir in &self.mirrors {
-            dir.apply(&store, &events);
+        for (seg, events) in &batches {
+            for dir in &self.mirrors {
+                dir.apply(store.segment(*seg), *seg, events);
+            }
         }
     }
 
     /// Brings every live gauge up to date immediately before a metrics
     /// export (`stats prom`): store occupancy plus the UCR runtime gauges
     /// that are otherwise refreshed on progress-engine wakes.
-    fn refresh_observability_gauges(&self, store: &Store) {
+    fn refresh_observability_gauges(&self, store: &SegmentedStore) {
         self.publish_store_gauges(store);
         if let Some(rt) = self.ucr.borrow().as_ref() {
             rt.publish_gauges();
@@ -730,7 +944,7 @@ impl SrvInner {
     /// and the cluster registry's counters/histograms — while preserving
     /// gauges and their watermarks (levels describe *current* state; a
     /// reset must not forge them).
-    fn reset_all_stats(&self, store: &mut Store) {
+    fn reset_all_stats(&self, store: &mut SegmentedStore) {
         self.stats.ucr_requests.set(0);
         self.stats.sock_requests.set(0);
         store.reset_stats();
@@ -755,7 +969,7 @@ impl SrvInner {
 /// pairs. Each exposition line has exactly one space after its first
 /// token (`#` for comment lines, the series name otherwise), so clients
 /// reconstruct the text losslessly by rejoining `"{k} {v}"`.
-fn prom_stat_lines(srv: &SrvInner, store: &Store) -> Vec<(String, String)> {
+fn prom_stat_lines(srv: &SrvInner, store: &SegmentedStore) -> Vec<(String, String)> {
     srv.refresh_observability_gauges(store);
     let text = match srv.observatory.as_ref() {
         Some(obs) => {
@@ -861,14 +1075,22 @@ async fn worker_loop(srv: Weak<SrvInner>, rx: Receiver<WorkItem>, widx: u32) {
             }
             match item {
                 WorkItem::Ucr { ep, req, data } => serve_ucr(&inner, ep, req, data, widx).await,
-                WorkItem::Sock { sock, cmd } => serve_sock(&inner, sock, cmd).await,
-                WorkItem::SockBin { sock, frame } => serve_sock_bin(&inner, sock, frame).await,
+                WorkItem::UcrMgetPart {
+                    ep,
+                    merge,
+                    shard,
+                    keys,
+                } => serve_ucr_mget_part(&inner, ep, merge, shard, keys, widx).await,
+                WorkItem::Sock { sock, cmd } => serve_sock(&inner, sock, cmd, widx).await,
+                WorkItem::SockBin { sock, frame } => {
+                    serve_sock_bin(&inner, sock, frame, widx).await
+                }
                 WorkItem::SockUdp {
                     sock,
                     src,
                     request_id,
                     cmd,
-                } => serve_sock_udp(&inner, sock, src, request_id, cmd).await,
+                } => serve_sock_udp(&inner, sock, src, request_id, cmd, widx).await,
             }
         }
         // Batch drained: refresh the storage-occupancy gauges so a
@@ -898,7 +1120,27 @@ async fn serve_ucr(srv: &Rc<SrvInner>, ep: Endpoint, req: ReqHeader, data: Vec<u
         data.len() as u64,
         service_start,
     );
-    srv.sim.sleep(srv.service_cost(req.keys.len())).await;
+    let key = req.keys.first().cloned().unwrap_or_default();
+    // Idealized: the whole service time is one uncontended charge — the
+    // exact schedule every pre-`StoreModel` experiment ran under. Locked
+    // models split it: the fixed dispatch/parse portion runs lock-free,
+    // then `lock_shards` serializes the hash/item portion.
+    let _guards = match srv.model {
+        StoreModel::Idealized => {
+            srv.sim.sleep(srv.service_cost(req.keys.len())).await;
+            Vec::new()
+        }
+        _ => {
+            srv.sim.sleep(srv.worker_fixed).await;
+            let shards: Vec<usize> = match req.op {
+                // Flush and stats touch every segment.
+                McOp::FlushAll | McOp::Stats => (0..srv.router.count()).collect(),
+                _ => vec![srv.router.index(&key)],
+            };
+            srv.lock_shards(shards, req.keys.len(), req.req_id, Track::Worker(widx))
+                .await
+        }
+    };
     let now = srv.now_secs();
     let mut resp = RespHeader {
         req_id: req.req_id,
@@ -909,7 +1151,6 @@ async fn serve_ucr(srv: &Rc<SrvInner>, ep: Endpoint, req: ReqHeader, data: Vec<u
         nvalues: 0,
     };
     let mut payload: Vec<u8> = Vec::new();
-    let key = req.keys.first().cloned().unwrap_or_default();
     let mut store = srv.store.borrow_mut();
     match req.op {
         McOp::Get => match store.get(&key, now) {
@@ -1064,6 +1305,111 @@ async fn serve_ucr(srv: &Rc<SrvInner>, ep: Endpoint, req: ReqHeader, data: Vec<u
     );
 }
 
+/// Serves one shard's slice of a split `Mget` (the [`StoreModel::Sharded`]
+/// scatter/gather path). Each part charges its own fixed cost — the parts
+/// run on different workers, genuinely in parallel — and locks only its
+/// shard. The last part to finish encodes the merged response in original
+/// key order and posts the single `MSG_MC_RESP`.
+async fn serve_ucr_mget_part(
+    srv: &Rc<SrvInner>,
+    ep: Endpoint,
+    merge: Rc<RefCell<MgetMerge>>,
+    shard: usize,
+    keys: Vec<(usize, Vec<u8>)>,
+    widx: u32,
+) {
+    let service_start = srv.sim.now();
+    let (req_id, ctr_id) = {
+        let m = merge.borrow();
+        (m.req.req_id, m.req.ctr_id)
+    };
+    // Stage marks accumulate deltas per stage, so marking once per part
+    // attributes each part's queueing and service into the shared span.
+    srv.span(|sp| sp.mark(req_id, Stage::DispatchWait, service_start));
+    srv.tracer.begin(
+        Layer::Core,
+        "worker_service",
+        srv.node,
+        Track::Worker(widx),
+        req_id,
+        keys.len() as u64,
+        service_start,
+    );
+    srv.sim.sleep(srv.worker_fixed).await;
+    let _guards = srv
+        .lock_shards([shard], keys.len(), req_id, Track::Worker(widx))
+        .await;
+    let now = srv.now_secs();
+    {
+        let mut store = srv.store.borrow_mut();
+        let mut m = merge.borrow_mut();
+        for (i, k) in &keys {
+            if let Some(v) = store.get(k, now) {
+                m.slots[*i] = Some((k.clone(), v.flags, v.cas, v.data));
+            }
+            if let Some(obs) = srv.observatory.as_ref() {
+                obs.observe_key(k, false, None);
+            }
+        }
+    }
+    srv.sync_mirrors();
+    let service_end = srv.sim.now();
+    srv.span(|sp| sp.mark(req_id, Stage::WorkerService, service_end));
+    srv.op_histogram(McOp::Mget)
+        .record(service_end.saturating_since(service_start));
+    srv.tracer.end(
+        Layer::Core,
+        "worker_service",
+        srv.node,
+        Track::Worker(widx),
+        req_id,
+        keys.len() as u64,
+        service_end,
+    );
+    let finished = {
+        let mut m = merge.borrow_mut();
+        m.remaining -= 1;
+        m.remaining == 0
+    };
+    if !finished {
+        return;
+    }
+    let m = merge.borrow();
+    let mut payload: Vec<u8> = Vec::new();
+    let mut n = 0u16;
+    for (k, flags, cas, data) in m.slots.iter().flatten() {
+        encode_mget_entry(&mut payload, k, *flags, *cas, data);
+        n += 1;
+    }
+    let resp = RespHeader {
+        req_id,
+        status: RespStatus::Hit,
+        flags: 0,
+        cas: 0,
+        number: 0,
+        nvalues: n,
+    };
+    if let Some(obs) = srv.observatory.as_ref() {
+        obs.observe_service(
+            McOp::Mget.label(),
+            m.req.keys.first().map(Vec::as_slice).unwrap_or_default(),
+            payload.len() as u64,
+            service_end.saturating_since(service_start),
+            req_id,
+            service_end,
+        );
+    }
+    ep.post_message(
+        MSG_MC_RESP,
+        resp.encode(),
+        payload,
+        SendOptions {
+            target_ctr: ctr_id,
+            ..Default::default()
+        },
+    );
+}
+
 fn stat_pairs_to_text(pairs: &[(String, String)]) -> String {
     pairs.iter().map(|(k, v)| format!("{k} {v}\n")).collect()
 }
@@ -1079,7 +1425,7 @@ fn outcome_status(o: SetOutcome) -> RespStatus {
     }
 }
 
-fn render_stats(srv: &SrvInner, store: &Store) -> String {
+fn render_stats(srv: &SrvInner, store: &SegmentedStore) -> String {
     let st = store.stats();
     let mut out = String::new();
     let mut put = |k: &str, v: String| {
@@ -1205,18 +1551,9 @@ async fn conn_reader(srv: Weak<SrvInner>, sock: Rc<Socket>, widx: usize) {
     }
 }
 
-async fn serve_sock(srv: &Rc<SrvInner>, sock: Rc<Socket>, cmd: Command) {
+async fn serve_sock(srv: &Rc<SrvInner>, sock: Rc<Socket>, cmd: Command, widx: u32) {
     srv.span(|sp| sp.mark_open(Stage::DispatchWait, srv.sim.now()));
-    let keys = match &cmd {
-        Command::Get { keys } | Command::Gets { keys } => keys.len(),
-        _ => 1,
-    };
-    srv.sim.sleep(srv.service_cost(keys)).await;
-    let now = srv.now_secs();
-    let (resp, noreply) = {
-        let mut store = srv.store.borrow_mut();
-        execute_ascii(srv, &mut store, cmd, now)
-    };
+    let (resp, noreply) = execute_ascii_timed(srv, cmd, widx).await;
     srv.sync_mirrors();
     srv.span(|sp| sp.mark_open(Stage::WorkerService, srv.sim.now()));
     if !noreply {
@@ -1224,11 +1561,115 @@ async fn serve_sock(srv: &Rc<SrvInner>, sock: Rc<Socket>, cmd: Command) {
     }
 }
 
+/// Charges one ASCII command's service time under the configured lock
+/// model, then executes it. Shared by the TCP and UDP service paths.
+/// Socket connections keep their round-robin worker binding under every
+/// model — only the store locks are shard-aware here.
+async fn execute_ascii_timed(srv: &Rc<SrvInner>, cmd: Command, widx: u32) -> (Response, bool) {
+    let keys = match &cmd {
+        Command::Get { keys } | Command::Gets { keys } => keys.len(),
+        _ => 1,
+    };
+    match srv.model {
+        StoreModel::Idealized => {
+            srv.sim.sleep(srv.service_cost(keys)).await;
+            let now = srv.now_secs();
+            let mut store = srv.store.borrow_mut();
+            execute_ascii(srv, &mut store, cmd, now)
+        }
+        StoreModel::GlobalLock => {
+            srv.sim.sleep(srv.worker_fixed).await;
+            let op = srv.next_sock_op();
+            let _guards = srv.lock_shards([0], keys, op, Track::Worker(widx)).await;
+            let now = srv.now_secs();
+            let mut store = srv.store.borrow_mut();
+            execute_ascii(srv, &mut store, cmd, now)
+        }
+        StoreModel::Sharded(_) => {
+            srv.sim.sleep(srv.worker_fixed).await;
+            execute_ascii_sharded(srv, cmd, widx).await
+        }
+    }
+}
+
+/// The single key a mutating ASCII command addresses, if it has one.
+fn ascii_single_key(cmd: &Command) -> Option<&[u8]> {
+    match cmd {
+        Command::Store { key, .. }
+        | Command::Cas { key, .. }
+        | Command::Delete { key, .. }
+        | Command::Incr { key, .. }
+        | Command::Decr { key, .. }
+        | Command::Touch { key, .. } => Some(key),
+        _ => None,
+    }
+}
+
+/// Sharded execution of one ASCII command: single-key commands lock only
+/// their shard, multi-key reads visit their shards group by group, and
+/// whole-store commands (flush, stats) serialize against every shard in
+/// ascending order.
+async fn execute_ascii_sharded(srv: &Rc<SrvInner>, cmd: Command, widx: u32) -> (Response, bool) {
+    let op = srv.next_sock_op();
+    let track = Track::Worker(widx);
+    if let Some(shard) = ascii_single_key(&cmd).map(|k| srv.router.index(k)) {
+        let _guards = srv.lock_shards([shard], 1, op, track).await;
+        let now = srv.now_secs();
+        let mut store = srv.store.borrow_mut();
+        return execute_ascii(srv, &mut store, cmd, now);
+    }
+    let (keys, with_cas) = match cmd {
+        Command::Get { keys } => (keys, false),
+        Command::Gets { keys } => (keys, true),
+        other => {
+            let _guards = srv.lock_shards(0..srv.router.count(), 1, op, track).await;
+            let now = srv.now_secs();
+            let mut store = srv.store.borrow_mut();
+            return execute_ascii(srv, &mut store, other, now);
+        }
+    };
+    // Multi-key read: group by shard, lock and charge each group in
+    // turn, and reassemble hits in request order (slots are indexed by
+    // the key's original position).
+    let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (i, k) in keys.iter().enumerate() {
+        groups.entry(srv.router.index(k)).or_default().push(i);
+    }
+    let mut slots: Vec<Option<GetValue>> = (0..keys.len()).map(|_| None).collect();
+    for (shard, idxs) in groups {
+        let _guards = srv.lock_shards([shard], idxs.len(), op, track).await;
+        let now = srv.now_secs();
+        let mut store = srv.store.borrow_mut();
+        for &i in &idxs {
+            slots[i] = store.get(&keys[i], now).map(|v| GetValue {
+                key: keys[i].clone(),
+                flags: v.flags,
+                cas: with_cas.then_some(v.cas),
+                data: v.data,
+            });
+        }
+        if let Some(obs) = srv.observatory.as_ref() {
+            for &i in &idxs {
+                let class = slots[i]
+                    .as_ref()
+                    .and_then(|v| store.class_of(keys[i].len(), v.data.len()));
+                obs.observe_key(&keys[i], false, class);
+            }
+        }
+        drop(store);
+        srv.sync_mirrors();
+    }
+    (
+        Response::Values(slots.into_iter().flatten().collect()),
+        false,
+    )
+}
+
 /// Executes one ASCII command against the store; shared by the TCP and
 /// UDP service paths. Returns the response and the `noreply` flag.
 fn execute_ascii(
     srv: &Rc<SrvInner>,
-    store: &mut Store,
+    store: &mut SegmentedStore,
     cmd: Command,
     now: u32,
 ) -> (Response, bool) {
@@ -1353,7 +1794,12 @@ fn store_response(o: SetOutcome) -> Response {
 
 /// Feeds ASCII-path GET keys into the observatory: hits carry the slab
 /// class their value occupies, misses carry none.
-fn observe_ascii_reads(srv: &SrvInner, store: &Store, keys: &[Vec<u8>], values: &[GetValue]) {
+fn observe_ascii_reads(
+    srv: &SrvInner,
+    store: &SegmentedStore,
+    keys: &[Vec<u8>],
+    values: &[GetValue],
+) {
     let Some(obs) = srv.observatory.as_ref() else {
         return;
     };
@@ -1366,7 +1812,12 @@ fn observe_ascii_reads(srv: &SrvInner, store: &Store, keys: &[Vec<u8>], values: 
     }
 }
 
-fn fetch_values(store: &mut Store, keys: &[Vec<u8>], now: u32, with_cas: bool) -> Vec<GetValue> {
+fn fetch_values(
+    store: &mut SegmentedStore,
+    keys: &[Vec<u8>],
+    now: u32,
+    with_cas: bool,
+) -> Vec<GetValue> {
     keys.iter()
         .filter_map(|k| {
             store.get(k, now).map(|v| GetValue {
@@ -1429,9 +1880,25 @@ async fn conn_reader_bin(srv: Weak<SrvInner>, sock: Rc<Socket>, widx: usize, mut
 // The store borrow is explicitly dropped before every await in this
 // function (the lint cannot see through `drop()`).
 #[allow(clippy::await_holding_refcell_ref)]
-async fn serve_sock_bin(srv: &Rc<SrvInner>, sock: Rc<Socket>, frame: BinFrame) {
+async fn serve_sock_bin(srv: &Rc<SrvInner>, sock: Rc<Socket>, frame: BinFrame, widx: u32) {
     srv.span(|sp| sp.mark_open(Stage::DispatchWait, srv.sim.now()));
-    srv.sim.sleep(srv.service_cost(1)).await;
+    // Binary commands are all single-key (quiet multiget is a pipeline of
+    // single-key frames), so locked models charge one hash lookup under
+    // the owning shard's lock; flush and stats serialize everywhere.
+    let mut guards = Vec::new();
+    match srv.model {
+        StoreModel::Idealized => srv.sim.sleep(srv.service_cost(1)).await,
+        _ => {
+            srv.sim.sleep(srv.worker_fixed).await;
+            let shards: Vec<usize> = match frame.opcode {
+                BinOpcode::Flush | BinOpcode::Stat => (0..srv.router.count()).collect(),
+                _ => vec![srv.router.index(&frame.key)],
+            };
+            guards = srv
+                .lock_shards(shards, 1, srv.next_sock_op(), Track::Worker(widx))
+                .await;
+        }
+    }
     let now = srv.now_secs();
     let mut store = srv.store.borrow_mut();
     let mut resp = BinFrame::response(&frame, BinStatus::Ok);
@@ -1468,6 +1935,7 @@ async fn serve_sock_bin(srv: &Rc<SrvInner>, sock: Rc<Socket>, frame: BinFrame) {
             let Some((flags, exptime)) = mcproto::parse_store_extras(&frame.extras) else {
                 resp.vbucket_or_status = BinStatus::InvalidArgs as u16;
                 drop(store);
+                guards.clear();
                 reply_bin(&sock, srv, vec![resp]).await;
                 return;
             };
@@ -1512,6 +1980,7 @@ async fn serve_sock_bin(srv: &Rc<SrvInner>, sock: Rc<Socket>, frame: BinFrame) {
             let Some((delta, initial, exptime)) = mcproto::parse_arith_extras(&frame.extras) else {
                 resp.vbucket_or_status = BinStatus::InvalidArgs as u16;
                 drop(store);
+                guards.clear();
                 reply_bin(&sock, srv, vec![resp]).await;
                 return;
             };
@@ -1581,6 +2050,7 @@ async fn serve_sock_bin(srv: &Rc<SrvInner>, sock: Rc<Socket>, frame: BinFrame) {
     }
     drop(store);
     srv.sync_mirrors();
+    guards.clear();
     if !quiet_suppress {
         replies.push(resp);
         reply_bin(&sock, srv, replies).await;
@@ -1652,17 +2122,9 @@ async fn serve_sock_udp(
     src: socksim::SocketAddr,
     request_id: u16,
     cmd: Command,
+    widx: u32,
 ) {
-    let keys = match &cmd {
-        Command::Get { keys } | Command::Gets { keys } => keys.len(),
-        _ => 1,
-    };
-    srv.sim.sleep(srv.service_cost(keys)).await;
-    let now = srv.now_secs();
-    let (resp, noreply) = {
-        let mut store = srv.store.borrow_mut();
-        execute_ascii(srv, &mut store, cmd, now)
-    };
+    let (resp, noreply) = execute_ascii_timed(srv, cmd, widx).await;
     srv.sync_mirrors();
     if noreply {
         return;

@@ -1,0 +1,309 @@
+//! Acceptance tests for the store lock-contention models (`StoreModel`):
+//! schedule equivalence of `Sharded(1)` and the default `Idealized`
+//! model, global-lock serialization and its contention counters, mget
+//! scatter/gather over shard-affine workers, per-shard metrics on the
+//! `stats prom` surface, socket-path ordering under sharding, and bypass
+//! GET invalidation against a segmented store on both clusters.
+
+use rmc::{
+    McClient, McClientConfig, McServer, McServerConfig, StoreModel, Transport, Value, World,
+};
+use simnet::{NodeId, SimDuration, SimTime, Stack};
+
+const SRV: NodeId = NodeId(0);
+const CLI: NodeId = NodeId(1);
+
+fn server_config(model: StoreModel, workers: usize) -> McServerConfig {
+    McServerConfig {
+        workers,
+        store_model: model,
+        ..McServerConfig::default()
+    }
+}
+
+/// Runs the same concurrent keyed workload under `model` and returns the
+/// end-of-run virtual clock plus every response, in a deterministic
+/// order.
+fn run_workload(model: StoreModel, workers: usize) -> (SimTime, Vec<(String, Option<Value>)>) {
+    let world = World::cluster_b(7, 8);
+    let _server = McServer::start(&world, SRV, server_config(model, workers));
+    let sim = world.sim().clone();
+    let results = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+    for cli in 0..3u32 {
+        let c = McClient::new(&world, CLI, McClientConfig::single(Transport::Ucr, SRV));
+        let out = results.clone();
+        sim.spawn(async move {
+            for i in 0..40u32 {
+                let key = format!("c{cli}-k{i}");
+                let val = format!("v{cli}-{i}");
+                c.set(key.as_bytes(), val.as_bytes(), 0, 0).await.unwrap();
+                let got = c.get(key.as_bytes()).await.unwrap();
+                out.borrow_mut().push((key, got));
+            }
+        });
+    }
+    let end = sim.run();
+    let mut out = std::rc::Rc::try_unwrap(results).unwrap().into_inner();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    (end, out)
+}
+
+#[test]
+fn sharded_one_matches_idealized_schedule() {
+    // With one worker, `Sharded(1)` routes everything exactly where the
+    // round-robin binding would have: the lock is never contended, costs
+    // zero virtual time, and the split fixed+hash sleep sums to the
+    // idealized single charge — so the virtual-time schedule (end clock)
+    // and every response must be identical.
+    let (end_ideal, out_ideal) = run_workload(StoreModel::Idealized, 1);
+    let (end_sharded, out_sharded) = run_workload(StoreModel::Sharded(1), 1);
+    assert_eq!(end_ideal, end_sharded, "virtual end clocks diverged");
+    assert_eq!(out_ideal.len(), out_sharded.len());
+    for (a, b) in out_ideal.iter().zip(&out_sharded) {
+        assert_eq!(a.0, b.0);
+        let (va, vb) = (a.1.as_ref().unwrap(), b.1.as_ref().unwrap());
+        assert_eq!(va.data, vb.data, "key {}", a.0);
+        assert_eq!(va.cas, vb.cas, "key {}", a.0);
+    }
+}
+
+#[test]
+fn global_lock_flattens_worker_scaling() {
+    // The same parallel workload under the global lock must finish no
+    // faster with 8 workers than the contention ceiling allows, and the
+    // lock's own accounting must show the contention.
+    let (end_ideal, _) = run_workload(StoreModel::Idealized, 8);
+    let (end_locked, _) = run_workload(StoreModel::GlobalLock, 8);
+    assert!(
+        end_locked >= end_ideal,
+        "a lock cannot make the run faster: {end_locked:?} < {end_ideal:?}"
+    );
+}
+
+#[test]
+fn global_lock_contention_counters_and_prom() {
+    let world = World::cluster_b(11, 8);
+    let server = McServer::start(&world, SRV, server_config(StoreModel::GlobalLock, 4));
+    let sim = world.sim().clone();
+    // Three clients each keep a deep pipeline in flight, so three worker
+    // threads stay busy back-to-back and collide on the one lock.
+    for cli in 0..3u32 {
+        let c = McClient::new(
+            &world,
+            CLI,
+            McClientConfig {
+                pipeline_depth: 8,
+                ..McClientConfig::single(Transport::Ucr, SRV)
+            },
+        );
+        sim.spawn(async move {
+            let keys: Vec<String> = (0..30u32).map(|i| format!("g{cli}-{i}")).collect();
+            let items: Vec<(&[u8], &[u8])> =
+                keys.iter().map(|k| (k.as_bytes(), b"x" as &[u8])).collect();
+            for r in c.set_many(&items, 0, 0).await.unwrap() {
+                r.unwrap();
+            }
+        });
+    }
+    sim.run();
+    let stats = server.lock_stats();
+    assert_eq!(stats.len(), 1, "GlobalLock has exactly one lock");
+    assert_eq!(stats[0].acquires, 90, "every op acquires the lock once");
+    assert!(
+        stats[0].contended > 0,
+        "parallel workers must have collided"
+    );
+    assert!(stats[0].wait_total > SimDuration::ZERO);
+    assert!(stats[0].hold_total > SimDuration::ZERO);
+    // The same numbers must be visible on the metrics surface.
+    let m = world.cluster.metrics();
+    assert_eq!(m.counter_value("mc.node0.shard0.ops"), 90);
+    assert_eq!(
+        m.counter_value("mc.node0.shard0.contended"),
+        stats[0].contended
+    );
+    assert_eq!(
+        m.counter_value("mc.node0.shard0.lock_wait_ns"),
+        stats[0].wait_total.as_nanos()
+    );
+}
+
+#[test]
+fn idealized_registers_no_shard_metrics() {
+    let world = World::cluster_b(11, 8);
+    let server = McServer::start(&world, SRV, McServerConfig::default());
+    let c = McClient::new(&world, CLI, McClientConfig::single(Transport::Ucr, SRV));
+    let sim = world.sim().clone();
+    let lines = sim.block_on(async move {
+        c.set(b"k", b"v", 0, 0).await.unwrap();
+        c.stats_report("prom").await.unwrap()
+    });
+    assert!(server.lock_stats().is_empty());
+    assert!(
+        !lines.iter().any(|(k, v)| {
+            k.contains(".shard") || v.contains(".shard") || k.contains("lock_wait")
+        }),
+        "default model must not leak shard series into prom output"
+    );
+}
+
+#[test]
+fn sharded_prom_exposes_per_shard_series() {
+    let world = World::cluster_b(13, 8);
+    let server = McServer::start(&world, SRV, server_config(StoreModel::Sharded(4), 4));
+    let c = McClient::new(&world, CLI, McClientConfig::single(Transport::Ucr, SRV));
+    let sim = world.sim().clone();
+    let lines = sim.block_on(async move {
+        for i in 0..64u32 {
+            let key = format!("spread-{i}");
+            c.set(key.as_bytes(), b"v", 0, 0).await.unwrap();
+        }
+        c.stats_report("prom").await.unwrap()
+    });
+    assert_eq!(server.shard_count(), 4);
+    let stats = server.lock_stats();
+    assert_eq!(stats.len(), 4);
+    // Uniform keys must spread over all shards (balance at server level).
+    for (s, st) in stats.iter().enumerate() {
+        assert!(st.acquires > 0, "shard {s} never acquired its lock");
+    }
+    let text: String = lines
+        .iter()
+        .map(|(k, v)| format!("{k} {v}\n"))
+        .collect::<String>();
+    for s in 0..4 {
+        for series in ["ops", "lock_wait_ns", "lock_hold_ns", "contended"] {
+            let labelled = format!("shard=\"{s}\"");
+            assert!(
+                text.contains(&labelled),
+                "prom output missing shard label {s}"
+            );
+            assert!(
+                text.contains(&format!("mc_{series}")) || text.contains(series),
+                "prom output missing {series} family"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_mget_preserves_per_key_results() {
+    // The same mget must return identical entries, in identical order,
+    // whether it is served whole (Idealized) or split per shard and
+    // merged (Sharded with multiple workers).
+    let mut reference: Option<Vec<(Vec<u8>, Vec<u8>)>> = None;
+    for model in [StoreModel::Idealized, StoreModel::Sharded(8)] {
+        let world = World::cluster_b(17, 8);
+        let _server = McServer::start(&world, SRV, server_config(model, 4));
+        let c = McClient::new(&world, CLI, McClientConfig::single(Transport::Ucr, SRV));
+        let sim = world.sim().clone();
+        let got = sim.block_on(async move {
+            for i in 0..24u32 {
+                let key = format!("mg-{i}");
+                let val = format!("val-{i}");
+                c.set(key.as_bytes(), val.as_bytes(), 0, 0).await.unwrap();
+            }
+            // Mixed hits and misses, shard-interleaved request order.
+            let keys: Vec<Vec<u8>> = (0..24u32)
+                .map(|i| format!("mg-{i}").into_bytes())
+                .chain([b"mg-miss-a".to_vec(), b"mg-miss-b".to_vec()])
+                .collect();
+            let refs: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+            c.mget(&refs).await.unwrap()
+        });
+        let entries: Vec<(Vec<u8>, Vec<u8>)> = got.into_iter().map(|(k, v)| (k, v.data)).collect();
+        assert_eq!(entries.len(), 24, "misses are dropped, hits kept");
+        match &reference {
+            None => reference = Some(entries),
+            Some(want) => assert_eq!(want, &entries, "{model:?} diverged"),
+        }
+    }
+}
+
+#[test]
+fn sharded_sockets_keep_request_order() {
+    // ASCII multi-key get over a byte-stream transport visits shards
+    // group by group but must still answer in request order.
+    let world = World::cluster_a(19, 8);
+    let _server = McServer::start(&world, SRV, server_config(StoreModel::Sharded(4), 2));
+    let c = McClient::new(
+        &world,
+        CLI,
+        McClientConfig::single(Transport::Sockets(Stack::Sdp), SRV),
+    );
+    let sim = world.sim().clone();
+    sim.block_on(async move {
+        for i in 0..16u32 {
+            let key = format!("sk-{i}");
+            let val = format!("sv-{i}");
+            c.set(key.as_bytes(), val.as_bytes(), 0, 0).await.unwrap();
+        }
+        let keys: Vec<Vec<u8>> = (0..16u32).map(|i| format!("sk-{i}").into_bytes()).collect();
+        let refs: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+        let got = c.mget(&refs).await.unwrap();
+        assert_eq!(got.len(), 16);
+        for (i, (k, v)) in got.iter().enumerate() {
+            assert_eq!(k, &format!("sk-{i}").into_bytes(), "order broke at {i}");
+            assert_eq!(v.data, format!("sv-{i}").into_bytes());
+        }
+        // Full command set still behaves through the shard router.
+        c.incr(b"sk-n", 1).await.unwrap_err();
+        c.set(b"sk-n", b"41", 0, 0).await.unwrap();
+        assert_eq!(c.incr(b"sk-n", 1).await.unwrap(), 42);
+        assert!(c.delete(b"sk-3").await.unwrap());
+        assert_eq!(c.get(b"sk-3").await.unwrap(), None);
+    });
+}
+
+#[test]
+fn bypass_get_invalidates_per_segment() {
+    // The one-sided GET path against a segmented store, on both clusters:
+    // descriptors resolve through the owning segment's mirror, and every
+    // mutation path (overwrite, delete) invalidates only that segment's
+    // pages — readers see fresh data or fall back, never stale bytes.
+    for (name, world) in [
+        ("cluster_a", World::cluster_a(23, 8)),
+        ("cluster_b", World::cluster_b(23, 8)),
+    ] {
+        let _server = McServer::start(&world, SRV, server_config(StoreModel::Sharded(4), 4));
+        let c = McClient::new(
+            &world,
+            CLI,
+            McClientConfig {
+                bypass_get: true,
+                ..McClientConfig::single(Transport::Ucr, SRV)
+            },
+        );
+        let sim = world.sim().clone();
+        sim.block_on(async move {
+            for i in 0..16u32 {
+                let key = format!("bp-{i}");
+                let val = format!("bv-{i}");
+                c.set(key.as_bytes(), val.as_bytes(), i, 0).await.unwrap();
+            }
+            // First reads warm the per-segment descriptors; repeats hit
+            // the one-sided path.
+            for round in 0..2 {
+                for i in 0..16u32 {
+                    let key = format!("bp-{i}");
+                    let v = c.get(key.as_bytes()).await.unwrap().unwrap();
+                    assert_eq!(v.data, format!("bv-{i}").into_bytes(), "{name} r{round}");
+                }
+            }
+            // Overwrites must invalidate the owning segment's mirror.
+            for i in 0..16u32 {
+                let key = format!("bp-{i}");
+                let val = format!("NEW-{i}");
+                c.set(key.as_bytes(), val.as_bytes(), 0, 0).await.unwrap();
+                let v = c.get(key.as_bytes()).await.unwrap().unwrap();
+                assert_eq!(v.data, format!("NEW-{i}").into_bytes(), "{name} stale");
+            }
+            // Deletes: the bypass read must fall back to a miss.
+            for i in 0..16u32 {
+                let key = format!("bp-{i}");
+                assert!(c.delete(key.as_bytes()).await.unwrap());
+                assert_eq!(c.get(key.as_bytes()).await.unwrap(), None, "{name}");
+            }
+        });
+    }
+}

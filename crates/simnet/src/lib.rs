@@ -49,6 +49,7 @@ mod time;
 pub mod timeseries;
 pub mod trace;
 pub mod trace_export;
+pub mod vlock;
 
 pub use engine::{JoinHandle, Sim, TaskId};
 pub use exemplar::{Exemplar, ExemplarConfig, ExemplarRing};
@@ -66,3 +67,4 @@ pub use timeseries::{
     SamplerConfig, SloSpec, SloTracker,
 };
 pub use trace::{Event, EventRecorder, EventSink, Layer, Phase, Tracer, Track};
+pub use vlock::{VLock, VLockGuard, VLockMeters, VLockStats};

@@ -311,7 +311,8 @@ fn sanitize(seg: &str) -> String {
 
 /// Splits a dotted registry name into a Prometheus family name plus
 /// labels: a leading layer prefix becomes `layer="..."`, `nodeN` /
-/// `workerN` / `classN` segments become `node`/`worker`/`class` labels,
+/// `workerN` / `classN` / `shardS` segments become
+/// `node`/`worker`/`class`/`shard` labels,
 /// a fabric segment (`ib`/`roce`/`gige`) becomes `net`, and whatever
 /// remains joins into `rmc_<name>`.
 fn family_and_labels(name: &str) -> (String, Vec<(&'static str, String)>) {
@@ -337,6 +338,11 @@ fn family_and_labels(name: &str) -> (String, Vec<(&'static str, String)>) {
             .filter(|r| r.parse::<u32>().is_ok())
         {
             labels.push(("class", n.to_string()));
+        } else if let Some(n) = seg
+            .strip_prefix("shard")
+            .filter(|r| r.parse::<u32>().is_ok())
+        {
+            labels.push(("shard", n.to_string()));
         } else {
             parts.push(sanitize(seg));
         }

@@ -5,8 +5,11 @@
 //! (`assoc.c`), per-class LRU with expired-tail reclaim, lazy expiration,
 //! `flush_all` barriers, CAS, and the full storage/arithmetic command set
 //! (`items.c`/`memcached.c` semantics). [`Store`] is the pure, clock-free
-//! engine used by the simulated server; [`ShardedStore`] is a thread-safe
-//! wrapper exercised by real threads in stress tests and benches.
+//! engine; [`SegmentedStore`] splits it into hash-routed segments for the
+//! simulated server (one segment = the classic unsharded layout); and
+//! [`ShardedStore`] is a thread-safe wrapper exercised by real threads in
+//! stress tests and benches. All sharding routes through one
+//! [`ShardRouter`] policy.
 //!
 //! ```
 //! use mcstore::{SetOutcome, Store};
@@ -22,10 +25,12 @@
 
 #![warn(missing_docs)]
 
+mod shard;
 mod sharded;
 mod slab;
 mod store;
 
+pub use shard::{SegmentedStore, ShardRouter};
 pub use sharded::ShardedStore;
 pub use slab::{ClassId, ClassStats, SlabAllocator, SlabConfig, SlabLoc};
 pub use store::{

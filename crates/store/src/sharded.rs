@@ -8,31 +8,36 @@
 
 use parking_lot::Mutex;
 
-use crate::store::{hash_key, NumericError, SetOutcome, Store, StoreConfig, StoreStats, Value};
+use crate::shard::ShardRouter;
+use crate::store::{NumericError, SetOutcome, Store, StoreConfig, StoreStats, Value};
 
 /// `Store` behind N hash-routed shards. All methods take `&self`.
+///
+/// Routing and memory-cap splitting are delegated to [`ShardRouter`], the
+/// same policy the simulation's `SegmentedStore` uses — hash→shard logic
+/// lives exactly once.
 pub struct ShardedStore {
     shards: Vec<Mutex<Store>>,
-    mask: usize,
+    router: ShardRouter,
 }
 
 impl ShardedStore {
-    /// Creates `shards` (rounded up to a power of two) stores, each with a
-    /// proportional share of the memory limit.
-    pub fn new(mut config: StoreConfig, shards: usize) -> ShardedStore {
-        let n = shards.max(1).next_power_of_two();
-        config.slab.mem_limit = (config.slab.mem_limit / n).max(config.slab.page_size);
+    /// Creates `shards` (rounded up to a power of two) stores with the
+    /// memory limit split losslessly across them.
+    pub fn new(config: StoreConfig, shards: usize) -> ShardedStore {
+        let router = ShardRouter::new(shards);
         ShardedStore {
-            shards: (0..n).map(|_| Mutex::new(Store::new(config))).collect(),
-            mask: n - 1,
+            shards: router
+                .split_config(config)
+                .into_iter()
+                .map(|c| Mutex::new(Store::new(c)))
+                .collect(),
+            router,
         }
     }
 
     fn shard(&self, key: &[u8]) -> &Mutex<Store> {
-        // Use the upper hash bits for shard routing so the lower bits
-        // remain well distributed for the per-shard bucket index.
-        let h = hash_key(key);
-        &self.shards[((h >> 48) as usize) & self.mask]
+        &self.shards[self.router.index(key)]
     }
 
     /// Number of shards.
@@ -125,19 +130,7 @@ impl ShardedStore {
     pub fn stats(&self) -> StoreStats {
         let mut total = StoreStats::default();
         for s in &self.shards {
-            let st = s.lock().stats();
-            total.get_hits += st.get_hits;
-            total.get_misses += st.get_misses;
-            total.sets += st.sets;
-            total.evictions += st.evictions;
-            total.reclaimed += st.reclaimed;
-            total.delete_hits += st.delete_hits;
-            total.delete_misses += st.delete_misses;
-            total.cas_hits += st.cas_hits;
-            total.cas_badval += st.cas_badval;
-            total.incr_hits += st.incr_hits;
-            total.total_items += st.total_items;
-            total.hash_expansions += st.hash_expansions;
+            total.merge(&s.lock().stats());
         }
         total
     }

@@ -137,7 +137,7 @@ pub struct ItemLocation {
 }
 
 /// Counters mirroring `stats` fields of interest.
-#[derive(Clone, Copy, Default, Debug)]
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
 pub struct StoreStats {
     /// get hits.
     pub get_hits: u64,
@@ -163,6 +163,24 @@ pub struct StoreStats {
     pub total_items: u64,
     /// Hash-table expansions completed.
     pub hash_expansions: u64,
+}
+
+impl StoreStats {
+    /// Accumulates another stats block into this one (shard aggregation).
+    pub fn merge(&mut self, other: &StoreStats) {
+        self.get_hits += other.get_hits;
+        self.get_misses += other.get_misses;
+        self.sets += other.sets;
+        self.evictions += other.evictions;
+        self.reclaimed += other.reclaimed;
+        self.delete_hits += other.delete_hits;
+        self.delete_misses += other.delete_misses;
+        self.cas_hits += other.cas_hits;
+        self.cas_badval += other.cas_badval;
+        self.incr_hits += other.incr_hits;
+        self.total_items += other.total_items;
+        self.hash_expansions += other.hash_expansions;
+    }
 }
 
 /// Engine configuration.
