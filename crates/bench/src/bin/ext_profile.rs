@@ -1,0 +1,271 @@
+//! Extension: profiler attribution of the worker-scaling plateau.
+//!
+//! PR 8's `ablation_workers` showed *that* `GlobalLock` stops scaling
+//! with workers while `Sharded(16)` keeps going; this study uses the
+//! virtual-time profiler to show *why*, machine-checkably. Eight clients
+//! issue uniform single-key gets against an 8-worker server under both
+//! lock models, on both clusters, with a `Profiler` attached. For every
+//! completed request the profiler decomposes end-to-end latency into
+//! critical-path stages (issue, request wire, worker queue, lock wait,
+//! lock hold, service, response wire, completion) plus an explicit
+//! residual, and the run asserts the attribution:
+//!
+//! * exactness — stage sums plus residual equal end-to-end for every
+//!   single op (tolerance zero, by construction);
+//! * the `GlobalLock` plateau is majority-**lock_wait** (≥ 50% of total
+//!   end-to-end time at 8 workers × 8 clients);
+//! * `Sharded(16)` spends < 10% of end-to-end time in lock wait — the
+//!   plateau attribution, not just the plateau;
+//! * the unaccounted residual stays < 5% of total time.
+//!
+//! Alongside the table and JSON, the merged folded span profile of every
+//! configuration lands in `results/ext_profile.folded` (collapsed-stack
+//! format, one `cluster.model` root frame per configuration) for direct
+//! flamegraph rendering.
+
+use std::rc::Rc;
+
+use rmc::{McClient, McClientConfig, McServer, McServerConfig, StoreModel, Transport};
+use rmc_bench::ClusterKind;
+use simnet::{Metrics, NodeId, PathStage, Profiler, ProfilerConfig};
+
+const CLIENTS: u32 = 8;
+const WORKERS: usize = 8;
+const MGETS_PER_CLIENT: u32 = 100;
+const KEYS_PER_MGET: usize = 32;
+const KEYSPACE: u64 = 1024;
+
+fn model_label(model: StoreModel) -> &'static str {
+    match model {
+        StoreModel::Idealized => "idealized",
+        StoreModel::GlobalLock => "global_lock",
+        StoreModel::Sharded(_) => "sharded16",
+    }
+}
+
+/// Deterministic xorshift stream — results files must regenerate
+/// byte-identically, so no OS entropy anywhere.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+struct RunResult {
+    profiler: Rc<Profiler>,
+    keys_per_sec: f64,
+    flight_len: u64,
+    flight_dropped: u64,
+}
+
+fn measure(cluster: ClusterKind, model: StoreModel) -> RunResult {
+    // One node per client plus a dedicated loader node: in detail mode
+    // client request-id spaces are node-prefixed, so distinct nodes keep
+    // concurrent ids collision-free.
+    let world = cluster.world(47, CLIENTS + 2);
+    let server = McServer::start(
+        &world,
+        NodeId(0),
+        McServerConfig {
+            workers: WORKERS,
+            store_model: model,
+            ..McServerConfig::default()
+        },
+    );
+    let sim = world.sim().clone();
+
+    // The profiler attaches before any traffic; the side metrics registry
+    // receives the profiler counters and the flight-recorder gauges.
+    let profiler = Profiler::attach(world.cluster.tracer(), ProfilerConfig::default());
+    let metrics = Metrics::new();
+    profiler.bind_metrics(&metrics);
+    world.cluster.tracer().bind_flight_gauges(&metrics);
+
+    let loader = McClient::new(
+        &world,
+        NodeId(CLIENTS + 1),
+        McClientConfig {
+            pipeline_depth: 32,
+            ..McClientConfig::single(Transport::Ucr, NodeId(0))
+        },
+    );
+    sim.block_on(async move {
+        let keys: Vec<String> = (0..KEYSPACE).map(|i| format!("k{i:04}")).collect();
+        let items: Vec<(&[u8], &[u8])> = keys
+            .iter()
+            .map(|k| (k.as_bytes(), &b"0123456789abcdef0123456789abcdef"[..]))
+            .collect();
+        for r in loader.set_many(&items, 0, 0).await.expect("preload") {
+            r.expect("preload set");
+        }
+    });
+
+    let t0 = sim.now();
+    let mut joins = Vec::new();
+    for c in 0..CLIENTS {
+        let client = McClient::new(
+            &world,
+            NodeId(1 + c),
+            McClientConfig::single(Transport::Ucr, NodeId(0)),
+        );
+        joins.push(sim.spawn(async move {
+            let mut rng = 0x9e37_79b9_7f4a_7c15u64 ^ (u64::from(c) + 1);
+            for _ in 0..MGETS_PER_CLIENT {
+                let keys: Vec<String> = (0..KEYS_PER_MGET)
+                    .map(|_| format!("k{:04}", xorshift(&mut rng) % KEYSPACE))
+                    .collect();
+                let refs: Vec<&[u8]> = keys.iter().map(String::as_bytes).collect();
+                let got = client.mget(&refs).await.expect("mget");
+                assert_eq!(got.len(), KEYS_PER_MGET, "preloaded keys must all hit");
+            }
+        }));
+    }
+    let sim2 = sim.clone();
+    let elapsed = sim.block_on(async move {
+        for j in joins {
+            j.await;
+        }
+        (sim2.now() - t0).as_secs_f64()
+    });
+
+    // Satellite check: the registered flight gauges mirror the recorder.
+    let tracer = world.cluster.tracer();
+    assert_eq!(
+        metrics.gauge_value("trace.flight.len"),
+        Some(tracer.flight_len() as f64),
+        "flight-length gauge tracks the ring"
+    );
+    assert_eq!(
+        metrics.gauge_value("trace.flight.dropped"),
+        Some(tracer.flight_dropped() as f64),
+        "flight-dropped gauge tracks the ring"
+    );
+    drop(server);
+
+    RunResult {
+        profiler,
+        keys_per_sec: f64::from(CLIENTS * MGETS_PER_CLIENT) * KEYS_PER_MGET as f64 / elapsed,
+        flight_len: tracer.flight_len() as u64,
+        flight_dropped: tracer.flight_dropped(),
+    }
+}
+
+fn main() {
+    const MODELS: [StoreModel; 2] = [StoreModel::GlobalLock, StoreModel::Sharded(16)];
+    println!(
+        "Profiler attribution of the lock plateau — {CLIENTS} clients x \
+         {MGETS_PER_CLIENT} x {KEYS_PER_MGET}-key mgets, {WORKERS} workers, \
+         per-stage share of total end-to-end time"
+    );
+    let mut records = Vec::new();
+    let mut folded = String::new();
+    for cluster in [ClusterKind::A, ClusterKind::B] {
+        println!();
+        println!("{}", cluster.label());
+        println!(
+            "{:>12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>12}",
+            "model", "keys/s", "lock_wait", "lock_hold", "service", "wire", "residual", "dominant"
+        );
+        for model in MODELS {
+            let r = measure(cluster, model);
+            let p = &r.profiler;
+            // Preload sets are client ops too: one per key.
+            let expected_ops = u64::from(CLIENTS * MGETS_PER_CLIENT) + KEYSPACE;
+            let audit = p.audit();
+            // The exactness identity is asserted per op, tolerance zero:
+            // stage sum + residual == end-to-end for all of them.
+            assert_eq!(
+                audit.ops, expected_ops,
+                "every op retired through the profiler"
+            );
+            assert_eq!(audit.inexact_ops, 0, "per-op exactness holds everywhere");
+            assert_eq!(p.open_len(), 0, "no path left open after the run");
+            assert_eq!(p.unmatched_events(), 0, "UCR ids correlate end to end");
+
+            let wait = p.stage_share(PathStage::LockWait);
+            let hold = p.stage_share(PathStage::LockHold);
+            let service = p.stage_share(PathStage::Service);
+            let wire =
+                p.stage_share(PathStage::RequestWire) + p.stage_share(PathStage::ResponseWire);
+
+            println!(
+                "{:>12} {:>9.1}K {:>9.1}% {:>9.1}% {:>9.1}% {:>9.1}% {:>9.2}% {:>12}",
+                model_label(model),
+                r.keys_per_sec / 1e3,
+                wait * 100.0,
+                hold * 100.0,
+                service * 100.0,
+                wire * 100.0,
+                audit.residual_share * 100.0,
+                p.dominant_stage().label(),
+            );
+
+            if std::env::var("PROBE").is_err() {
+                match model {
+                    StoreModel::GlobalLock => assert!(
+                        wait >= 0.50,
+                        "GlobalLock at {WORKERS} workers must be majority lock-wait, got {wait:.3}"
+                    ),
+                    _ => assert!(
+                        wait < 0.10,
+                        "Sharded(16) must not wait on locks, got {wait:.3}"
+                    ),
+                }
+                assert!(
+                    audit.residual_share < 0.05,
+                    "unaccounted time must stay under 5%, got {:.4}",
+                    audit.residual_share
+                );
+            }
+
+            for (path, ns) in p.folded_lines() {
+                folded.push_str(&format!(
+                    "{}.{};{path} {ns}\n",
+                    cluster.label().replace(' ', "_"),
+                    model_label(model)
+                ));
+            }
+
+            let mut rec = rmc_bench::json_out::Record::new()
+                .str("op", "get")
+                .str("transport", "UCR IB")
+                .str("cluster", cluster.label())
+                .str("model", model_label(model))
+                .int("workers", WORKERS as u64)
+                .int("clients", u64::from(CLIENTS))
+                .int("ops", audit.ops)
+                .int("inexact_ops", audit.inexact_ops)
+                .num("tps", r.keys_per_sec)
+                .num("lock_wait_share", wait)
+                .num("lock_hold_share", hold)
+                .num("service_share", service)
+                .num("wire_share", wire)
+                .num("residual_share", audit.residual_share)
+                .num("residual_abs_us", audit.residual_abs_total.as_micros_f64())
+                .str("dominant_stage", p.dominant_stage().label())
+                .int("flight_len", r.flight_len)
+                .int("flight_dropped", r.flight_dropped);
+            for (i, (sig, n)) in p.top_signatures(3).into_iter().enumerate() {
+                rec = rec.str(&format!("signature_{i}"), format!("{n}x {sig}"));
+            }
+            records.push(rec);
+        }
+    }
+    println!();
+    println!(
+        "Both models pay the same wire and service costs; the GlobalLock plateau\n\
+         is lock_wait — requests queueing on the one cache_lock — while sharded\n\
+         dispatch turns the same demand into parallel lock holds. Stage sums plus\n\
+         residual equal end-to-end latency exactly for every single request."
+    );
+    rmc_bench::json_out::write("ext_profile", &records);
+    match std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write("results/ext_profile.folded", &folded))
+    {
+        Ok(()) => eprintln!("wrote results/ext_profile.folded"),
+        Err(e) => eprintln!("could not write results/ext_profile.folded: {e}"),
+    }
+}

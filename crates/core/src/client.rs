@@ -414,6 +414,7 @@ impl McClient {
             Transport::UcrRoce => world.roce.as_ref(),
             Transport::Sockets(_) | Transport::Udp(_) => None,
         };
+        let tracer = world.cluster.tracer().clone();
         let ucr = match (cfg.transport, fabric) {
             (Transport::Ucr | Transport::UcrRoce, Some(fabric)) => {
                 let rt = UcrRuntime::new(fabric, node);
@@ -421,6 +422,7 @@ impl McClient {
                 let cancelled2 = cancelled.clone();
                 let spans2 = spans.clone();
                 let sim2 = world.sim().clone();
+                let tracer2 = tracer.clone();
                 rt.register_handler(
                     MSG_MC_RESP,
                     FnHandler(move |_ep: &Endpoint, hdr: &[u8], data: AmData| {
@@ -435,6 +437,17 @@ impl McClient {
                                 // Response landed: wire time ends here.
                                 sp.mark(resp.req_id, Stage::ReplyWire, sim2.now());
                             }
+                            // Profiler marker: the response-wire stage of
+                            // the critical path ends here (detail only).
+                            tracer2.instant_detail(
+                                Layer::Core,
+                                "client_reply",
+                                node,
+                                Track::Main,
+                                resp.req_id,
+                                data.len() as u64,
+                                sim2.now(),
+                            );
                             let payload = data.into_vec().unwrap_or_default();
                             pending2.borrow_mut().insert(resp.req_id, (resp, payload));
                         }
@@ -478,11 +491,22 @@ impl McClient {
                 conns: RefCell::new(HashMap::new()),
                 pending,
                 cancelled,
-                next_req: Cell::new(1),
+                // In profiler (detail) mode each client claims a
+                // node-prefixed request-id space: concurrent clients'
+                // ops then never collide on the shared trace stream,
+                // which critical-path correlation relies on (one client
+                // per node, the topology every bench uses). The id is a
+                // fixed-width wire field, so the seeding changes no
+                // message size and no virtual-time outcome.
+                next_req: Cell::new(if tracer.detail() {
+                    (u64::from(node.0) << 32) | 1
+                } else {
+                    1
+                }),
                 ring,
                 ops: Cell::new(0),
                 spans,
-                tracer: world.cluster.tracer().clone(),
+                tracer,
                 inflight_gauge: world
                     .cluster
                     .metrics()
@@ -1521,6 +1545,17 @@ impl CliInner {
             return Err(McError::Disconnected);
         }
         self.span(|sp| sp.mark(req_id, Stage::ClientSerialize, self.sim.now()));
+        // Profiler marker: the request left the node — the issue stage of
+        // the critical path ends here (detail only).
+        self.tracer.instant_detail(
+            Layer::Core,
+            "client_sent",
+            self.node,
+            Track::Main,
+            req_id,
+            0,
+            self.sim.now(),
+        );
         Ok(UcrInFlight {
             req_id,
             ctr,
@@ -1875,11 +1910,12 @@ impl CliInner {
         let span_id = self.begin_sock_span();
         let wire = encode_command(cmd);
         if sock.write_all(&wire).await.is_err() {
-            self.span(|sp| sp.discard(span_id));
+            self.close_sock_span(span_id, false);
             return Err(McError::Disconnected);
         }
         // The write has cleared the send path: serialization is done.
         self.span(|sp| sp.mark(span_id, Stage::ClientSerialize, self.sim.now()));
+        self.sock_sent_marker(span_id);
         let sock = sock.clone();
         let fut: Pin<Box<dyn std::future::Future<Output = Result<Response, McError>>>> =
             Box::pin(async move {
@@ -1904,12 +1940,39 @@ impl CliInner {
     }
 
     /// Opens a latency span for a socket round trip. The ASCII wire has no
-    /// request id, so the span id is purely client-local.
+    /// request id, so the span id is purely client-local. In profiler
+    /// (detail) mode the round trip also gets a `client_op` trace span, so
+    /// sockets ops appear on the critical-path stream like UCR ops do —
+    /// server-side sockets events correlate via the profiler's
+    /// single-open-op rule (the server's op-id domain is its own).
     fn begin_sock_span(&self) -> u64 {
         let span_id = self.next_req.get();
         self.next_req.set(span_id + 1);
         self.span(|sp| sp.begin(span_id, self.sim.now()));
+        self.tracer.begin_detail(
+            Layer::Core,
+            "client_op",
+            self.node,
+            Track::Main,
+            span_id,
+            0,
+            self.sim.now(),
+        );
         span_id
+    }
+
+    /// Profiler marker for the sockets path: the request bytes have
+    /// cleared the send path (detail only).
+    fn sock_sent_marker(&self, span_id: u64) {
+        self.tracer.instant_detail(
+            Layer::Core,
+            "client_sent",
+            self.node,
+            Track::Main,
+            span_id,
+            0,
+            self.sim.now(),
+        );
     }
 
     /// Closes (or abandons) a socket round-trip span: the response is
@@ -1921,9 +1984,27 @@ impl CliInner {
                 sp.mark(span_id, Stage::ReplyWire, self.sim.now());
                 sp.finish(span_id, self.sim.now());
             });
+            self.tracer.instant_detail(
+                Layer::Core,
+                "client_reply",
+                self.node,
+                Track::Main,
+                span_id,
+                0,
+                self.sim.now(),
+            );
         } else {
             self.span(|sp| sp.discard(span_id));
         }
+        self.tracer.end_detail(
+            Layer::Core,
+            "client_op",
+            self.node,
+            Track::Main,
+            span_id,
+            0,
+            self.sim.now(),
+        );
     }
 
     /// Evicts a stream connection from the cache and closes it. A
@@ -2024,10 +2105,11 @@ impl CliInner {
         }
         let span_id = self.begin_sock_span();
         if sock.write_all(&wire).await.is_err() {
-            self.span(|sp| sp.discard(span_id));
+            self.close_sock_span(span_id, false);
             return Err(McError::Disconnected);
         }
         self.span(|sp| sp.mark(span_id, Stage::ClientSerialize, self.sim.now()));
+        self.sock_sent_marker(span_id);
 
         let sock = sock.clone();
         let is_stat = matches!(cmd, Command::Stats { .. });
@@ -2060,7 +2142,7 @@ impl CliInner {
         let frames = match timeout(&self.sim, self.cfg.op_timeout, fut).await {
             Ok(Ok(r)) => r,
             other => {
-                self.span(|sp| sp.discard(span_id));
+                self.close_sock_span(span_id, false);
                 return match other {
                     Ok(Err(e)) => Err(e),
                     _ => Err(McError::Timeout),

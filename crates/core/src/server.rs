@@ -1039,6 +1039,17 @@ fn trace_stat_lines(srv: &SrvInner) -> Vec<(String, String)> {
     lines
 }
 
+/// The `stats profile` sub-report: the attached profiler's critical-path
+/// aggregates, windowed signatures, and unaccounted-time audit (a single
+/// `profiler off` line when none is attached — profiling is opt-in, like
+/// the observatory).
+fn profile_stat_lines(srv: &SrvInner) -> Vec<(String, String)> {
+    match srv.tracer.profiler() {
+        Some(p) => p.stat_lines(),
+        None => vec![("profiler".to_string(), "off".to_string())],
+    }
+}
+
 async fn worker_loop(srv: Weak<SrvInner>, rx: Receiver<WorkItem>, widx: u32) {
     // Per-worker queue instruments: the gauge holds the number of ready
     // requests each wake found (the batch it drained); the counters give
@@ -1235,6 +1246,7 @@ async fn serve_ucr(srv: &Rc<SrvInner>, ep: Endpoint, req: ReqHeader, data: Vec<u
                 b"hot" => stat_pairs_to_text(&hot_stat_lines(srv)),
                 b"slo" => stat_pairs_to_text(&slo_stat_lines(srv)),
                 b"exemplars" => stat_pairs_to_text(&exemplar_stat_lines(srv)),
+                b"profile" => stat_pairs_to_text(&profile_stat_lines(srv)),
                 b"reset" => {
                     srv.reset_all_stats(&mut store);
                     "reset ok\n".to_string()
@@ -1531,6 +1543,17 @@ async fn conn_reader(srv: Weak<SrvInner>, sock: Rc<Socket>, widx: usize) {
                 // No request id on the ASCII wire: attribute by the one
                 // open span (single-client attribution runs).
                 inner.span(|sp| sp.mark_open(Stage::RequestWire, inner.sim.now()));
+                // Detail-mode dispatch mark: op 0 means "no wire id" — the
+                // profiler attributes it by the single open client op.
+                inner.tracer.instant_detail(
+                    Layer::Core,
+                    "dispatch",
+                    inner.node,
+                    Track::Main,
+                    0,
+                    0,
+                    inner.sim.now(),
+                );
                 let _ = inner.workers[widx].send(WorkItem::Sock {
                     sock: sock.clone(),
                     cmd,
@@ -1553,9 +1576,31 @@ async fn conn_reader(srv: Weak<SrvInner>, sock: Rc<Socket>, widx: usize) {
 
 async fn serve_sock(srv: &Rc<SrvInner>, sock: Rc<Socket>, cmd: Command, widx: u32) {
     srv.span(|sp| sp.mark_open(Stage::DispatchWait, srv.sim.now()));
-    let (resp, noreply) = execute_ascii_timed(srv, cmd, widx).await;
+    // One op id for the whole service: the detail-mode `worker_service`
+    // span and the lock spans taken under it share the id, so the folded
+    // profile nests lock_wait/lock_hold inside the service frame.
+    let op = srv.next_sock_op();
+    srv.tracer.begin_detail(
+        Layer::Core,
+        "worker_service",
+        srv.node,
+        Track::Worker(widx),
+        op,
+        0,
+        srv.sim.now(),
+    );
+    let (resp, noreply) = execute_ascii_timed(srv, cmd, widx, op).await;
     srv.sync_mirrors();
     srv.span(|sp| sp.mark_open(Stage::WorkerService, srv.sim.now()));
+    srv.tracer.end_detail(
+        Layer::Core,
+        "worker_service",
+        srv.node,
+        Track::Worker(widx),
+        op,
+        0,
+        srv.sim.now(),
+    );
     if !noreply {
         let _ = sock.write_all(&encode_response(&resp)).await;
     }
@@ -1565,7 +1610,12 @@ async fn serve_sock(srv: &Rc<SrvInner>, sock: Rc<Socket>, cmd: Command, widx: u3
 /// model, then executes it. Shared by the TCP and UDP service paths.
 /// Socket connections keep their round-robin worker binding under every
 /// model — only the store locks are shard-aware here.
-async fn execute_ascii_timed(srv: &Rc<SrvInner>, cmd: Command, widx: u32) -> (Response, bool) {
+async fn execute_ascii_timed(
+    srv: &Rc<SrvInner>,
+    cmd: Command,
+    widx: u32,
+    op: u64,
+) -> (Response, bool) {
     let keys = match &cmd {
         Command::Get { keys } | Command::Gets { keys } => keys.len(),
         _ => 1,
@@ -1579,7 +1629,6 @@ async fn execute_ascii_timed(srv: &Rc<SrvInner>, cmd: Command, widx: u32) -> (Re
         }
         StoreModel::GlobalLock => {
             srv.sim.sleep(srv.worker_fixed).await;
-            let op = srv.next_sock_op();
             let _guards = srv.lock_shards([0], keys, op, Track::Worker(widx)).await;
             let now = srv.now_secs();
             let mut store = srv.store.borrow_mut();
@@ -1587,7 +1636,7 @@ async fn execute_ascii_timed(srv: &Rc<SrvInner>, cmd: Command, widx: u32) -> (Re
         }
         StoreModel::Sharded(_) => {
             srv.sim.sleep(srv.worker_fixed).await;
-            execute_ascii_sharded(srv, cmd, widx).await
+            execute_ascii_sharded(srv, cmd, widx, op).await
         }
     }
 }
@@ -1609,8 +1658,12 @@ fn ascii_single_key(cmd: &Command) -> Option<&[u8]> {
 /// their shard, multi-key reads visit their shards group by group, and
 /// whole-store commands (flush, stats) serialize against every shard in
 /// ascending order.
-async fn execute_ascii_sharded(srv: &Rc<SrvInner>, cmd: Command, widx: u32) -> (Response, bool) {
-    let op = srv.next_sock_op();
+async fn execute_ascii_sharded(
+    srv: &Rc<SrvInner>,
+    cmd: Command,
+    widx: u32,
+    op: u64,
+) -> (Response, bool) {
     let track = Track::Worker(widx);
     if let Some(shard) = ascii_single_key(&cmd).map(|k| srv.router.index(k)) {
         let _guards = srv.lock_shards([shard], 1, op, track).await;
@@ -1758,6 +1811,7 @@ fn execute_ascii(
                 Some(b"hot") => hot_stat_lines(srv),
                 Some(b"slo") => slo_stat_lines(srv),
                 Some(b"exemplars") => exemplar_stat_lines(srv),
+                Some(b"profile") => profile_stat_lines(srv),
                 Some(b"reset") => {
                     srv.reset_all_stats(store);
                     vec![("reset".to_string(), "ok".to_string())]
@@ -1860,6 +1914,15 @@ async fn conn_reader_bin(srv: Weak<SrvInner>, sock: Rc<Socket>, widx: usize, mut
                     .sock_requests
                     .set(inner.stats.sock_requests.get() + 1);
                 inner.span(|sp| sp.mark_open(Stage::RequestWire, inner.sim.now()));
+                inner.tracer.instant_detail(
+                    Layer::Core,
+                    "dispatch",
+                    inner.node,
+                    Track::Main,
+                    0,
+                    0,
+                    inner.sim.now(),
+                );
                 let _ = inner.workers[widx].send(WorkItem::SockBin {
                     sock: sock.clone(),
                     frame,
@@ -1882,6 +1945,16 @@ async fn conn_reader_bin(srv: Weak<SrvInner>, sock: Rc<Socket>, widx: usize, mut
 #[allow(clippy::await_holding_refcell_ref)]
 async fn serve_sock_bin(srv: &Rc<SrvInner>, sock: Rc<Socket>, frame: BinFrame, widx: u32) {
     srv.span(|sp| sp.mark_open(Stage::DispatchWait, srv.sim.now()));
+    let op = srv.next_sock_op();
+    srv.tracer.begin_detail(
+        Layer::Core,
+        "worker_service",
+        srv.node,
+        Track::Worker(widx),
+        op,
+        0,
+        srv.sim.now(),
+    );
     // Binary commands are all single-key (quiet multiget is a pipeline of
     // single-key frames), so locked models charge one hash lookup under
     // the owning shard's lock; flush and stats serialize everywhere.
@@ -1894,9 +1967,7 @@ async fn serve_sock_bin(srv: &Rc<SrvInner>, sock: Rc<Socket>, frame: BinFrame, w
                 BinOpcode::Flush | BinOpcode::Stat => (0..srv.router.count()).collect(),
                 _ => vec![srv.router.index(&frame.key)],
             };
-            guards = srv
-                .lock_shards(shards, 1, srv.next_sock_op(), Track::Worker(widx))
-                .await;
+            guards = srv.lock_shards(shards, 1, op, Track::Worker(widx)).await;
         }
     }
     let now = srv.now_secs();
@@ -1936,6 +2007,15 @@ async fn serve_sock_bin(srv: &Rc<SrvInner>, sock: Rc<Socket>, frame: BinFrame, w
                 resp.vbucket_or_status = BinStatus::InvalidArgs as u16;
                 drop(store);
                 guards.clear();
+                srv.tracer.end_detail(
+                    Layer::Core,
+                    "worker_service",
+                    srv.node,
+                    Track::Worker(widx),
+                    op,
+                    0,
+                    srv.sim.now(),
+                );
                 reply_bin(&sock, srv, vec![resp]).await;
                 return;
             };
@@ -1981,6 +2061,15 @@ async fn serve_sock_bin(srv: &Rc<SrvInner>, sock: Rc<Socket>, frame: BinFrame, w
                 resp.vbucket_or_status = BinStatus::InvalidArgs as u16;
                 drop(store);
                 guards.clear();
+                srv.tracer.end_detail(
+                    Layer::Core,
+                    "worker_service",
+                    srv.node,
+                    Track::Worker(widx),
+                    op,
+                    0,
+                    srv.sim.now(),
+                );
                 reply_bin(&sock, srv, vec![resp]).await;
                 return;
             };
@@ -2051,6 +2140,15 @@ async fn serve_sock_bin(srv: &Rc<SrvInner>, sock: Rc<Socket>, frame: BinFrame, w
     drop(store);
     srv.sync_mirrors();
     guards.clear();
+    srv.tracer.end_detail(
+        Layer::Core,
+        "worker_service",
+        srv.node,
+        Track::Worker(widx),
+        op,
+        0,
+        srv.sim.now(),
+    );
     if !quiet_suppress {
         replies.push(resp);
         reply_bin(&sock, srv, replies).await;
@@ -2124,7 +2222,8 @@ async fn serve_sock_udp(
     cmd: Command,
     widx: u32,
 ) {
-    let (resp, noreply) = execute_ascii_timed(srv, cmd, widx).await;
+    let op = srv.next_sock_op();
+    let (resp, noreply) = execute_ascii_timed(srv, cmd, widx, op).await;
     srv.sync_mirrors();
     if noreply {
         return;

@@ -97,8 +97,8 @@ const R4_SCOPE: [&str; 5] = [
 
 /// Layer prefixes `prometheus_text()` turns into a `layer` label — kept
 /// in sync with `simnet::timeseries::LAYER_PREFIXES`.
-const KNOWN_LAYERS: [&str; 8] = [
-    "wire", "verbs", "ucr", "core", "mc", "client", "bench", "latency",
+const KNOWN_LAYERS: [&str; 10] = [
+    "wire", "verbs", "ucr", "core", "mc", "client", "bench", "latency", "trace", "profile",
 ];
 
 /// Final segments reserved for series the sampler / reporter derives
@@ -537,6 +537,10 @@ fn rule_r3(v: &View, out: &mut FileScan) {
         let Some(method) = v.any_ident(i + 1) else {
             continue;
         };
+        // `begin_detail`/`end_detail` are the profiler-mode variants of
+        // the same span calls: identical argument shape, same pairing
+        // obligation (they just no-op when detail mode is off).
+        let method = method.strip_suffix("_detail").unwrap_or(method);
         if method != "begin" && method != "end" {
             continue;
         }

@@ -67,6 +67,11 @@ pub struct Exemplar {
     pub stages: [SimDuration; STAGE_COUNT],
     /// Registry name of the histogram this record exemplifies.
     pub hist: String,
+    /// The op's critical-path decomposition, filled in by an attached
+    /// [`Profiler`](crate::profiler::Profiler) when the op retires
+    /// (`None` when no profiler is running or the span id never
+    /// completed as a `client_op`).
+    pub path: Option<crate::profiler::CriticalPath>,
 }
 
 struct RingInner {
@@ -136,8 +141,21 @@ impl ExemplarRing {
             span_id,
             stages,
             hist: hist_name.to_string(),
+            path: None,
         });
         true
+    }
+
+    /// Attaches a critical-path decomposition to every held record whose
+    /// span id matches (the profiler calls this as each op retires;
+    /// capture happens before the op's `client_op` span closes, so the
+    /// record is already in the ring). Pure host-side bookkeeping.
+    pub fn annotate_path(&self, span_id: u64, path: &crate::profiler::CriticalPath) {
+        for e in self.inner.ring.borrow_mut().iter_mut() {
+            if e.span_id == span_id && e.path.is_none() {
+                e.path = Some(path.clone());
+            }
+        }
     }
 
     /// Appends unconditionally (callers that gate themselves).
@@ -197,7 +215,7 @@ impl ExemplarRing {
         for e in ring.iter() {
             out.push_str(&format!(
                 "exemplar op={} hist={} span={} key=0x{:016x} bytes={} \
-                 latency_us={:.3} threshold_us={:.3} at_us={:.3}\n",
+                 latency_us={:.3} threshold_us={:.3} at_us={:.3}",
                 e.op,
                 e.hist,
                 e.span_id,
@@ -207,6 +225,15 @@ impl ExemplarRing {
                 e.threshold.as_micros_f64(),
                 e.at.as_micros_f64(),
             ));
+            if let Some(p) = e.path.as_ref() {
+                out.push_str(&format!(
+                    " dominant={} signature={} residual_ns={}",
+                    p.dominant_stage().label(),
+                    p.signature(0.10),
+                    p.residual_ns,
+                ));
+            }
+            out.push('\n');
         }
         out
     }
@@ -276,6 +303,7 @@ mod tests {
                 span_id: i,
                 stages: zero,
                 hist: "h".to_string(),
+                path: None,
             });
         }
         assert_eq!(ring.len(), 4);

@@ -40,6 +40,7 @@ mod engine;
 pub mod exemplar;
 mod fabric;
 pub mod metrics;
+pub mod profiler;
 pub mod profiles;
 mod resource;
 mod rng;
@@ -56,6 +57,9 @@ pub use exemplar::{Exemplar, ExemplarConfig, ExemplarRing};
 pub use fabric::{Cluster, Network, Node, NodeId, Transfer};
 pub use metrics::{
     LatencySpans, Metrics, Stage, TraceEvent, TraceKind, TraceRecorder, TraceSubscriber,
+};
+pub use profiler::{
+    AuditReport, CriticalPath, PathStage, Profiler, ProfilerConfig, WindowReport, PATH_STAGE_COUNT,
 };
 pub use profiles::{ClusterProfile, NetKind, Stack};
 pub use resource::FifoResource;

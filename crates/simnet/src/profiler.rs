@@ -1,0 +1,1062 @@
+//! Continuous zero-virtual-time profiler over the [`Tracer`] event stream.
+//!
+//! The trace layer (PR 2) gives a *timeline you read*; this module turns
+//! it into an *explanation the system computes*, in three parts:
+//!
+//! 1. **Folded span profiles** — every begin/end span pair is folded into
+//!    a per-`(node, track)` call stack and accumulated as
+//!    inclusive/exclusive virtual-time totals, emitted in the classic
+//!    collapsed-stack ("flamegraph") format
+//!    (`node0;worker3;core:worker_service;core:lock_wait 1234`).
+//! 2. **Per-request critical-path decomposition** — each completed
+//!    `client_op` has its end-to-end latency attributed to the ordered
+//!    [`PathStage`] taxonomy (issue → request wire → worker queue →
+//!    lock wait → lock hold → service → response wire → complete), with
+//!    an explicit signed *unaccounted* residual so that
+//!    `Σ stages + residual == end-to-end` holds **exactly** for every
+//!    op — the same identity discipline as PR 1's attribution tests.
+//! 3. **Windowed top-K signatures** — completed paths are bucketed into
+//!    fixed virtual-time windows; each window aggregates per-stage
+//!    p50/p99 and the top-K *critical-path signatures* (the ordered
+//!    dominant stages of an op, e.g. `lock_wait>service`), surfaced via
+//!    registry metrics (the `Sampler` picks them up), the
+//!    `HealthMonitor` degradation dump, and the `stats profile` verb.
+//!
+//! Attaching the profiler flips the tracer into *detail mode*, which
+//! enables the extra correlation markers (`client_sent`, `client_reply`,
+//! sockets-path `client_op`/`dispatch`/`worker_service`) that the
+//! default trace stream omits — so committed trace exports stay
+//! byte-identical when no profiler is attached. Like every other
+//! observability surface in this repo, the profiler is pure host-side
+//! bookkeeping: a profiled run ends at exactly the same virtual clock as
+//! a bare one (pinned by `tests/profiling.rs`).
+//!
+//! **Correlation id domains.** UCR request ids are client-generated and
+//! travel in the request header, so server-side events correlate to the
+//! issuing `client_op` by id. Sockets servers stamp their own op ids;
+//! those events correlate through the single-open-op fallback (exact
+//! when one client op is in flight, unattributed — absorbed by the
+//! residual — otherwise). In detail mode each client seeds its id space
+//! with its node id so concurrent clients never collide (one client per
+//! node, the topology every bench here uses).
+
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+
+use crate::exemplar::ExemplarRing;
+use crate::fabric::NodeId;
+use crate::metrics::{Counter, Gauge, Metrics};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{Event, EventSink, Layer, Phase, Tracer, Track};
+
+// ---------------------------------------------------------------------
+// Critical-path stage taxonomy
+// ---------------------------------------------------------------------
+
+/// Number of critical-path stages.
+pub const PATH_STAGE_COUNT: usize = 8;
+
+/// Ordered stages of a request's critical path, client issue to client
+/// completion. Coarser client-side stage accounting lives in
+/// [`Stage`](crate::metrics::Stage); this taxonomy splits the server side
+/// by *cause* (queueing vs lock wait vs lock hold vs service) using the
+/// cross-layer trace stream, which the client-local view cannot see.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PathStage {
+    /// Client-side serialization/post until the request leaves the node.
+    Issue,
+    /// Request on the wire (and in HCA/kernel queues) until server
+    /// dispatch sees it.
+    RequestWire,
+    /// Waiting in a worker's queue between dispatch and service start.
+    WorkerQueue,
+    /// Blocked parked on store locks (contended acquisitions only).
+    LockWait,
+    /// Holding store locks (the serialized portion of service).
+    LockHold,
+    /// Lock-free service work (parse, hash, store access, encode).
+    Service,
+    /// Response on the wire until the client's completion handler runs.
+    ResponseWire,
+    /// Client-side completion handling until the op retires.
+    Complete,
+}
+
+impl PathStage {
+    /// All stages in path order.
+    pub const ALL: [PathStage; PATH_STAGE_COUNT] = [
+        PathStage::Issue,
+        PathStage::RequestWire,
+        PathStage::WorkerQueue,
+        PathStage::LockWait,
+        PathStage::LockHold,
+        PathStage::Service,
+        PathStage::ResponseWire,
+        PathStage::Complete,
+    ];
+
+    /// Stable snake_case name.
+    pub fn label(self) -> &'static str {
+        match self {
+            PathStage::Issue => "issue",
+            PathStage::RequestWire => "request_wire",
+            PathStage::WorkerQueue => "worker_queue",
+            PathStage::LockWait => "lock_wait",
+            PathStage::LockHold => "lock_hold",
+            PathStage::Service => "service",
+            PathStage::ResponseWire => "response_wire",
+            PathStage::Complete => "complete",
+        }
+    }
+
+    /// Array index of this stage.
+    pub fn index(self) -> usize {
+        match self {
+            PathStage::Issue => 0,
+            PathStage::RequestWire => 1,
+            PathStage::WorkerQueue => 2,
+            PathStage::LockWait => 3,
+            PathStage::LockHold => 4,
+            PathStage::Service => 5,
+            PathStage::ResponseWire => 6,
+            PathStage::Complete => 7,
+        }
+    }
+}
+
+/// One completed request's critical-path decomposition. The invariant
+/// `Σ stages + residual == end_to_end` holds exactly (nanosecond
+/// arithmetic, signed residual) for every produced value — checked by
+/// [`CriticalPath::is_exact`] and audited in bulk by
+/// [`Profiler::audit`].
+#[derive(Clone, Debug)]
+pub struct CriticalPath {
+    /// Correlation id (the client request id).
+    pub op: u64,
+    /// Total client-observed latency.
+    pub end_to_end: SimDuration,
+    /// Per-stage attribution, indexed by [`PathStage::index`]. Stages
+    /// whose markers were missing (e.g. an uncorrelated sockets server
+    /// span) are zero; the residual absorbs their time.
+    pub stages: [SimDuration; PATH_STAGE_COUNT],
+    /// Unaccounted time: `end_to_end - Σ stages`, in signed nanoseconds.
+    /// Positive residual is time between markers nothing claims (e.g.
+    /// executor hand-off); a negative residual flags double-attribution
+    /// (possible only when parallel mget parts overlap lock waits).
+    pub residual_ns: i64,
+    /// Virtual time the op retired (window assignment key).
+    pub finished_at: SimTime,
+}
+
+impl CriticalPath {
+    /// Sum of all stage attributions.
+    pub fn stage_sum(&self) -> SimDuration {
+        SimDuration::from_nanos(self.stages.iter().map(|d| d.as_nanos()).sum())
+    }
+
+    /// The exactness identity: stage sum plus residual equals end-to-end.
+    pub fn is_exact(&self) -> bool {
+        self.stage_sum().as_nanos() as i64 + self.residual_ns == self.end_to_end.as_nanos() as i64
+    }
+
+    /// The stage with the largest attribution (first in path order wins
+    /// ties).
+    pub fn dominant_stage(&self) -> PathStage {
+        let mut best = PathStage::Issue;
+        let mut best_ns = 0u64;
+        for s in PathStage::ALL {
+            let ns = self.stages[s.index()].as_nanos();
+            if ns > best_ns {
+                best = s;
+                best_ns = ns;
+            }
+        }
+        best
+    }
+
+    /// The op's critical-path signature: stages contributing at least
+    /// `min_share` of end-to-end, ordered by contribution (descending,
+    /// path order on ties), joined with `>` — e.g. `lock_wait>service`.
+    /// Empty end-to-end yields `"-"`.
+    pub fn signature(&self, min_share: f64) -> String {
+        let e2e = self.end_to_end.as_nanos();
+        if e2e == 0 {
+            return "-".to_string();
+        }
+        let mut parts: Vec<(u64, usize)> = PathStage::ALL
+            .iter()
+            .map(|s| (self.stages[s.index()].as_nanos(), s.index()))
+            .filter(|(ns, _)| *ns as f64 / e2e as f64 >= min_share)
+            .collect();
+        parts.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        if parts.is_empty() {
+            return "-".to_string();
+        }
+        parts
+            .iter()
+            .map(|(_, i)| PathStage::ALL[*i].label())
+            .collect::<Vec<_>>()
+            .join(">")
+    }
+}
+
+// ---------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------
+
+/// Profiler tunables.
+#[derive(Clone, Copy, Debug)]
+pub struct ProfilerConfig {
+    /// Virtual-time width of an aggregation window.
+    pub window: SimDuration,
+    /// How many signatures the windowed top-K keeps.
+    pub top_k: usize,
+    /// Minimum share of end-to-end a stage needs to enter an op's
+    /// signature.
+    pub signature_min_share: f64,
+    /// Keep every completed [`CriticalPath`] (tests and the audit bench
+    /// read them back; large runs may prefer aggregates only).
+    pub keep_paths: bool,
+}
+
+impl Default for ProfilerConfig {
+    fn default() -> ProfilerConfig {
+        ProfilerConfig {
+            window: SimDuration::from_micros(200),
+            top_k: 4,
+            signature_min_share: 0.10,
+            keep_paths: false,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Internal state
+// ---------------------------------------------------------------------
+
+/// An in-flight `client_op` accumulating correlation markers.
+struct OpenPath {
+    started_at: SimTime,
+    sent_at: Option<SimTime>,
+    dispatched_at: Option<SimTime>,
+    service_first: Option<SimTime>,
+    service_last: Option<SimTime>,
+    lock_wait: SimDuration,
+    lock_hold: SimDuration,
+    reply_at: Option<SimTime>,
+}
+
+impl OpenPath {
+    fn new(at: SimTime) -> OpenPath {
+        OpenPath {
+            started_at: at,
+            sent_at: None,
+            dispatched_at: None,
+            service_first: None,
+            service_last: None,
+            lock_wait: SimDuration::ZERO,
+            lock_hold: SimDuration::ZERO,
+            reply_at: None,
+        }
+    }
+}
+
+/// An open span frame on a fold stack.
+struct Frame {
+    layer: Layer,
+    name: &'static str,
+    begin: SimTime,
+    /// Virtual time already attributed to closed children (subtracted to
+    /// get this frame's exclusive time).
+    child_ns: u64,
+}
+
+/// Per-window aggregation of completed paths.
+struct WindowAgg {
+    index: u64,
+    count: u64,
+    stage_samples: [Vec<u64>; PATH_STAGE_COUNT],
+    signatures: HashMap<String, u64>,
+}
+
+impl WindowAgg {
+    fn new(index: u64) -> WindowAgg {
+        WindowAgg {
+            index,
+            count: 0,
+            stage_samples: Default::default(),
+            signatures: HashMap::new(),
+        }
+    }
+}
+
+/// Snapshot of one closed window's aggregate, for reports.
+#[derive(Clone, Debug)]
+pub struct WindowReport {
+    /// Window ordinal (virtual time divided by the window width).
+    pub index: u64,
+    /// Completed paths in the window.
+    pub count: u64,
+    /// Per-stage `(p50, p99)` over the window's paths, by stage index.
+    pub stage_quantiles: [(SimDuration, SimDuration); PATH_STAGE_COUNT],
+    /// Top-K `(signature, count)` pairs, most frequent first.
+    pub top_signatures: Vec<(String, u64)>,
+}
+
+struct ProfileMetrics {
+    paths: Rc<Counter>,
+    stage_ns: [Rc<Counter>; PATH_STAGE_COUNT],
+    residual_abs_ns: Rc<Counter>,
+    unmatched: Rc<Counter>,
+    open_paths: Rc<Gauge>,
+    dominant_share: Rc<Gauge>,
+}
+
+// ---------------------------------------------------------------------
+// Profiler
+// ---------------------------------------------------------------------
+
+/// One fold lane: spans of one op on one track nest strictly.
+type LaneKey = (Option<NodeId>, Track, u64);
+
+/// The continuous profiler. Construct with [`Profiler::attach`]; read
+/// back with [`Profiler::folded_lines`], [`Profiler::paths`],
+/// [`Profiler::audit`], [`Profiler::window_report`], and
+/// [`Profiler::stat_lines`].
+pub struct Profiler {
+    cfg: ProfilerConfig,
+    /// In-flight client ops by correlation id.
+    open: RefCell<HashMap<u64, OpenPath>>,
+    /// Open lock spans: `(op, name, track) → begin`, so concurrently
+    /// parked waiters on different workers never cross-match.
+    open_locks: RefCell<HashMap<(u64, &'static str, Track), SimTime>>,
+    /// Fold stacks per `(node, track, op)` lane. Spans of one op nest
+    /// strictly; pipelined sibling ops on the same track get their own
+    /// stack and aggregate into the same folded path.
+    stacks: RefCell<HashMap<LaneKey, Vec<Frame>>>,
+    /// Folded exclusive totals: stack path → nanoseconds.
+    folded: RefCell<BTreeMap<String, u64>>,
+    /// Completed paths (kept only when `cfg.keep_paths`).
+    paths: RefCell<Vec<CriticalPath>>,
+    completed: Cell<u64>,
+    /// Cumulative per-stage totals and samples.
+    stage_total_ns: RefCell<[u64; PATH_STAGE_COUNT]>,
+    stage_samples: RefCell<[Vec<u64>; PATH_STAGE_COUNT]>,
+    e2e_total_ns: Cell<u64>,
+    residual_abs_total_ns: Cell<u64>,
+    max_abs_residual_ns: Cell<u64>,
+    inexact: Cell<u64>,
+    unmatched_events: Cell<u64>,
+    /// Cumulative signature counts.
+    signatures: RefCell<HashMap<String, u64>>,
+    current_window: RefCell<Option<WindowAgg>>,
+    last_window: RefCell<Option<WindowReport>>,
+    metrics: RefCell<Option<ProfileMetrics>>,
+    exemplar_rings: RefCell<Vec<Rc<ExemplarRing>>>,
+}
+
+impl Profiler {
+    /// A detached profiler (mostly for tests; prefer
+    /// [`Profiler::attach`]).
+    pub fn new(cfg: ProfilerConfig) -> Rc<Profiler> {
+        Rc::new(Profiler {
+            cfg,
+            open: RefCell::new(HashMap::new()),
+            open_locks: RefCell::new(HashMap::new()),
+            stacks: RefCell::new(HashMap::new()),
+            folded: RefCell::new(BTreeMap::new()),
+            paths: RefCell::new(Vec::new()),
+            completed: Cell::new(0),
+            stage_total_ns: RefCell::new([0; PATH_STAGE_COUNT]),
+            stage_samples: RefCell::new(Default::default()),
+            e2e_total_ns: Cell::new(0),
+            residual_abs_total_ns: Cell::new(0),
+            max_abs_residual_ns: Cell::new(0),
+            inexact: Cell::new(0),
+            unmatched_events: Cell::new(0),
+            signatures: RefCell::new(HashMap::new()),
+            current_window: RefCell::new(None),
+            last_window: RefCell::new(None),
+            metrics: RefCell::new(None),
+            exemplar_rings: RefCell::new(Vec::new()),
+        })
+    }
+
+    /// Builds a profiler, subscribes it to `tracer`, flips the tracer
+    /// into detail mode, and registers it as the tracer's profiler (so
+    /// `stats profile` can find it). Must run before the clients whose
+    /// ops it should decompose are constructed (clients seed their id
+    /// space from the detail flag).
+    pub fn attach(tracer: &Rc<Tracer>, cfg: ProfilerConfig) -> Rc<Profiler> {
+        let p = Profiler::new(cfg);
+        tracer.add_sink(p.clone());
+        tracer.set_profiler(p.clone());
+        tracer.set_detail(true);
+        p
+    }
+
+    /// Registers the `profile.*` registry feeds (path/stage counters,
+    /// open-path and dominant-share gauges) so the `Sampler` and the
+    /// Prometheus exposition see the profiler. Idempotent.
+    pub fn bind_metrics(&self, metrics: &Metrics) {
+        let mut slot = self.metrics.borrow_mut();
+        if slot.is_some() {
+            return;
+        }
+        *slot = Some(ProfileMetrics {
+            paths: metrics.counter("profile.paths"),
+            stage_ns: PathStage::ALL
+                .map(|s| metrics.counter(&format!("profile.stage.{}_ns", s.label()))),
+            residual_abs_ns: metrics.counter("profile.residual_abs_ns"),
+            unmatched: metrics.counter("profile.unmatched_events"),
+            open_paths: metrics.gauge("profile.open_paths"),
+            dominant_share: metrics.gauge("profile.dominant_share"),
+        });
+    }
+
+    /// Adds an exemplar ring whose records should gain critical-path
+    /// breakdowns: when an op completes, any captured exemplar carrying
+    /// its span id is annotated with the decomposition.
+    pub fn bind_exemplars(&self, ring: &Rc<ExemplarRing>) {
+        self.exemplar_rings.borrow_mut().push(ring.clone());
+    }
+
+    // -- queries ------------------------------------------------------
+
+    /// Completed critical paths so far.
+    pub fn completed(&self) -> u64 {
+        self.completed.get()
+    }
+
+    /// Client ops currently in flight.
+    pub fn open_len(&self) -> usize {
+        self.open.borrow().len()
+    }
+
+    /// Events that could not be correlated to any in-flight op.
+    pub fn unmatched_events(&self) -> u64 {
+        self.unmatched_events.get()
+    }
+
+    /// Every kept [`CriticalPath`] (empty unless `keep_paths` was set).
+    pub fn paths(&self) -> Vec<CriticalPath> {
+        self.paths.borrow().clone()
+    }
+
+    /// Cumulative attribution to `stage` across all completed paths.
+    pub fn stage_total(&self, stage: PathStage) -> SimDuration {
+        SimDuration::from_nanos(self.stage_total_ns.borrow()[stage.index()])
+    }
+
+    /// Cumulative end-to-end time across all completed paths.
+    pub fn e2e_total(&self) -> SimDuration {
+        SimDuration::from_nanos(self.e2e_total_ns.get())
+    }
+
+    /// `stage`'s share of cumulative end-to-end time (0 when idle).
+    pub fn stage_share(&self, stage: PathStage) -> f64 {
+        let e2e = self.e2e_total_ns.get();
+        if e2e == 0 {
+            return 0.0;
+        }
+        self.stage_total_ns.borrow()[stage.index()] as f64 / e2e as f64
+    }
+
+    /// Cumulative `(p50, p99)` for `stage` across all completed paths.
+    pub fn stage_quantiles(&self, stage: PathStage) -> (SimDuration, SimDuration) {
+        quantiles(&self.stage_samples.borrow()[stage.index()])
+    }
+
+    /// The stage with the largest cumulative attribution.
+    pub fn dominant_stage(&self) -> PathStage {
+        let totals = self.stage_total_ns.borrow();
+        let mut best = PathStage::Issue;
+        for s in PathStage::ALL {
+            if totals[s.index()] > totals[best.index()] {
+                best = s;
+            }
+        }
+        best
+    }
+
+    /// Cumulative top-`k` `(signature, count)` pairs, most frequent
+    /// first (signature order breaks ties, so output is deterministic).
+    pub fn top_signatures(&self, k: usize) -> Vec<(String, u64)> {
+        top_k(&self.signatures.borrow(), k)
+    }
+
+    /// The most recently *closed* window's aggregate, falling back to
+    /// the still-open window when none has closed yet.
+    pub fn window_report(&self) -> Option<WindowReport> {
+        if let Some(r) = self.last_window.borrow().as_ref() {
+            return Some(r.clone());
+        }
+        self.current_window
+            .borrow()
+            .as_ref()
+            .map(|w| finalize(w, self.cfg.top_k))
+    }
+
+    /// The unaccounted-time audit over every completed path: op count,
+    /// ops violating the exactness identity (always 0 by construction —
+    /// the audit proves the bookkeeping, not the arithmetic), total and
+    /// maximum absolute residual, and the residual's share of total
+    /// end-to-end time.
+    pub fn audit(&self) -> AuditReport {
+        let e2e = self.e2e_total_ns.get();
+        AuditReport {
+            ops: self.completed.get(),
+            inexact_ops: self.inexact.get(),
+            residual_abs_total: SimDuration::from_nanos(self.residual_abs_total_ns.get()),
+            max_abs_residual: SimDuration::from_nanos(self.max_abs_residual_ns.get()),
+            residual_share: if e2e == 0 {
+                0.0
+            } else {
+                self.residual_abs_total_ns.get() as f64 / e2e as f64
+            },
+        }
+    }
+
+    /// Folded collapsed-stack lines `(path, exclusive_ns)`, sorted by
+    /// path — the flamegraph input format.
+    pub fn folded_lines(&self) -> Vec<(String, u64)> {
+        self.folded
+            .borrow()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// The `stats profile` report: audit totals, per-stage cumulative
+    /// share/p50/p99, the current top signatures, and the last window.
+    pub fn stat_lines(&self) -> Vec<(String, String)> {
+        let mut out: Vec<(String, String)> = Vec::new();
+        let a = self.audit();
+        out.push(("profile.ops".into(), a.ops.to_string()));
+        out.push(("profile.open".into(), self.open_len().to_string()));
+        out.push(("profile.inexact_ops".into(), a.inexact_ops.to_string()));
+        out.push((
+            "profile.residual_abs_us".into(),
+            format!("{:.3}", a.residual_abs_total.as_micros_f64()),
+        ));
+        out.push((
+            "profile.residual_share".into(),
+            format!("{:.4}", a.residual_share),
+        ));
+        out.push((
+            "profile.unmatched_events".into(),
+            self.unmatched_events.get().to_string(),
+        ));
+        out.push((
+            "profile.e2e_total_us".into(),
+            format!("{:.3}", self.e2e_total().as_micros_f64()),
+        ));
+        for s in PathStage::ALL {
+            let (p50, p99) = self.stage_quantiles(s);
+            out.push((
+                format!("profile.stage.{}", s.label()),
+                format!(
+                    "share={:.4} total_us={:.3} p50_us={:.3} p99_us={:.3}",
+                    self.stage_share(s),
+                    self.stage_total(s).as_micros_f64(),
+                    p50.as_micros_f64(),
+                    p99.as_micros_f64()
+                ),
+            ));
+        }
+        for (i, (sig, n)) in self.top_signatures(self.cfg.top_k).into_iter().enumerate() {
+            out.push((format!("profile.signature.{i}"), format!("{n}x {sig}")));
+        }
+        if let Some(w) = self.window_report() {
+            out.push(("profile.window.index".into(), w.index.to_string()));
+            out.push(("profile.window.ops".into(), w.count.to_string()));
+            for (i, (sig, n)) in w.top_signatures.iter().enumerate() {
+                out.push((
+                    format!("profile.window.signature.{i}"),
+                    format!("{n}x {sig}"),
+                ));
+            }
+        }
+        out.push((
+            "profile.folded_paths".into(),
+            self.folded.borrow().len().to_string(),
+        ));
+        out
+    }
+
+    // -- event handling -----------------------------------------------
+
+    fn handle(&self, ev: &Event) {
+        match ev.phase {
+            Phase::Begin => self.fold_begin(ev),
+            Phase::End => self.fold_end(ev),
+            Phase::Instant => {}
+        }
+        if ev.layer != Layer::Core {
+            return;
+        }
+        match (ev.name, ev.phase) {
+            ("client_op", Phase::Begin) => {
+                self.open.borrow_mut().insert(ev.op, OpenPath::new(ev.at));
+                self.publish_open_gauge();
+            }
+            ("client_op", Phase::End) => self.finish(ev.op, ev.at),
+            ("client_sent", Phase::Instant) => self.with_path(ev.op, |p| {
+                p.sent_at.get_or_insert(ev.at);
+            }),
+            ("client_reply", Phase::Instant) => self.with_path(ev.op, |p| {
+                p.reply_at.get_or_insert(ev.at);
+            }),
+            ("dispatch", Phase::Instant) => self.with_path(ev.op, |p| {
+                p.dispatched_at.get_or_insert(ev.at);
+            }),
+            ("worker_service", Phase::Begin) => self.with_path(ev.op, |p| {
+                if p.service_first.is_none_or(|t| ev.at < t) {
+                    p.service_first = Some(ev.at);
+                }
+            }),
+            ("worker_service", Phase::End) => self.with_path(ev.op, |p| {
+                if p.service_last.is_none_or(|t| ev.at > t) {
+                    p.service_last = Some(ev.at);
+                }
+            }),
+            ("lock_wait", Phase::Begin) | ("lock_hold", Phase::Begin) => {
+                self.open_locks
+                    .borrow_mut()
+                    .insert((ev.op, ev.name, ev.track), ev.at);
+            }
+            ("lock_wait", Phase::End) | ("lock_hold", Phase::End) => {
+                let begun = self
+                    .open_locks
+                    .borrow_mut()
+                    .remove(&(ev.op, ev.name, ev.track));
+                if let Some(t0) = begun {
+                    let d = ev.at.saturating_since(t0);
+                    let wait = ev.name == "lock_wait";
+                    self.with_path(ev.op, |p| {
+                        if wait {
+                            p.lock_wait += d;
+                        } else {
+                            p.lock_hold += d;
+                        }
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Resolves an event's op to an in-flight path: direct id match
+    /// first (UCR: request ids are end-to-end), then the single-open-op
+    /// fallback (sockets: the server's op domain differs; exact when one
+    /// op is in flight). Unresolvable events count as unmatched and
+    /// their time lands in the residual.
+    fn with_path(&self, op: u64, f: impl FnOnce(&mut OpenPath)) {
+        let mut open = self.open.borrow_mut();
+        if let Some(p) = open.get_mut(&op) {
+            f(p);
+            return;
+        }
+        if open.len() == 1 {
+            f(open.values_mut().next().expect("len checked"));
+            return;
+        }
+        self.unmatched_events.set(self.unmatched_events.get() + 1);
+        if let Some(m) = self.metrics.borrow().as_ref() {
+            m.unmatched.add(1);
+        }
+    }
+
+    fn finish(&self, op: u64, at: SimTime) {
+        let Some(p) = self.open.borrow_mut().remove(&op) else {
+            self.unmatched_events.set(self.unmatched_events.get() + 1);
+            return;
+        };
+        self.publish_open_gauge();
+        let e2e = at.saturating_since(p.started_at);
+        let mut stages = [SimDuration::ZERO; PATH_STAGE_COUNT];
+        stages[PathStage::Issue.index()] = span(Some(p.started_at), p.sent_at);
+        stages[PathStage::RequestWire.index()] = span(p.sent_at, p.dispatched_at);
+        stages[PathStage::WorkerQueue.index()] = span(p.dispatched_at, p.service_first);
+        stages[PathStage::LockWait.index()] = p.lock_wait;
+        stages[PathStage::LockHold.index()] = p.lock_hold;
+        stages[PathStage::Service.index()] =
+            span(p.service_first, p.service_last).saturating_sub(p.lock_wait + p.lock_hold);
+        stages[PathStage::ResponseWire.index()] = span(p.service_last, p.reply_at);
+        stages[PathStage::Complete.index()] = span(p.reply_at, Some(at));
+        let sum_ns: u64 = stages.iter().map(|d| d.as_nanos()).sum();
+        let residual_ns = e2e.as_nanos() as i64 - sum_ns as i64;
+        let path = CriticalPath {
+            op,
+            end_to_end: e2e,
+            stages,
+            residual_ns,
+            finished_at: at,
+        };
+        self.record(path);
+    }
+
+    fn record(&self, path: CriticalPath) {
+        self.completed.set(self.completed.get() + 1);
+        if !path.is_exact() {
+            self.inexact.set(self.inexact.get() + 1);
+        }
+        {
+            let mut totals = self.stage_total_ns.borrow_mut();
+            let mut samples = self.stage_samples.borrow_mut();
+            for s in PathStage::ALL {
+                let ns = path.stages[s.index()].as_nanos();
+                totals[s.index()] += ns;
+                samples[s.index()].push(ns);
+            }
+        }
+        self.e2e_total_ns
+            .set(self.e2e_total_ns.get() + path.end_to_end.as_nanos());
+        let abs_res = path.residual_ns.unsigned_abs();
+        self.residual_abs_total_ns
+            .set(self.residual_abs_total_ns.get() + abs_res);
+        if abs_res > self.max_abs_residual_ns.get() {
+            self.max_abs_residual_ns.set(abs_res);
+        }
+        let sig = path.signature(self.cfg.signature_min_share);
+        *self.signatures.borrow_mut().entry(sig.clone()).or_insert(0) += 1;
+
+        // Windowing: close the current window when a completion lands
+        // past its edge. Completions arrive in virtual-time order.
+        let widx = path.finished_at.as_nanos() / self.cfg.window.as_nanos().max(1);
+        {
+            let mut cur = self.current_window.borrow_mut();
+            let rotate = cur.as_ref().is_none_or(|w| w.index != widx);
+            if rotate {
+                if let Some(w) = cur.take() {
+                    *self.last_window.borrow_mut() = Some(finalize(&w, self.cfg.top_k));
+                }
+                *cur = Some(WindowAgg::new(widx));
+            }
+            let w = cur.as_mut().expect("window just ensured");
+            w.count += 1;
+            for s in PathStage::ALL {
+                w.stage_samples[s.index()].push(path.stages[s.index()].as_nanos());
+            }
+            *w.signatures.entry(sig).or_insert(0) += 1;
+        }
+
+        if let Some(m) = self.metrics.borrow().as_ref() {
+            m.paths.add(1);
+            for s in PathStage::ALL {
+                m.stage_ns[s.index()].add(path.stages[s.index()].as_nanos());
+            }
+            m.residual_abs_ns.add(abs_res);
+            let e2e = self.e2e_total_ns.get();
+            if e2e > 0 {
+                let dom = self.dominant_stage();
+                m.dominant_share
+                    .set(self.stage_total_ns.borrow()[dom.index()] as f64 / e2e as f64);
+            }
+        }
+        for ring in self.exemplar_rings.borrow().iter() {
+            ring.annotate_path(path.op, &path);
+        }
+        if self.cfg.keep_paths {
+            self.paths.borrow_mut().push(path);
+        }
+    }
+
+    fn publish_open_gauge(&self) {
+        if let Some(m) = self.metrics.borrow().as_ref() {
+            m.open_paths.set(self.open.borrow().len() as f64);
+        }
+    }
+
+    // -- folding ------------------------------------------------------
+
+    fn fold_begin(&self, ev: &Event) {
+        self.stacks
+            .borrow_mut()
+            .entry((ev.node, ev.track, ev.op))
+            .or_default()
+            .push(Frame {
+                layer: ev.layer,
+                name: ev.name,
+                begin: ev.at,
+                child_ns: 0,
+            });
+    }
+
+    fn fold_end(&self, ev: &Event) {
+        let key = (ev.node, ev.track, ev.op);
+        let mut stacks = self.stacks.borrow_mut();
+        let Some(stack) = stacks.get_mut(&key) else {
+            return;
+        };
+        let Some(pos) = stack
+            .iter()
+            .rposition(|f| f.layer == ev.layer && f.name == ev.name)
+        else {
+            return;
+        };
+        // Frames above the match are spans whose end outlives their
+        // parent (a lock guard dropped after `worker_service` closes):
+        // close them implicitly at this timestamp so their time folds,
+        // then pop the matched frame. Their real End event later finds
+        // no frame and is ignored.
+        while stack.len() > pos {
+            let f = stack.pop().expect("pos < len");
+            let inclusive = ev.at.saturating_since(f.begin).as_nanos();
+            let exclusive = inclusive.saturating_sub(f.child_ns);
+            let mut path = match key.0 {
+                Some(n) => format!("node{}", n.0),
+                None => "global".to_string(),
+            };
+            path.push(';');
+            path.push_str(&key.1.lane_label());
+            for anc in stack.iter() {
+                path.push(';');
+                path.push_str(anc.layer.label());
+                path.push(':');
+                path.push_str(anc.name);
+            }
+            path.push(';');
+            path.push_str(f.layer.label());
+            path.push(':');
+            path.push_str(f.name);
+            *self.folded.borrow_mut().entry(path).or_insert(0) += exclusive;
+            if let Some(parent) = stack.last_mut() {
+                parent.child_ns += inclusive;
+            }
+        }
+        if stack.is_empty() {
+            stacks.remove(&key);
+        }
+    }
+}
+
+impl EventSink for Profiler {
+    fn on_event(&self, ev: &Event) {
+        self.handle(ev);
+    }
+}
+
+/// Bulk result of [`Profiler::audit`].
+#[derive(Clone, Copy, Debug)]
+pub struct AuditReport {
+    /// Completed paths audited.
+    pub ops: u64,
+    /// Paths violating `Σ stages + residual == end-to-end` (always 0).
+    pub inexact_ops: u64,
+    /// Sum of absolute residuals.
+    pub residual_abs_total: SimDuration,
+    /// Largest single-op absolute residual.
+    pub max_abs_residual: SimDuration,
+    /// `residual_abs_total / Σ end-to-end`.
+    pub residual_share: f64,
+}
+
+fn span(from: Option<SimTime>, to: Option<SimTime>) -> SimDuration {
+    match (from, to) {
+        (Some(a), Some(b)) => b.saturating_since(a),
+        _ => SimDuration::ZERO,
+    }
+}
+
+fn quantiles(samples: &[u64]) -> (SimDuration, SimDuration) {
+    if samples.is_empty() {
+        return (SimDuration::ZERO, SimDuration::ZERO);
+    }
+    let mut s = samples.to_vec();
+    s.sort_unstable();
+    let pick = |q: f64| SimDuration::from_nanos(s[((s.len() - 1) as f64 * q).round() as usize]);
+    (pick(0.50), pick(0.99))
+}
+
+fn top_k(sigs: &HashMap<String, u64>, k: usize) -> Vec<(String, u64)> {
+    let mut v: Vec<(String, u64)> = sigs.iter().map(|(s, n)| (s.clone(), *n)).collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    v.truncate(k);
+    v
+}
+
+fn finalize(w: &WindowAgg, k: usize) -> WindowReport {
+    let mut q = [(SimDuration::ZERO, SimDuration::ZERO); PATH_STAGE_COUNT];
+    for (i, samples) in w.stage_samples.iter().enumerate() {
+        q[i] = quantiles(samples);
+    }
+    WindowReport {
+        index: w.index,
+        count: w.count,
+        stage_quantiles: q,
+        top_signatures: top_k(&w.signatures, k),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &'static str, phase: Phase, node: u32, track: Track, op: u64, at_ns: u64) -> Event {
+        Event {
+            layer: Layer::Core,
+            name,
+            phase,
+            node: Some(NodeId(node)),
+            track,
+            op,
+            bytes: 0,
+            at: SimTime::from_nanos(at_ns),
+        }
+    }
+
+    /// Drives one fully-marked op through the profiler and checks every
+    /// stage plus the exactness identity.
+    #[test]
+    fn full_critical_path_decomposes_exactly() {
+        let p = Profiler::new(ProfilerConfig {
+            keep_paths: true,
+            ..ProfilerConfig::default()
+        });
+        let w = Track::Worker(0);
+        p.handle(&ev("client_op", Phase::Begin, 1, Track::Main, 7, 100));
+        p.handle(&ev("client_sent", Phase::Instant, 1, Track::Main, 7, 130));
+        p.handle(&ev("dispatch", Phase::Instant, 0, Track::Main, 7, 200));
+        p.handle(&ev("worker_service", Phase::Begin, 0, w, 7, 250));
+        p.handle(&ev("lock_wait", Phase::Begin, 0, w, 7, 260));
+        p.handle(&ev("lock_wait", Phase::End, 0, w, 7, 300));
+        p.handle(&ev("lock_hold", Phase::Begin, 0, w, 7, 300));
+        p.handle(&ev("lock_hold", Phase::End, 0, w, 7, 380));
+        p.handle(&ev("worker_service", Phase::End, 0, w, 7, 400));
+        p.handle(&ev("client_reply", Phase::Instant, 1, Track::Main, 7, 470));
+        p.handle(&ev("client_op", Phase::End, 1, Track::Main, 7, 500));
+        let paths = p.paths();
+        assert_eq!(paths.len(), 1);
+        let cp = &paths[0];
+        let ns = |s: PathStage| cp.stages[s.index()].as_nanos();
+        assert_eq!(ns(PathStage::Issue), 30);
+        assert_eq!(ns(PathStage::RequestWire), 70);
+        assert_eq!(ns(PathStage::WorkerQueue), 50);
+        assert_eq!(ns(PathStage::LockWait), 40);
+        assert_eq!(ns(PathStage::LockHold), 80);
+        assert_eq!(ns(PathStage::Service), 30); // 150 span - 120 locked
+        assert_eq!(ns(PathStage::ResponseWire), 70);
+        assert_eq!(ns(PathStage::Complete), 30);
+        assert_eq!(cp.end_to_end.as_nanos(), 400);
+        assert_eq!(cp.residual_ns, 0); // every nanosecond is claimed
+        assert!(cp.is_exact());
+        assert_eq!(cp.dominant_stage(), PathStage::LockHold);
+        let audit = p.audit();
+        assert_eq!(audit.ops, 1);
+        assert_eq!(audit.inexact_ops, 0);
+    }
+
+    /// Server events whose op id lives in another domain still attach
+    /// when exactly one op is open (the sockets correlation rule).
+    #[test]
+    fn single_open_op_fallback_correlates_foreign_ids() {
+        let p = Profiler::new(ProfilerConfig {
+            keep_paths: true,
+            ..ProfilerConfig::default()
+        });
+        p.handle(&ev("client_op", Phase::Begin, 1, Track::Main, 77, 0));
+        p.handle(&ev("dispatch", Phase::Instant, 0, Track::Main, 3, 40));
+        p.handle(&ev(
+            "worker_service",
+            Phase::Begin,
+            0,
+            Track::Worker(0),
+            3,
+            60,
+        ));
+        p.handle(&ev(
+            "worker_service",
+            Phase::End,
+            0,
+            Track::Worker(0),
+            3,
+            90,
+        ));
+        p.handle(&ev("client_op", Phase::End, 1, Track::Main, 77, 120));
+        let cp = &p.paths()[0];
+        assert_eq!(cp.stages[PathStage::WorkerQueue.index()].as_nanos(), 20);
+        assert_eq!(cp.stages[PathStage::Service.index()].as_nanos(), 30);
+        assert!(cp.is_exact());
+        assert_eq!(p.unmatched_events(), 0);
+    }
+
+    /// With several ops open, foreign-id events are unmatched and their
+    /// time lands in the residual — never misattributed.
+    #[test]
+    fn ambiguous_foreign_ids_count_as_unmatched() {
+        let p = Profiler::new(ProfilerConfig {
+            keep_paths: true,
+            ..ProfilerConfig::default()
+        });
+        p.handle(&ev("client_op", Phase::Begin, 1, Track::Main, 10, 0));
+        p.handle(&ev("client_op", Phase::Begin, 2, Track::Main, 20, 5));
+        p.handle(&ev("dispatch", Phase::Instant, 0, Track::Main, 3, 40));
+        p.handle(&ev("client_op", Phase::End, 1, Track::Main, 10, 100));
+        p.handle(&ev("client_op", Phase::End, 2, Track::Main, 20, 110));
+        assert_eq!(p.unmatched_events(), 1);
+        for cp in p.paths() {
+            assert!(cp.is_exact());
+            assert_eq!(cp.residual_ns, cp.end_to_end.as_nanos() as i64);
+        }
+    }
+
+    /// Folding: nested spans accumulate exclusive time; a child whose
+    /// end outlives its parent is implicitly closed at the parent's end.
+    #[test]
+    fn folded_profile_accumulates_exclusive_time() {
+        let p = Profiler::new(ProfilerConfig::default());
+        let w = Track::Worker(2);
+        p.handle(&ev("worker_service", Phase::Begin, 0, w, 5, 100));
+        p.handle(&ev("lock_hold", Phase::Begin, 0, w, 5, 120));
+        p.handle(&ev("worker_service", Phase::End, 0, w, 5, 200));
+        // The hold guard drops after the service span closed.
+        p.handle(&ev("lock_hold", Phase::End, 0, w, 5, 200));
+        let folded: std::collections::HashMap<String, u64> = p.folded_lines().into_iter().collect();
+        assert_eq!(
+            folded["node0;worker2;core:worker_service;core:lock_hold"],
+            80
+        );
+        assert_eq!(folded["node0;worker2;core:worker_service"], 20);
+    }
+
+    #[test]
+    fn signatures_rank_dominant_stages() {
+        let cp = CriticalPath {
+            op: 1,
+            end_to_end: SimDuration::from_nanos(1000),
+            stages: {
+                let mut s = [SimDuration::ZERO; PATH_STAGE_COUNT];
+                s[PathStage::LockWait.index()] = SimDuration::from_nanos(600);
+                s[PathStage::Service.index()] = SimDuration::from_nanos(300);
+                s[PathStage::Issue.index()] = SimDuration::from_nanos(50);
+                s
+            },
+            residual_ns: 50,
+            finished_at: SimTime::from_nanos(0),
+        };
+        assert_eq!(cp.signature(0.10), "lock_wait>service");
+        assert!(cp.is_exact());
+    }
+
+    #[test]
+    fn windows_rotate_and_report_quantiles() {
+        let cfg = ProfilerConfig {
+            window: SimDuration::from_nanos(1000),
+            ..ProfilerConfig::default()
+        };
+        let p = Profiler::new(cfg);
+        for i in 0..10u64 {
+            let base = i * 50;
+            p.handle(&ev("client_op", Phase::Begin, 1, Track::Main, i, base));
+            p.handle(&ev("client_op", Phase::End, 1, Track::Main, i, base + 40));
+        }
+        // All land in window 0; force rotation with a later op.
+        p.handle(&ev("client_op", Phase::Begin, 1, Track::Main, 99, 1500));
+        p.handle(&ev("client_op", Phase::End, 1, Track::Main, 99, 1600));
+        let w = p.window_report().expect("window");
+        assert_eq!(w.index, 0);
+        assert_eq!(w.count, 10);
+    }
+}

@@ -29,7 +29,7 @@ use crate::fabric::NodeId;
 use crate::time::SimTime;
 
 /// Which layer of the stack emitted an event.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Layer {
     /// Physical network: message egress/ingress.
     Wire,
@@ -78,7 +78,7 @@ pub enum Phase {
 
 /// Where an event lands inside its node's Perfetto process: one lane per
 /// logical execution context.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Track {
     /// The node's main/default lane (client loops, runtime progress).
     Main,
@@ -88,6 +88,18 @@ pub enum Track {
     Endpoint(u64),
     /// A verbs queue-pair lane, by QP number.
     Qp(u32),
+}
+
+impl Track {
+    /// Stable lower-case lane name (used in folded-profile stack paths).
+    pub fn lane_label(self) -> String {
+        match self {
+            Track::Main => "main".to_string(),
+            Track::Worker(w) => format!("worker{w}"),
+            Track::Endpoint(e) => format!("ep{e}"),
+            Track::Qp(q) => format!("qp{q}"),
+        }
+    }
 }
 
 /// One trace event, stamped with virtual time.
@@ -165,6 +177,25 @@ pub struct Tracer {
     layer_counts: [Cell<u64>; 4],
     last_fault: RefCell<Option<String>>,
     faults: Cell<u64>,
+    /// Detail mode: gates the `*_detail` emission helpers. Off by default
+    /// so the committed trace exports (and the event counts pinned by
+    /// `tests/tracing.rs`) are unchanged; flipped on when a profiler
+    /// attaches, adding the extra correlation markers critical-path
+    /// analysis needs. Emission stays zero-virtual-time either way.
+    detail: Cell<bool>,
+    /// The attached continuous profiler, when one exists. Stored here so
+    /// the server's `stats profile` verb can reach it through the tracer
+    /// it already holds.
+    profiler: RefCell<Option<Rc<crate::profiler::Profiler>>>,
+    /// Flight-recorder pressure gauges (`trace.flight.len` /
+    /// `trace.flight.dropped`), bound lazily so a run without an
+    /// observability consumer registers nothing.
+    flight_gauges: RefCell<Option<FlightGauges>>,
+}
+
+struct FlightGauges {
+    len: Rc<crate::metrics::Gauge>,
+    dropped: Rc<crate::metrics::Gauge>,
 }
 
 /// How many fault dumps are printed to stderr in full before later ones
@@ -187,6 +218,9 @@ impl Tracer {
             layer_counts: [Cell::new(0), Cell::new(0), Cell::new(0), Cell::new(0)],
             last_fault: RefCell::new(None),
             faults: Cell::new(0),
+            detail: Cell::new(false),
+            profiler: RefCell::new(None),
+            flight_gauges: RefCell::new(None),
         })
     }
 
@@ -198,6 +232,50 @@ impl Tracer {
     /// Detaches all live sinks (the flight recorder keeps running).
     pub fn clear_sinks(&self) {
         self.sinks.borrow_mut().clear();
+        *self.profiler.borrow_mut() = None;
+        self.detail.set(false);
+    }
+
+    /// Whether detail mode is on (see [`Tracer::set_detail`]).
+    pub fn detail(&self) -> bool {
+        self.detail.get()
+    }
+
+    /// Turns detail mode on or off. Detail mode makes the `*_detail`
+    /// emission helpers live; it is enabled automatically when a
+    /// profiler attaches.
+    pub fn set_detail(&self, on: bool) {
+        self.detail.set(on);
+    }
+
+    /// Stores the attached profiler so stats plumbing can reach it.
+    /// Called by [`Profiler::attach`](crate::profiler::Profiler::attach);
+    /// the profiler must separately be added as a sink.
+    pub fn set_profiler(&self, p: Rc<crate::profiler::Profiler>) {
+        *self.profiler.borrow_mut() = Some(p);
+    }
+
+    /// The attached profiler, if any.
+    pub fn profiler(&self) -> Option<Rc<crate::profiler::Profiler>> {
+        self.profiler.borrow().clone()
+    }
+
+    /// Registers the flight-recorder pressure gauges (`trace.flight.len`
+    /// and `trace.flight.dropped`) in `metrics` and keeps them current
+    /// from [`Tracer::emit`] on. Idempotent; lazy so runs without an
+    /// observability consumer register nothing.
+    pub fn bind_flight_gauges(&self, metrics: &crate::metrics::Metrics) {
+        let mut slot = self.flight_gauges.borrow_mut();
+        if slot.is_some() {
+            return;
+        }
+        let g = FlightGauges {
+            len: metrics.gauge("trace.flight.len"),
+            dropped: metrics.gauge("trace.flight.dropped"),
+        };
+        g.len.set(self.flight.borrow().len() as f64);
+        g.dropped.set(self.flight_dropped() as f64);
+        *slot = Some(g);
     }
 
     /// Resizes the flight-recorder ring; existing overflow is evicted
@@ -223,6 +301,11 @@ impl Tracer {
                 ring.pop_front();
             }
             ring.push_back(ev);
+            if let Some(g) = self.flight_gauges.borrow().as_ref() {
+                g.len.set(ring.len() as f64);
+                g.dropped
+                    .set((self.flight_seen.get() - ring.len() as u64) as f64);
+            }
         }
         for sink in self.sinks.borrow().iter() {
             sink.on_event(&ev);
@@ -299,6 +382,58 @@ impl Tracer {
             bytes,
             at,
         });
+    }
+
+    /// Like [`Tracer::begin`] but emitted only in detail mode — the extra
+    /// markers the profiler needs, invisible (and cost-free) otherwise.
+    #[allow(clippy::too_many_arguments)]
+    pub fn begin_detail(
+        &self,
+        layer: Layer,
+        name: &'static str,
+        node: NodeId,
+        track: Track,
+        op: u64,
+        bytes: u64,
+        at: SimTime,
+    ) {
+        if self.detail.get() {
+            self.begin(layer, name, node, track, op, bytes, at);
+        }
+    }
+
+    /// Like [`Tracer::end`] but emitted only in detail mode.
+    #[allow(clippy::too_many_arguments)]
+    pub fn end_detail(
+        &self,
+        layer: Layer,
+        name: &'static str,
+        node: NodeId,
+        track: Track,
+        op: u64,
+        bytes: u64,
+        at: SimTime,
+    ) {
+        if self.detail.get() {
+            self.end(layer, name, node, track, op, bytes, at);
+        }
+    }
+
+    /// Like [`Tracer::instant`] but emitted only in detail mode.
+    #[allow(clippy::too_many_arguments)]
+    pub fn instant_detail(
+        &self,
+        layer: Layer,
+        name: &'static str,
+        node: NodeId,
+        track: Track,
+        op: u64,
+        bytes: u64,
+        at: SimTime,
+    ) {
+        if self.detail.get() {
+            self.instant(layer, name, node, track, op, bytes, at);
+        }
     }
 
     /// Events emitted so far for `layer`.

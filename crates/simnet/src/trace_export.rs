@@ -42,6 +42,45 @@ fn track_name(track: Track) -> String {
     }
 }
 
+/// Renders folded collapsed-stack lines (as produced by
+/// [`Profiler::folded_lines`](crate::profiler::Profiler::folded_lines))
+/// in the standard flamegraph input format: one `path count` line per
+/// stack, the path `;`-separated, the count in exclusive virtual
+/// nanoseconds. Deterministic: callers pass pre-sorted lines and the
+/// renderer preserves their order.
+pub fn folded_text(lines: &[(String, u64)]) -> String {
+    let mut out = String::new();
+    for (path, ns) in lines {
+        let _ = writeln!(out, "{path} {ns}");
+    }
+    out
+}
+
+/// Parses collapsed-stack text back into `(path, count)` lines — the
+/// inverse of [`folded_text`], used by tests and CI to prove the
+/// artifact round-trips. The count is everything after the *last* space
+/// (frame names never contain spaces here, but the split direction
+/// matches the flamegraph convention).
+pub fn parse_folded(text: &str) -> Result<Vec<(String, u64)>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let (path, count) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no count separator: {line:?}", i + 1))?;
+        if path.is_empty() {
+            return Err(format!("line {}: empty stack path", i + 1));
+        }
+        let n: u64 = count
+            .parse()
+            .map_err(|e| format!("line {}: bad count {count:?}: {e}", i + 1))?;
+        out.push((path.to_string(), n));
+    }
+    Ok(out)
+}
+
 fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {

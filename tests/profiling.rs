@@ -1,0 +1,272 @@
+//! Acceptance tests for the virtual-time profiler: profiling costs zero
+//! virtual time (bare vs traced vs profiled end clocks are bit-identical),
+//! every completed request decomposes exactly into critical-path stages
+//! plus an explicit residual, the folded collapsed-stack export round-trips
+//! through its parser, the `stats profile` verb reports on both client
+//! families, and tail exemplars carry their op's critical-path breakdown.
+
+use rdma_memcached::rmc::{
+    McClient, McClientConfig, McServer, McServerConfig, ObservatoryConfig, StoreModel, Transport,
+    World,
+};
+use rdma_memcached::simnet::trace_export::{folded_text, parse_folded};
+use rdma_memcached::simnet::{
+    EventRecorder, ExemplarConfig, NodeId, PathStage, Profiler, ProfilerConfig, Stack,
+};
+
+fn world_pair(seed: u64, transport: Transport, cfg: McServerConfig) -> (World, McServer, McClient) {
+    let world = World::cluster_b(seed, 4);
+    let server = McServer::start(&world, NodeId(0), cfg);
+    let client = McClient::new(
+        &world,
+        NodeId(1),
+        McClientConfig::single(transport, NodeId(0)),
+    );
+    (world, server, client)
+}
+
+/// Sequential set + `gets` reads; returns the end-of-run virtual clock.
+fn run_gets(world: &World, client: McClient, gets: usize) -> u64 {
+    let sim = world.sim().clone();
+    let sim2 = sim.clone();
+    sim.block_on(async move {
+        client.set(b"k", &vec![0x5au8; 512], 0, 0).await.unwrap();
+        for _ in 0..gets {
+            client.get(b"k").await.unwrap().unwrap();
+        }
+        sim2.now().as_nanos()
+    })
+}
+
+#[test]
+fn profiling_adds_no_virtual_time() {
+    // Bare, traced (recorder sink), and profiled (detail markers ON) runs
+    // of the same workload must end at the same virtual nanosecond: every
+    // profiler hook is host-side bookkeeping.
+    let run = |mode: u8| {
+        let (world, _server, client) = world_pair(71, Transport::Ucr, McServerConfig::default());
+        match mode {
+            1 => {
+                world.cluster.tracer().add_sink(EventRecorder::new());
+            }
+            2 => {
+                let _ = Profiler::attach(world.cluster.tracer(), ProfilerConfig::default());
+            }
+            _ => {}
+        }
+        run_gets(&world, client, 20)
+    };
+    let bare = run(0);
+    let traced = run(1);
+    let profiled = run(2);
+    assert_eq!(bare, traced, "tracing must not move the virtual clock");
+    assert_eq!(
+        bare, profiled,
+        "profiling (detail markers on) must not move the virtual clock"
+    );
+}
+
+#[test]
+fn ucr_paths_decompose_exactly_under_global_lock() {
+    let (world, _server, client) = world_pair(
+        72,
+        Transport::Ucr,
+        McServerConfig {
+            workers: 2,
+            store_model: StoreModel::GlobalLock,
+            ..McServerConfig::default()
+        },
+    );
+    let profiler = Profiler::attach(
+        world.cluster.tracer(),
+        ProfilerConfig {
+            keep_paths: true,
+            ..ProfilerConfig::default()
+        },
+    );
+    let sim = world.sim().clone();
+    sim.block_on(async move {
+        client.set(b"k", &[7u8; 256], 0, 0).await.unwrap();
+        for _ in 0..30 {
+            client.get(b"k").await.unwrap().unwrap();
+        }
+
+        assert_eq!(profiler.completed(), 31, "set + 30 gets all retired");
+        let audit = profiler.audit();
+        assert_eq!(audit.inexact_ops, 0, "stage sum + residual == e2e, always");
+        for cp in profiler.paths() {
+            assert!(cp.is_exact(), "path {cp:?} violates the exactness identity");
+        }
+        // Request ids are on the UCR wire, so every stage correlates
+        // directly: wire, service, and lock-hold time are all attributed.
+        assert!(profiler.stage_total(PathStage::RequestWire).as_nanos() > 0);
+        assert!(profiler.stage_total(PathStage::ResponseWire).as_nanos() > 0);
+        assert!(profiler.stage_total(PathStage::Service).as_nanos() > 0);
+        assert!(
+            profiler.stage_total(PathStage::LockHold).as_nanos() > 0,
+            "GlobalLock charges every op a lock hold"
+        );
+        assert_eq!(profiler.unmatched_events(), 0, "ids correlate end to end");
+
+        // The `stats profile` verb surfaces the same audit through the
+        // protocol.
+        let stats = client.stats_report("profile").await.unwrap();
+        let lookup = |key: &str| {
+            stats
+                .iter()
+                .find(|(k, _)| k == key)
+                .unwrap_or_else(|| panic!("missing {key}"))
+                .1
+                .clone()
+        };
+        // The stats op itself is mid-flight while the report renders.
+        assert_eq!(lookup("profile.ops"), "31");
+        assert_eq!(lookup("profile.inexact_ops"), "0");
+        assert!(lookup("profile.stage.lock_hold").starts_with("share="));
+        assert!(lookup("profile.signature.0").contains('x'));
+    });
+}
+
+#[test]
+fn sockets_paths_decompose_exactly_via_single_op_fallback() {
+    // The ASCII wire carries no request id: the profiler attributes
+    // server-side events to the one open client op. Sequential load keeps
+    // that attribution sound, and the exactness identity holds regardless.
+    let (world, _server, client) = world_pair(
+        73,
+        Transport::Sockets(Stack::Sdp),
+        McServerConfig {
+            workers: 2,
+            store_model: StoreModel::GlobalLock,
+            ..McServerConfig::default()
+        },
+    );
+    let sim = world.sim().clone();
+    // Before any profiler attaches, the verb answers "profiler off".
+    let off = {
+        let client = client.clone();
+        sim.block_on(async move { client.stats_report("profile").await.unwrap() })
+    };
+    assert_eq!(off, vec![("profiler".to_string(), "off".to_string())]);
+
+    let profiler = Profiler::attach(
+        world.cluster.tracer(),
+        ProfilerConfig {
+            keep_paths: true,
+            ..ProfilerConfig::default()
+        },
+    );
+    sim.block_on(async move {
+        client.set(b"k", &[9u8; 128], 0, 0).await.unwrap();
+        for _ in 0..20 {
+            client.get(b"k").await.unwrap().unwrap();
+        }
+        assert_eq!(profiler.completed(), 21);
+        let audit = profiler.audit();
+        assert_eq!(audit.inexact_ops, 0);
+        for cp in profiler.paths() {
+            assert!(cp.is_exact());
+        }
+        assert!(
+            profiler.stage_total(PathStage::Service).as_nanos() > 0,
+            "sockets worker_service span attributed via the fallback"
+        );
+        assert!(profiler.stage_total(PathStage::LockHold).as_nanos() > 0);
+
+        // The same verb works over the ASCII protocol.
+        let stats = client.stats_report("profile").await.unwrap();
+        assert!(
+            stats.iter().any(|(k, v)| k == "profile.ops" && v == "21"),
+            "stats profile reports over ASCII: {stats:?}"
+        );
+    });
+}
+
+#[test]
+fn folded_profile_round_trips_and_nests_lock_frames() {
+    let (world, _server, client) = world_pair(
+        74,
+        Transport::Ucr,
+        McServerConfig {
+            workers: 2,
+            store_model: StoreModel::GlobalLock,
+            ..McServerConfig::default()
+        },
+    );
+    let profiler = Profiler::attach(world.cluster.tracer(), ProfilerConfig::default());
+    run_gets(&world, client, 10);
+
+    let lines = profiler.folded_lines();
+    assert!(!lines.is_empty());
+    // Lock holds share their op id with the service span, so they fold
+    // as children of `core:worker_service` on the worker lane.
+    assert!(
+        lines
+            .iter()
+            .any(|(p, n)| p.contains("core:worker_service;core:lock_hold") && *n > 0),
+        "lock_hold nests under worker_service: {lines:?}"
+    );
+    assert!(lines
+        .iter()
+        .any(|(p, n)| p.ends_with("core:client_op") && *n > 0));
+
+    // Collapsed-stack round-trip: parse(fold(x)) refolds to the same text.
+    let text = folded_text(&lines);
+    let parsed = parse_folded(&text).expect("well-formed folded output");
+    assert_eq!(parsed, lines);
+    assert_eq!(folded_text(&parsed), text);
+}
+
+#[test]
+fn exemplars_carry_critical_path_breakdown() {
+    // Satellite of the profiler: tail exemplars captured by the workload
+    // observatory are annotated with their op's critical-path
+    // decomposition as it retires, and the dominant stage they report
+    // agrees with the profiler's aggregate view.
+    let (world, server, client) = world_pair(
+        75,
+        Transport::Ucr,
+        McServerConfig {
+            observatory: Some(ObservatoryConfig {
+                exemplars: ExemplarConfig {
+                    capacity: 32,
+                    quantile: 0.5, // capture half of everything: not a tail test
+                    min_samples: 8,
+                },
+                ..ObservatoryConfig::default()
+            }),
+            ..McServerConfig::default()
+        },
+    );
+    let profiler = Profiler::attach(world.cluster.tracer(), ProfilerConfig::default());
+    let ring = server.observatory().expect("observatory on").ring();
+    profiler.bind_exemplars(&ring);
+    run_gets(&world, client, 40);
+
+    let annotated: Vec<_> = ring
+        .snapshot()
+        .into_iter()
+        .filter(|e| e.path.is_some())
+        .collect();
+    assert!(!annotated.is_empty(), "captured exemplars gained paths");
+    let mut dominants = std::collections::BTreeMap::new();
+    for e in &annotated {
+        let p = e.path.as_ref().unwrap();
+        assert!(p.is_exact(), "annotated path keeps the exactness identity");
+        *dominants.entry(p.dominant_stage().label()).or_insert(0u32) += 1;
+    }
+    let majority = dominants
+        .iter()
+        .max_by_key(|(_, n)| **n)
+        .map(|(s, _)| *s)
+        .unwrap();
+    assert_eq!(
+        majority,
+        profiler.dominant_stage().label(),
+        "exemplar dominant stages agree with the aggregate: {dominants:?}"
+    );
+    assert!(
+        ring.render().contains("dominant="),
+        "the dump format names the dominant stage"
+    );
+}
