@@ -1,0 +1,296 @@
+//! `--explain <rule>` — per-rule rationale, scope, and a minimal
+//! failing example.
+//!
+//! The examples are the fixture sources themselves (`include_str!`
+//! from `tests/fixtures/`), the exact files the end-to-end tests pin
+//! by `file:line` — so this documentation cannot drift from what the
+//! analyzer actually flags.
+
+/// Everything `--explain` prints for one rule.
+pub struct RuleDoc {
+    /// Canonical rule id as it appears in reports (`R1v2`, not `R1V2`).
+    pub id: &'static str,
+    /// One-line summary (matches the README rules table).
+    pub title: &'static str,
+    /// Why the rule exists — what breaks when it is violated.
+    pub rationale: &'static str,
+    /// Which paths the rule scans and what it skips.
+    pub scope: &'static str,
+    /// A minimal failing source, verbatim from `tests/fixtures/`.
+    pub example: &'static str,
+    /// Which lines of the example fire and why.
+    pub example_note: &'static str,
+}
+
+/// All documented rules, in report order.
+pub const RULES: &[RuleDoc] = &[
+    RuleDoc {
+        id: "R1",
+        title: "no wall clock / OS entropy in simulated layers",
+        rationale: "The reproduction's headline property is bit-identical \
+                    virtual-time results across runs and machines. One \
+                    Instant::now / SystemTime / thread_rng / RandomState in a \
+                    simulated layer silently couples results to the host, and \
+                    the regression only shows up as an unreproducible diff \
+                    weeks later.",
+        scope: "crates/{simnet,verbs,ucr,sockets,core,store,proto,bench}, \
+                src/, examples/ — production code only (test modules and \
+                tests/ trees are exempt; crates/lint and shims/ are host \
+                tools by design).",
+        example: include_str!("../tests/fixtures/r1.rs"),
+        example_note: "Every direct use fires: Instant::now, SystemTime::now, \
+                       thread_rng, rand::random, RandomState, and entropy via \
+                       HashMap::new's default hasher.",
+    },
+    RuleDoc {
+        id: "R1v2",
+        title: "transitive wall-clock/entropy taint through the call graph",
+        rationale: "R1 only sees direct uses, so a helper in a host-tool \
+                    crate can launder Instant::now into a simulated layer \
+                    through one call hop. R1v2 taints every function that \
+                    (transitively) reaches an unwaived impurity and flags the \
+                    call site where tainted code enters a simulated layer, \
+                    printing the full call chain down to the source.",
+        scope: "Same scope as R1 for the flagged caller; the taint source \
+                may live anywhere (including crates/lint). A waiver on the \
+                impurity line stops the taint at the source — and counts as \
+                'used' for the W0 stale-waiver check.",
+        example: concat!(
+            "// --- crates/core/src/fixture_taint.rs (simulated layer) ---\n",
+            include_str!("../tests/fixtures/r1v2_core.rs"),
+            "\n// --- crates/lint/src/fixture_util.rs (host tool) ---\n",
+            include_str!("../tests/fixtures/r1v2_util.rs"),
+        ),
+        example_note: "The call to stamp() in the core crate fires: the chain \
+                       is now_ticks -> stamp -> ticks, where ticks calls \
+                       Instant::now. seeded_ok() is clean because the helper \
+                       waives its impurity at the source.",
+    },
+    RuleDoc {
+        id: "R2",
+        title: "metric names follow the grammar and reads match a registration",
+        rationale: "Metrics are the observability contract: results/ plots \
+                    and the SLO tracker key on exact metric names. A typo'd \
+                    registration or a read of a never-registered name returns \
+                    silent zeros instead of failing. The committed \
+                    results/metric_manifest.json must byte-match what the \
+                    sources register.",
+        scope: "All scanned production code; registration sites feed the \
+                manifest, read sites are checked against the union of \
+                registrations across the whole workspace.",
+        example: include_str!("../tests/fixtures/r2.rs"),
+        example_note: "Grammar violations (bad layer, bad segment, uppercase, \
+                       reserved .high suffix) fire at the registration; the \
+                       read of an unregistered name fires at the read.",
+    },
+    RuleDoc {
+        id: "R3",
+        title: "span keys are non-zero (file-local dynamic-name pairing)",
+        rationale: "Tracer spans with key 0 collide with the sentinel the \
+                    profiler uses for 'no span', corrupting critical-path \
+                    attribution. Dynamic-name spans (name built at runtime) \
+                    can only be paired within the file that builds the name.",
+        scope: "All scanned production code with `.begin(Layer::…` / \
+                `.end(Layer::…` / `.end_detail(Layer::…` call shapes.",
+        example: include_str!("../tests/fixtures/r3.rs"),
+        example_note: "The literal-0 span key fires as R3; the unpaired \
+                       literal-name begin/end fire as R3v2 (cross-file \
+                       pairing subsumed the old file-local check).",
+    },
+    RuleDoc {
+        id: "R3v2",
+        title: "literal-name spans pair up across call-graph components",
+        rationale: "A begin whose end lives in a function the begin-side can \
+                    never reach (no call-graph connection) is either dead \
+                    instrumentation or a span that never closes — both poison \
+                    the folded profile. Pairing is satisfied by a counterpart \
+                    in the same file, in a call-graph-connected function, or \
+                    in top-level code outside any function.",
+        scope: "All scanned production code; spans whose name argument is a \
+                single string literal.",
+        example: concat!(
+            "// --- crates/ucr/src/fixture_sa.rs (begin side) ---\n",
+            include_str!("../tests/fixtures/r3v2_a.rs"),
+            "\n// --- crates/core/src/fixture_sb.rs (end side) ---\n",
+            include_str!("../tests/fixtures/r3v2_b.rs"),
+        ),
+        example_note: "\"xfile_ok\" pairs: both sides call helper(), so they \
+                       share a component. \"xfile_orphan\"'s begin and end are \
+                       disconnected — both sides fire.",
+    },
+    RuleDoc {
+        id: "R4",
+        title: "no unwrap/expect/panic in RDMA transport paths",
+        rationale: "Transport code runs inside the event loop; a panic there \
+                    takes down the whole simulated cluster instead of \
+                    surfacing a per-request error the retry machinery can \
+                    absorb.",
+        scope: "crates/verbs, crates/ucr, crates/sockets, crates/core — \
+                production code only.",
+        example: include_str!("../tests/fixtures/r4.rs"),
+        example_note: "unwrap(), expect(), and panic! fire; unwrap_or / \
+                       unwrap_or_else are fine (they cannot panic).",
+    },
+    RuleDoc {
+        id: "R5",
+        title: "UCR counter cells only mutate via CtrInner::bump",
+        rationale: "The unreliable-connection retry accounting must stay \
+                    consistent with the metrics layer; direct `.set`/`.0 +=` \
+                    writes bypass the bump path that keeps both in sync.",
+        scope: "crates/ucr production code.",
+        example: include_str!("../tests/fixtures/r5.rs"),
+        example_note: "Direct field writes to counter cells fire; calls \
+                       through CtrInner::bump are the sanctioned path.",
+    },
+    RuleDoc {
+        id: "R6",
+        title: "VLock multi-acquisitions are provably ascending and \
+                class-order forms a DAG",
+        rationale: "PR 8's sharded store holds several VLocks at once \
+                    (FlushAll, Stats). The no-deadlock argument is a global \
+                    lock order: same-class acquisitions ascend by index, and \
+                    the class-level acquired-before relation is acyclic. A \
+                    violating path deadlocks only under a specific \
+                    interleaving — exactly what a static check catches and a \
+                    test suite misses.",
+        scope: "All scanned production code except the VLock implementation \
+                itself (crates/simnet/src/vlock.rs). Receivers are typed via \
+                struct fields, let-bindings, unique call results, and \
+                for-loop elements; untypeable receivers are skipped, not \
+                guessed.",
+        example: include_str!("../tests/fixtures/r6.rs"),
+        example_note: "Descending literal indices fire; a loop over an \
+                       unordered Vec fires (no provable order); the a->b / \
+                       b->a cross-function cycle fires once at the edge that \
+                       closes it. Ranges and BTreeSet/BTreeMap iteration are \
+                       provably ascending and stay clean.",
+    },
+    RuleDoc {
+        id: "R7",
+        title: "retained MR registrations have a release path",
+        rationale: "Memory regions pin physical pages. A registration stored \
+                    into a long-lived container with no remove/retain/clear \
+                    or dereg*/invalidate* call reachable in the same \
+                    call-graph component grows pinned memory without bound — \
+                    the leak PR 6's mirror-page retire path exists to \
+                    prevent.",
+        scope: "All scanned production code except crates/verbs (the \
+                registrar itself). Only *retained* registrations (stored \
+                into a container or bound then stored) carry the obligation; \
+                transient registrations are out of scope by design.",
+        example: include_str!("../tests/fixtures/r7.rs"),
+        example_note: "The let-bound registration inserted into `bufs` and \
+                       the direct push into `pool` fire (no release on those \
+                       containers); the `live` insert is balanced by a later \
+                       `live.remove` and stays clean.",
+    },
+    RuleDoc {
+        id: "W0",
+        title: "waivers must still suppress something",
+        rationale: "An allow-comment whose rule no longer fires on its line \
+                    is a silent hole: the next regression on that line is \
+                    auto-suppressed by a comment written for code that no \
+                    longer exists. Stale waivers are flagged at the waiver \
+                    line and are not themselves waivable.",
+        scope: "Every written waiver in scanned files. A waiver is 'used' if \
+                it suppressed a violation on its line (or the line below, \
+                for standalone comment lines) — or stopped an R1v2 taint \
+                source.",
+        example: "pub fn fine(x: Option<u8>) -> u8 {\n    x.unwrap_or(0) \
+                  // lint:allow(R4) nothing to suppress: unwrap_or never panics\n}\n",
+        example_note: "unwrap_or never fires R4, so the waiver suppresses \
+                       nothing and is itself flagged.",
+    },
+];
+
+/// Case-insensitive lookup (`r1v2`, `R1V2`, and `R1v2` all resolve).
+pub fn lookup(id: &str) -> Option<&'static RuleDoc> {
+    RULES.iter().find(|d| d.id.eq_ignore_ascii_case(id.trim()))
+}
+
+/// Renders one rule's documentation for the terminal.
+pub fn render(doc: &RuleDoc) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{} — {}\n\n", doc.id, doc.title));
+    out.push_str(&format!("Why:\n{}\n\n", reflow(doc.rationale)));
+    out.push_str(&format!("Scope:\n{}\n\n", reflow(doc.scope)));
+    out.push_str("Minimal failing example (from tests/fixtures/):\n");
+    for line in doc.example.lines() {
+        out.push_str(&format!("    {line}\n"));
+    }
+    out.push_str(&format!("\n{}\n", reflow(doc.example_note)));
+    out
+}
+
+/// One-line id+title per rule, for `--explain` with no/unknown rule.
+pub fn index() -> String {
+    let mut out = String::from("rules:\n");
+    for d in RULES {
+        out.push_str(&format!("  {:<5} {}\n", d.id, d.title));
+    }
+    out
+}
+
+/// Collapses the multi-line string-literal continuations (runs of
+/// whitespace) into single spaces, then wraps at ~76 columns.
+fn reflow(s: &str) -> String {
+    let words: Vec<&str> = s.split_whitespace().collect();
+    let mut out = String::new();
+    let mut col = 0usize;
+    for w in words {
+        if col == 0 {
+            out.push_str("  ");
+            col = 2;
+        } else if col + 1 + w.len() > 76 {
+            out.push_str("\n  ");
+            col = 2;
+        } else {
+            out.push(' ');
+            col += 1;
+        }
+        out.push_str(w);
+        col += w.len();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_rule_is_documented_and_looked_up() {
+        for id in [
+            "R1", "R1v2", "R2", "R3", "R3v2", "R4", "R5", "R6", "R7", "W0",
+        ] {
+            let doc = lookup(id).unwrap_or_else(|| panic!("missing doc for {id}"));
+            assert_eq!(doc.id, id);
+            assert!(!doc.example.is_empty());
+            // Case-insensitive variants resolve to the same doc.
+            assert_eq!(lookup(&id.to_lowercase()).unwrap().id, id);
+            assert_eq!(lookup(&id.to_uppercase()).unwrap().id, id);
+        }
+        assert!(lookup("R99").is_none());
+    }
+
+    #[test]
+    fn examples_come_from_the_fixture_files() {
+        // Spot-check that the include_str! wiring points at the same
+        // sources the end-to-end tests pin by file:line.
+        assert!(lookup("R6").unwrap().example.contains("segs[2].lock"));
+        assert!(lookup("R7").unwrap().example.contains("register(64)"));
+        assert!(lookup("R1v2").unwrap().example.contains("Instant::now"));
+        assert!(lookup("R3v2").unwrap().example.contains("xfile_orphan"));
+    }
+
+    #[test]
+    fn render_and_index_are_presentable() {
+        let text = render(lookup("R6").unwrap());
+        assert!(text.starts_with("R6 — "));
+        assert!(text.contains("Minimal failing example"));
+        let idx = index();
+        for d in RULES {
+            assert!(idx.contains(d.id));
+        }
+    }
+}

@@ -298,7 +298,13 @@ fn cook(s: &str) -> String {
 }
 
 /// Parses a `lint:allow(R1, R2) reason` waiver out of a line comment.
+/// Doc comments (`///`, `//!`) never carry waivers: documentation that
+/// *describes* the waiver syntax (this crate's own docs, for one) must
+/// not create live — and, under the stale-waiver check, stale — waivers.
 fn parse_waiver(comment: &str, line: u32, standalone: bool) -> Option<Waiver> {
+    if comment.starts_with("///") || comment.starts_with("//!") {
+        return None;
+    }
     let at = comment.find("lint:allow(")?;
     let rest = &comment[at + "lint:allow(".len()..];
     let close = rest.find(')')?;
@@ -550,6 +556,17 @@ mod tests {
         assert_eq!(w1.line, 2);
         assert!(w1.standalone);
         assert_eq!(w1.rules, vec!["R2", "R4"]);
+    }
+
+    #[test]
+    fn doc_comments_never_carry_waivers() {
+        assert!(lex("/// the `// lint:allow(R1, R2) reason` syntax")
+            .waivers
+            .is_empty());
+        assert!(lex("//! and `// lint:allow(...)` comments")
+            .waivers
+            .is_empty());
+        assert_eq!(lex("// lint:allow(R4) real waiver").waivers.len(), 1);
     }
 
     #[test]

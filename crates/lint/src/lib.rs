@@ -12,9 +12,12 @@
 //! [`analyze_sources`] runs the same pipeline over in-memory
 //! `(path, text)` pairs (how the fixture tests seed violations).
 
+pub mod explain;
+pub mod graph;
 pub mod lexer;
 pub mod report;
 pub mod rules;
+pub mod rules2;
 
 use std::collections::BTreeSet;
 use std::io;
@@ -48,6 +51,9 @@ pub struct Analysis {
     /// The metric manifest derived from every R2 registration site —
     /// the committed `results/metric_manifest.json` must byte-match it.
     pub manifest: String,
+    /// Interprocedural pass statistics (call-graph size, typed lock
+    /// acquisitions, MR obligations) — pinned by the self-check.
+    pub stats: rules2::InterStats,
 }
 
 /// The workspace root when running via `cargo run -p rmc-lint`
@@ -98,40 +104,86 @@ pub fn collect_files(root: &Path) -> io::Result<Vec<String>> {
 }
 
 /// Runs the full pipeline over in-memory `(relative path, source)`
-/// pairs: lex, per-file rules, global metric-read validation, waiver
-/// application, manifest derivation.
+/// pairs: lex once, phase-1 per-file rules plus global metric-read
+/// validation, phase-2 call-graph construction and interprocedural
+/// rules, waiver application (with usage tracking feeding the W0
+/// stale-waiver check), manifest derivation.
 pub fn analyze_sources(files: &[(String, String)]) -> Analysis {
+    let lexed: Vec<(String, lexer::Lexed)> = files
+        .iter()
+        .map(|(p, t)| (p.clone(), lexer::lex(t)))
+        .collect();
     let mut all_violations: Vec<Violation> = Vec::new();
     let mut sites = Vec::new();
     let mut reads = Vec::new();
-    // Waiver coverage: (file, line) pairs per rule, for the violating
-    // line itself and (from standalone comment lines) the line below.
+    // Waiver coverage: (file, line) pairs per rule (names uppercased by
+    // the lexer), for the violating line itself and (from standalone
+    // comment lines) the line below. `entries` keeps one row per
+    // written waiver for the stale-waiver check.
     let mut waiver_at: BTreeSet<(String, u32, String)> = BTreeSet::new();
-    for (path, text) in files {
-        let lexed = lexer::lex(text);
-        for w in &lexed.waivers {
+    let mut entries: Vec<(String, u32, String)> = Vec::new();
+    for (path, lx) in &lexed {
+        for w in &lx.waivers {
             for r in &w.rules {
+                entries.push((path.clone(), w.line, r.clone()));
                 waiver_at.insert((path.clone(), w.line, r.clone()));
                 if w.standalone {
                     waiver_at.insert((path.clone(), w.line + 1, r.clone()));
                 }
             }
         }
-        let scan = rules::scan_file(path, &lexed);
+        let scan = rules::scan_file(path, lx);
         all_violations.extend(scan.violations);
         sites.extend(scan.sites);
         reads.extend(scan.reads);
     }
     all_violations.extend(rules::check_reads(&sites, &reads));
+    let call_graph = graph::build(&lexed);
+    let (v2, stats) = rules2::run(&lexed, &call_graph, &waiver_at);
+    all_violations.extend(v2);
+    // Waiver application is case-insensitive on the rule id (the lexer
+    // uppercases waived rule names to `R1V2`; the rule reports as
+    // `R1v2`).
     let before = all_violations.len();
-    all_violations.retain(|v| !waiver_at.contains(&(v.file.clone(), v.line, v.rule.to_string())));
+    let mut used: BTreeSet<(String, u32, String)> = BTreeSet::new();
+    all_violations.retain(|v| {
+        let key = (v.file.clone(), v.line, v.rule.to_ascii_uppercase());
+        if waiver_at.contains(&key) {
+            used.insert(key);
+            false
+        } else {
+            true
+        }
+    });
     let waived = before - all_violations.len();
+    for key in &stats.used_waivers {
+        used.insert(key.clone());
+    }
+    // W0 — stale waivers: an allow whose rule fired on neither the
+    // comment line nor the line below suppresses nothing and hides a
+    // future regression. W0 itself is not waivable.
+    for (file, line, rule) in &entries {
+        let used_here = used.contains(&(file.clone(), *line, rule.clone()))
+            || used.contains(&(file.clone(), line + 1, rule.clone()));
+        if !used_here {
+            all_violations.push(Violation {
+                rule: "W0",
+                file: file.clone(),
+                line: *line,
+                message: format!(
+                    "stale waiver: lint:allow({rule}) suppresses nothing here — \
+                     the rule no longer fires on this line; delete the waiver"
+                ),
+            });
+        }
+    }
     all_violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     Analysis {
         files_scanned: files.len(),
         violations: all_violations,
         waived,
         manifest: report::write_manifest(&sites),
+        stats,
     }
 }
 

@@ -6,6 +6,7 @@
 //! cargo run -p rmc-lint -- --list                  # every violation, baseline ignored
 //! cargo run -p rmc-lint -- --update-baseline       # rewrite crates/lint/baseline.json
 //! cargo run -p rmc-lint -- --write-manifest        # rewrite results/metric_manifest.json
+//! cargo run -p rmc-lint -- --explain R6            # rule rationale + minimal failing example
 //! ```
 //!
 //! Options: `--root PATH` (workspace root), `--baseline PATH`,
@@ -13,14 +14,16 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
-use rmc_lint::{analyze_workspace, default_root, failing_groups, report, Baseline};
+use rmc_lint::{analyze_workspace, default_root, explain, failing_groups, report, Baseline};
 
 enum Mode {
     Check,
     List,
     UpdateBaseline,
     WriteManifest,
+    Explain(String),
 }
 
 fn fail(msg: &str) -> ExitCode {
@@ -43,6 +46,13 @@ fn main() -> ExitCode {
             "--update-baseline" => mode = Some(Mode::UpdateBaseline),
             "--write-manifest" => mode = Some(Mode::WriteManifest),
             "--no-baseline" => no_baseline = true,
+            "--explain" => {
+                let Some(v) = args.next() else {
+                    eprintln!("rmc-lint: --explain needs a rule id\n{}", explain::index());
+                    return ExitCode::from(2);
+                };
+                mode = Some(Mode::Explain(v));
+            }
             "--root" | "--baseline" | "--json" => {
                 let Some(v) = args.next() else {
                     return fail(&format!("{a} needs a value"));
@@ -57,28 +67,47 @@ fn main() -> ExitCode {
         }
     }
     let Some(mode) = mode else {
-        return fail("pick a mode: --check | --list | --update-baseline | --write-manifest");
+        return fail(
+            "pick a mode: --check | --list | --update-baseline | --write-manifest | --explain RULE",
+        );
     };
+
+    if let Mode::Explain(id) = &mode {
+        return match explain::lookup(id) {
+            Some(doc) => {
+                print!("{}", explain::render(doc));
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("rmc-lint: no rule {id:?}\n{}", explain::index());
+                ExitCode::from(2)
+            }
+        };
+    }
 
     let root = root.unwrap_or_else(default_root);
     let baseline_path = baseline_path.unwrap_or_else(|| root.join("crates/lint/baseline.json"));
     let manifest_path = root.join("results/metric_manifest.json");
 
+    let started = Instant::now();
     let analysis = match analyze_workspace(&root) {
         Ok(a) => a,
         Err(e) => return fail(&format!("walking {}: {e}", root.display())),
     };
+    let elapsed_ms = started.elapsed().as_millis() as u64;
 
     match mode {
+        Mode::Explain(_) => unreachable!("handled before analysis"),
         Mode::List => {
             for v in &analysis.violations {
                 println!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
             }
             println!(
-                "{} violations in {} files scanned ({} waived)",
+                "{} violations in {} files scanned ({} waived) in {} ms",
                 analysis.violations.len(),
                 analysis.files_scanned,
-                analysis.waived
+                analysis.waived,
+                elapsed_ms
             );
             ExitCode::SUCCESS
         }
@@ -123,6 +152,7 @@ fn main() -> ExitCode {
                     &analysis.violations,
                     analysis.waived,
                     &baseline,
+                    elapsed_ms,
                 );
                 if let Err(e) = std::fs::write(path, &text) {
                     return fail(&format!("writing {}: {e}", path.display()));
@@ -169,18 +199,20 @@ fn main() -> ExitCode {
 
             if failed {
                 eprintln!(
-                    "rmc-lint: FAILED ({} files scanned, {} violations, {} waived)",
+                    "rmc-lint: FAILED ({} files scanned, {} violations, {} waived) in {} ms",
                     analysis.files_scanned,
                     analysis.violations.len(),
-                    analysis.waived
+                    analysis.waived,
+                    elapsed_ms
                 );
                 ExitCode::FAILURE
             } else {
                 println!(
-                    "rmc-lint: clean ({} files scanned, {} baselined violations, {} waived)",
+                    "rmc-lint: clean ({} files scanned, {} baselined violations, {} waived) in {} ms",
                     analysis.files_scanned,
                     analysis.violations.len(),
-                    analysis.waived
+                    analysis.waived,
+                    elapsed_ms
                 );
                 ExitCode::SUCCESS
             }

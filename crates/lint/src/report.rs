@@ -247,6 +247,7 @@ pub fn write_report(
     violations: &[Violation],
     waived: usize,
     baseline: &Baseline,
+    elapsed_ms: u64,
 ) -> String {
     let counts = count_by_rule_file(violations);
     let mut unbaselined = 0u64;
@@ -262,11 +263,12 @@ pub fn write_report(
     }
     let mut out = String::from("{\n");
     out.push_str(&format!(
-        "  \"summary\": {{ \"files\": {}, \"violations\": {}, \"waived\": {}, \"unbaselined\": {} }},\n",
+        "  \"summary\": {{ \"files\": {}, \"violations\": {}, \"waived\": {}, \"unbaselined\": {}, \"elapsed_ms\": {} }},\n",
         files_scanned,
         violations.len(),
         waived,
-        unbaselined
+        unbaselined,
+        elapsed_ms
     ));
     out.push_str("  \"violations\": [\n");
     for (i, v) in violations.iter().enumerate() {

@@ -13,7 +13,7 @@
 //! `file:line` plus a message. `// lint:allow(<rule>) reason` on the
 //! offending line (or alone on the line above) waives a hit.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 use crate::lexer::{Lexed, TokKind, Token};
 
@@ -74,7 +74,7 @@ pub struct FileScan {
     pub reads: Vec<MetricRead>,
 }
 
-const R1_SCOPE: [&str; 10] = [
+pub(crate) const R1_SCOPE: [&str; 10] = [
     "crates/simnet/",
     "crates/verbs/",
     "crates/ucr/",
@@ -183,18 +183,26 @@ enum Pat {
     ColonColon,
 }
 
-fn match_pat(v: &View, start: usize, pat: &[Pat]) -> Option<usize> {
+fn match_pat_toks(toks: &[Token], start: usize, pat: &[Pat]) -> Option<usize> {
+    let ident = |i: usize, s: &str| {
+        toks.get(i)
+            .is_some_and(|t: &Token| t.kind == TokKind::Ident && t.text == s)
+    };
+    let punct = |i: usize, c: char| {
+        toks.get(i)
+            .is_some_and(|t: &Token| t.kind == TokKind::Punct && t.text.starts_with(c))
+    };
     let mut i = start;
     for p in pat {
         match p {
             Pat::I(s) => {
-                if !v.ident(i, s) {
+                if !ident(i, s) {
                     return None;
                 }
                 i += 1;
             }
             Pat::ColonColon => {
-                if !(v.punct(i, ':') && v.punct(i + 1, ':')) {
+                if !(punct(i, ':') && punct(i + 1, ':')) {
                     return None;
                 }
                 i += 2;
@@ -204,9 +212,24 @@ fn match_pat(v: &View, start: usize, pat: &[Pat]) -> Option<usize> {
     Some(i)
 }
 
-fn rule_r1(v: &View, out: &mut FileScan) {
+/// One wall-clock / OS-entropy construct found in a token range.
+pub(crate) struct ImpurityHit {
+    /// Token index of the match start.
+    pub tok: usize,
+    /// 1-based source line.
+    pub line: u32,
+    /// What was called (`std::time::Instant`, `thread_rng`, …).
+    pub what: &'static str,
+    /// True for the single-identifier randomness constructs (their
+    /// message differs from the path-pattern one).
+    pub is_entropy_single: bool,
+}
+
+/// Scans `toks[from..to)` for the R1 impurity constructs — shared by the
+/// file-local R1 rule and the interprocedural R1v2 taint analysis.
+pub(crate) fn impurity_scan(toks: &[Token], from: usize, to: usize) -> Vec<ImpurityHit> {
     use Pat::{ColonColon as CC, I};
-    let paths: [(&[Pat], &str); 7] = [
+    let paths: [(&[Pat], &'static str); 7] = [
         (&[I("time"), CC, I("Instant")], "std::time::Instant"),
         (&[I("time"), CC, I("SystemTime")], "std::time::SystemTime"),
         (&[I("Instant"), CC, I("now")], "Instant::now"),
@@ -215,24 +238,19 @@ fn rule_r1(v: &View, out: &mut FileScan) {
         (&[I("process"), CC, I("id")], "std::process::id"),
         (&[I("rand"), CC, I("random")], "rand::random (OS-seeded)"),
     ];
-    let singles = ["thread_rng", "from_entropy", "OsRng", "getrandom"];
-    let mut i = 0usize;
-    while i < v.toks.len() {
-        if v.in_test(i) {
-            i += 1;
-            continue;
-        }
+    let singles: [&'static str; 4] = ["thread_rng", "from_entropy", "OsRng", "getrandom"];
+    let mut out = Vec::new();
+    let mut i = from;
+    let to = to.min(toks.len());
+    while i < to {
         let mut advanced = false;
         for (pat, what) in &paths {
-            if let Some(end) = match_pat(v, i, pat) {
-                out.violations.push(Violation {
-                    rule: "R1",
-                    file: v.path.to_string(),
-                    line: v.line(i),
-                    message: format!(
-                        "{what} in a simulated layer: virtual-time code must not read \
-                         the wall clock, host scheduler, or OS entropy"
-                    ),
+            if let Some(end) = match_pat_toks(toks, i, pat) {
+                out.push(ImpurityHit {
+                    tok: i,
+                    line: toks[i].line,
+                    what,
+                    is_entropy_single: false,
                 });
                 i = end;
                 advanced = true;
@@ -242,20 +260,51 @@ fn rule_r1(v: &View, out: &mut FileScan) {
         if advanced {
             continue;
         }
-        if let Some(id) = v.any_ident(i) {
-            if singles.contains(&id) {
-                out.violations.push(Violation {
-                    rule: "R1",
-                    file: v.path.to_string(),
-                    line: v.line(i),
-                    message: format!(
-                        "{id} in a simulated layer: all randomness must flow from the \
-                         cluster seed (simnet::rng)"
-                    ),
-                });
+        if let Some(t) = toks.get(i) {
+            if t.kind == TokKind::Ident {
+                if let Some(what) = singles.iter().find(|s| **s == t.text) {
+                    out.push(ImpurityHit {
+                        tok: i,
+                        line: t.line,
+                        what,
+                        is_entropy_single: true,
+                    });
+                }
             }
         }
         i += 1;
+    }
+    out
+}
+
+/// The R1 violation message for an impurity hit.
+pub(crate) fn impurity_message(hit: &ImpurityHit) -> String {
+    if hit.is_entropy_single {
+        format!(
+            "{} in a simulated layer: all randomness must flow from the \
+             cluster seed (simnet::rng)",
+            hit.what
+        )
+    } else {
+        format!(
+            "{} in a simulated layer: virtual-time code must not read \
+             the wall clock, host scheduler, or OS entropy",
+            hit.what
+        )
+    }
+}
+
+fn rule_r1(v: &View, out: &mut FileScan) {
+    for hit in impurity_scan(v.toks, 0, v.toks.len()) {
+        if v.in_test(hit.tok) {
+            continue;
+        }
+        out.violations.push(Violation {
+            rule: "R1",
+            file: v.path.to_string(),
+            line: hit.line,
+            message: impurity_message(&hit),
+        });
     }
 }
 
@@ -492,13 +541,13 @@ pub fn check_reads(sites: &[MetricSite], reads: &[MetricRead]) -> Vec<Violation>
 
 /// Splits the arguments of a call whose `(` sits at `open`; returns
 /// token ranges for each top-level argument.
-fn split_args(v: &View, open: usize) -> Vec<(usize, usize)> {
+pub(crate) fn split_args_toks(toks: &[Token], open: usize) -> Vec<(usize, usize)> {
     let mut args = Vec::new();
     let mut depth = 1usize;
     let mut start = open + 1;
     let mut j = open + 1;
-    while j < v.toks.len() && depth > 0 {
-        let t = &v.toks[j];
+    while j < toks.len() && depth > 0 {
+        let t = &toks[j];
         if t.kind == TokKind::Punct {
             match t.text.as_str() {
                 "(" | "[" | "{" => depth += 1,
@@ -523,89 +572,124 @@ fn split_args(v: &View, open: usize) -> Vec<(usize, usize)> {
     args
 }
 
-fn rule_r3(v: &View, out: &mut FileScan) {
-    // (name or None for dynamic) -> lines, per phase.
-    let mut begins: BTreeMap<Option<String>, Vec<u32>> = BTreeMap::new();
-    let mut ends: BTreeMap<Option<String>, Vec<u32>> = BTreeMap::new();
-    for i in 0..v.toks.len() {
-        if v.in_test(i) {
+/// A tracer-span emission site (`.begin(Layer::…)` / `.end(Layer::…)`,
+/// `_detail` variants included) — shared with the cross-file R3v2 pass.
+pub(crate) struct SpanSite {
+    /// Token index of the method-name token.
+    pub tok: usize,
+    /// 1-based line of the method name.
+    pub line: u32,
+    /// True for `begin`/`begin_detail`.
+    pub is_begin: bool,
+    /// Literal span name; `None` when the name argument is dynamic.
+    pub name: Option<String>,
+    /// True when the span-key argument is the literal `0`.
+    pub zero_key: bool,
+}
+
+/// Finds every tracer-span emission in a token stream. Recognition is
+/// by shape: a `begin`/`end`(`_detail`) method call whose first argument
+/// is a `Layer::…` placement (`LatencySpans::begin(op, now)` and other
+/// `begin`s never start with `Layer`).
+pub(crate) fn span_sites(toks: &[Token]) -> Vec<SpanSite> {
+    let punct = |i: usize, c: char| {
+        toks.get(i)
+            .is_some_and(|t: &Token| t.kind == TokKind::Punct && t.text.starts_with(c))
+    };
+    let ident = |i: usize, s: &str| {
+        toks.get(i)
+            .is_some_and(|t: &Token| t.kind == TokKind::Ident && t.text == s)
+    };
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !punct(i, '.') {
             continue;
         }
-        if !v.punct(i, '.') {
+        let Some(t) = toks.get(i + 1) else { continue };
+        if t.kind != TokKind::Ident {
             continue;
         }
-        let Some(method) = v.any_ident(i + 1) else {
-            continue;
-        };
-        // `begin_detail`/`end_detail` are the profiler-mode variants of
-        // the same span calls: identical argument shape, same pairing
-        // obligation (they just no-op when detail mode is off).
-        let method = method.strip_suffix("_detail").unwrap_or(method);
+        let method = t.text.strip_suffix("_detail").unwrap_or(&t.text);
         if method != "begin" && method != "end" {
             continue;
         }
-        // Tracer span calls are recognizable by their first argument:
-        // a `Layer::…` placement. (`LatencySpans::begin(op, now)` and
-        // other `begin`s never start with `Layer`.)
-        if !(v.punct(i + 2, '(') && v.ident(i + 3, "Layer") && v.punct(i + 4, ':')) {
+        if !(punct(i + 2, '(') && ident(i + 3, "Layer") && punct(i + 4, ':')) {
             continue;
         }
-        let args = split_args(v, i + 2);
-        let line = v.line(i + 1);
+        let args = split_args_toks(toks, i + 2);
         // args: layer, name, node, track, op, bytes, at
         let name = args.get(1).and_then(|&(a, b)| {
-            (b == a + 1 && v.toks[a].kind == TokKind::Str).then(|| v.toks[a].text.clone())
+            (b == a + 1 && toks[a].kind == TokKind::Str).then(|| toks[a].text.clone())
         });
-        if method == "begin" {
-            begins.entry(name.clone()).or_default().push(line);
-        } else {
-            ends.entry(name.clone()).or_default().push(line);
+        let zero_key = args.get(4).is_some_and(|&(a, b)| {
+            b == a + 1 && toks[a].kind == TokKind::Num && toks[a].text == "0"
+        });
+        out.push(SpanSite {
+            tok: i + 1,
+            line: toks[i + 1].line,
+            is_begin: method == "begin",
+            name,
+            zero_key,
+        });
+    }
+    out
+}
+
+fn rule_r3(v: &View, out: &mut FileScan) {
+    // Literal-name begin/end pairing is interprocedural since the v2
+    // analyzer (rule R3v2 in `crate::rules2`, matched through the call
+    // graph). The file-local rule keeps what a workspace pass cannot
+    // improve on: span-key hygiene, and pairing for *dynamic* names —
+    // a dynamic name cannot be matched across files by value, so the
+    // emitting file must balance it.
+    let mut dyn_begins: Vec<u32> = Vec::new();
+    let mut dyn_ends: Vec<u32> = Vec::new();
+    for s in span_sites(v.toks) {
+        if v.in_test(s.tok) {
+            continue;
         }
-        if let Some(&(a, b)) = args.get(4) {
-            if b == a + 1 && v.toks[a].kind == TokKind::Num && v.toks[a].text == "0" {
-                out.violations.push(Violation {
-                    rule: "R3",
-                    file: v.path.to_string(),
-                    line,
-                    message: format!(
-                        "span {method} {} uses the literal span key 0: begin/end cannot \
-                         be correlated without a real wr_id/req_id",
-                        name.as_deref().unwrap_or("<dynamic>")
-                    ),
-                });
+        if s.zero_key {
+            out.violations.push(Violation {
+                rule: "R3",
+                file: v.path.to_string(),
+                line: s.line,
+                message: format!(
+                    "span {} {} uses the literal span key 0: begin/end cannot \
+                     be correlated without a real wr_id/req_id",
+                    if s.is_begin { "begin" } else { "end" },
+                    s.name.as_deref().unwrap_or("<dynamic>")
+                ),
+            });
+        }
+        if s.name.is_none() {
+            if s.is_begin {
+                dyn_begins.push(s.line);
+            } else {
+                dyn_ends.push(s.line);
             }
         }
     }
-    for (name, lines) in &begins {
-        if !ends.contains_key(name) {
-            for &line in lines {
-                out.violations.push(Violation {
-                    rule: "R3",
-                    file: v.path.to_string(),
-                    line,
-                    message: format!(
-                        "span begin {:?} has no matching end emission in this file: the \
-                         span never closes on any timeline",
-                        name.as_deref().unwrap_or("<dynamic>")
-                    ),
-                });
-            }
+    if !dyn_begins.is_empty() && dyn_ends.is_empty() {
+        for line in dyn_begins {
+            out.violations.push(Violation {
+                rule: "R3",
+                file: v.path.to_string(),
+                line,
+                message: "dynamic-name span begin has no end emission in this file: \
+                          the span never closes on any timeline"
+                    .to_string(),
+            });
         }
-    }
-    for (name, lines) in &ends {
-        if !begins.contains_key(name) {
-            for &line in lines {
-                out.violations.push(Violation {
-                    rule: "R3",
-                    file: v.path.to_string(),
-                    line,
-                    message: format!(
-                        "span end {:?} has no matching begin emission in this file: the \
-                         span can never open",
-                        name.as_deref().unwrap_or("<dynamic>")
-                    ),
-                });
-            }
+    } else if dyn_begins.is_empty() && !dyn_ends.is_empty() {
+        for line in dyn_ends {
+            out.violations.push(Violation {
+                rule: "R3",
+                file: v.path.to_string(),
+                line,
+                message: "dynamic-name span end has no begin emission in this file: \
+                          the span can never open"
+                    .to_string(),
+            });
         }
     }
 }

@@ -1,0 +1,845 @@
+//! Phase-2 interprocedural rules over the workspace call graph
+//! ([`crate::graph`]): R1v2 transitive purity taint, R3v2 cross-file
+//! span pairing, R6 VLock acquisition-order discipline, and R7 MR
+//! retention lifecycle. Every rule errs toward *missing* a violation
+//! rather than inventing one: unresolved calls contribute no edges,
+//! untypable receivers contribute no acquisitions, and unretained
+//! registrations contribute no obligations.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::graph::{components, CallGraph, CallKind, FileView};
+use crate::lexer::Lexed;
+use crate::rules::{self, Violation};
+
+/// Statistics gathered alongside the phase-2 violations. The self-check
+/// pins these so "zero findings" stays distinguishable from "the pass
+/// silently stopped seeing the tree" — an analyzer that types no lock
+/// receivers reports no R6 violations for the wrong reason.
+#[derive(Debug, Default)]
+pub struct InterStats {
+    /// Non-test functions indexed by the call graph.
+    pub fns: usize,
+    /// Call sites with at least one resolved callee.
+    pub resolved_calls: usize,
+    /// Call sites left without edges (conservative: never guessed).
+    pub unresolved_calls: usize,
+    /// Out-of-scope functions directly touching wall clock / OS entropy
+    /// (the R1v2 taint sources).
+    pub taint_sources: usize,
+    /// Every VLock acquisition R6 typed: (file, line, provably ordered).
+    pub r6_acquisitions: Vec<(String, u32, bool)>,
+    /// Every MR-retention obligation R7 tracked:
+    /// (file, container, release path found).
+    pub r7_obligations: Vec<(String, String, bool)>,
+    /// Waiver coverage keys consumed by phase-2 analyses without a
+    /// suppressed violation (e.g. a waived impurity is not an R1v2
+    /// taint source) — the stale-waiver check must not flag these.
+    pub used_waivers: Vec<(String, u32, String)>,
+}
+
+/// Runs all phase-2 rules. `waiver_at` holds `(file, line, RULE)`
+/// coverage with rule names uppercased (the lexer's storage form);
+/// R1v2 consults it so a *waived* impurity is not a taint source.
+pub fn run(
+    files: &[(String, Lexed)],
+    g: &CallGraph,
+    waiver_at: &BTreeSet<(String, u32, String)>,
+) -> (Vec<Violation>, InterStats) {
+    let mut out = Vec::new();
+    let mut stats = InterStats {
+        fns: g.fns.iter().filter(|f| !f.is_test).count(),
+        resolved_calls: g.calls.iter().filter(|c| !c.resolved.is_empty()).count(),
+        unresolved_calls: g.calls.iter().filter(|c| c.resolved.is_empty()).count(),
+        ..InterStats::default()
+    };
+    r1v2(files, g, waiver_at, &mut out, &mut stats);
+    r3v2(files, g, &mut out);
+    r6(files, g, &mut out, &mut stats);
+    r7(files, g, &mut out, &mut stats);
+    (out, stats)
+}
+
+fn in_scope(file: &str) -> bool {
+    rules::R1_SCOPE.iter().any(|p| file.starts_with(p))
+}
+
+fn view(files: &[(String, Lexed)], idx: usize) -> FileView<'_> {
+    FileView {
+        toks: &files[idx].1.tokens,
+    }
+}
+
+// ---------------------------------------------------------------------
+// R1v2 — transitive purity taint
+// ---------------------------------------------------------------------
+
+/// A function *outside* the R1 scope that touches the wall clock or OS
+/// entropy taints every scoped caller that can reach it. The file-local
+/// R1 already covers direct use inside the scope; this closes the
+/// "helper crate launders the clock" hole. Violations are reported at
+/// the scope-boundary call site with the full taint chain, so the fix
+/// target (the helper, or the call) is visible without re-running.
+fn r1v2(
+    files: &[(String, Lexed)],
+    g: &CallGraph,
+    waiver_at: &BTreeSet<(String, u32, String)>,
+    out: &mut Vec<Violation>,
+    stats: &mut InterStats,
+) {
+    // Sources: out-of-scope, non-test fns with an unwaived impurity.
+    let mut source: BTreeMap<usize, (u32, &'static str)> = BTreeMap::new();
+    for (id, f) in g.fns.iter().enumerate() {
+        if f.is_test || in_scope(&f.file) || rules::is_test_path(&f.file) {
+            continue;
+        }
+        let Some((a, b)) = f.body else { continue };
+        for h in rules::impurity_scan(&files[f.file_idx].1.tokens, a, b + 1) {
+            let mut waived = false;
+            for r in ["R1", "R1V2"] {
+                let key = (f.file.clone(), h.line, r.to_string());
+                if waiver_at.contains(&key) {
+                    stats.used_waivers.push(key);
+                    waived = true;
+                }
+            }
+            if waived {
+                continue;
+            }
+            source.insert(id, (h.line, h.what));
+            break;
+        }
+    }
+    stats.taint_sources = source.len();
+    if source.is_empty() {
+        return;
+    }
+    // Reverse reachability restricted to out-of-scope callers: a scoped
+    // fn is reported at its boundary call site, never tainted through
+    // (the finding belongs to the first scoped frame).
+    let mut callers: Vec<Vec<usize>> = vec![Vec::new(); g.fns.len()];
+    for c in &g.calls {
+        for &callee in &c.resolved {
+            callers[callee].push(c.caller);
+        }
+    }
+    let mut tainted = vec![false; g.fns.len()];
+    // Next hop toward the source, for chain printing.
+    let mut next: Vec<Option<usize>> = vec![None; g.fns.len()];
+    let mut queue: Vec<usize> = source.keys().copied().collect();
+    for &s in &queue {
+        tainted[s] = true;
+    }
+    while let Some(f) = queue.pop() {
+        for &caller in &callers[f] {
+            if tainted[caller] || in_scope(&g.fns[caller].file) {
+                continue;
+            }
+            tainted[caller] = true;
+            next[caller] = Some(f);
+            queue.push(caller);
+        }
+    }
+    for c in &g.calls {
+        let caller = &g.fns[c.caller];
+        if caller.is_test || !in_scope(&caller.file) || rules::is_test_path(&caller.file) {
+            continue;
+        }
+        let Some(&callee) = c
+            .resolved
+            .iter()
+            .find(|&&k| tainted[k] && !in_scope(&g.fns[k].file))
+        else {
+            continue;
+        };
+        let mut chain = vec![callee];
+        while let Some(n) = next[*chain.last().expect("chain is non-empty")] {
+            chain.push(n);
+        }
+        let last = *chain.last().expect("chain is non-empty");
+        let Some(&(src_line, what)) = source.get(&last) else {
+            continue;
+        };
+        let names: Vec<String> = chain
+            .iter()
+            .map(|&k| format!("`{}`", g.fns[k].qualified()))
+            .collect();
+        out.push(Violation {
+            rule: "R1v2",
+            file: caller.file.clone(),
+            line: c.line,
+            message: format!(
+                "call into {} taints this simulated layer: `{}` -> {} where {} \
+                 calls {} ({}:{}); route the value through simnet instead",
+                names[0],
+                caller.qualified(),
+                names.join(" -> "),
+                names[names.len() - 1],
+                what,
+                g.fns[last].file,
+                src_line,
+            ),
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// R3v2 — cross-file literal-name span pairing
+// ---------------------------------------------------------------------
+
+/// A literal-name `begin(Layer::…)` must have a matching `end` either
+/// in the same file or in a file whose functions share an (undirected)
+/// call-graph component with the emitting function — the shape PR 9's
+/// detail markers introduced (e.g. a window opened in the request path
+/// and closed in the completion handler). A name with no counterpart
+/// anywhere, or whose only counterparts live in unconnected code, is a
+/// renamed or dead span and will record as an unmatched interval.
+fn r3v2(files: &[(String, Lexed)], g: &CallGraph, out: &mut Vec<Violation>) {
+    struct SpanAt {
+        file: String,
+        file_idx: usize,
+        line: u32,
+        /// Component of the enclosing fn; `None` (outside any indexed
+        /// fn) is treated as connected-to-everything.
+        comp: Option<usize>,
+        is_begin: bool,
+    }
+    let comp = components(g);
+    let mut by_name: BTreeMap<String, Vec<SpanAt>> = BTreeMap::new();
+    for (fi, (path, lx)) in files.iter().enumerate() {
+        if rules::is_test_path(path) {
+            continue;
+        }
+        for s in rules::span_sites(&lx.tokens) {
+            let fn_id = g.fn_at(fi, s.tok);
+            if fn_id.is_some_and(|id| g.fns[id].is_test) {
+                continue;
+            }
+            let Some(name) = s.name else { continue };
+            by_name.entry(name).or_default().push(SpanAt {
+                file: path.clone(),
+                file_idx: fi,
+                line: s.line,
+                comp: fn_id.map(|id| comp[id]),
+                is_begin: s.is_begin,
+            });
+        }
+    }
+    for (name, sites) in &by_name {
+        let (begins, ends): (Vec<&SpanAt>, Vec<&SpanAt>) = sites.iter().partition(|s| s.is_begin);
+        for (have, other, kind_have, kind_other) in [
+            (&begins, &ends, "begin", "end"),
+            (&ends, &begins, "end", "begin"),
+        ] {
+            for s in have {
+                let bad = if other.is_empty() {
+                    Some(format!(
+                        "span {kind_have} {name:?} has no {kind_other} anywhere \
+                         in the workspace: the interval never closes"
+                    ))
+                } else if other.iter().any(|o| o.file_idx == s.file_idx) {
+                    None
+                } else {
+                    let connected = match s.comp {
+                        None => true,
+                        Some(c) => other.iter().any(|o| o.comp.is_none() || o.comp == Some(c)),
+                    };
+                    (!connected).then(|| {
+                        format!(
+                            "span {kind_have} {name:?}: every matching {kind_other} \
+                             lives in a file with no call-graph connection to this \
+                             one — likely a renamed or dead span"
+                        )
+                    })
+                };
+                if let Some(message) = bad {
+                    out.push(Violation {
+                        rule: "R3v2",
+                        file: s.file.clone(),
+                        line: s.line,
+                        message,
+                    });
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// R6 — VLock acquisition-order discipline
+// ---------------------------------------------------------------------
+
+/// The deadlock-freedom argument for `Sharded(n)` (PR 8) rests on two
+/// properties R6 checks statically: within a function, a lock class
+/// acquired more than once or in a loop must be taken in provably
+/// ascending index order (literals in order, a `..` range, or iteration
+/// of a sorted container); across the system, the class-order relation
+/// "holds A while acquiring B" — propagated over the call graph — must
+/// be acyclic.
+const VLOCK_IMPL_FILE: &str = "crates/simnet/src/vlock.rs";
+
+#[derive(Clone)]
+enum Idx {
+    /// Unindexed receiver (a single named lock).
+    Whole,
+    /// Literal index.
+    Literal(i64),
+    /// A `for` binding variable; provable when the iterated expression
+    /// is a range or a sorted container.
+    Loop { provable: bool, desc: String },
+    /// The receiver *is* the element of a whole-container iteration —
+    /// acquisition order is the container order, consistent by
+    /// construction.
+    Elem,
+    /// Anything else — unprovable under an ordering obligation.
+    Opaque(String),
+}
+
+struct Acq {
+    file: String,
+    line: u32,
+    tok: usize,
+    fn_id: usize,
+    class: String,
+    idx: Idx,
+    in_loop: bool,
+}
+
+/// Resolves the type text of the container a `for` loop iterates.
+fn iter_type(g: &CallGraph, caller: usize, iter: &str) -> Option<String> {
+    let it = iter.trim_start_matches(['&', '*', '(', ' ']);
+    if let Some(rest) = it.strip_prefix("self.") {
+        let field: String = rest
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        let t = g.fns[caller].impl_type.clone()?;
+        return g.fields.get(&(t, field)).cloned();
+    }
+    let head: String = it
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    g.locals[caller].get(&head).cloned()
+}
+
+fn iter_provably_ascending(g: &CallGraph, caller: usize, iter: &str) -> bool {
+    if iter.contains("..") || iter.contains("BTreeSet") || iter.contains("BTreeMap") {
+        return true;
+    }
+    iter_type(g, caller, iter).is_some_and(|t| t.contains("BTreeSet") || t.contains("BTreeMap"))
+}
+
+/// Types the receiver of a `.lock(…)` call; `Some` only when the
+/// receiver provably is a VLock (by field / local / return type text).
+fn vlock_acq(v: &FileView, g: &CallGraph, c: &crate::graph::CallSite) -> Option<(String, Idx)> {
+    if c.tok < 2 || !v.punct(c.tok - 1, '.') {
+        return None;
+    }
+    let recv_end = c.tok - 2;
+    let (idx_text, base_end) = if v.punct(recv_end, ']') {
+        let open = v.match_back(recv_end, '[', ']')?;
+        (Some(v.text(open + 1, recv_end)), open.checked_sub(1)?)
+    } else {
+        (None, recv_end)
+    };
+    let caller = c.caller;
+    let (ty, class) = if v.punct(base_end, ')') {
+        // Call-result receiver: type from the (uniquely) resolved callee.
+        let open = v.match_back(base_end, '(', ')')?;
+        let name_tok = open.checked_sub(1)?;
+        let cs = g.calls_by_fn[caller]
+            .iter()
+            .map(|&k| &g.calls[k])
+            .find(|cs| cs.tok == name_tok)?;
+        if cs.resolved.len() != 1 {
+            return None;
+        }
+        let callee = &g.fns[cs.resolved[0]];
+        (callee.ret.clone(), format!("{}()", callee.qualified()))
+    } else {
+        let id = v.any_ident(base_end)?;
+        if id == "self" {
+            return None;
+        }
+        if base_end >= 2 && v.punct(base_end - 1, '.') && v.ident(base_end - 2, "self") {
+            let t = g.fns[caller].impl_type.clone()?;
+            let ty = g.fields.get(&(t.clone(), id.to_string()))?.clone();
+            (ty, format!("{t}::{id}"))
+        } else if base_end == 0 || !v.punct(base_end - 1, '.') {
+            if let Some(ty) = g.locals[caller].get(id) {
+                (ty.clone(), format!("{}::{id}", g.fns[caller].qualified()))
+            } else if idx_text.is_none() {
+                // Possibly the element of a whole-container loop.
+                let fb = g.fors[caller]
+                    .iter()
+                    .find(|fb| fb.var == id && fb.body_open < c.tok && c.tok < fb.body_close)?;
+                let ty = iter_type(g, caller, &fb.iter)?;
+                if !ty.contains("VLock") {
+                    return None;
+                }
+                let class = format!("{}::elems({})", g.fns[caller].qualified(), fb.iter);
+                return Some((class, Idx::Elem));
+            } else {
+                return None;
+            }
+        } else {
+            // Deeper chains (`a.b.c.lock()`) are not typed — conservative.
+            return None;
+        }
+    };
+    if !ty.contains("VLock") {
+        return None;
+    }
+    let idx = match idx_text {
+        None => Idx::Whole,
+        Some(t) => {
+            let tt = t.trim().trim_start_matches(['*', '&', ' ']).to_string();
+            if let Ok(n) = tt.parse::<i64>() {
+                Idx::Literal(n)
+            } else if let Some(fb) = g.fors[caller]
+                .iter()
+                .find(|fb| fb.var == tt && fb.body_open < c.tok && c.tok < fb.body_close)
+            {
+                Idx::Loop {
+                    provable: iter_provably_ascending(g, caller, &fb.iter),
+                    desc: tt,
+                }
+            } else {
+                Idx::Opaque(tt)
+            }
+        }
+    };
+    Some((class, idx))
+}
+
+fn r6(files: &[(String, Lexed)], g: &CallGraph, out: &mut Vec<Violation>, stats: &mut InterStats) {
+    let mut acqs: Vec<Acq> = Vec::new();
+    for c in &g.calls {
+        if c.name != "lock" || !matches!(c.kind, CallKind::Method { .. }) {
+            continue;
+        }
+        let f = &g.fns[c.caller];
+        if f.is_test || f.file == VLOCK_IMPL_FILE || rules::is_test_path(&f.file) {
+            continue;
+        }
+        let v = view(files, f.file_idx);
+        let Some((class, idx)) = vlock_acq(&v, g, c) else {
+            continue;
+        };
+        let in_loop = matches!(idx, Idx::Elem)
+            || g.fors[c.caller]
+                .iter()
+                .any(|fb| fb.body_open < c.tok && c.tok < fb.body_close);
+        acqs.push(Acq {
+            file: f.file.clone(),
+            line: c.line,
+            tok: c.tok,
+            fn_id: c.caller,
+            class,
+            idx,
+            in_loop,
+        });
+    }
+
+    // Intra-function ordering obligations: same class acquired twice,
+    // or acquired inside a loop.
+    let mut by_fn_class: BTreeMap<(usize, String), Vec<usize>> = BTreeMap::new();
+    for (i, a) in acqs.iter().enumerate() {
+        by_fn_class
+            .entry((a.fn_id, a.class.clone()))
+            .or_default()
+            .push(i);
+    }
+    let mut provable = vec![true; acqs.len()];
+    for ((_fn_id, class), group) in &by_fn_class {
+        let mut group = group.clone();
+        group.sort_by_key(|&i| acqs[i].tok);
+        let obligated = group.len() >= 2 || group.iter().any(|&i| acqs[i].in_loop);
+        if !obligated {
+            continue;
+        }
+        let mut max_lit: Option<i64> = None;
+        for &i in &group {
+            let a = &acqs[i];
+            match &a.idx {
+                Idx::Literal(n) => {
+                    if let Some(m) = max_lit {
+                        if *n < m {
+                            provable[i] = false;
+                            out.push(Violation {
+                                rule: "R6",
+                                file: a.file.clone(),
+                                line: a.line,
+                                message: format!(
+                                    "VLock {class} acquired at literal index {n} after \
+                                     index {m}: multi-acquisition must be ascending"
+                                ),
+                            });
+                        }
+                    }
+                    max_lit = Some(max_lit.map_or(*n, |m| m.max(*n)));
+                }
+                Idx::Whole | Idx::Elem => {}
+                Idx::Loop { provable: p, desc } => {
+                    if !*p {
+                        provable[i] = false;
+                        out.push(Violation {
+                            rule: "R6",
+                            file: a.file.clone(),
+                            line: a.line,
+                            message: format!(
+                                "VLock {class} acquired at loop index `{desc}` over a \
+                                 container with no provable ascending order: iterate a \
+                                 range or a BTreeSet/BTreeMap instead"
+                            ),
+                        });
+                    }
+                }
+                Idx::Opaque(t) => {
+                    provable[i] = false;
+                    out.push(Violation {
+                        rule: "R6",
+                        file: a.file.clone(),
+                        line: a.line,
+                        message: format!(
+                            "VLock {class} acquired at index `{t}` which is not \
+                             provably ascending while this function acquires the \
+                             class more than once or in a loop"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    stats.r6_acquisitions = acqs
+        .iter()
+        .enumerate()
+        .map(|(i, a)| (a.file.clone(), a.line, provable[i]))
+        .collect();
+
+    // Cross-function class-order cycles: class A is "held into" class B
+    // when a function acquires A and later (in token order) acquires B
+    // directly or calls into a function that transitively acquires B.
+    let mut trans: Vec<BTreeSet<String>> = vec![BTreeSet::new(); g.fns.len()];
+    for a in &acqs {
+        trans[a.fn_id].insert(a.class.clone());
+    }
+    loop {
+        let mut changed = false;
+        for c in &g.calls {
+            for &k in &c.resolved {
+                if k == c.caller {
+                    continue;
+                }
+                let add: Vec<String> = trans[k]
+                    .iter()
+                    .filter(|x| !trans[c.caller].contains(*x))
+                    .cloned()
+                    .collect();
+                if !add.is_empty() {
+                    changed = true;
+                    trans[c.caller].extend(add);
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut edges: BTreeMap<(String, String), (String, u32)> = BTreeMap::new();
+    for a in &acqs {
+        for b in &acqs {
+            if a.fn_id == b.fn_id && b.tok > a.tok && b.class != a.class {
+                edges
+                    .entry((a.class.clone(), b.class.clone()))
+                    .or_insert((b.file.clone(), b.line));
+            }
+        }
+        for &ci in &g.calls_by_fn[a.fn_id] {
+            let c = &g.calls[ci];
+            if c.tok <= a.tok {
+                continue;
+            }
+            for &k in &c.resolved {
+                for bclass in &trans[k] {
+                    if *bclass != a.class {
+                        edges
+                            .entry((a.class.clone(), bclass.clone()))
+                            .or_insert((a.file.clone(), c.line));
+                    }
+                }
+            }
+        }
+    }
+    // A cycle exists iff some edge (u, v) has a path v ->* u back.
+    let mut adj: BTreeMap<&String, Vec<&String>> = BTreeMap::new();
+    for (u, v) in edges.keys() {
+        adj.entry(u).or_default().push(v);
+    }
+    let path_between = |from: &String, to: &String| -> Option<Vec<String>> {
+        let mut prev: BTreeMap<&String, &String> = BTreeMap::new();
+        let mut queue = vec![from];
+        let mut seen: BTreeSet<&String> = [from].into();
+        while let Some(n) = queue.pop() {
+            if n == to {
+                let mut path = vec![to.clone()];
+                let mut cur = to;
+                while let Some(&p) = prev.get(cur) {
+                    path.push(p.clone());
+                    cur = p;
+                }
+                path.reverse();
+                return Some(path);
+            }
+            for &m in adj.get(n).into_iter().flatten() {
+                if seen.insert(m) {
+                    prev.insert(m, n);
+                    queue.push(m);
+                }
+            }
+        }
+        None
+    };
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+    for ((u, v), (pf, pl)) in &edges {
+        let Some(path) = path_between(v, u) else {
+            continue;
+        };
+        let mut cycle = vec![u.clone()];
+        cycle.extend(path);
+        let mut key = cycle.clone();
+        key.sort();
+        key.dedup();
+        if reported.insert(key) {
+            out.push(Violation {
+                rule: "R6",
+                file: pf.clone(),
+                line: *pl,
+                message: format!(
+                    "VLock acquisition-order cycle: {} — lock classes must form a \
+                     global DAG or two requests can deadlock",
+                    cycle.join(" -> ")
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// R7 — MR retention lifecycle
+// ---------------------------------------------------------------------
+
+/// The static half of the PR 6 pin-down fix: a `register` /
+/// `register_with` / `register_memory` result that is *retained*
+/// (stored into a container) must have a release path — a
+/// `remove`/`retain`/`clear`/… on the same container, or a
+/// `dereg*`/`invalidate*` call — in the same file or a
+/// call-graph-connected one. Registrations that stay local (struct
+/// fields, scratch buffers, RAII wrappers) carry no obligation: their
+/// MR drops with the owner. That is a deliberate false-negative
+/// direction; the rule exists to catch *unbounded growth* of MR tables.
+const RETAIN_METHODS: [&str; 5] = ["insert", "entry", "or_insert_with", "or_insert", "push"];
+const RELEASE_METHODS: [&str; 7] = [
+    "remove", "retain", "clear", "pop", "drain", "take", "truncate",
+];
+const REGISTER_PRIMS: [&str; 3] = ["register", "register_with", "register_memory"];
+
+/// Base container identifier of a method chain: for
+/// `self.recv_bufs.borrow_mut().insert(...)` with `name_tok` at
+/// `insert`, returns `recv_bufs` (the leftmost non-`self` identifier).
+fn chain_base(v: &FileView, name_tok: usize) -> Option<String> {
+    if name_tok == 0 || !v.punct(name_tok - 1, '.') {
+        return None;
+    }
+    let mut base: Option<String> = None;
+    let mut j = name_tok as isize - 2;
+    while j >= 0 {
+        let ju = j as usize;
+        if v.punct(ju, ')') {
+            j = v.match_back(ju, '(', ')')? as isize - 1;
+            continue;
+        }
+        if v.punct(ju, ']') {
+            j = v.match_back(ju, '[', ']')? as isize - 1;
+            continue;
+        }
+        if let Some(id) = v.any_ident(ju) {
+            if id != "self" && id != "await" {
+                base = Some(id.to_string());
+            }
+            if ju >= 1 && v.punct(ju - 1, '.') {
+                j = ju as isize - 2;
+                continue;
+            }
+        }
+        break;
+    }
+    base
+}
+
+/// Walks outward from `tok` through enclosing unbalanced delimiters
+/// (bounded by the fn body) looking for a retention-method call whose
+/// argument list contains `tok`; returns the method-name token.
+fn enclosing_retention(v: &FileView, body_open: usize, tok: usize) -> Option<usize> {
+    let mut j = tok as isize - 1;
+    let lo = body_open as isize;
+    while j > lo {
+        let ju = j as usize;
+        if v.punct(ju, ')') {
+            j = v.match_back(ju, '(', ')')? as isize - 1;
+            continue;
+        }
+        if v.punct(ju, ']') {
+            j = v.match_back(ju, '[', ']')? as isize - 1;
+            continue;
+        }
+        if v.punct(ju, '}') {
+            j = v.match_back(ju, '{', '}')? as isize - 1;
+            continue;
+        }
+        if v.punct(ju, '(') && ju >= 1 {
+            if let Some(name) = v.any_ident(ju - 1) {
+                if RETAIN_METHODS.contains(&name) {
+                    return Some(ju - 1);
+                }
+            }
+        }
+        j -= 1;
+    }
+    None
+}
+
+/// If the expression containing `tok` is the initializer of a
+/// `let <name> = …` binding (statement-local, balanced-delimiter
+/// aware), returns the bound name.
+fn let_bound_name(v: &FileView, body_open: usize, tok: usize) -> Option<String> {
+    let opchars = ['=', '<', '>', '+', '-', '*', '/', '%', '^', '&', '|', '!'];
+    let mut j = tok as isize - 1;
+    let lo = body_open as isize;
+    while j > lo {
+        let ju = j as usize;
+        if v.punct(ju, ')') {
+            j = v.match_back(ju, '(', ')')? as isize - 1;
+            continue;
+        }
+        if v.punct(ju, ']') {
+            j = v.match_back(ju, '[', ']')? as isize - 1;
+            continue;
+        }
+        if v.punct(ju, '}') {
+            j = v.match_back(ju, '{', '}')? as isize - 1;
+            continue;
+        }
+        if v.punct(ju, ';') {
+            return None;
+        }
+        if v.punct(ju, '=')
+            && !opchars.iter().any(|&c| v.punct(ju + 1, c))
+            && !(ju >= 1 && opchars.iter().any(|&c| v.punct(ju - 1, c)))
+        {
+            // Found the binding's `=`; scan left for `let <name>`.
+            let mut k = j - 1;
+            while k >= lo {
+                let ku = k as usize;
+                if v.punct(ku, ';') {
+                    return None;
+                }
+                if v.punct(ku, ')') {
+                    k = v.match_back(ku, '(', ')')? as isize - 1;
+                    continue;
+                }
+                if v.ident(ku, "let") {
+                    let mut nt = ku + 1;
+                    if v.ident(nt, "mut") {
+                        nt += 1;
+                    }
+                    return v.any_ident(nt).map(|s| s.to_string());
+                }
+                k -= 1;
+            }
+            return None;
+        }
+        j -= 1;
+    }
+    None
+}
+
+fn r7(files: &[(String, Lexed)], g: &CallGraph, out: &mut Vec<Violation>, stats: &mut InterStats) {
+    let comp = components(g);
+    // Release sites: (file_idx, component, container); wildcard dereg /
+    // invalidate calls: (file_idx, component).
+    let mut releases: Vec<(usize, usize, String)> = Vec::new();
+    let mut wildcards: Vec<(usize, usize)> = Vec::new();
+    for c in &g.calls {
+        let f = &g.fns[c.caller];
+        if f.is_test || rules::is_test_path(&f.file) {
+            continue;
+        }
+        if RELEASE_METHODS.contains(&c.name.as_str()) {
+            let v = view(files, f.file_idx);
+            if let Some(base) = chain_base(&v, c.tok) {
+                releases.push((f.file_idx, comp[c.caller], base));
+            }
+        } else if c.name.starts_with("invalidate") || c.name.starts_with("dereg") {
+            wildcards.push((f.file_idx, comp[c.caller]));
+        }
+    }
+    for c in &g.calls {
+        if !REGISTER_PRIMS.contains(&c.name.as_str()) {
+            continue;
+        }
+        let f = &g.fns[c.caller];
+        if f.is_test || rules::is_test_path(&f.file) || f.file.starts_with("crates/verbs/") {
+            continue;
+        }
+        let Some((body_open, body_close)) = f.body else {
+            continue;
+        };
+        let v = view(files, f.file_idx);
+        // Retention: directly as a retention-call argument, or
+        // let-bound and later fed to one.
+        let container = if let Some(mt) = enclosing_retention(&v, body_open, c.tok) {
+            chain_base(&v, mt)
+        } else if let Some(name) = let_bound_name(&v, body_open, c.tok) {
+            let mut found = None;
+            for k in (c.tok + 1)..body_close.min(v.toks.len()) {
+                if v.ident(k, &name) {
+                    if let Some(mt) = enclosing_retention(&v, body_open, k) {
+                        if let Some(base) = chain_base(&v, mt) {
+                            found = Some(base);
+                            break;
+                        }
+                    }
+                }
+            }
+            found
+        } else {
+            None
+        };
+        let Some(container) = container else { continue };
+        let oc = comp[c.caller];
+        let released = releases
+            .iter()
+            .any(|(fi, rc, base)| *base == container && (*fi == f.file_idx || *rc == oc))
+            || wildcards
+                .iter()
+                .any(|&(fi, rc)| fi == f.file_idx || rc == oc);
+        stats
+            .r7_obligations
+            .push((f.file.clone(), container.clone(), released));
+        if !released {
+            out.push(Violation {
+                rule: "R7",
+                file: f.file.clone(),
+                line: c.line,
+                message: format!(
+                    "MR registered and retained in `{container}` with no release \
+                     path (remove/retain/clear/… on `{container}`, or a \
+                     dereg*/invalidate* call) in this file or any call-graph-\
+                     connected file: pinned memory grows without bound"
+                ),
+            });
+        }
+    }
+}

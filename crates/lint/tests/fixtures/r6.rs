@@ -1,0 +1,46 @@
+//! Fixture: R6 VLock acquisition-order discipline. Scanned by the
+//! integration test as `crates/core/src/fixture_r6.rs`.
+
+struct Locks {
+    segs: Vec<Rc<VLock>>,
+    a: Rc<VLock>,
+    b: Rc<VLock>,
+}
+
+impl Locks {
+    fn descending(&self, op: u64, t: Track) {
+        self.segs[2].lock(op, t);
+        self.segs[1].lock(op, t);
+    }
+
+    fn unprovable(&self, picks: Vec<usize>, op: u64, t: Track) {
+        for p in picks {
+            self.segs[p].lock(op, t);
+        }
+    }
+
+    fn ab(&self, op: u64, t: Track) {
+        self.a.lock(op, t);
+        self.grab_b(op, t);
+    }
+
+    fn ba(&self, op: u64, t: Track) {
+        self.b.lock(op, t);
+        self.grab_a(op, t);
+    }
+
+    fn grab_a(&self, op: u64, t: Track) {
+        self.a.lock(op, t);
+    }
+
+    fn grab_b(&self, op: u64, t: Track) {
+        self.b.lock(op, t);
+    }
+
+    fn clean_ascending(&self, shards: Vec<usize>, op: u64, t: Track) {
+        let set: std::collections::BTreeSet<usize> = shards.into_iter().collect();
+        for s in set {
+            self.segs[s].lock(op, t);
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Fixture: R7 MR retention lifecycle. Scanned by the integration test
+//! as `crates/ucr/src/fixture_r7.rs`.
+
+struct Cache {
+    pd: Pd,
+    bufs: HashMap<u64, Mr>,
+    live: HashMap<u64, Mr>,
+}
+
+impl Cache {
+    fn leak_let(&mut self, id: u64) {
+        let mr = self.pd.register(64);
+        self.bufs.insert(id, mr);
+    }
+
+    fn leak_push(&mut self, pool: &mut Vec<Mr>) {
+        pool.push(self.pd.register(64));
+    }
+
+    fn balanced_insert(&mut self, id: u64) {
+        self.live.insert(id, self.pd.register(64));
+    }
+
+    fn balanced_release(&mut self, id: u64) {
+        self.live.remove(&id);
+    }
+}
